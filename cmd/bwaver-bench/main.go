@@ -1,0 +1,129 @@
+// Command bwaver-bench regenerates the figures and tables of the paper's
+// evaluation (§IV).
+//
+//	bwaver-bench [-ref-scale 0.01] [-read-scale 0.001] [-sample 20000] [-seed 1] [-quiet] <fig5|fig6|fig7|table1|table2|all>
+//
+// Default scales shrink the paper's workloads roughly 100-1000x so a full
+// run finishes in minutes; pass -ref-scale 1 -read-scale 1 for the paper's
+// exact sizes (long runtime, ~2 GB memory). See EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bwaver/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bwaver-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bwaver-bench", flag.ContinueOnError)
+	refScale := fs.Float64("ref-scale", bench.Quick.Ref, "reference length scale in (0,1]")
+	readScale := fs.Float64("read-scale", bench.Quick.Reads, "read count scale in (0,1]")
+	sample := fs.Int("sample", bench.Quick.SampleReads, "reads measured before extrapolating")
+	seed := fs.Int64("seed", 1, "random seed")
+	quiet := fs.Bool("quiet", false, "suppress progress lines")
+	csvDir := fs.String("csv", "", "also export machine-readable CSV files into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: bwaver-bench [flags] <ablate|fig5|fig6|fig7|table1|table2|all>")
+	}
+	scale := bench.Scale{Ref: *refScale, Reads: *readScale, SampleReads: *sample, Seed: *seed}
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+
+	target := fs.Arg(0)
+	runFig56 := target == "fig5" || target == "fig6" || target == "all"
+	runFig7 := target == "fig7" || target == "all"
+	runT1 := target == "table1" || target == "all"
+	runT2 := target == "table2" || target == "all"
+	runAblate := target == "ablate" || target == "all"
+	if !runFig56 && !runFig7 && !runT1 && !runT2 && !runAblate {
+		return fmt.Errorf("unknown experiment %q", target)
+	}
+
+	fmt.Fprintf(out, "BWaveR evaluation — ref scale %g, read scale %g, sample %d reads\n",
+		scale.Ref, scale.Reads, scale.SampleReads)
+
+	exportCSV := func(name string, write func(io.Writer) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		return bench.ExportCSV(*csvDir, name, write)
+	}
+
+	if runFig56 {
+		rows, err := bench.Fig5And6(scale, progress)
+		if err != nil {
+			return err
+		}
+		if target != "fig6" {
+			bench.PrintFig5(out, rows)
+		}
+		if target != "fig5" {
+			bench.PrintFig6(out, rows)
+		}
+		if err := exportCSV("fig5_fig6.csv", func(w io.Writer) error {
+			return bench.WriteFig5CSV(w, rows)
+		}); err != nil {
+			return err
+		}
+	}
+	if runFig7 {
+		rows, err := bench.Fig7(scale, progress)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig7(out, rows)
+		if err := exportCSV("fig7.csv", func(w io.Writer) error {
+			return bench.WriteFig7CSV(w, rows)
+		}); err != nil {
+			return err
+		}
+	}
+	if runT1 {
+		results, err := bench.Table1(scale, progress)
+		if err != nil {
+			return err
+		}
+		bench.PrintTable(out, "Table I — 100M (scaled) 35 bp reads on E.Coli", results)
+		if err := exportCSV("table1.csv", func(w io.Writer) error {
+			return bench.WriteTableCSV(w, results)
+		}); err != nil {
+			return err
+		}
+	}
+	if runT2 {
+		results, err := bench.Table2(scale, progress)
+		if err != nil {
+			return err
+		}
+		bench.PrintTable(out, "Table II — 1/10/100M (scaled) 40 bp reads on Human Chr.21", results)
+		if err := exportCSV("table2.csv", func(w io.Writer) error {
+			return bench.WriteTableCSV(w, results)
+		}); err != nil {
+			return err
+		}
+	}
+	if runAblate {
+		res, err := bench.Ablate(scale, progress)
+		if err != nil {
+			return err
+		}
+		bench.PrintAblation(out, res)
+	}
+	return nil
+}

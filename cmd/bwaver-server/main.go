@@ -1,0 +1,55 @@
+// Command bwaver-server runs the BWaveR web application (§III-D): upload a
+// reference FASTA and reads FASTQ (plain or gzipped), run the pipeline on
+// the CPU or the simulated FPGA with an optional mismatch budget, download
+// the mapping results. It shuts down gracefully on SIGINT/SIGTERM, letting
+// running pipeline jobs finish.
+//
+//	bwaver-server [-addr :8080]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bwaver/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	s := server.New()
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("\nbwaver-server: shutting down; waiting for running jobs")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(ctx); err != nil {
+			log.Printf("bwaver-server: shutdown: %v", err)
+		}
+		s.Wait()
+	}()
+
+	fmt.Printf("BWaveR web server listening on %s\n", *addr)
+	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+}

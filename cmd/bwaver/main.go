@@ -1,0 +1,874 @@
+// Command bwaver is the BWaveR command-line mapper.
+//
+//	bwaver index       -ref ref.fa[.gz] -out ref.bwx [-b 15] [-sf 50] [-locate full|sampled|none] [-plain]
+//	bwaver map         -index ref.bwx -reads reads.fq[.gz] [-backend cpu|fpga] [-workers N]
+//	                   [-format tsv|sam] [-mismatches K] [-reads2 mate2.fq -min-insert N -max-insert N]
+//	                   [-stream] [-out results]
+//	bwaver stats       -index ref.bwx [-verbose]
+//	bwaver extract     -index ref.bwx [-out ref.fa] [-gzip]
+//	bwaver verify      -index ref.bwx -ref ref.fa
+//	bwaver fpga-report -index ref.bwx [-avg-steps 35] [-pes N]
+//
+// `index` and `map` are the paper's pipeline (§III-D) split for batch use:
+// BWT/SA computation plus succinct encoding, then sequence mapping on the
+// CPU or the simulated FPGA. The remaining subcommands exploit properties
+// of the structure: the BWT is reversible (extract/verify) and the cycle
+// model doubles as a capacity planner (fpga-report).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"bwaver/internal/core"
+	"bwaver/internal/dna"
+	"bwaver/internal/fastx"
+	"bwaver/internal/fmindex"
+	"bwaver/internal/fpga"
+	"bwaver/internal/rrr"
+	"bwaver/internal/sam"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bwaver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: bwaver <index|map|stats> [flags]")
+	}
+	switch args[0] {
+	case "index":
+		return cmdIndex(args[1:], out)
+	case "map":
+		return cmdMap(args[1:], out)
+	case "stats":
+		return cmdStats(args[1:], out)
+	case "extract":
+		return cmdExtract(args[1:], out)
+	case "verify":
+		return cmdVerify(args[1:], out)
+	case "fpga-report":
+		return cmdFPGAReport(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want index, map, stats, extract, verify or fpga-report)", args[0])
+	}
+}
+
+// cmdFPGAReport prints the modeled on-chip resource footprint and
+// throughput of the kernel for a built index.
+func cmdFPGAReport(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fpga-report", flag.ContinueOnError)
+	indexPath := fs.String("index", "", "index file")
+	avgSteps := fs.Float64("avg-steps", 35, "mean backward-search steps per read (read length for mapping reads)")
+	pes := fs.Int("pes", 1, "processing elements")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *indexPath == "" {
+		return fmt.Errorf("fpga-report: -index is required")
+	}
+	ix, err := core.LoadFile(*indexPath)
+	if err != nil {
+		return err
+	}
+	dev, err := fpga.NewDevice(fpga.Config{PEs: *pes})
+	if err != nil {
+		return err
+	}
+	kernel, err := dev.Program(ix)
+	if err != nil {
+		return err
+	}
+	report, err := kernel.Report(*avgSteps)
+	if err != nil {
+		return err
+	}
+	fpga.WriteReport(out, report)
+	return nil
+}
+
+// cmdExtract reconstructs the reference FASTA from an index file — the BWT
+// is reversible, so the succinct structure doubles as a lossless archive.
+func cmdExtract(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("extract", flag.ContinueOnError)
+	indexPath := fs.String("index", "", "index file")
+	outPath := fs.String("out", "", "output FASTA (default stdout)")
+	gz := fs.Bool("gzip", false, "gzip the output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *indexPath == "" {
+		return fmt.Errorf("extract: -index is required")
+	}
+	ix, err := core.LoadFile(*indexPath)
+	if err != nil {
+		return err
+	}
+	seq, err := ix.ExtractReference()
+	if err != nil {
+		return err
+	}
+	var dst io.Writer = out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	w := fastx.NewWriter(dst, fastx.FASTA, *gz)
+	if contigs := ix.Contigs(); contigs != nil {
+		for _, c := range contigs.Contigs() {
+			rec := &fastx.Record{ID: c.Name, Seq: []byte(seq[c.Offset:c.End()].String())}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	} else if err := w.Write(&fastx.Record{ID: "ref", Seq: []byte(seq.String())}); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// cmdVerify checks an index file against the reference FASTA it was built
+// from, by extracting the archived sequence and comparing base by base.
+func cmdVerify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	indexPath := fs.String("index", "", "index file")
+	refPath := fs.String("ref", "", "reference FASTA the index should encode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *indexPath == "" || *refPath == "" {
+		return fmt.Errorf("verify: -index and -ref are required")
+	}
+	ix, err := core.LoadFile(*indexPath)
+	if err != nil {
+		return err
+	}
+	ref, contigs, err := loadReference(*refPath)
+	if err != nil {
+		return err
+	}
+	got, err := ix.ExtractReference()
+	if err != nil {
+		return fmt.Errorf("verify: extraction failed: %w", err)
+	}
+	if len(got) != len(ref) {
+		return fmt.Errorf("verify: index encodes %d bases, FASTA has %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			return fmt.Errorf("verify: mismatch at position %d: index has %v, FASTA has %v", i, got[i], ref[i])
+		}
+	}
+	if ixContigs := ix.Contigs(); ixContigs != nil && contigs != nil {
+		if ixContigs.Count() != contigs.Count() {
+			return fmt.Errorf("verify: index has %d contigs, FASTA has %d", ixContigs.Count(), contigs.Count())
+		}
+		for i := 0; i < contigs.Count(); i++ {
+			a, b := ixContigs.Contig(i), contigs.Contig(i)
+			if a != b {
+				return fmt.Errorf("verify: contig %d differs: index %+v, FASTA %+v", i, a, b)
+			}
+		}
+	}
+	fmt.Fprintf(out, "verify: index matches %s (%d bases)\n", *refPath, len(ref))
+	return nil
+}
+
+func loadReference(path string) (dna.Seq, *core.ContigSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	recs, err := fastx.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(recs) == 0 {
+		return nil, nil, fmt.Errorf("%s: no FASTA records", path)
+	}
+	var raw []byte
+	names := make([]string, len(recs))
+	lengths := make([]int, len(recs))
+	for i, rec := range recs {
+		raw = append(raw, rec.Seq...)
+		names[i] = rec.ID
+		lengths[i] = len(rec.Seq)
+	}
+	seq, replaced := dna.Sanitize(raw, dna.A)
+	if replaced > 0 {
+		fmt.Fprintf(os.Stderr, "bwaver: replaced %d ambiguous bases with A\n", replaced)
+	}
+	contigs, err := core.NewContigSet(names, lengths)
+	if err != nil {
+		return nil, nil, err
+	}
+	return seq, contigs, nil
+}
+
+func loadReads(path string) ([]dna.Seq, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	recs, err := fastx.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	seqs := make([]dna.Seq, len(recs))
+	ids := make([]string, len(recs))
+	for i, rec := range recs {
+		seqs[i], _ = dna.Sanitize(rec.Seq, dna.A)
+		ids[i] = rec.ID
+	}
+	return seqs, ids, nil
+}
+
+func cmdIndex(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("index", flag.ContinueOnError)
+	refPath := fs.String("ref", "", "reference FASTA file (.gz ok)")
+	outPath := fs.String("out", "", "output index file")
+	b := fs.Int("b", 15, "RRR block size (2-15)")
+	sf := fs.Int("sf", 50, "RRR superblock factor (>= 1)")
+	locate := fs.String("locate", "full", "locate structure: full, sampled or none")
+	sampleRate := fs.Int("sample-rate", 32, "sampled-SA rate (with -locate sampled)")
+	plain := fs.Bool("plain", false, "use uncompressed bit-vectors instead of RRR")
+	saAlgo := fs.String("sa-algo", "sais", "suffix-array construction: sais, dc3 or doubling")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *refPath == "" || *outPath == "" {
+		return fmt.Errorf("index: -ref and -out are required")
+	}
+	var algo core.SAAlgorithm
+	switch *saAlgo {
+	case "sais":
+		algo = core.SAIS
+	case "dc3":
+		algo = core.DC3
+	case "doubling":
+		algo = core.Doubling
+	default:
+		return fmt.Errorf("index: unknown suffix-array algorithm %q", *saAlgo)
+	}
+	var mode core.LocateMode
+	switch *locate {
+	case "full":
+		mode = core.LocateFullSA
+	case "sampled":
+		mode = core.LocateSampled
+	case "none":
+		mode = core.LocateNone
+	default:
+		return fmt.Errorf("index: unknown locate mode %q", *locate)
+	}
+	ref, contigs, err := loadReference(*refPath)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	ix, err := core.BuildIndex(ref, core.IndexConfig{
+		RRR:             rrr.Params{BlockSize: *b, SuperblockFactor: *sf},
+		PlainBitvectors: *plain,
+		Locate:          mode,
+		SampleRate:      *sampleRate,
+		SAAlgorithm:     algo,
+	})
+	if err != nil {
+		return err
+	}
+	if err := ix.SetContigs(contigs); err != nil {
+		return err
+	}
+	if err := ix.SaveFile(*outPath); err != nil {
+		return err
+	}
+	st := ix.Stats()
+	fmt.Fprintf(out, "indexed %d bases in %v (SA %v, BWT %v, encode %v)\n",
+		st.RefLength, time.Since(start).Round(time.Millisecond),
+		st.SATime.Round(time.Millisecond), st.BWTTime.Round(time.Millisecond),
+		st.EncodeTime.Round(time.Millisecond))
+	fmt.Fprintf(out, "structure %.2f MB (+%.2f MB shared table), %.1f%% of the plain BWT; BWT entropy %.3f bits\n",
+		float64(st.StructureBytes)/1e6, float64(st.SharedBytes)/1e6,
+		st.CompressionRatio()*100, st.BWTEntropy)
+	return nil
+}
+
+func cmdMap(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("map", flag.ContinueOnError)
+	indexPath := fs.String("index", "", "index file from `bwaver index`")
+	readsPath := fs.String("reads", "", "reads FASTQ/FASTA file (.gz ok)")
+	backend := fs.String("backend", "cpu", "mapping backend: cpu or fpga")
+	workers := fs.Int("workers", 1, "CPU worker goroutines (-1 = all cores)")
+	doLocate := fs.Bool("locate", true, "resolve occurrence positions")
+	format := fs.String("format", "tsv", "output format: tsv or sam")
+	mismatches := fs.Int("mismatches", 0, "substitution budget per read (0 = exact); on the fpga backend this runs the two-pass reconfigurable flow")
+	reads2Path := fs.String("reads2", "", "mate-2 FASTQ for paired-end mapping")
+	minInsert := fs.Int("min-insert", 100, "minimum fragment length for proper pairs (with -reads2)")
+	maxInsert := fs.Int("max-insert", 600, "maximum fragment length for proper pairs (with -reads2)")
+	stream := fs.Bool("stream", false, "stream the reads in bounded memory (cpu backend, tsv output)")
+	profilePath := fs.String("profile", "", "write the fpga run's event profile as JSON (fpga backend)")
+	outPath := fs.String("out", "", "results file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "tsv" && *format != "sam" {
+		return fmt.Errorf("map: unknown format %q (want tsv or sam)", *format)
+	}
+	if *format == "sam" && !*doLocate {
+		return fmt.Errorf("map: -format sam requires -locate")
+	}
+	if *mismatches < 0 {
+		return fmt.Errorf("map: -mismatches must be >= 0")
+	}
+	if *mismatches > 0 && *format == "sam" {
+		return fmt.Errorf("map: -mismatches currently supports only -format tsv")
+	}
+	if *indexPath == "" || *readsPath == "" {
+		return fmt.Errorf("map: -index and -reads are required")
+	}
+	ix, err := core.LoadFile(*indexPath)
+	if err != nil {
+		return err
+	}
+	if *stream {
+		if *backend != "cpu" || *format != "tsv" || *reads2Path != "" || *mismatches > 0 {
+			return fmt.Errorf("map: -stream supports the cpu backend with tsv output, unpaired, exact")
+		}
+		return mapStreaming(out, ix, *readsPath, *doLocate, *workers, *outPath)
+	}
+	reads, ids, err := loadReads(*readsPath)
+	if err != nil {
+		return err
+	}
+
+	if *reads2Path != "" {
+		if *mismatches > 0 {
+			return fmt.Errorf("map: paired-end mode currently supports exact matching only")
+		}
+		return mapPaired(out, ix, reads, ids, *reads2Path, *minInsert, *maxInsert, *format, *outPath)
+	}
+	if *mismatches > 0 {
+		return mapApprox(out, ix, reads, ids, *backend, *mismatches, *workers, *doLocate, *outPath)
+	}
+
+	var results []core.MapResult
+	switch *backend {
+	case "cpu":
+		var stats core.MapStats
+		results, stats, err = ix.MapReads(reads, core.MapOptions{Locate: *doLocate, Workers: *workers})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bwaver: mapped %d/%d reads in %v (%.0f reads/s)\n",
+			stats.MappedReads, stats.Reads, stats.Elapsed.Round(time.Millisecond), stats.ReadsPerSecond())
+	case "fpga":
+		dev, err := fpga.NewDevice(fpga.Config{})
+		if err != nil {
+			return err
+		}
+		kernel, err := dev.Program(ix)
+		if err != nil {
+			return err
+		}
+		run, err := kernel.MapReads(reads)
+		if err != nil {
+			return err
+		}
+		if *doLocate {
+			if _, err := kernel.LocateResults(run.Results); err != nil {
+				return err
+			}
+		}
+		results = run.Results
+		p := run.Profile
+		fmt.Fprintf(os.Stderr, "bwaver: fpga model: total %v (setup %v, index xfer %v, kernel %v / %d cycles), energy %.2f J\n",
+			p.Total().Round(time.Microsecond), p.Setup.Round(time.Microsecond),
+			p.IndexTransfer.Round(time.Microsecond), p.KernelTime.Round(time.Microsecond),
+			p.KernelCycles, p.EnergyJoules(dev.Config().PowerWatts))
+		if *profilePath != "" {
+			if err := writeProfileJSON(*profilePath, p, dev.Config().PowerWatts); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("map: unknown backend %q", *backend)
+	}
+
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *format == "sam" {
+		return writeSAM(w, ix, ids, reads, results)
+	}
+	writeTSV(w, ix.Contigs(), ids, reads, results)
+	return nil
+}
+
+func writeTSV(w io.Writer, contigs *core.ContigSet, ids []string, reads []dna.Seq, results []core.MapResult) {
+	fmt.Fprintln(w, "read\tmapped\tfw_count\tfw_positions\trc_count\trc_positions")
+	for i, res := range results {
+		span := len(reads[i])
+		fmt.Fprintf(w, "%s\t%t\t%d\t%s\t%d\t%s\n",
+			ids[i], res.Mapped(),
+			res.Forward.Count(), formatPositions(contigs, res.ForwardPositions, span),
+			res.Reverse.Count(), formatPositions(contigs, res.ReversePositions, span))
+	}
+}
+
+// formatPositions renders positions; with multi-contig metadata they become
+// name:offset pairs and boundary-spanning hits are marked.
+func formatPositions(contigs *core.ContigSet, ps []int32, span int) string {
+	if len(ps) == 0 {
+		return "-"
+	}
+	s := ""
+	for i, p := range ps {
+		if i > 0 {
+			s += ","
+		}
+		if contigs != nil && contigs.Count() > 1 {
+			if contig, off, ok := contigs.Resolve(int(p), span); ok {
+				s += fmt.Sprintf("%s:%d", contig.Name, off)
+			} else {
+				s += fmt.Sprintf("boundary@%d", p)
+			}
+		} else {
+			s += fmt.Sprint(p)
+		}
+	}
+	return s
+}
+
+// writeProfileJSON dumps the modeled event timeline, the machine-readable
+// form of the OpenCL event profiling the paper benchmarks with. Durations
+// are nanoseconds.
+func writeProfileJSON(path string, p fpga.Profile, powerWatts float64) error {
+	payload := struct {
+		fpga.Profile
+		TotalNs      int64   `json:"total_ns"`
+		EnergyJoules float64 `json:"energy_joules"`
+	}{
+		Profile:      p,
+		TotalNs:      int64(p.Total()),
+		EnergyJoules: p.EnergyJoules(powerWatts),
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// mapStreaming maps an arbitrarily large FASTQ in bounded memory, writing
+// TSV rows as batches complete.
+func mapStreaming(out io.Writer, ix *core.Index, readsPath string, doLocate bool, workers int, outPath string) error {
+	f, err := os.Open(readsPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := out
+	if outPath != "" {
+		dst, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer dst.Close()
+		w = dst
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintln(bw, "read\tmapped\tfw_count\tfw_positions\trc_count\trc_positions")
+	contigs := ix.Contigs()
+	stats, err := ix.MapStream(f, core.MapOptions{Locate: doLocate, Workers: workers}, 0,
+		func(r core.StreamResult) error {
+			_, err := fmt.Fprintf(bw, "%s\t%t\t%d\t%s\t%d\t%s\n",
+				r.ID, r.Res.Mapped(),
+				r.Res.Forward.Count(), formatPositions(contigs, r.Res.ForwardPositions, len(r.Read)),
+				r.Res.Reverse.Count(), formatPositions(contigs, r.Res.ReversePositions, len(r.Read)))
+			return err
+		})
+	if err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bwaver: streamed %d reads, %d mapped, in %v\n",
+		stats.Reads, stats.MappedReads, stats.Elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// mapPaired maps mate pairs and reports proper (concordant) placements
+// within the insert window, as TSV or paired SAM.
+func mapPaired(out io.Writer, ix *core.Index, r1s []dna.Seq, ids []string, reads2Path string, minInsert, maxInsert int, format, outPath string) error {
+	r2s, _, err := loadReads(reads2Path)
+	if err != nil {
+		return err
+	}
+	if len(r2s) != len(r1s) {
+		return fmt.Errorf("map: %d mate-1 reads but %d mate-2 reads", len(r1s), len(r2s))
+	}
+	results, stats, err := ix.MapPairs(r1s, r2s, core.PairOptions{MinInsert: minInsert, MaxInsert: maxInsert})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bwaver: %d/%d pairs concordant, %d ambiguous\n",
+		stats.Concordant, stats.Pairs, stats.Ambiguous)
+	w := out
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if format == "sam" {
+		return writePairedSAM(w, ix, ids, r1s, r2s, results)
+	}
+	fmt.Fprintln(w, "pair\tconcordant\tambiguous\tplacements\tbest_pos\tbest_insert")
+	for i, res := range results {
+		pos, insert := "-", "-"
+		if res.Concordant() {
+			pos = fmt.Sprint(res.Placements[0].Pos)
+			insert = fmt.Sprint(res.Placements[0].Insert)
+		}
+		fmt.Fprintf(w, "%s\t%t\t%t\t%d\t%s\t%s\n",
+			ids[i], res.Concordant(), res.Ambiguous, len(res.Placements), pos, insert)
+	}
+	return nil
+}
+
+// writePairedSAM emits the best concordant placement of each pair as two
+// properly-flagged SAM records, or a pair of unmapped records when no
+// placement exists.
+func writePairedSAM(w io.Writer, ix *core.Index, ids []string, r1s, r2s []dna.Seq, results []core.PairResult) error {
+	contigs := ix.Contigs()
+	var refs []sam.RefSeq
+	if contigs != nil {
+		for _, c := range contigs.Contigs() {
+			refs = append(refs, sam.RefSeq{Name: c.Name, Length: c.Length})
+		}
+	} else {
+		refs = []sam.RefSeq{{Name: "ref", Length: ix.RefLength()}}
+		var err error
+		if contigs, err = core.NewContigSet([]string{"ref"}, []int{ix.RefLength()}); err != nil {
+			return err
+		}
+	}
+	sw, err := sam.NewWriter(w, refs)
+	if err != nil {
+		return err
+	}
+	dropped := 0
+	for i, res := range results {
+		mateFlags := [2]uint16{sam.FlagFirstInPair, sam.FlagSecondInPair}
+		reads := [2]dna.Seq{r1s[i], r2s[i]}
+		placed := false
+		if res.Concordant() {
+			pl := res.Placements[0]
+			// Leftmost mate forward, rightmost reverse; which read is
+			// which depends on the placement orientation.
+			leftIdx, rightIdx := 0, 1
+			if !pl.R1Forward {
+				leftIdx, rightIdx = 1, 0
+			}
+			leftRead, rightRead := reads[leftIdx], reads[rightIdx]
+			leftPos := int(pl.Pos)
+			rightPos := leftPos + pl.Insert - len(rightRead)
+			contig, leftOff, okL := contigs.Resolve(leftPos, pl.Insert)
+			if okL {
+				rightOff := rightPos - contig.Offset
+				base := sam.FlagPaired | sam.FlagProperPair
+				recs := [2]sam.Record{
+					{
+						QName: ids[i], RName: contig.Name, Pos: leftOff + 1, MapQ: 60,
+						Flag:  base | mateFlags[leftIdx] | sam.FlagMateReverse,
+						CIGAR: fmt.Sprintf("%dM", len(leftRead)), Seq: leftRead.String(),
+						RNext: "=", PNext: rightOff + 1, TLen: pl.Insert,
+					},
+					{
+						QName: ids[i], RName: contig.Name, Pos: rightOff + 1, MapQ: 60,
+						Flag:  base | mateFlags[rightIdx] | sam.FlagReverse,
+						CIGAR: fmt.Sprintf("%dM", len(rightRead)), Seq: rightRead.ReverseComplement().String(),
+						RNext: "=", PNext: leftOff + 1, TLen: -pl.Insert,
+					},
+				}
+				for _, rec := range recs {
+					if err := sw.Write(rec); err != nil {
+						return err
+					}
+				}
+				placed = true
+			} else {
+				dropped++
+			}
+		}
+		if !placed {
+			for m := 0; m < 2; m++ {
+				if err := sw.Write(sam.Record{
+					QName: ids[i], Seq: reads[m].String(),
+					Flag: sam.FlagPaired | sam.FlagUnmapped | sam.FlagMateUnmapped | mateFlags[m],
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "bwaver: dropped %d pair placements spanning contig boundaries\n", dropped)
+	}
+	return sw.Flush()
+}
+
+// mapApprox runs k-mismatch mapping: on the CPU every read goes through the
+// branching backward search; on the FPGA model the two-pass reconfigurable
+// flow maps exactly first and rescues the unaligned reads. The TSV reports
+// the best mismatch stratum per read.
+func mapApprox(out io.Writer, ix *core.Index, reads []dna.Seq, ids []string, backend string, k, workers int, doLocate bool, outPath string) error {
+	type approxRow struct {
+		mapped      bool
+		bestMM      int
+		occurrences int
+		positions   []int32
+	}
+	rows := make([]approxRow, len(reads))
+
+	fill := func(i int, res core.ApproxResult) error {
+		rows[i] = approxRow{mapped: res.Mapped(), bestMM: res.BestMismatches(), occurrences: res.Occurrences()}
+		if doLocate && res.Mapped() {
+			best := res.BestMismatches()
+			for _, set := range [][]fmindex.ApproxMatch{res.Forward, res.Reverse} {
+				for _, m := range set {
+					if m.Mismatches != best {
+						continue
+					}
+					ps, err := ix.FM().Locate(m.Range)
+					if err != nil {
+						return err
+					}
+					rows[i].positions = append(rows[i].positions, ps...)
+				}
+			}
+		}
+		return nil
+	}
+
+	switch backend {
+	case "cpu":
+		all, err := ix.MapReadsApprox(reads, k, core.MapOptions{Workers: workers})
+		if err != nil {
+			return err
+		}
+		for i, res := range all {
+			if err := fill(i, res); err != nil {
+				return err
+			}
+		}
+	case "fpga":
+		dev, err := fpga.NewDevice(fpga.Config{})
+		if err != nil {
+			return err
+		}
+		kernel, err := dev.Program(ix)
+		if err != nil {
+			return err
+		}
+		run, err := kernel.MapReadsTwoPass(reads, k)
+		if err != nil {
+			return err
+		}
+		for i, exact := range run.Exact {
+			if exact.Mapped() {
+				// Exact hits are the 0-mismatch stratum.
+				rows[i] = approxRow{mapped: true, bestMM: 0, occurrences: exact.Occurrences()}
+				if doLocate {
+					for _, r := range []fmindex.Range{exact.Forward, exact.Reverse} {
+						ps, err := ix.FM().Locate(r)
+						if err != nil {
+							return err
+						}
+						rows[i].positions = append(rows[i].positions, ps...)
+					}
+				}
+				continue
+			}
+			if err := fill(i, run.Approx[i]); err != nil {
+				return err
+			}
+		}
+		p := run.Profile
+		fmt.Fprintf(os.Stderr, "bwaver: fpga two-pass model: total %v (reconfig %v), %d reads rescued at k<=%d\n",
+			p.Total().Round(time.Microsecond), p.Reconfig, run.Rescued, k)
+	default:
+		return fmt.Errorf("map: unknown backend %q", backend)
+	}
+
+	w := out
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintln(w, "read\tmapped\tbest_mismatches\toccurrences\tbest_positions")
+	for i, row := range rows {
+		pos := "-"
+		if len(row.positions) > 0 {
+			pos = ""
+			for j, p := range row.positions {
+				if j > 0 {
+					pos += ","
+				}
+				pos += fmt.Sprint(p)
+			}
+		}
+		fmt.Fprintf(w, "%s\t%t\t%d\t%d\t%s\n", ids[i], row.mapped, row.bestMM, row.occurrences, pos)
+	}
+	return nil
+}
+
+// writeSAM emits results as SAM: the first resolvable hit of each read is
+// primary, further hits secondary, reverse-strand hits carry the reverse
+// flag and the reverse-complemented sequence, per the spec.
+func writeSAM(w io.Writer, ix *core.Index, ids []string, reads []dna.Seq, results []core.MapResult) error {
+	contigs := ix.Contigs()
+	var refs []sam.RefSeq
+	if contigs != nil {
+		for _, c := range contigs.Contigs() {
+			refs = append(refs, sam.RefSeq{Name: c.Name, Length: c.Length})
+		}
+	} else {
+		refs = []sam.RefSeq{{Name: "ref", Length: ix.RefLength()}}
+		var err error
+		if contigs, err = core.NewContigSet([]string{"ref"}, []int{ix.RefLength()}); err != nil {
+			return err
+		}
+	}
+	sw, err := sam.NewWriter(w, refs)
+	if err != nil {
+		return err
+	}
+	dropped := 0
+	for i, res := range results {
+		read := reads[i]
+		emit := func(ps []int32, reverse bool, primaryEmitted *bool) error {
+			seq := read
+			var flag uint16
+			if reverse {
+				seq = read.ReverseComplement()
+				flag |= sam.FlagReverse
+			}
+			for _, p := range ps {
+				contig, off, ok := contigs.Resolve(int(p), len(read))
+				if !ok {
+					dropped++
+					continue
+				}
+				recFlag := flag
+				if *primaryEmitted {
+					recFlag |= sam.FlagSecondary
+				}
+				*primaryEmitted = true
+				if err := sw.Write(sam.Record{
+					QName: ids[i], Flag: recFlag, RName: contig.Name, Pos: off + 1,
+					MapQ: 255, CIGAR: fmt.Sprintf("%dM", len(read)), Seq: seq.String(),
+					Tags: []string{"NM:i:0"},
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		primaryEmitted := false
+		if err := emit(res.ForwardPositions, false, &primaryEmitted); err != nil {
+			return err
+		}
+		if err := emit(res.ReversePositions, true, &primaryEmitted); err != nil {
+			return err
+		}
+		if !primaryEmitted {
+			if err := sw.Write(sam.Record{
+				QName: ids[i], Flag: sam.FlagUnmapped, Seq: read.String(),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "bwaver: dropped %d hits spanning contig boundaries\n", dropped)
+	}
+	return sw.Flush()
+}
+
+func cmdStats(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	indexPath := fs.String("index", "", "index file")
+	verbose := fs.Bool("verbose", false, "print the per-node wavelet breakdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *indexPath == "" {
+		return fmt.Errorf("stats: -index is required")
+	}
+	ix, err := core.LoadFile(*indexPath)
+	if err != nil {
+		return err
+	}
+	cfg := ix.Config()
+	st := ix.Stats()
+	fmt.Fprintf(out, "reference length:  %d bases\n", ix.RefLength())
+	fmt.Fprintf(out, "rrr parameters:    b=%d sf=%d (plain=%t)\n",
+		cfg.RRR.BlockSize, cfg.RRR.SuperblockFactor, cfg.PlainBitvectors)
+	fmt.Fprintf(out, "locate:            %v\n", cfg.Locate)
+	fmt.Fprintf(out, "structure size:    %.3f MB (+%.3f MB shared)\n",
+		float64(st.StructureBytes)/1e6, float64(st.SharedBytes)/1e6)
+	fmt.Fprintf(out, "total index size:  %.3f MB\n", float64(ix.SizeBytes())/1e6)
+	if contigs := ix.Contigs(); contigs != nil {
+		fmt.Fprintf(out, "contigs:           %d\n", contigs.Count())
+		for _, c := range contigs.Contigs() {
+			fmt.Fprintf(out, "  %-20s %10d bp at offset %d\n", c.Name, c.Length, c.Offset)
+		}
+	}
+	if *verbose {
+		occ, ok := ix.FM().OccProvider().(*fmindex.WaveletOcc)
+		if !ok {
+			return fmt.Errorf("stats: index has no wavelet structure to break down")
+		}
+		fmt.Fprintf(out, "wavelet nodes (entropy drives the RRR offset size, paper §III-B):\n")
+		fmt.Fprintf(out, "  %-12s %6s %12s %12s %10s %9s\n",
+			"alphabet", "depth", "bits", "ones", "size B", "entropy")
+		for _, st := range occ.Tree.NodeStats() {
+			var names []byte
+			for c := st.Lo; c < st.Hi; c++ {
+				names = append(names, dna.Base(c).Byte())
+			}
+			fmt.Fprintf(out, "  %-12s %6d %12d %12d %10d %9.4f\n",
+				string(names), st.Depth, st.Bits, st.Ones, st.SizeBytes, st.Entropy)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,653 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bwaver/internal/fastx"
+	"bwaver/internal/readsim"
+)
+
+// writeTestFiles generates a reference FASTA and a reads FASTQ in dir and
+// returns their paths plus the simulated reads for truth checking.
+func writeTestFiles(t *testing.T, dir string) (refPath, readsPath string, sim []readsim.Read) {
+	t.Helper()
+	ref, err := readsim.Genome(readsim.GenomeConfig{Length: 8000, Seed: 4, RepeatFraction: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err = readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: 80, Length: 50, MappingRatio: 0.5, RevCompFraction: 0.5, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPath = filepath.Join(dir, "ref.fa")
+	rf, err := os.Create(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := fastx.NewWriter(rf, fastx.FASTA, false)
+	if err := w.Write(&fastx.Record{ID: "ref", Seq: []byte(ref.String())}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	rf.Close()
+
+	readsPath = filepath.Join(dir, "reads.fq")
+	qf, err := os.Create(readsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qw := fastx.NewWriter(qf, fastx.FASTQ, false)
+	for _, r := range sim {
+		if err := qw.Write(&fastx.Record{ID: r.ID, Seq: []byte(r.Seq.String())}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qw.Close()
+	qf.Close()
+	return refPath, readsPath, sim
+}
+
+func TestIndexMapStatsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	refPath, readsPath, sim := writeTestFiles(t, dir)
+	indexPath := filepath.Join(dir, "ref.bwx")
+
+	var out bytes.Buffer
+	if err := run([]string{"index", "-ref", refPath, "-out", indexPath, "-b", "15", "-sf", "50"}, &out); err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	if !strings.Contains(out.String(), "indexed 8000 bases") {
+		t.Errorf("index output: %q", out.String())
+	}
+
+	for _, backend := range []string{"cpu", "fpga"} {
+		tsvPath := filepath.Join(dir, backend+".tsv")
+		out.Reset()
+		if err := run([]string{"map", "-index", indexPath, "-reads", readsPath,
+			"-backend", backend, "-out", tsvPath}, &out); err != nil {
+			t.Fatalf("map %s: %v", backend, err)
+		}
+		data, err := os.ReadFile(tsvPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) != len(sim)+1 {
+			t.Fatalf("%s: %d lines, want %d", backend, len(lines), len(sim)+1)
+		}
+		mapped := map[string]bool{}
+		for _, line := range lines[1:] {
+			f := strings.Split(line, "\t")
+			mapped[f[0]] = f[1] == "true"
+		}
+		for _, r := range sim {
+			if mapped[r.ID] != (r.Origin >= 0) {
+				t.Errorf("%s: read %s mapped=%t, want %t", backend, r.ID, mapped[r.ID], r.Origin >= 0)
+			}
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"stats", "-index", indexPath}, &out); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	for _, want := range []string{"reference length:  8000", "b=15 sf=50", "full-sa"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestIndexLocateModes(t *testing.T) {
+	dir := t.TempDir()
+	refPath, readsPath, _ := writeTestFiles(t, dir)
+	for _, mode := range []string{"full", "sampled", "none"} {
+		indexPath := filepath.Join(dir, mode+".bwx")
+		var out bytes.Buffer
+		if err := run([]string{"index", "-ref", refPath, "-out", indexPath, "-locate", mode}, &out); err != nil {
+			t.Fatalf("index -locate %s: %v", mode, err)
+		}
+		args := []string{"map", "-index", indexPath, "-reads", readsPath, "-out", filepath.Join(dir, mode+".tsv")}
+		if mode == "none" {
+			args = append(args, "-locate=false")
+		}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("map with %s index: %v", mode, err)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	refPath, readsPath, _ := writeTestFiles(t, dir)
+	indexPath := filepath.Join(dir, "x.bwx")
+	if err := run([]string{"index", "-ref", refPath, "-out", indexPath}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"index"},
+		{"index", "-ref", refPath},
+		{"index", "-ref", "/nonexistent", "-out", indexPath},
+		{"index", "-ref", refPath, "-out", indexPath, "-locate", "bogus"},
+		{"index", "-ref", refPath, "-out", indexPath, "-b", "99"},
+		{"map"},
+		{"map", "-index", "/nonexistent", "-reads", readsPath},
+		{"map", "-index", indexPath, "-reads", "/nonexistent"},
+		{"map", "-index", indexPath, "-reads", readsPath, "-backend", "asic"},
+		{"stats"},
+		{"stats", "-index", "/nonexistent"},
+		{"stats", "-index", refPath}, // not an index file
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestMapSAMOutput(t *testing.T) {
+	dir := t.TempDir()
+	refPath, readsPath, sim := writeTestFiles(t, dir)
+	indexPath := filepath.Join(dir, "ref.bwx")
+	if err := run([]string{"index", "-ref", refPath, "-out", indexPath}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	samPath := filepath.Join(dir, "out.sam")
+	if err := run([]string{"map", "-index", indexPath, "-reads", readsPath,
+		"-format", "sam", "-out", samPath}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(samPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "@SQ\tSN:ref\tLN:8000") {
+		t.Errorf("SAM header missing @SQ:\n%.200s", text)
+	}
+	// Every simulated read must appear; mapped ones with a position, and
+	// the planted origin must appear as POS (1-based) on some record.
+	for _, r := range sim {
+		if !strings.Contains(text, r.ID+"\t") {
+			t.Fatalf("read %s missing from SAM", r.ID)
+		}
+		if r.Origin >= 0 {
+			want := "\t" + itoa(r.Origin+1) + "\t"
+			if !strings.Contains(text, want) {
+				t.Errorf("read %s origin %d not found as SAM POS", r.ID, r.Origin)
+			}
+		}
+	}
+	// Reverse-strand reads must carry flag 16 (or 16|256 for secondaries).
+	sawReverse := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "@") || line == "" {
+			continue
+		}
+		f := strings.Split(line, "\t")
+		if f[1] == "16" || f[1] == "272" {
+			sawReverse = true
+		}
+	}
+	if !sawReverse {
+		t.Error("no reverse-strand SAM records emitted")
+	}
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }
+
+func TestMapSAMRequiresLocate(t *testing.T) {
+	dir := t.TempDir()
+	refPath, readsPath, _ := writeTestFiles(t, dir)
+	indexPath := filepath.Join(dir, "ref.bwx")
+	if err := run([]string{"index", "-ref", refPath, "-out", indexPath}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"map", "-index", indexPath, "-reads", readsPath,
+		"-format", "sam", "-locate=false"}, &bytes.Buffer{}); err == nil {
+		t.Error("sam without locate accepted")
+	}
+	if err := run([]string{"map", "-index", indexPath, "-reads", readsPath,
+		"-format", "xml"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestMultiContigTSV(t *testing.T) {
+	dir := t.TempDir()
+	// Two-record reference.
+	g1, err := readsim.Genome(readsim.GenomeConfig{Length: 3000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := readsim.Genome(readsim.GenomeConfig{Length: 2000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPath := filepath.Join(dir, "multi.fa")
+	rf, _ := os.Create(refPath)
+	w := fastx.NewWriter(rf, fastx.FASTA, false)
+	w.Write(&fastx.Record{ID: "chrA", Seq: []byte(g1.String())})
+	w.Write(&fastx.Record{ID: "chrB", Seq: []byte(g2.String())})
+	w.Close()
+	rf.Close()
+
+	// One read planted inside chrB.
+	readsPath := filepath.Join(dir, "reads.fq")
+	qf, _ := os.Create(readsPath)
+	qw := fastx.NewWriter(qf, fastx.FASTQ, false)
+	qw.Write(&fastx.Record{ID: "planted", Seq: []byte(g2[700:760].String())})
+	qw.Close()
+	qf.Close()
+
+	indexPath := filepath.Join(dir, "multi.bwx")
+	if err := run([]string{"index", "-ref", refPath, "-out", indexPath}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"map", "-index", indexPath, "-reads", readsPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "chrB:700") {
+		t.Errorf("TSV lacks contig-relative position chrB:700:\n%s", out.String())
+	}
+}
+
+func TestExtractAndVerify(t *testing.T) {
+	dir := t.TempDir()
+	refPath, _, _ := writeTestFiles(t, dir)
+	indexPath := filepath.Join(dir, "ref.bwx")
+	if err := run([]string{"index", "-ref", refPath, "-out", indexPath}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	// verify against the original must pass.
+	var out bytes.Buffer
+	if err := run([]string{"verify", "-index", indexPath, "-ref", refPath}, &out); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if !strings.Contains(out.String(), "matches") {
+		t.Errorf("verify output: %q", out.String())
+	}
+	// extract, re-index the extraction, verify against the original FASTA.
+	extractedPath := filepath.Join(dir, "extracted.fa")
+	if err := run([]string{"extract", "-index", indexPath, "-out", extractedPath}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	origData, _ := os.ReadFile(refPath)
+	extData, _ := os.ReadFile(extractedPath)
+	orig, err := fastx.ReadAll(bytes.NewReader(origData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := fastx.ReadAll(bytes.NewReader(extData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext) != 1 || string(ext[0].Seq) != string(orig[0].Seq) {
+		t.Error("extracted FASTA differs from original")
+	}
+	// verify against a different reference must fail.
+	otherRef, _, _ := writeTestFiles(t, t.TempDir())
+	_ = otherRef
+	badDir := t.TempDir()
+	badRefPath, _, _ := func() (string, string, []readsim.Read) {
+		// regenerate with a different seed by tweaking one base
+		data, _ := os.ReadFile(refPath)
+		mutated := bytes.Replace(data, []byte("ACG"), []byte("ACT"), 1)
+		p := filepath.Join(badDir, "mut.fa")
+		os.WriteFile(p, mutated, 0o644)
+		return p, "", nil
+	}()
+	if err := run([]string{"verify", "-index", indexPath, "-ref", badRefPath}, &bytes.Buffer{}); err == nil {
+		t.Error("verify accepted a mutated reference")
+	}
+	// Multi-contig extract preserves record structure.
+	multiPath := filepath.Join(dir, "multi.fa")
+	mf, _ := os.Create(multiPath)
+	w := fastx.NewWriter(mf, fastx.FASTA, false)
+	w.Write(&fastx.Record{ID: "c1", Seq: []byte("ACGTACGTACGTACGTACGT")})
+	w.Write(&fastx.Record{ID: "c2", Seq: []byte("TTTTGGGGCCCCAAAATTTT")})
+	w.Close()
+	mf.Close()
+	multiIndex := filepath.Join(dir, "multi.bwx")
+	if err := run([]string{"index", "-ref", multiPath, "-out", multiIndex}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	multiOut := filepath.Join(dir, "multi-ext.fa")
+	if err := run([]string{"extract", "-index", multiIndex, "-out", multiOut}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	med, _ := os.ReadFile(multiOut)
+	recs, err := fastx.ReadAll(bytes.NewReader(med))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].ID != "c1" || string(recs[1].Seq) != "TTTTGGGGCCCCAAAATTTT" {
+		t.Errorf("multi-contig extraction wrong: %+v", recs)
+	}
+	if err := run([]string{"verify", "-index", multiIndex, "-ref", multiPath}, &bytes.Buffer{}); err != nil {
+		t.Errorf("multi-contig verify failed: %v", err)
+	}
+}
+
+func TestMapWithMismatches(t *testing.T) {
+	dir := t.TempDir()
+	// Reference plus reads with exactly one substitution each.
+	ref, err := readsim.Genome(readsim.GenomeConfig{Length: 9000, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: 40, Length: 50, MappingRatio: 1, ErrorRate: 0.02, Seed: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPath := filepath.Join(dir, "ref.fa")
+	rf, _ := os.Create(refPath)
+	w := fastx.NewWriter(rf, fastx.FASTA, false)
+	w.Write(&fastx.Record{ID: "ref", Seq: []byte(ref.String())})
+	w.Close()
+	rf.Close()
+	readsPath := filepath.Join(dir, "reads.fq")
+	qf, _ := os.Create(readsPath)
+	qw := fastx.NewWriter(qf, fastx.FASTQ, false)
+	for _, r := range sim {
+		qw.Write(&fastx.Record{ID: r.ID, Seq: []byte(r.Seq.String())})
+	}
+	qw.Close()
+	qf.Close()
+	indexPath := filepath.Join(dir, "ref.bwx")
+	if err := run([]string{"index", "-ref", refPath, "-out", indexPath}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, backend := range []string{"cpu", "fpga"} {
+		var out bytes.Buffer
+		if err := run([]string{"map", "-index", indexPath, "-reads", readsPath,
+			"-backend", backend, "-mismatches", "2"}, &out); err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+		if len(lines) != len(sim)+1 {
+			t.Fatalf("%s: %d lines, want %d", backend, len(lines), len(sim)+1)
+		}
+		byID := map[string][]string{}
+		for _, line := range lines[1:] {
+			f := strings.Split(line, "\t")
+			byID[f[0]] = f
+		}
+		for _, r := range sim {
+			f := byID[r.ID]
+			if f == nil {
+				t.Fatalf("%s: read %s missing", backend, r.ID)
+			}
+			wantMM := r.Errors
+			if wantMM > 2 {
+				continue // beyond budget; may or may not map elsewhere
+			}
+			if f[1] != "true" {
+				t.Errorf("%s: read %s with %d errors did not map", backend, r.ID, r.Errors)
+				continue
+			}
+			if f[2] != itoa(wantMM) {
+				t.Errorf("%s: read %s best_mismatches=%s, want %d", backend, r.ID, f[2], wantMM)
+			}
+			// Origin must appear among best positions.
+			if !strings.Contains(","+f[4]+",", ","+itoa(r.Origin)+",") {
+				t.Errorf("%s: read %s origin %d not in positions %s", backend, r.ID, r.Origin, f[4])
+			}
+		}
+	}
+	// Negative budget rejected.
+	if err := run([]string{"map", "-index", indexPath, "-reads", readsPath, "-mismatches", "-1"}, &bytes.Buffer{}); err == nil {
+		t.Error("negative mismatches accepted")
+	}
+	if err := run([]string{"map", "-index", indexPath, "-reads", readsPath, "-mismatches", "1", "-format", "sam"}, &bytes.Buffer{}); err == nil {
+		t.Error("mismatches+sam accepted")
+	}
+}
+
+func TestMapPairedEnd(t *testing.T) {
+	dir := t.TempDir()
+	ref, err := readsim.Genome(readsim.GenomeConfig{Length: 30000, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := readsim.SimulatePairs(ref, readsim.PairConfig{
+		Count: 60, ReadLength: 50, InsertMean: 300, InsertStdDev: 20,
+		MappingRatio: 0.8, Seed: 62,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPath := filepath.Join(dir, "ref.fa")
+	rf, _ := os.Create(refPath)
+	w := fastx.NewWriter(rf, fastx.FASTA, false)
+	w.Write(&fastx.Record{ID: "ref", Seq: []byte(ref.String())})
+	w.Close()
+	rf.Close()
+	writeMates := func(name string, pick func(p readsim.Pair) string) string {
+		p := filepath.Join(dir, name)
+		f, _ := os.Create(p)
+		qw := fastx.NewWriter(f, fastx.FASTQ, false)
+		for _, pr := range pairs {
+			qw.Write(&fastx.Record{ID: pr.ID, Seq: []byte(pick(pr))})
+		}
+		qw.Close()
+		f.Close()
+		return p
+	}
+	r1Path := writeMates("r1.fq", func(p readsim.Pair) string { return p.R1.String() })
+	r2Path := writeMates("r2.fq", func(p readsim.Pair) string { return p.R2.String() })
+	indexPath := filepath.Join(dir, "ref.bwx")
+	if err := run([]string{"index", "-ref", refPath, "-out", indexPath}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"map", "-index", indexPath, "-reads", r1Path, "-reads2", r2Path,
+		"-min-insert", "200", "-max-insert", "400"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != len(pairs)+1 {
+		t.Fatalf("%d lines, want %d", len(lines), len(pairs)+1)
+	}
+	byID := map[string][]string{}
+	for _, line := range lines[1:] {
+		f := strings.Split(line, "\t")
+		byID[f[0]] = f
+	}
+	for _, p := range pairs {
+		f := byID[p.ID]
+		wantConcordant := p.Origin >= 0
+		if (f[1] == "true") != wantConcordant {
+			t.Errorf("pair %s concordant=%s, want %t", p.ID, f[1], wantConcordant)
+		}
+		if wantConcordant && f[4] != itoa(p.Origin) {
+			// The best (lowest-position) placement is usually the truth for
+			// unique fragments; tolerate repeats by checking insert too.
+			if f[5] != itoa(p.Insert) {
+				t.Logf("pair %s: best placement %s/%s, truth %d/%d (repeat?)", p.ID, f[4], f[5], p.Origin, p.Insert)
+			}
+		}
+	}
+	// Mismatched mate counts must fail.
+	short := writeMates("short.fq", func(p readsim.Pair) string { return p.R1.String() })
+	data, _ := os.ReadFile(short)
+	trimmed := bytes.Join(bytes.Split(data, []byte("\n"))[:8], []byte("\n"))
+	os.WriteFile(short, append(trimmed, '\n'), 0o644)
+	if err := run([]string{"map", "-index", indexPath, "-reads", r1Path, "-reads2", short}, &bytes.Buffer{}); err == nil {
+		t.Error("mismatched mate counts accepted")
+	}
+	// Paired SAM output: proper flags, mate fields, TLEN symmetry.
+	var samOut bytes.Buffer
+	if err := run([]string{"map", "-index", indexPath, "-reads", r1Path, "-reads2", r2Path,
+		"-min-insert", "200", "-max-insert", "400", "-format", "sam"}, &samOut); err != nil {
+		t.Fatalf("paired SAM: %v", err)
+	}
+	properPairs := 0
+	tlenByName := map[string][]int{}
+	for _, line := range strings.Split(strings.TrimSpace(samOut.String()), "\n") {
+		if strings.HasPrefix(line, "@") {
+			continue
+		}
+		f := strings.Split(line, "\t")
+		var flag, tlen int
+		fmt.Sscanf(f[1], "%d", &flag)
+		fmt.Sscanf(f[8], "%d", &tlen)
+		if flag&0x1 == 0 {
+			t.Fatalf("record without paired flag: %s", line)
+		}
+		if flag&0x2 != 0 {
+			properPairs++
+			if f[6] != "=" {
+				t.Errorf("proper pair with RNEXT %q", f[6])
+			}
+			tlenByName[f[0]] = append(tlenByName[f[0]], tlen)
+		}
+	}
+	if properPairs == 0 {
+		t.Fatal("no proper pairs emitted")
+	}
+	for name, tlens := range tlenByName {
+		if len(tlens) != 2 || tlens[0] != -tlens[1] {
+			t.Errorf("pair %s TLENs %v not symmetric", name, tlens)
+		}
+	}
+	// Paired + mismatches rejected.
+	if err := run([]string{"map", "-index", indexPath, "-reads", r1Path, "-reads2", r2Path, "-mismatches", "1"}, &bytes.Buffer{}); err == nil {
+		t.Error("paired mismatches accepted")
+	}
+}
+
+func TestStatsVerbose(t *testing.T) {
+	dir := t.TempDir()
+	refPath, _, _ := writeTestFiles(t, dir)
+	indexPath := filepath.Join(dir, "ref.bwx")
+	if err := run([]string{"index", "-ref", refPath, "-out", indexPath}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"stats", "-index", indexPath, "-verbose"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"wavelet nodes", "ACGT", "entropy", "contigs:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("verbose stats missing %q:\n%s", want, text)
+		}
+	}
+	// Three node rows for the DNA alphabet.
+	if strings.Count(text, "\n  ") < 4 { // 1 contig row + 3 node rows
+		t.Errorf("verbose stats too short:\n%s", text)
+	}
+}
+
+func TestFPGAReportCommand(t *testing.T) {
+	dir := t.TempDir()
+	refPath, _, _ := writeTestFiles(t, dir)
+	indexPath := filepath.Join(dir, "ref.bwx")
+	if err := run([]string{"index", "-ref", refPath, "-out", indexPath}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"fpga-report", "-index", indexPath, "-avg-steps", "40", "-pes", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"URAM", "BRAM36", "processing elements:          2", "reads/s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+	if err := run([]string{"fpga-report"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing index accepted")
+	}
+}
+
+func TestMapStreaming(t *testing.T) {
+	dir := t.TempDir()
+	refPath, readsPath, sim := writeTestFiles(t, dir)
+	indexPath := filepath.Join(dir, "ref.bwx")
+	if err := run([]string{"index", "-ref", refPath, "-out", indexPath}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	// Streaming must match the batch path byte for byte (modulo ordering,
+	// which both preserve).
+	var batch, streamed bytes.Buffer
+	if err := run([]string{"map", "-index", indexPath, "-reads", readsPath}, &batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"map", "-index", indexPath, "-reads", readsPath, "-stream"}, &streamed); err != nil {
+		t.Fatal(err)
+	}
+	if batch.String() != streamed.String() {
+		t.Error("streamed output differs from batch output")
+	}
+	if strings.Count(streamed.String(), "\n") != len(sim)+1 {
+		t.Errorf("streamed lines wrong")
+	}
+	// Incompatible combinations rejected.
+	for _, args := range [][]string{
+		{"map", "-index", indexPath, "-reads", readsPath, "-stream", "-backend", "fpga"},
+		{"map", "-index", indexPath, "-reads", readsPath, "-stream", "-format", "sam"},
+		{"map", "-index", indexPath, "-reads", readsPath, "-stream", "-mismatches", "1"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestIndexSAAlgoAndProfileJSON(t *testing.T) {
+	dir := t.TempDir()
+	refPath, readsPath, _ := writeTestFiles(t, dir)
+	for _, algo := range []string{"sais", "dc3", "doubling"} {
+		indexPath := filepath.Join(dir, algo+".bwx")
+		if err := run([]string{"index", "-ref", refPath, "-out", indexPath, "-sa-algo", algo}, &bytes.Buffer{}); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if err := run([]string{"verify", "-index", indexPath, "-ref", refPath}, &bytes.Buffer{}); err != nil {
+			t.Fatalf("%s index fails verification: %v", algo, err)
+		}
+	}
+	if err := run([]string{"index", "-ref", refPath, "-out", filepath.Join(dir, "x.bwx"), "-sa-algo", "magic"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown sa-algo accepted")
+	}
+
+	// FPGA profile JSON.
+	indexPath := filepath.Join(dir, "sais.bwx")
+	profilePath := filepath.Join(dir, "profile.json")
+	if err := run([]string{"map", "-index", indexPath, "-reads", readsPath,
+		"-backend", "fpga", "-profile", profilePath, "-out", filepath.Join(dir, "r.tsv")}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(profilePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Events []struct {
+			Name string
+		}
+		TotalNs      int64   `json:"total_ns"`
+		EnergyJoules float64 `json:"energy_joules"`
+		KernelCycles uint64
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		t.Fatalf("profile not valid JSON: %v\n%s", err, data)
+	}
+	if len(payload.Events) < 5 || payload.TotalNs <= 0 || payload.EnergyJoules <= 0 || payload.KernelCycles == 0 {
+		t.Errorf("profile payload incomplete: %+v", payload)
+	}
+}

@@ -1,0 +1,163 @@
+// Command readsim generates the synthetic workloads BWaveR-Go is evaluated
+// on: reference genomes (FASTA) and short-read sets (FASTQ) with a
+// controlled mapping ratio.
+//
+//	readsim genome -out ref.fa [-length N | -preset ecoli|chr21 [-scale F]] [-gc 0.5] [-repeats 0.25] [-seed 1] [-gzip]
+//	readsim reads  -ref ref.fa -out reads.fq [-count N] [-length 100] [-ratio 0.5] [-revcomp 0.5] [-seed 1] [-gzip]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bwaver/internal/dna"
+	"bwaver/internal/fastx"
+	"bwaver/internal/readsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "readsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: readsim <genome|reads> [flags]")
+	}
+	switch args[0] {
+	case "genome":
+		return cmdGenome(args[1:], out)
+	case "reads":
+		return cmdReads(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want genome or reads)", args[0])
+	}
+}
+
+func cmdGenome(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("genome", flag.ContinueOnError)
+	outPath := fs.String("out", "", "output FASTA path")
+	length := fs.Int("length", 0, "genome length in bases (ignored with -preset)")
+	preset := fs.String("preset", "", "paper-scale preset: ecoli or chr21")
+	scale := fs.Float64("scale", 1, "preset scale factor in (0,1]")
+	gc := fs.Float64("gc", 0.5, "GC content")
+	repeats := fs.Float64("repeats", 0.25, "repeat fraction")
+	seed := fs.Int64("seed", 1, "random seed")
+	gz := fs.Bool("gzip", false, "gzip the output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath == "" {
+		return fmt.Errorf("genome: -out is required")
+	}
+	var (
+		g    dna.Seq
+		err  error
+		name string
+	)
+	switch *preset {
+	case "ecoli":
+		g, err = readsim.EColiLike(*seed, *scale)
+		name = fmt.Sprintf("synthetic-ecoli scale=%g seed=%d", *scale, *seed)
+	case "chr21":
+		g, err = readsim.Chr21Like(*seed, *scale)
+		name = fmt.Sprintf("synthetic-chr21 scale=%g seed=%d", *scale, *seed)
+	case "":
+		if *length <= 0 {
+			return fmt.Errorf("genome: -length or -preset is required")
+		}
+		g, err = readsim.Genome(readsim.GenomeConfig{
+			Length: *length, GC: *gc, RepeatFraction: *repeats, Seed: *seed,
+		})
+		name = fmt.Sprintf("synthetic length=%d seed=%d", *length, *seed)
+	default:
+		return fmt.Errorf("genome: unknown preset %q", *preset)
+	}
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := fastx.NewWriter(f, fastx.FASTA, *gz)
+	if err := w.Write(&fastx.Record{ID: "ref", Desc: name, Seq: []byte(g.String())}); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d bases to %s\n", len(g), *outPath)
+	return nil
+}
+
+func cmdReads(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("reads", flag.ContinueOnError)
+	refPath := fs.String("ref", "", "reference FASTA to sample from")
+	outPath := fs.String("out", "", "output FASTQ path")
+	count := fs.Int("count", 10000, "number of reads")
+	length := fs.Int("length", 100, "read length")
+	ratio := fs.Float64("ratio", 0.5, "mapping ratio in [0,1]")
+	revcomp := fs.Float64("revcomp", 0.5, "reverse-strand fraction of mapped reads")
+	seed := fs.Int64("seed", 1, "random seed")
+	gz := fs.Bool("gzip", false, "gzip the output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *refPath == "" || *outPath == "" {
+		return fmt.Errorf("reads: -ref and -out are required")
+	}
+	rf, err := os.Open(*refPath)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	recs, err := fastx.ReadAll(rf)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("reads: %s has no records", *refPath)
+	}
+	var raw []byte
+	for _, rec := range recs {
+		raw = append(raw, rec.Seq...)
+	}
+	ref, _ := dna.Sanitize(raw, dna.A)
+	sim, err := readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: *count, Length: *length, MappingRatio: *ratio,
+		RevCompFraction: *revcomp, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := fastx.NewWriter(f, fastx.FASTQ, *gz)
+	for _, r := range sim {
+		desc := "origin=random"
+		if r.Origin >= 0 {
+			strand := "+"
+			if r.RevStrand {
+				strand = "-"
+			}
+			desc = fmt.Sprintf("origin=%d strand=%s", r.Origin, strand)
+		}
+		if err := w.Write(&fastx.Record{ID: r.ID, Desc: desc, Seq: []byte(r.Seq.String())}); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d reads of %d bp to %s\n", len(sim), *length, *outPath)
+	return nil
+}

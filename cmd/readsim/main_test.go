@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bwaver/internal/fastx"
+)
+
+func TestGenomeAndReadsEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.fa")
+	var out bytes.Buffer
+	if err := run([]string{"genome", "-out", refPath, "-length", "5000", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("genome: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote 5000 bases") {
+		t.Errorf("genome output: %q", out.String())
+	}
+	f, err := os.Open(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := fastx.ReadAll(f)
+	f.Close()
+	if err != nil || len(recs) != 1 || len(recs[0].Seq) != 5000 {
+		t.Fatalf("genome FASTA wrong: %v %v", recs, err)
+	}
+
+	readsPath := filepath.Join(dir, "reads.fq.gz")
+	out.Reset()
+	if err := run([]string{"reads", "-ref", refPath, "-out", readsPath,
+		"-count", "200", "-length", "60", "-ratio", "0.5", "-gzip"}, &out); err != nil {
+		t.Fatalf("reads: %v", err)
+	}
+	rf, err := os.Open(readsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := fastx.ReadAll(rf)
+	rf.Close()
+	if err != nil || len(reads) != 200 {
+		t.Fatalf("reads FASTQ wrong: %d records, err %v", len(reads), err)
+	}
+	// Provenance must be recorded in the description.
+	withOrigin := 0
+	for _, r := range reads {
+		if strings.HasPrefix(r.Desc, "origin=") {
+			if !strings.Contains(r.Desc, "random") {
+				withOrigin++
+			}
+		} else {
+			t.Fatalf("read %s lacks provenance desc %q", r.ID, r.Desc)
+		}
+	}
+	if withOrigin != 100 {
+		t.Errorf("%d reads with origins, want 100", withOrigin)
+	}
+}
+
+func TestGenomePresets(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	p := filepath.Join(dir, "e.fa")
+	if err := run([]string{"genome", "-out", p, "-preset", "ecoli", "-scale", "0.001"}, &out); err != nil {
+		t.Fatalf("preset: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote 4641 bases") {
+		t.Errorf("preset output: %q", out.String())
+	}
+}
+
+func TestReadsimErrors(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.fa")
+	if err := run([]string{"genome", "-out", refPath, "-length", "1000"}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"genome"},
+		{"genome", "-out", filepath.Join(dir, "x.fa")},
+		{"genome", "-out", filepath.Join(dir, "x.fa"), "-preset", "mouse"},
+		{"genome", "-out", filepath.Join(dir, "x.fa"), "-length", "100", "-gc", "2"},
+		{"reads"},
+		{"reads", "-ref", "/nonexistent", "-out", filepath.Join(dir, "r.fq")},
+		{"reads", "-ref", refPath, "-out", filepath.Join(dir, "r.fq"), "-ratio", "2"},
+		{"reads", "-ref", refPath, "-out", filepath.Join(dir, "r.fq"), "-length", "0"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module bwaver
+
+go 1.22

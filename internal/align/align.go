@@ -1,0 +1,214 @@
+// Package align implements Smith-Waterman local alignment and banded seed
+// extension.
+//
+// The paper motivates short-fragment mapping as the seeding stage of
+// seed-and-extend aligners (§I: "the mapping of short DNA fragments is used
+// to determine candidate loci in the genome (seeds) to be extended by the
+// actual alignment algorithm"); its related work (Arram et al.) pairs an
+// FM-index seeder with Smith-Waterman. This package supplies that extension
+// stage so examples/seedextend can demonstrate the full pipeline with
+// BWaveR as the seeder.
+package align
+
+import (
+	"fmt"
+
+	"bwaver/internal/dna"
+)
+
+// Scoring holds the affine-free (linear-gap) alignment parameters.
+type Scoring struct {
+	Match    int // score for a base match (> 0)
+	Mismatch int // penalty for a mismatch (< 0)
+	Gap      int // penalty per gap base (< 0)
+}
+
+// DefaultScoring matches common short-read settings (+2/-3/-5).
+var DefaultScoring = Scoring{Match: 2, Mismatch: -3, Gap: -5}
+
+// Validate checks the scoring scheme's sign conventions.
+func (s Scoring) Validate() error {
+	if s.Match <= 0 {
+		return fmt.Errorf("align: match score %d must be positive", s.Match)
+	}
+	if s.Mismatch >= 0 || s.Gap >= 0 {
+		return fmt.Errorf("align: mismatch (%d) and gap (%d) penalties must be negative", s.Mismatch, s.Gap)
+	}
+	return nil
+}
+
+// Op is an alignment operation in a traceback.
+type Op byte
+
+// Alignment operations, CIGAR-style.
+const (
+	OpMatch  Op = 'M' // match or mismatch (consumes both)
+	OpInsert Op = 'I' // insertion to the query (consumes query)
+	OpDelete Op = 'D' // deletion from the query (consumes reference)
+)
+
+// Result is a local alignment.
+type Result struct {
+	Score int
+	// QueryStart/QueryEnd and RefStart/RefEnd delimit the aligned regions,
+	// half-open.
+	QueryStart, QueryEnd int
+	RefStart, RefEnd     int
+	// Ops is the traceback, query/reference left to right.
+	Ops []Op
+}
+
+// CIGAR renders the traceback run-length encoded.
+func (r Result) CIGAR() string {
+	if len(r.Ops) == 0 {
+		return "*"
+	}
+	out := ""
+	count := 1
+	for i := 1; i <= len(r.Ops); i++ {
+		if i < len(r.Ops) && r.Ops[i] == r.Ops[i-1] {
+			count++
+			continue
+		}
+		out += fmt.Sprintf("%d%c", count, r.Ops[i-1])
+		count = 1
+	}
+	return out
+}
+
+// Identity returns the fraction of traceback columns that are exact
+// matches.
+func (r Result) Identity(query, ref dna.Seq) float64 {
+	if len(r.Ops) == 0 {
+		return 0
+	}
+	qi, ri := r.QueryStart, r.RefStart
+	matches := 0
+	for _, op := range r.Ops {
+		switch op {
+		case OpMatch:
+			if query[qi] == ref[ri] {
+				matches++
+			}
+			qi++
+			ri++
+		case OpInsert:
+			qi++
+		case OpDelete:
+			ri++
+		}
+	}
+	return float64(matches) / float64(len(r.Ops))
+}
+
+// SmithWaterman computes the best local alignment of query against ref with
+// full O(|query|·|ref|) dynamic programming.
+func SmithWaterman(query, ref dna.Seq, sc Scoring) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	m, n := len(query), len(ref)
+	if m == 0 || n == 0 {
+		return Result{}, nil
+	}
+	// H[i][j]: best local score ending at query[i-1], ref[j-1].
+	H := make([][]int32, m+1)
+	for i := range H {
+		H[i] = make([]int32, n+1)
+	}
+	best := int32(0)
+	bi, bj := 0, 0
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			diag := H[i-1][j-1]
+			if query[i-1] == ref[j-1] {
+				diag += int32(sc.Match)
+			} else {
+				diag += int32(sc.Mismatch)
+			}
+			v := diag
+			if up := H[i-1][j] + int32(sc.Gap); up > v {
+				v = up
+			}
+			if left := H[i][j-1] + int32(sc.Gap); left > v {
+				v = left
+			}
+			if v < 0 {
+				v = 0
+			}
+			H[i][j] = v
+			if v > best {
+				best, bi, bj = v, i, j
+			}
+		}
+	}
+	if best == 0 {
+		return Result{}, nil
+	}
+	// Traceback from (bi, bj) to the first zero cell.
+	var ops []Op
+	i, j := bi, bj
+	for i > 0 && j > 0 && H[i][j] > 0 {
+		diag := H[i-1][j-1]
+		sub := int32(sc.Mismatch)
+		if query[i-1] == ref[j-1] {
+			sub = int32(sc.Match)
+		}
+		switch {
+		case H[i][j] == diag+sub:
+			ops = append(ops, OpMatch)
+			i--
+			j--
+		case H[i][j] == H[i-1][j]+int32(sc.Gap):
+			ops = append(ops, OpInsert)
+			i--
+		default:
+			ops = append(ops, OpDelete)
+			j--
+		}
+	}
+	reverseOps(ops)
+	return Result{
+		Score:      int(best),
+		QueryStart: i, QueryEnd: bi,
+		RefStart: j, RefEnd: bj,
+		Ops: ops,
+	}, nil
+}
+
+func reverseOps(ops []Op) {
+	for i, j := 0, len(ops)-1; i < j; i, j = i+1, j-1 {
+		ops[i], ops[j] = ops[j], ops[i]
+	}
+}
+
+// ExtendSeed aligns query against the reference window around a seed hit:
+// the seed occupies query[qPos:qPos+seedLen] and ref[rPos:rPos+seedLen], and
+// the window extends the seed by the full remaining query length plus band
+// on both sides. It runs Smith-Waterman on the window and translates
+// coordinates back to the full reference. band bounds the extra reference
+// slack allowed for indels.
+func ExtendSeed(query, ref dna.Seq, qPos, rPos, seedLen, band int, sc Scoring) (Result, error) {
+	if seedLen <= 0 || band < 0 {
+		return Result{}, fmt.Errorf("align: seedLen %d and band %d must be positive", seedLen, band)
+	}
+	if qPos < 0 || qPos+seedLen > len(query) {
+		return Result{}, fmt.Errorf("align: seed [%d,%d) outside query of length %d", qPos, qPos+seedLen, len(query))
+	}
+	if rPos < 0 || rPos+seedLen > len(ref) {
+		return Result{}, fmt.Errorf("align: seed [%d,%d) outside reference of length %d", rPos, rPos+seedLen, len(ref))
+	}
+	// Reference window: enough to cover the whole query anchored at the
+	// seed, plus band slack each side.
+	left := qPos + band
+	right := len(query) - qPos - seedLen + band
+	wStart := max(0, rPos-left)
+	wEnd := min(len(ref), rPos+seedLen+right)
+	res, err := SmithWaterman(query, ref[wStart:wEnd], sc)
+	if err != nil {
+		return Result{}, err
+	}
+	res.RefStart += wStart
+	res.RefEnd += wStart
+	return res, nil
+}

@@ -1,0 +1,195 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwaver/internal/dna"
+)
+
+func TestScoringValidate(t *testing.T) {
+	bad := []Scoring{
+		{Match: 0, Mismatch: -1, Gap: -1},
+		{Match: -2, Mismatch: -1, Gap: -1},
+		{Match: 2, Mismatch: 1, Gap: -1},
+		{Match: 2, Mismatch: -1, Gap: 0},
+	}
+	for _, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("accepted invalid scoring %+v", s)
+		}
+	}
+	if DefaultScoring.Validate() != nil {
+		t.Error("DefaultScoring invalid")
+	}
+}
+
+func TestExactMatchAlignment(t *testing.T) {
+	q := dna.MustParseSeq("ACGTACGT")
+	r := dna.MustParseSeq("TTTACGTACGTTTT")
+	res, err := SmithWaterman(q, r, DefaultScoring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 8*DefaultScoring.Match {
+		t.Errorf("score %d, want %d", res.Score, 8*DefaultScoring.Match)
+	}
+	if res.RefStart != 3 || res.RefEnd != 11 || res.QueryStart != 0 || res.QueryEnd != 8 {
+		t.Errorf("coordinates wrong: %+v", res)
+	}
+	if res.CIGAR() != "8M" {
+		t.Errorf("CIGAR %q, want 8M", res.CIGAR())
+	}
+	if id := res.Identity(q, r); id != 1.0 {
+		t.Errorf("identity %v, want 1.0", id)
+	}
+}
+
+func TestMismatchAlignment(t *testing.T) {
+	q := dna.MustParseSeq("ACGTACGTAC")
+	r := q.Clone()
+	r[5] = r[5].Complement() // one substitution in the middle
+	res, err := SmithWaterman(q, r, DefaultScoring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 9*DefaultScoring.Match + DefaultScoring.Mismatch
+	if res.Score != want {
+		t.Errorf("score %d, want %d", res.Score, want)
+	}
+	if res.CIGAR() != "10M" {
+		t.Errorf("CIGAR %q, want 10M", res.CIGAR())
+	}
+	if id := res.Identity(q, r); id != 0.9 {
+		t.Errorf("identity %v, want 0.9", id)
+	}
+}
+
+func TestGapAlignment(t *testing.T) {
+	// Reference has 3 extra bases in the middle: expect a deletion run.
+	q := dna.MustParseSeq("AACCGGTTAACCGGTT")
+	r := dna.MustParseSeq("AACCGGTTGGGAACCGGTT")
+	res, err := SmithWaterman(q, r, Scoring{Match: 2, Mismatch: -5, Gap: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CIGAR() != "8M3D8M" {
+		t.Errorf("CIGAR %q, want 8M3D8M", res.CIGAR())
+	}
+}
+
+func TestInsertionAlignment(t *testing.T) {
+	q := dna.MustParseSeq("AACCGGTTAAAACCGGTT")
+	r := dna.MustParseSeq("AACCGGTTAACCGGTT")
+	res, err := SmithWaterman(q, r, Scoring{Match: 2, Mismatch: -5, Gap: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CIGAR() != "9M2I7M" && res.CIGAR() != "8M2I8M" && res.CIGAR() != "10M2I6M" {
+		t.Errorf("CIGAR %q, want an 'xM2IyM' shape", res.CIGAR())
+	}
+}
+
+func TestNoAlignment(t *testing.T) {
+	res, err := SmithWaterman(dna.MustParseSeq("AAAA"), dna.MustParseSeq("CCCC"),
+		Scoring{Match: 1, Mismatch: -2, Gap: -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 0 || res.CIGAR() != "*" {
+		t.Errorf("expected empty alignment, got %+v", res)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	res, err := SmithWaterman(nil, dna.MustParseSeq("ACGT"), DefaultScoring)
+	if err != nil || res.Score != 0 {
+		t.Errorf("empty query: %+v %v", res, err)
+	}
+	res, err = SmithWaterman(dna.MustParseSeq("ACGT"), nil, DefaultScoring)
+	if err != nil || res.Score != 0 {
+		t.Errorf("empty ref: %+v %v", res, err)
+	}
+}
+
+func TestScoreNeverNegativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		q := make(dna.Seq, 1+rng.Intn(30))
+		r := make(dna.Seq, 1+rng.Intn(60))
+		for i := range q {
+			q[i] = dna.Base(rng.Intn(4))
+		}
+		for i := range r {
+			r[i] = dna.Base(rng.Intn(4))
+		}
+		res, err := SmithWaterman(q, r, DefaultScoring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Score < 0 {
+			t.Fatalf("negative score %d", res.Score)
+		}
+		// Score must never exceed a perfect full-query match.
+		if res.Score > len(q)*DefaultScoring.Match {
+			t.Fatalf("score %d exceeds perfect match bound", res.Score)
+		}
+		// Traceback consistency: ops consume exactly the aligned spans.
+		qLen, rLen := 0, 0
+		for _, op := range res.Ops {
+			switch op {
+			case OpMatch:
+				qLen++
+				rLen++
+			case OpInsert:
+				qLen++
+			case OpDelete:
+				rLen++
+			}
+		}
+		if qLen != res.QueryEnd-res.QueryStart || rLen != res.RefEnd-res.RefStart {
+			t.Fatalf("traceback spans inconsistent: %+v", res)
+		}
+	}
+}
+
+func TestExtendSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := make(dna.Seq, 5000)
+	for i := range ref {
+		ref[i] = dna.Base(rng.Intn(4))
+	}
+	// Query = a reference slice with one mutation outside the seed region.
+	const refAt, qLen, seedOff, seedLen = 2000, 100, 40, 20
+	query := ref[refAt : refAt+qLen].Clone()
+	query[5] = query[5].Complement()
+	res, err := ExtendSeed(query, ref, seedOff, refAt+seedOff, seedLen, 10, DefaultScoring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RefStart != refAt || res.RefEnd != refAt+qLen {
+		t.Errorf("extension window wrong: ref span [%d,%d), want [%d,%d)",
+			res.RefStart, res.RefEnd, refAt, refAt+qLen)
+	}
+	wantScore := (qLen-1)*DefaultScoring.Match + DefaultScoring.Mismatch
+	if res.Score != wantScore {
+		t.Errorf("score %d, want %d", res.Score, wantScore)
+	}
+}
+
+func TestExtendSeedValidation(t *testing.T) {
+	q := dna.MustParseSeq("ACGTACGT")
+	r := dna.MustParseSeq("ACGTACGTACGT")
+	cases := []struct{ qPos, rPos, seedLen, band int }{
+		{0, 0, 0, 5},
+		{0, 0, 4, -1},
+		{-1, 0, 4, 5},
+		{6, 0, 4, 5},  // seed runs off the query
+		{0, 10, 4, 5}, // seed runs off the reference
+	}
+	for _, c := range cases {
+		if _, err := ExtendSeed(q, r, c.qPos, c.rPos, c.seedLen, c.band, DefaultScoring); err == nil {
+			t.Errorf("ExtendSeed(%+v) accepted invalid input", c)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// CSV export: every figure/table as machine-readable series, for replotting
+// the paper's charts from the reproduction data.
+
+// WriteFig5CSV writes the Fig. 5/6 grid (sizes and encode times).
+func WriteFig5CSV(w io.Writer, rows []Fig5Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"reference", "b", "sf", "structure_bytes", "shared_bytes", "uncompressed_bytes", "encode_ms"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Ref.String(),
+			strconv.Itoa(r.B), strconv.Itoa(r.SF),
+			strconv.Itoa(r.StructureBytes), strconv.Itoa(r.SharedBytes),
+			strconv.Itoa(r.UncompressedBytes),
+			fmt.Sprintf("%.3f", r.BuildTime.Seconds()*1e3),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig7CSV writes the Fig. 7 series.
+func WriteFig7CSV(w io.Writer, rows []Fig7Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"reference", "b", "sf", "mapping_ratio", "reads", "cpu_ms", "fpga_ms"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Ref.String(),
+			strconv.Itoa(r.B), strconv.Itoa(r.SF),
+			fmt.Sprintf("%.2f", r.MappingRatio),
+			strconv.Itoa(r.Reads),
+			fmt.Sprintf("%.3f", r.CPUTime.Seconds()*1e3),
+			fmt.Sprintf("%.3f", r.FPGATime.Seconds()*1e3),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableCSV writes Table I/II blocks.
+func WriteTableCSV(w io.Writer, results []TableResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"reference", "reads", "read_len", "config", "time_ms", "speedup_vs_fpga", "power_eff_vs_fpga"}); err != nil {
+		return err
+	}
+	for _, res := range results {
+		for _, e := range res.Entries {
+			rec := []string{
+				res.Ref.String(),
+				strconv.Itoa(res.Reads), strconv.Itoa(res.ReadLen),
+				e.Config,
+				fmt.Sprintf("%.3f", e.Time.Seconds()*1e3),
+				fmt.Sprintf("%.3f", e.Slowdown),
+				fmt.Sprintf("%.3f", e.PowerRatio),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ExportCSV writes one CSV file into dir, creating dir if needed.
+func ExportCSV(dir, name string, write func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,236 @@
+// Package bitvec implements a plain (uncompressed) bit-vector with constant
+// time rank and near-constant-time select.
+//
+// It is the baseline the paper's RRR structure (internal/rrr) is compared
+// against: rank here costs one superblock lookup, one block lookup, and one
+// popcount, at a space cost of n + o(n) bits with no compression. The wavelet
+// tree can be built over either representation (see internal/wavelet), which
+// is one of the ablations DESIGN.md calls out.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const (
+	wordBits = 64
+	// rank directory geometry: a 32-bit block count every blockWords words,
+	// and a 64-bit running total every superWords words.
+	blockWords = 8 // 512-bit blocks, matching the burst width the paper uses
+	superWords = 1024
+)
+
+// Vector is an immutable bit-vector with a rank/select directory.
+// Build one with a Builder, then query it concurrently from any number of
+// goroutines.
+type Vector struct {
+	words []uint64
+	n     int
+
+	// super[i] = number of 1s before word i*superWords.
+	super []uint64
+	// block[i] = number of 1s between the enclosing superblock boundary and
+	// word i*blockWords.
+	block []uint32
+
+	ones int
+}
+
+// Builder accumulates bits for a Vector.
+type Builder struct {
+	words []uint64
+	n     int
+}
+
+// NewBuilder returns a Builder with capacity for n bits pre-allocated.
+func NewBuilder(n int) *Builder {
+	return &Builder{words: make([]uint64, 0, (n+wordBits-1)/wordBits)}
+}
+
+// Append adds one bit.
+func (b *Builder) Append(bit bool) {
+	if b.n%wordBits == 0 {
+		b.words = append(b.words, 0)
+	}
+	if bit {
+		b.words[b.n/wordBits] |= 1 << uint(b.n%wordBits)
+	}
+	b.n++
+}
+
+// AppendWord adds the low nbits bits of w, LSB first.
+func (b *Builder) AppendWord(w uint64, nbits int) {
+	for i := 0; i < nbits; i++ {
+		b.Append(w>>uint(i)&1 == 1)
+	}
+}
+
+// Len returns the number of bits appended so far.
+func (b *Builder) Len() int { return b.n }
+
+// Build freezes the builder into a queryable Vector. The builder may be
+// reused afterwards only by starting from scratch.
+func (b *Builder) Build() *Vector {
+	v := &Vector{words: b.words, n: b.n}
+	v.buildDirectory()
+	return v
+}
+
+// FromBools builds a Vector directly from a bool slice, convenient in tests.
+func FromBools(bits []bool) *Vector {
+	b := NewBuilder(len(bits))
+	for _, bit := range bits {
+		b.Append(bit)
+	}
+	return b.Build()
+}
+
+func (v *Vector) buildDirectory() {
+	nw := len(v.words)
+	v.super = make([]uint64, nw/superWords+1)
+	v.block = make([]uint32, nw/blockWords+1)
+	var total uint64
+	var sinceSuper uint32
+	for i := 0; i < nw; i++ {
+		if i%superWords == 0 {
+			v.super[i/superWords] = total
+			sinceSuper = 0
+		}
+		if i%blockWords == 0 {
+			v.block[i/blockWords] = sinceSuper
+		}
+		c := uint32(bits.OnesCount64(v.words[i]))
+		total += uint64(c)
+		sinceSuper += c
+	}
+	// Fill the boundary entries that fall exactly at the end of the vector
+	// so the select binary searches never read uninitialized counts.
+	if nw%superWords == 0 {
+		v.super[nw/superWords] = total
+		sinceSuper = 0
+	}
+	if nw%blockWords == 0 {
+		v.block[nw/blockWords] = sinceSuper
+	}
+	v.ones = int(total)
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Ones returns the total number of set bits.
+func (v *Vector) Ones() int { return v.ones }
+
+// Bit returns the i-th bit.
+func (v *Vector) Bit(i int) bool {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+	return v.words[i/wordBits]>>uint(i%wordBits)&1 == 1
+}
+
+// Rank1 returns the number of 1 bits in positions [0, i), i.e. strictly
+// before position i. Rank1(Len()) equals Ones(). This prefix-exclusive
+// convention matches Algorithm 1 of the paper once positions are shifted
+// to zero-based.
+func (v *Vector) Rank1(i int) int {
+	if i < 0 || i > v.n {
+		panic(fmt.Sprintf("bitvec: rank position %d out of range [0,%d]", i, v.n))
+	}
+	w := i / wordBits
+	r := v.super[w/superWords] + uint64(v.block[w/blockWords])
+	for j := w / blockWords * blockWords; j < w; j++ {
+		r += uint64(bits.OnesCount64(v.words[j]))
+	}
+	if rem := uint(i % wordBits); rem != 0 {
+		r += uint64(bits.OnesCount64(v.words[w] & (1<<rem - 1)))
+	}
+	return int(r)
+}
+
+// Rank0 returns the number of 0 bits strictly before position i.
+func (v *Vector) Rank0(i int) int { return i - v.Rank1(i) }
+
+// Select1 returns the position of the k-th 1 bit (k counts from 1), or -1 if
+// the vector has fewer than k ones. It binary-searches the superblock and
+// block directories, then scans at most blockWords words.
+func (v *Vector) Select1(k int) int {
+	if k <= 0 || k > v.ones {
+		return -1
+	}
+	// Superblock: greatest s with super[s] < k.
+	lo, hi := 0, len(v.super)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if v.super[mid] < uint64(k) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	s := lo
+	rem := uint64(k) - v.super[s]
+	// Block within superblock: greatest b with block[b] < rem.
+	bLo := s * superWords / blockWords
+	bHi := min((s+1)*superWords/blockWords, len(v.block)) - 1
+	for bLo < bHi {
+		mid := (bLo + bHi + 1) / 2
+		if uint64(v.block[mid]) < rem {
+			bLo = mid
+		} else {
+			bHi = mid - 1
+		}
+	}
+	rem -= uint64(v.block[bLo])
+	for w := bLo * blockWords; w < len(v.words); w++ {
+		c := uint64(bits.OnesCount64(v.words[w]))
+		if rem <= c {
+			return w*wordBits + selectInWord(v.words[w], int(rem))
+		}
+		rem -= c
+	}
+	return -1 // unreachable given k <= ones
+}
+
+// Select0 returns the position of the k-th 0 bit (k counts from 1), or -1.
+// It is implemented by binary search over Rank0, which is O(log n); BWaveR
+// itself only needs rank, so select0 exists for completeness of the
+// substrate API.
+func (v *Vector) Select0(k int) int {
+	if k <= 0 || k > v.n-v.ones {
+		return -1
+	}
+	lo, hi := 0, v.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.Rank0(mid+1) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// selectInWord returns the position (0-63) of the k-th set bit of w, k>=1.
+func selectInWord(w uint64, k int) int {
+	for i := 0; i < wordBits; i++ {
+		if w>>uint(i)&1 == 1 {
+			k--
+			if k == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// SizeBytes returns the memory footprint of the vector including its rank
+// directory, used by the space-accounting benches.
+func (v *Vector) SizeBytes() int {
+	return len(v.words)*8 + len(v.super)*8 + len(v.block)*4 + 16
+}
+
+// Words exposes the raw backing words (read-only by convention).
+func (v *Vector) Words() []uint64 { return v.words }

@@ -1,0 +1,49 @@
+package bitvec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const vectorMagic = 0x42495431 // "BIT1"
+
+// WriteTo serializes the vector (words only; the rank directory is rebuilt
+// on load). It implements io.WriterTo.
+func (v *Vector) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	head := [2]uint32{vectorMagic, uint32(v.n)}
+	if err := binary.Write(w, binary.LittleEndian, head); err != nil {
+		return written, err
+	}
+	written += 8
+	if err := binary.Write(w, binary.LittleEndian, v.words); err != nil {
+		return written, err
+	}
+	written += int64(len(v.words)) * 8
+	return written, nil
+}
+
+// ReadVector deserializes a vector written by WriteTo and rebuilds its rank
+// directory.
+func ReadVector(r io.Reader) (*Vector, error) {
+	var head [2]uint32
+	if err := binary.Read(r, binary.LittleEndian, &head); err != nil {
+		return nil, fmt.Errorf("bitvec: reading header: %w", err)
+	}
+	if head[0] != vectorMagic {
+		return nil, fmt.Errorf("bitvec: bad magic %#x", head[0])
+	}
+	n := int(head[1])
+	v := &Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+	if err := binary.Read(r, binary.LittleEndian, v.words); err != nil {
+		return nil, fmt.Errorf("bitvec: reading words: %w", err)
+	}
+	if rem := n % wordBits; rem != 0 && len(v.words) > 0 {
+		if v.words[len(v.words)-1]>>uint(rem) != 0 {
+			return nil, fmt.Errorf("bitvec: nonzero bits beyond position %d", n)
+		}
+	}
+	v.buildDirectory()
+	return v, nil
+}

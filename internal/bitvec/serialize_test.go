@@ -1,0 +1,61 @@
+package bitvec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestVectorSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{0, 1, 63, 64, 65, 10000} {
+		bits := randomBits(rng, n, 0.4)
+		orig := FromBools(bits)
+		var buf bytes.Buffer
+		written, err := orig.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d, wrote %d", written, buf.Len())
+		}
+		back, err := ReadVector(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Len() != n || back.Ones() != orig.Ones() {
+			t.Fatalf("n=%d: metadata changed", n)
+		}
+		for i := 0; i <= n; i += 1 + n/100 {
+			if back.Rank1(i) != orig.Rank1(i) {
+				t.Fatalf("n=%d: Rank1(%d) changed after round trip", n, i)
+			}
+		}
+	}
+}
+
+func TestReadVectorRejectsCorruption(t *testing.T) {
+	v := FromBools([]bool{true, false, true})
+	var buf bytes.Buffer
+	if _, err := v.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := ReadVector(bytes.NewReader(good[:3])); err == nil {
+		t.Error("accepted truncated header")
+	}
+	if _, err := ReadVector(bytes.NewReader(good[:9])); err == nil {
+		t.Error("accepted truncated words")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0x01
+	if _, err := ReadVector(bytes.NewReader(bad)); err == nil {
+		t.Error("accepted bad magic")
+	}
+	// Dirty trailing bits beyond position n must be rejected.
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-1] = 0xFF
+	if _, err := ReadVector(bytes.NewReader(bad)); err == nil {
+		t.Error("accepted dirty trailing bits")
+	}
+}

@@ -1,0 +1,165 @@
+// Package bwt computes the Burrows-Wheeler transform of a text from its
+// suffix array, and the inverse transform.
+//
+// Following the paper's optimisation for power-of-two alphabets (§III-B),
+// the sentinel '$' is not materialised in the transformed sequence: the BWT
+// is stored compactly over the original alphabet, and the position the
+// sentinel would occupy (the "primary index") is kept separately. The
+// FM-index layer adjusts its rank queries around that position, exactly as
+// the paper's backward-search function does.
+package bwt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// BWT is the compact Burrows-Wheeler transform of a text.
+type BWT struct {
+	// Data holds the n non-sentinel symbols of the transform in order,
+	// with the sentinel slot removed.
+	Data []uint8
+	// Primary is the position in the full (n+1)-long transform where the
+	// sentinel sits; Data[j] corresponds to full position j when
+	// j < Primary and j+1 otherwise.
+	Primary int
+}
+
+// Transform computes the BWT of text given its suffix array sa (as produced
+// by internal/suffixarray: length len(text)+1, sentinel first).
+func Transform(text []uint8, sa []int32) (*BWT, error) {
+	n := len(text)
+	if len(sa) != n+1 {
+		return nil, fmt.Errorf("bwt: suffix array length %d, want %d", len(sa), n+1)
+	}
+	out := &BWT{Data: make([]uint8, 0, n), Primary: -1}
+	for i, p := range sa {
+		if p == 0 {
+			if out.Primary != -1 {
+				return nil, errors.New("bwt: suffix array has multiple zero entries")
+			}
+			out.Primary = i
+			continue
+		}
+		if int(p) > n {
+			return nil, fmt.Errorf("bwt: suffix array entry %d out of range", p)
+		}
+		out.Data = append(out.Data, text[p-1])
+	}
+	if out.Primary == -1 {
+		return nil, errors.New("bwt: suffix array lacks the sentinel suffix")
+	}
+	return out, nil
+}
+
+// Len returns the number of non-sentinel symbols (the original text length).
+func (b *BWT) Len() int { return len(b.Data) }
+
+// FullLen returns the length of the conceptual transform including the
+// sentinel.
+func (b *BWT) FullLen() int { return len(b.Data) + 1 }
+
+// CompactPos maps a prefix length over the full transform (including the
+// sentinel slot) to the corresponding prefix length over Data. Rank queries
+// on the full transform for any real symbol reduce to rank on Data at this
+// adjusted position — the paper's "$-position check" in backward search.
+func (b *BWT) CompactPos(i int) int {
+	if i <= b.Primary {
+		return i
+	}
+	return i - 1
+}
+
+// SymbolCounts returns the number of occurrences of each symbol in [0,sigma).
+func (b *BWT) SymbolCounts(sigma int) ([]int, error) {
+	counts := make([]int, sigma)
+	for i, c := range b.Data {
+		if int(c) >= sigma {
+			return nil, fmt.Errorf("bwt: symbol %d at position %d outside alphabet [0,%d)", c, i, sigma)
+		}
+		counts[c]++
+	}
+	return counts, nil
+}
+
+// Inverse reconstructs the original text by LF-walking from the sentinel
+// row. It is the correctness oracle for Transform and the basis of the
+// round-trip tests.
+func (b *BWT) Inverse(sigma int) ([]uint8, error) {
+	n := len(b.Data)
+	if b.Primary < 0 || b.Primary > n {
+		return nil, fmt.Errorf("bwt: primary index %d out of range [0,%d]", b.Primary, n)
+	}
+	counts, err := b.SymbolCounts(sigma)
+	if err != nil {
+		return nil, err
+	}
+	// cFull[c] = number of rows whose first column is < c, counting the
+	// sentinel row (always row 0).
+	cFull := make([]int, sigma+1)
+	cFull[0] = 1
+	for c := 0; c < sigma; c++ {
+		cFull[c+1] = cFull[c] + counts[c]
+	}
+	// Precompute LF for every full row in O(n): occ[c] counts symbols seen
+	// so far scanning Data left to right.
+	lf := make([]int32, n+1)
+	occ := make([]int, sigma)
+	for full := 0; full <= n; full++ {
+		if full == b.Primary {
+			lf[full] = -1 // sentinel row has no predecessor symbol
+			continue
+		}
+		c := b.Data[b.CompactPos(full)]
+		lf[full] = int32(cFull[c] + occ[c])
+		occ[c]++
+	}
+	text := make([]uint8, n)
+	row := 0 // row 0's last column is the text's final symbol
+	for i := n - 1; i >= 0; i-- {
+		if row == b.Primary {
+			return nil, errors.New("bwt: hit sentinel row early; transform is corrupt")
+		}
+		text[i] = b.Data[b.CompactPos(row)]
+		row = int(lf[row])
+	}
+	if row != b.Primary {
+		return nil, errors.New("bwt: LF walk did not end at sentinel row; transform is corrupt")
+	}
+	return text, nil
+}
+
+// RunCount returns the number of maximal runs of equal symbols in Data, a
+// standard measure of BWT compressibility.
+func (b *BWT) RunCount() int {
+	if len(b.Data) == 0 {
+		return 0
+	}
+	runs := 1
+	for i := 1; i < len(b.Data); i++ {
+		if b.Data[i] != b.Data[i-1] {
+			runs++
+		}
+	}
+	return runs
+}
+
+// Entropy returns the zero-order empirical entropy H0 of Data in bits per
+// symbol. The paper's RRR offset array grows with the entropy of each
+// wavelet node's bit-vector, so H0 predicts the structure's compression.
+func (b *BWT) Entropy(sigma int) float64 {
+	counts, err := b.SymbolCounts(sigma)
+	if err != nil || len(b.Data) == 0 {
+		return 0
+	}
+	n := float64(len(b.Data))
+	h := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			p := float64(c) / n
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}

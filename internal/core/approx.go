@@ -1,0 +1,142 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bwaver/internal/dna"
+	"bwaver/internal/fmindex"
+)
+
+// Approximate mapping — the paper's future-work extension (§V): backward
+// search tolerating up to k substitutions, applied to both the read and its
+// reverse complement.
+
+// ApproxResult is the k-mismatch analogue of MapResult.
+type ApproxResult struct {
+	// Forward and Reverse hold the match strata of each orientation.
+	Forward, Reverse []fmindex.ApproxMatch
+	// Steps is the larger per-orientation count of backward-search steps
+	// the branching search executed (the two orientations run in parallel
+	// pipelines, like the exact kernel).
+	Steps int
+}
+
+// Mapped reports whether any stratum of either orientation matched.
+func (r ApproxResult) Mapped() bool { return len(r.Forward) > 0 || len(r.Reverse) > 0 }
+
+// Occurrences counts matches across both orientations and all strata.
+func (r ApproxResult) Occurrences() int {
+	return fmindex.TotalOccurrences(r.Forward) + fmindex.TotalOccurrences(r.Reverse)
+}
+
+// BestMismatches returns the lowest mismatch count among all matches, or -1
+// if nothing matched.
+func (r ApproxResult) BestMismatches() int {
+	best := -1
+	for _, set := range [][]fmindex.ApproxMatch{r.Forward, r.Reverse} {
+		for _, m := range set {
+			if best == -1 || m.Mismatches < best {
+				best = m.Mismatches
+			}
+		}
+	}
+	return best
+}
+
+// MapReadsApprox maps a batch of reads with up to maxMismatches
+// substitutions each, distributing reads over opts.Workers goroutines
+// (0/1 serial, -1 all CPUs). Locate and Progress options apply as in
+// MapReads; located positions are merged across strata into the flat
+// position fields of the embedded results.
+func (ix *Index) MapReadsApprox(reads []dna.Seq, maxMismatches int, opts MapOptions) ([]ApproxResult, error) {
+	workers := opts.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]ApproxResult, len(reads))
+	var done atomic.Int64
+	every := opts.ProgressEvery
+	if every <= 0 {
+		every = 1024
+	}
+	mapOne := func(i int) error {
+		res, err := ix.MapReadApprox(reads[i], maxMismatches)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		if opts.Progress != nil {
+			if d := done.Add(1); d%int64(every) == 0 {
+				opts.Progress(int(d), len(reads))
+			}
+		}
+		return nil
+	}
+	if workers == 1 {
+		for i := range reads {
+			if err := mapOne(i); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var (
+			wg       sync.WaitGroup
+			errMu    sync.Mutex
+			firstErr error
+			next     = make(chan int, workers)
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					if err := mapOne(i); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		for i := range reads {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	if opts.Progress != nil {
+		opts.Progress(len(reads), len(reads))
+	}
+	return results, nil
+}
+
+// MapReadApprox maps one read and its reverse complement with up to
+// maxMismatches substitutions per orientation.
+func (ix *Index) MapReadApprox(read dna.Seq, maxMismatches int) (ApproxResult, error) {
+	fwPattern := make([]uint8, len(read))
+	rcPattern := make([]uint8, len(read))
+	for i, b := range read {
+		fwPattern[i] = uint8(b)
+		rcPattern[len(read)-1-i] = uint8(b.Complement())
+	}
+	fw, fwSteps, err := ix.fm.CountApproxSteps(fwPattern, maxMismatches)
+	if err != nil {
+		return ApproxResult{}, err
+	}
+	rc, rcSteps, err := ix.fm.CountApproxSteps(rcPattern, maxMismatches)
+	if err != nil {
+		return ApproxResult{}, err
+	}
+	return ApproxResult{Forward: fw, Reverse: rc, Steps: max(fwSteps, rcSteps)}, nil
+}

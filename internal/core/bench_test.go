@@ -1,0 +1,71 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"bwaver/internal/readsim"
+)
+
+func benchInputs(b *testing.B) (ref []readsim.Read, ix *Index) {
+	b.Helper()
+	genome, err := readsim.EColiLike(1, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, err := readsim.Simulate(genome, readsim.ReadsConfig{
+		Count: 5000, Length: 100, MappingRatio: 0.5, RevCompFraction: 0.5, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	index, err := BuildIndex(genome, IndexConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reads, index
+}
+
+func BenchmarkBuildIndex(b *testing.B) {
+	genome, err := readsim.EColiLike(1, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(genome)))
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildIndex(genome, IndexConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapRead(b *testing.B) {
+	reads, ix := benchInputs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.MapRead(reads[i%len(reads)].Seq)
+	}
+}
+
+func BenchmarkMapReadsLocate(b *testing.B) {
+	reads, ix := benchInputs(b)
+	seqs := readsim.Seqs(reads)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.MapReads(seqs[:500], MapOptions{Locate: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerializeIndex(b *testing.B) {
+	_, ix := benchInputs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := ix.WriteTo(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(n)
+	}
+}

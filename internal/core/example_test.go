@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"bwaver/internal/core"
+	"bwaver/internal/dna"
+)
+
+// ExampleBuildIndex shows the minimal index-and-map flow.
+func ExampleBuildIndex() {
+	ref := dna.MustParseSeq("ACGTACGGTACCTTAGGCAATCGAACGTACGGTACC")
+	ix, err := core.BuildIndex(ref, core.IndexConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := ix.MapRead(dna.MustParseSeq("GGTACC"))
+	fmt.Println("mapped:", res.Mapped(), "occurrences:", res.Forward.Count())
+	// Output:
+	// mapped: true occurrences: 2
+}
+
+// ExampleIndex_MapReadApprox demonstrates the k-mismatch extension.
+func ExampleIndex_MapReadApprox() {
+	ref := dna.MustParseSeq("AACCGGTTAACCGGTTAACCGGTTACGTACGTTGCA")
+	ix, err := core.BuildIndex(ref, core.IndexConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One substitution relative to the reference prefix.
+	read := dna.MustParseSeq("AACCGGTTAACCGTTT")
+	exact := ix.MapRead(read)
+	approx, err := ix.MapReadApprox(read, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exact:", exact.Mapped(), "with 1 mismatch:", approx.Mapped(), "stratum:", approx.BestMismatches())
+	// Output:
+	// exact: false with 1 mismatch: true stratum: 1
+}
+
+// ExampleIndex_ExtractReference shows that the index is a lossless archive.
+func ExampleIndex_ExtractReference() {
+	ref := dna.MustParseSeq("GATTACAGATTACA")
+	ix, err := core.BuildIndex(ref, core.IndexConfig{Locate: core.LocateNone})
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := ix.ExtractReference()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(back)
+	// Output:
+	// GATTACAGATTACA
+}
+
+// ExampleContigSet_Resolve shows per-chromosome coordinate translation.
+func ExampleContigSet_Resolve() {
+	cs, err := core.NewContigSet([]string{"chr1", "chr2"}, []int{1000, 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if c, off, ok := cs.Resolve(1200, 50); ok {
+		fmt.Printf("%s:%d\n", c.Name, off)
+	}
+	_, _, ok := cs.Resolve(990, 50) // straddles the chr1/chr2 boundary
+	fmt.Println("boundary hit accepted:", ok)
+	// Output:
+	// chr2:200
+	// boundary hit accepted: false
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"bwaver/internal/readsim"
+	"bwaver/internal/rrr"
+)
+
+func TestExtractReferenceRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 100, 5000} {
+		ref, err := readsim.Genome(readsim.GenomeConfig{Length: n, Seed: int64(n), RepeatFraction: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []IndexConfig{
+			{},
+			{PlainBitvectors: true},
+			{RRR: rrr.Params{BlockSize: 7, SuperblockFactor: 3}},
+			{Locate: LocateNone},
+		} {
+			ix := mustBuild(t, ref, cfg)
+			back, err := ix.ExtractReference()
+			if err != nil {
+				t.Fatalf("n=%d cfg=%+v: %v", n, cfg, err)
+			}
+			if !back.Equal(ref) {
+				t.Fatalf("n=%d cfg=%+v: extracted reference differs", n, cfg)
+			}
+		}
+	}
+}
+
+func TestExtractAfterSerialization(t *testing.T) {
+	ref := testGenome(t, 3000)
+	ix := mustBuild(t, ref, IndexConfig{Locate: LocateNone})
+	back := roundTrip(t, ix)
+	got, err := back.ExtractReference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ref) {
+		t.Error("extraction from deserialized index differs")
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"bwaver/internal/dna"
+)
+
+// FuzzReadIndex hammers the index deserializer with arbitrary bytes: it
+// must never panic, and anything it accepts must behave like an index
+// (consistent lengths, queries that do not crash).
+func FuzzReadIndex(f *testing.F) {
+	ref := dna.MustParseSeq("ACGTACGGTACCTTAGGCAATCGAACGTACGGTACCTTAGGC")
+	for _, cfg := range []IndexConfig{{}, {Locate: LocateNone}, {PlainBitvectors: true}} {
+		ix, err := BuildIndex(ref, cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := ReadIndex(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if ix.RefLength() < 0 {
+			t.Fatal("negative reference length")
+		}
+		// Queries on an accepted index must not crash and must return
+		// sane ranges.
+		res := ix.MapRead(dna.MustParseSeq("ACGT"))
+		if res.Forward.Count() < 0 || res.Reverse.Count() < 0 {
+			t.Fatalf("negative match count: %+v", res)
+		}
+		if res.Forward.Count() > ix.RefLength()+1 {
+			t.Fatalf("match count %d exceeds possible rows", res.Forward.Count())
+		}
+	})
+}

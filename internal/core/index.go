@@ -1,0 +1,416 @@
+// Package core is the BWaveR library: it assembles the substrates
+// (suffix array, BWT, wavelet tree over RRR bit-vectors, FM-index) into the
+// three-step pipeline of the paper (§III-D) — BWT and SA computation, BWT
+// encoding, and sequence mapping — and exposes the index and mapping API
+// that the CLI, web server, FPGA simulator, and benches all drive.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bwaver/internal/bwt"
+	"bwaver/internal/dna"
+	"bwaver/internal/fmindex"
+	"bwaver/internal/rrr"
+	"bwaver/internal/suffixarray"
+	"bwaver/internal/wavelet"
+)
+
+// LocateMode selects how occurrence positions are recovered.
+type LocateMode int
+
+const (
+	// LocateFullSA keeps the complete suffix array on the host, the
+	// paper's configuration: O(1) per occurrence, 4 bytes per base.
+	LocateFullSA LocateMode = iota
+	// LocateSampled keeps a sampled suffix array and walks LF to the
+	// nearest sample, trading time for space (DESIGN.md extension).
+	LocateSampled
+	// LocateNone builds a count-only index.
+	LocateNone
+)
+
+// String implements fmt.Stringer.
+func (m LocateMode) String() string {
+	switch m {
+	case LocateFullSA:
+		return "full-sa"
+	case LocateSampled:
+		return "sampled-sa"
+	default:
+		return "none"
+	}
+}
+
+// IndexConfig controls index construction.
+type IndexConfig struct {
+	// RRR sets the succinct structure's block size and superblock factor;
+	// the zero value means the paper's hardware parameters (b=15, sf=50).
+	RRR rrr.Params
+	// PlainBitvectors switches the wavelet nodes to uncompressed
+	// bit-vectors — the space/time ablation, not the paper's design.
+	PlainBitvectors bool
+	// Locate selects the locate structure; the zero value is LocateFullSA.
+	Locate LocateMode
+	// SampleRate is the sampled-SA rate when Locate == LocateSampled;
+	// zero means 32.
+	SampleRate int
+	// SAAlgorithm selects the suffix-array construction; the zero value is
+	// SAIS. All three produce identical arrays (cross-checked in the
+	// suffix-array tests); the choice only affects build time and memory.
+	SAAlgorithm SAAlgorithm
+}
+
+// SAAlgorithm names a suffix-array construction.
+type SAAlgorithm int
+
+// The available constructions.
+const (
+	// SAIS is the linear-time induced-sorting algorithm (default).
+	SAIS SAAlgorithm = iota
+	// DC3 is the linear-time skew algorithm.
+	DC3
+	// Doubling is the O(n log^2 n) prefix-doubling algorithm.
+	Doubling
+)
+
+// String implements fmt.Stringer.
+func (a SAAlgorithm) String() string {
+	switch a {
+	case DC3:
+		return "dc3"
+	case Doubling:
+		return "doubling"
+	default:
+		return "sais"
+	}
+}
+
+func (a SAAlgorithm) build(text []uint8, sigma int) ([]int32, error) {
+	switch a {
+	case SAIS:
+		return suffixarray.Build(text, sigma)
+	case DC3:
+		return suffixarray.BuildDC3(text, sigma)
+	case Doubling:
+		return suffixarray.BuildDoubling(text, sigma)
+	default:
+		return nil, fmt.Errorf("core: unknown suffix-array algorithm %d", a)
+	}
+}
+
+func (c IndexConfig) withDefaults() IndexConfig {
+	if c.RRR == (rrr.Params{}) {
+		c.RRR = rrr.DefaultParams
+	}
+	if c.SampleRate == 0 {
+		c.SampleRate = 32
+	}
+	return c
+}
+
+// BuildStats reports what index construction did, feeding Figs. 5 and 6.
+type BuildStats struct {
+	RefLength int
+	// Stage timings of the paper's three-step flow; EncodeTime is what
+	// Fig. 6 plots.
+	SATime     time.Duration
+	BWTTime    time.Duration
+	EncodeTime time.Duration
+	// StructureBytes is the succinct structure's size (Fig. 5);
+	// SharedBytes the global rank table shared across wavelet nodes.
+	StructureBytes int
+	SharedBytes    int
+	// UncompressedBytes is the 1-byte-per-symbol BWT baseline the paper
+	// compares against.
+	UncompressedBytes int
+	BWTRuns           int
+	BWTEntropy        float64
+}
+
+// CompressionRatio returns structure size over the uncompressed BWT
+// representation (1 byte per base, as the paper counts it).
+func (s BuildStats) CompressionRatio() float64 {
+	if s.UncompressedBytes == 0 {
+		return 0
+	}
+	return float64(s.StructureBytes+s.SharedBytes) / float64(s.UncompressedBytes)
+}
+
+// Index is a built BWaveR index over one reference sequence.
+type Index struct {
+	fm      *fmindex.Index
+	config  IndexConfig
+	stats   BuildStats
+	contigs *ContigSet // nil for a single anonymous reference
+}
+
+// BuildIndex runs the first two pipeline steps over the reference: suffix
+// array and BWT computation, then succinct encoding.
+func BuildIndex(ref dna.Seq, cfg IndexConfig) (*Index, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.RRR.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ref) == 0 {
+		return nil, fmt.Errorf("core: empty reference")
+	}
+
+	text := make([]uint8, len(ref))
+	for i, b := range ref {
+		text[i] = uint8(b)
+	}
+
+	var stats BuildStats
+	stats.RefLength = len(ref)
+	stats.UncompressedBytes = len(ref)
+
+	start := time.Now()
+	sa, err := cfg.SAAlgorithm.build(text, dna.AlphabetSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: suffix array: %w", err)
+	}
+	stats.SATime = time.Since(start)
+
+	start = time.Now()
+	transform, err := bwt.Transform(text, sa)
+	if err != nil {
+		return nil, fmt.Errorf("core: bwt: %w", err)
+	}
+	stats.BWTTime = time.Since(start)
+	stats.BWTRuns = transform.RunCount()
+	stats.BWTEntropy = transform.Entropy(dna.AlphabetSize)
+
+	start = time.Now()
+	var backend wavelet.Backend
+	if cfg.PlainBitvectors {
+		backend = wavelet.PlainBackend()
+	} else {
+		backend = wavelet.RRRBackend(cfg.RRR)
+	}
+	occ, err := fmindex.NewWaveletOccBackend(transform.Data, dna.AlphabetSize, backend)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding: %w", err)
+	}
+	stats.EncodeTime = time.Since(start)
+	stats.StructureBytes = occ.Tree.SizeBytes()
+	stats.SharedBytes = occ.Tree.SharedSizeBytes()
+
+	opts := fmindex.Options{}
+	switch cfg.Locate {
+	case LocateFullSA:
+		opts.SA = sa
+	case LocateSampled:
+		sampled, err := fmindex.NewSampledSA(sa, cfg.SampleRate)
+		if err != nil {
+			return nil, fmt.Errorf("core: sampled SA: %w", err)
+		}
+		opts.Sampled = sampled
+	case LocateNone:
+	default:
+		return nil, fmt.Errorf("core: unknown locate mode %d", cfg.Locate)
+	}
+
+	fm, err := fmindex.New(transform, dna.AlphabetSize, occ, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: fm-index: %w", err)
+	}
+	return &Index{fm: fm, config: cfg, stats: stats}, nil
+}
+
+// FM exposes the underlying FM-index for step-level consumers such as the
+// FPGA simulator.
+func (ix *Index) FM() *fmindex.Index { return ix.fm }
+
+// Config returns the configuration the index was built with.
+func (ix *Index) Config() IndexConfig { return ix.config }
+
+// Stats returns the build statistics.
+func (ix *Index) Stats() BuildStats { return ix.stats }
+
+// RefLength returns the reference length in bases.
+func (ix *Index) RefLength() int { return ix.fm.Len() }
+
+// SizeBytes returns the total index footprint (structure, shared table, and
+// locate structure).
+func (ix *Index) SizeBytes() int { return ix.fm.SizeBytes() }
+
+// StructureBytes returns just the succinct BWT structure plus shared table,
+// the quantity Fig. 5 plots.
+func (ix *Index) StructureBytes() int { return ix.stats.StructureBytes + ix.stats.SharedBytes }
+
+// MapResult is the outcome of mapping one read and its reverse complement,
+// mirroring what the paper's kernel returns to the host per query.
+type MapResult struct {
+	// Forward and Reverse are the suffix-array row ranges of the read and
+	// of its reverse complement.
+	Forward, Reverse fmindex.Range
+	// ForwardPositions and ReversePositions are the located reference
+	// occurrences (filled only when MapOptions.Locate is set).
+	ForwardPositions, ReversePositions []int32
+	// Steps is the larger of the two backward-search step counts; the two
+	// searches run in parallel in hardware (§III-C), so this drives the
+	// kernel cycle model.
+	Steps int
+}
+
+// Mapped reports whether either orientation occurs in the reference.
+func (m MapResult) Mapped() bool { return !m.Forward.Empty() || !m.Reverse.Empty() }
+
+// Occurrences returns the total number of occurrences across both strands.
+func (m MapResult) Occurrences() int { return m.Forward.Count() + m.Reverse.Count() }
+
+// MapRead maps one read and its reverse complement (count only).
+func (ix *Index) MapRead(read dna.Seq) MapResult {
+	fwPattern := make([]uint8, len(read))
+	rcPattern := make([]uint8, len(read))
+	for i, b := range read {
+		fwPattern[i] = uint8(b)
+		rcPattern[len(read)-1-i] = uint8(b.Complement())
+	}
+	var res MapResult
+	var fwSteps, rcSteps int
+	res.Forward, fwSteps = ix.fm.CountSteps(fwPattern)
+	res.Reverse, rcSteps = ix.fm.CountSteps(rcPattern)
+	// The two searches run in parallel pipelines in hardware (§III-C), so
+	// the slower one bounds the query's latency.
+	res.Steps = max(fwSteps, rcSteps)
+	return res
+}
+
+// MapOptions control batch mapping.
+type MapOptions struct {
+	// Locate fills occurrence positions, the paper's host-side SA lookup.
+	Locate bool
+	// Workers is the number of parallel mapping goroutines; 0 or 1 keeps
+	// the single-threaded behaviour of the paper's software baseline, -1
+	// uses all CPUs.
+	Workers int
+	// Progress, if non-nil, is called with (done, total) roughly every
+	// ProgressEvery completed reads and once at the end. With Workers > 1
+	// it is called from mapping goroutines and must be safe for concurrent
+	// use.
+	Progress func(done, total int)
+	// ProgressEvery is the reporting granularity; 0 means 1024.
+	ProgressEvery int
+}
+
+// MapStats aggregates a batch mapping run.
+type MapStats struct {
+	Reads       int
+	MappedReads int
+	Occurrences int
+	TotalSteps  int
+	Elapsed     time.Duration
+}
+
+// MappingRatio returns the fraction of reads that mapped.
+func (s MapStats) MappingRatio() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.MappedReads) / float64(s.Reads)
+}
+
+// ReadsPerSecond returns mapping throughput.
+func (s MapStats) ReadsPerSecond() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Reads) / s.Elapsed.Seconds()
+}
+
+// MapReads maps a batch of reads, the paper's "sequence mapping" step on
+// the CPU path (BWaveR-CPU).
+func (ix *Index) MapReads(reads []dna.Seq, opts MapOptions) ([]MapResult, MapStats, error) {
+	workers := opts.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]MapResult, len(reads))
+	start := time.Now()
+
+	every := opts.ProgressEvery
+	if every <= 0 {
+		every = 1024
+	}
+	var done atomic.Int64
+	mapOne := func(i int) error {
+		res := ix.MapRead(reads[i])
+		if opts.Locate {
+			var err error
+			if res.ForwardPositions, err = ix.fm.Locate(res.Forward); err != nil {
+				return err
+			}
+			if res.ReversePositions, err = ix.fm.Locate(res.Reverse); err != nil {
+				return err
+			}
+		}
+		results[i] = res
+		if opts.Progress != nil {
+			if d := done.Add(1); d%int64(every) == 0 {
+				opts.Progress(int(d), len(reads))
+			}
+		}
+		return nil
+	}
+
+	var firstErr error
+	if workers == 1 {
+		for i := range reads {
+			if err := mapOne(i); err != nil {
+				return nil, MapStats{}, err
+			}
+		}
+	} else {
+		var (
+			wg    sync.WaitGroup
+			errMu sync.Mutex
+			next  = make(chan int, workers)
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					if err := mapOne(i); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		for i := range reads {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, MapStats{}, firstErr
+	}
+	if opts.Progress != nil {
+		opts.Progress(len(reads), len(reads))
+	}
+
+	stats := MapStats{Reads: len(reads), Elapsed: time.Since(start)}
+	for _, r := range results {
+		if r.Mapped() {
+			stats.MappedReads++
+		}
+		stats.Occurrences += r.Occurrences()
+		stats.TotalSteps += r.Steps
+	}
+	return results, stats, nil
+}

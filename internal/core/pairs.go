@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bwaver/internal/dna"
+)
+
+// Paired-end mapping. A read pair in FR orientation is concordant when R1
+// maps on the forward strand at p1, R2 on the reverse strand ending at
+// p2+len, with the implied fragment length p2+len-p1 inside the expected
+// insert window (or the strand-mirrored arrangement). This is the
+// pipeline-integration feature the paper's future work points at
+// ("integrate BWaveR in real sequence analysis pipelines").
+
+// PairOptions configure paired-end mapping.
+type PairOptions struct {
+	// MinInsert and MaxInsert bound the accepted fragment length
+	// (outer distance).
+	MinInsert, MaxInsert int
+	// MaxHitsPerMate caps how many occurrences per mate are considered
+	// when pairing; reads more repetitive than this are reported as
+	// ambiguous rather than exploding combinatorially. 0 means 256.
+	MaxHitsPerMate int
+}
+
+func (o PairOptions) withDefaults() PairOptions {
+	if o.MaxHitsPerMate == 0 {
+		o.MaxHitsPerMate = 256
+	}
+	return o
+}
+
+func (o PairOptions) validate() error {
+	if o.MinInsert < 0 || o.MaxInsert < o.MinInsert {
+		return fmt.Errorf("core: insert window [%d,%d] invalid", o.MinInsert, o.MaxInsert)
+	}
+	if o.MaxHitsPerMate < 0 {
+		return fmt.Errorf("core: MaxHitsPerMate %d must be >= 0", o.MaxHitsPerMate)
+	}
+	return nil
+}
+
+// PairPlacement is one concordant placement of a pair.
+type PairPlacement struct {
+	// Pos is the fragment's leftmost reference position.
+	Pos int32
+	// Insert is the implied fragment length.
+	Insert int
+	// R1Forward reports the orientation: true when R1 is the forward
+	// (left) mate, false for the mirrored arrangement.
+	R1Forward bool
+}
+
+// PairResult is the outcome of mapping one read pair.
+type PairResult struct {
+	// R1 and R2 are the individual mates' results.
+	R1, R2 MapResult
+	// Placements lists every concordant placement within the insert
+	// window, sorted by position.
+	Placements []PairPlacement
+	// Ambiguous is set when a mate exceeded MaxHitsPerMate occurrences
+	// and pairing was skipped.
+	Ambiguous bool
+}
+
+// Concordant reports whether at least one proper placement was found.
+func (r PairResult) Concordant() bool { return len(r.Placements) > 0 }
+
+// PairStats aggregates a paired mapping run.
+type PairStats struct {
+	Pairs      int
+	Concordant int
+	Ambiguous  int
+	// BothMapped counts pairs where both mates hit somewhere, concordant
+	// or not.
+	BothMapped int
+}
+
+// MapPair maps one pair and searches the insert window for concordant
+// placements.
+func (ix *Index) MapPair(r1, r2 dna.Seq, opts PairOptions) (PairResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return PairResult{}, err
+	}
+	res := PairResult{R1: ix.MapRead(r1), R2: ix.MapRead(r2)}
+	if !res.R1.Mapped() || !res.R2.Mapped() {
+		return res, nil
+	}
+	if res.R1.Occurrences() > opts.MaxHitsPerMate || res.R2.Occurrences() > opts.MaxHitsPerMate {
+		res.Ambiguous = true
+		return res, nil
+	}
+	fm := ix.FM()
+	locate := func(m MapResult) (fw, rc []int32, err error) {
+		if fw, err = fm.Locate(m.Forward); err != nil {
+			return nil, nil, err
+		}
+		rc, err = fm.Locate(m.Reverse)
+		return fw, rc, err
+	}
+	r1F, r1R, err := locate(res.R1)
+	if err != nil {
+		return res, err
+	}
+	r2F, r2R, err := locate(res.R2)
+	if err != nil {
+		return res, err
+	}
+	// FR arrangement 1: R1 forward at p1, R2 reverse-strand at p2
+	// (RC(R2) matches the genome at p2); fragment = [p1, p2+len2).
+	res.Placements = append(res.Placements,
+		pairUp(r1F, r2R, len(r2), opts, true)...)
+	// Mirror: R2 forward at p2, R1 reverse-strand at p1.
+	res.Placements = append(res.Placements,
+		pairUp(r2F, r1R, len(r1), opts, false)...)
+	sort.Slice(res.Placements, func(i, j int) bool {
+		if res.Placements[i].Pos != res.Placements[j].Pos {
+			return res.Placements[i].Pos < res.Placements[j].Pos
+		}
+		return res.Placements[i].Insert < res.Placements[j].Insert
+	})
+	return res, nil
+}
+
+// pairUp matches left-mate forward positions with right-mate reverse
+// positions whose implied insert falls inside the window.
+func pairUp(lefts, rights []int32, rightLen int, opts PairOptions, r1Forward bool) []PairPlacement {
+	if len(lefts) == 0 || len(rights) == 0 {
+		return nil
+	}
+	ls := append([]int32(nil), lefts...)
+	rs := append([]int32(nil), rights...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	var out []PairPlacement
+	lo := 0
+	for _, p1 := range ls {
+		// Fragment end = p2 + rightLen; accept p2 with
+		// MinInsert <= p2+rightLen-p1 <= MaxInsert.
+		for lo < len(rs) && int(rs[lo])+rightLen-int(p1) < opts.MinInsert {
+			lo++
+		}
+		for i := lo; i < len(rs); i++ {
+			insert := int(rs[i]) + rightLen - int(p1)
+			if insert > opts.MaxInsert {
+				break
+			}
+			if insert >= opts.MinInsert {
+				out = append(out, PairPlacement{Pos: p1, Insert: insert, R1Forward: r1Forward})
+			}
+		}
+	}
+	return out
+}
+
+// MapPairs maps a batch of pairs.
+func (ix *Index) MapPairs(r1s, r2s []dna.Seq, opts PairOptions) ([]PairResult, PairStats, error) {
+	if len(r1s) != len(r2s) {
+		return nil, PairStats{}, fmt.Errorf("core: %d R1 reads for %d R2 reads", len(r1s), len(r2s))
+	}
+	results := make([]PairResult, len(r1s))
+	stats := PairStats{Pairs: len(r1s)}
+	for i := range r1s {
+		res, err := ix.MapPair(r1s[i], r2s[i], opts)
+		if err != nil {
+			return nil, PairStats{}, err
+		}
+		results[i] = res
+		if res.Concordant() {
+			stats.Concordant++
+		}
+		if res.Ambiguous {
+			stats.Ambiguous++
+		}
+		if res.R1.Mapped() && res.R2.Mapped() {
+			stats.BothMapped++
+		}
+	}
+	return results, stats, nil
+}

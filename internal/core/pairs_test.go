@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"bwaver/internal/dna"
+	"bwaver/internal/readsim"
+)
+
+func simPairs(t *testing.T, ref dna.Seq, count int, ratio float64) []readsim.Pair {
+	t.Helper()
+	pairs, err := readsim.SimulatePairs(ref, readsim.PairConfig{
+		Count: count, ReadLength: 50, InsertMean: 300, InsertStdDev: 20,
+		MappingRatio: ratio, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs
+}
+
+func splitPairs(pairs []readsim.Pair) (r1s, r2s []dna.Seq) {
+	for _, p := range pairs {
+		r1s = append(r1s, p.R1)
+		r2s = append(r2s, p.R2)
+	}
+	return
+}
+
+func TestMapPairsConcordantTruth(t *testing.T) {
+	ref := testGenome(t, 50000)
+	pairs := simPairs(t, ref, 200, 1)
+	ix := mustBuild(t, ref, IndexConfig{})
+	r1s, r2s := splitPairs(pairs)
+	results, stats, err := ix.MapPairs(r1s, r2s, PairOptions{MinInsert: 150, MaxInsert: 450})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pairs != 200 {
+		t.Fatalf("stats.Pairs = %d", stats.Pairs)
+	}
+	for i, p := range pairs {
+		res := results[i]
+		if !res.Concordant() {
+			t.Fatalf("planted pair %s (origin %d, insert %d) not concordant", p.ID, p.Origin, p.Insert)
+		}
+		// The true placement must be among the reported ones.
+		found := false
+		for _, pl := range res.Placements {
+			if int(pl.Pos) == p.Origin && pl.Insert == p.Insert && pl.R1Forward {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("pair %s: truth (pos %d, insert %d) missing from %+v",
+				p.ID, p.Origin, p.Insert, res.Placements)
+		}
+	}
+	if stats.Concordant != 200 || stats.BothMapped != 200 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestMapPairsRandomPairsDiscordant(t *testing.T) {
+	ref := testGenome(t, 30000)
+	pairs := simPairs(t, ref, 100, 0) // all random
+	ix := mustBuild(t, ref, IndexConfig{})
+	r1s, r2s := splitPairs(pairs)
+	_, stats, err := ix.MapPairs(r1s, r2s, PairOptions{MinInsert: 150, MaxInsert: 450})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Concordant != 0 || stats.BothMapped != 0 {
+		t.Errorf("random pairs produced concordant mappings: %+v", stats)
+	}
+}
+
+func TestMapPairMirrorOrientation(t *testing.T) {
+	// Swap R1/R2: the pair is still concordant, in the mirrored
+	// arrangement (R1Forward == false).
+	ref := testGenome(t, 20000)
+	pairs := simPairs(t, ref, 20, 1)
+	ix := mustBuild(t, ref, IndexConfig{})
+	for _, p := range pairs {
+		res, err := ix.MapPair(p.R2, p.R1, PairOptions{MinInsert: 150, MaxInsert: 450})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Concordant() {
+			t.Fatalf("swapped pair %s not concordant", p.ID)
+		}
+		found := false
+		for _, pl := range res.Placements {
+			if int(pl.Pos) == p.Origin && !pl.R1Forward {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("swapped pair %s: mirrored placement missing", p.ID)
+		}
+	}
+}
+
+func TestMapPairInsertWindowFilters(t *testing.T) {
+	ref := testGenome(t, 20000)
+	pairs := simPairs(t, ref, 30, 1) // inserts ~300 +/- 20
+	ix := mustBuild(t, ref, IndexConfig{})
+	for _, p := range pairs {
+		// A window excluding ~300 must reject the true placement.
+		res, err := ix.MapPair(p.R1, p.R2, PairOptions{MinInsert: 500, MaxInsert: 600})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pl := range res.Placements {
+			if pl.Insert < 500 || pl.Insert > 600 {
+				t.Fatalf("placement outside window: %+v", pl)
+			}
+		}
+	}
+}
+
+func TestMapPairAmbiguousCap(t *testing.T) {
+	// A reference of a single repeated unit makes every mate map hundreds
+	// of times; the cap must kick in.
+	unit := dna.MustParseSeq("ACGTTGCA")
+	ref := make(dna.Seq, 0, 8000)
+	for len(ref) < 8000 {
+		ref = append(ref, unit...)
+	}
+	ix := mustBuild(t, ref, IndexConfig{})
+	res, err := ix.MapPair(ref[0:16], ref[100:116].ReverseComplement(), PairOptions{
+		MinInsert: 50, MaxInsert: 200, MaxHitsPerMate: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ambiguous || res.Concordant() {
+		t.Errorf("repetitive pair not flagged ambiguous: %+v", res)
+	}
+}
+
+func TestMapPairsValidation(t *testing.T) {
+	ref := testGenome(t, 2000)
+	ix := mustBuild(t, ref, IndexConfig{})
+	if _, _, err := ix.MapPairs([]dna.Seq{ref[0:20]}, nil, PairOptions{MaxInsert: 100}); err == nil {
+		t.Error("accepted mismatched mate counts")
+	}
+	if _, err := ix.MapPair(ref[0:20], ref[50:70], PairOptions{MinInsert: 200, MaxInsert: 100}); err == nil {
+		t.Error("accepted inverted insert window")
+	}
+	if _, err := ix.MapPair(ref[0:20], ref[50:70], PairOptions{MaxInsert: 100, MaxHitsPerMate: -1}); err == nil {
+		t.Error("accepted negative hit cap")
+	}
+}
+
+func TestSimulatePairsValidation(t *testing.T) {
+	ref := testGenome(t, 5000)
+	bad := []readsim.PairConfig{
+		{Count: -1, ReadLength: 50, InsertMean: 300},
+		{Count: 5, ReadLength: 0, InsertMean: 300},
+		{Count: 5, ReadLength: 50, InsertMean: 80},
+		{Count: 5, ReadLength: 50, InsertMean: 300, InsertStdDev: -1},
+		{Count: 5, ReadLength: 50, InsertMean: 300, MappingRatio: 2},
+		{Count: 5, ReadLength: 50, InsertMean: 300, ErrorRate: 1},
+		{Count: 5, ReadLength: 50, InsertMean: 6000, MappingRatio: 1},
+	}
+	for _, cfg := range bad {
+		if _, err := readsim.SimulatePairs(ref, cfg); err != nil {
+			continue
+		}
+		t.Errorf("SimulatePairs(%+v) accepted invalid config", cfg)
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"bwaver/internal/dna"
+	"bwaver/internal/fmindex"
+	"bwaver/internal/rrr"
+	"bwaver/internal/wavelet"
+)
+
+// Index file format (little endian):
+//
+//	magic    uint32 'BWX1'
+//	b, sf    uint32  (RRR parameters; also stored when plain)
+//	flags    uint8   bit0 = plain bit-vectors
+//	locate   uint8   LocateMode
+//	sampleRate uint32
+//	primary  uint32
+//	counts   [4]uint32 per-symbol occurrence counts
+//	wavelet tree payload
+//	locate payload (full SA as [n+1]int32, or sampled SA, or nothing)
+const indexMagic = 0x42575831 // "BWX1"
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := &countingWriter{w: bw}
+
+	occ, ok := ix.fm.OccProvider().(*fmindex.WaveletOcc)
+	if !ok {
+		return 0, fmt.Errorf("core: only wavelet-backed indexes serialize, have %s", ix.fm.OccName())
+	}
+	var flags uint8
+	if ix.config.PlainBitvectors {
+		flags |= 1
+	}
+	head := []any{
+		uint32(indexMagic),
+		uint32(ix.config.RRR.BlockSize), uint32(ix.config.RRR.SuperblockFactor),
+		flags, uint8(ix.config.Locate), uint32(ix.config.SampleRate),
+		uint32(ix.fm.Primary()),
+	}
+	for _, v := range head {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return cw.n, err
+		}
+	}
+	for s := uint8(0); s < dna.AlphabetSize; s++ {
+		if err := binary.Write(cw, binary.LittleEndian, uint32(ix.fm.SymbolCount(s))); err != nil {
+			return cw.n, err
+		}
+	}
+	if _, err := occ.Tree.WriteTo(cw); err != nil {
+		return cw.n, err
+	}
+	switch ix.config.Locate {
+	case LocateFullSA:
+		if err := binary.Write(cw, binary.LittleEndian, ix.fm.SA()); err != nil {
+			return cw.n, err
+		}
+	case LocateSampled:
+		if _, err := ix.fm.Sampled().WriteTo(cw); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := writeContigs(cw, ix.contigs); err != nil {
+		return cw.n, err
+	}
+	return cw.n, bw.Flush()
+}
+
+func writeContigs(w io.Writer, cs *ContigSet) error {
+	if cs == nil {
+		return binary.Write(w, binary.LittleEndian, uint32(0))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(cs.Count())); err != nil {
+		return err
+	}
+	for _, c := range cs.Contigs() {
+		name := []byte(c.Name)
+		if len(name) > 1<<16-1 {
+			return fmt.Errorf("core: contig name %q too long", c.Name)
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint16(len(name))); err != nil {
+			return err
+		}
+		if _, err := w.Write(name); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(c.Length)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readContigs(r io.Reader) (*ContigSet, error) {
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("core: reading contig count: %w", err)
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	if count > 1<<24 {
+		return nil, fmt.Errorf("core: implausible contig count %d", count)
+	}
+	names := make([]string, count)
+	lengths := make([]int, count)
+	for i := range names {
+		var nameLen uint16
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("core: reading contig name length: %w", err)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("core: reading contig name: %w", err)
+		}
+		names[i] = string(name)
+		var l uint32
+		if err := binary.Read(r, binary.LittleEndian, &l); err != nil {
+			return nil, fmt.Errorf("core: reading contig length: %w", err)
+		}
+		lengths[i] = int(l)
+	}
+	return NewContigSet(names, lengths)
+}
+
+// ReadIndex deserializes an index written by WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var (
+		magic, b, sf, sampleRate, primary uint32
+		flags, locate                     uint8
+	)
+	for _, v := range []any{&magic, &b, &sf, &flags, &locate, &sampleRate, &primary} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("core: reading index header: %w", err)
+		}
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("core: not a BWaveR index (magic %#x)", magic)
+	}
+	cfg := IndexConfig{
+		RRR:             rrr.Params{BlockSize: int(b), SuperblockFactor: int(sf)},
+		PlainBitvectors: flags&1 != 0,
+		Locate:          LocateMode(locate),
+		SampleRate:      int(sampleRate),
+	}
+	if err := cfg.RRR.Validate(); err != nil {
+		return nil, err
+	}
+	counts := make([]int, dna.AlphabetSize)
+	total := 0
+	for s := range counts {
+		var c uint32
+		if err := binary.Read(br, binary.LittleEndian, &c); err != nil {
+			return nil, fmt.Errorf("core: reading symbol counts: %w", err)
+		}
+		counts[s] = int(c)
+		total += int(c)
+	}
+	tree, err := wavelet.ReadTree(br)
+	if err != nil {
+		return nil, err
+	}
+	if tree.Len() != total {
+		return nil, fmt.Errorf("core: tree covers %d symbols, counts sum to %d", tree.Len(), total)
+	}
+	// The header's per-symbol counts feed the FM-index C array; they must
+	// agree with what the tree actually stores, or backward-search ranges
+	// overflow on a corrupted file.
+	for s := 0; s < dna.AlphabetSize; s++ {
+		if got := tree.Count(uint8(s)); got != counts[s] {
+			return nil, fmt.Errorf("core: tree stores %d copies of symbol %d, header says %d", got, s, counts[s])
+		}
+	}
+	occ := &fmindex.WaveletOcc{Tree: tree}
+	opts := fmindex.Options{}
+	switch cfg.Locate {
+	case LocateFullSA:
+		sa := make([]int32, total+1)
+		if err := binary.Read(br, binary.LittleEndian, sa); err != nil {
+			return nil, fmt.Errorf("core: reading suffix array: %w", err)
+		}
+		opts.SA = sa
+	case LocateSampled:
+		sampled, err := fmindex.ReadSampledSA(br)
+		if err != nil {
+			return nil, err
+		}
+		opts.Sampled = sampled
+	case LocateNone:
+	default:
+		return nil, fmt.Errorf("core: unknown locate mode %d", cfg.Locate)
+	}
+	fm, err := fmindex.NewFromParts(occ, dna.AlphabetSize, int(primary), counts, opts)
+	if err != nil {
+		return nil, err
+	}
+	stats := BuildStats{
+		RefLength:         total,
+		UncompressedBytes: total,
+		StructureBytes:    tree.SizeBytes(),
+		SharedBytes:       tree.SharedSizeBytes(),
+	}
+	ix := &Index{fm: fm, config: cfg, stats: stats}
+	contigs, err := readContigs(br)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.SetContigs(contigs); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// SaveFile writes the index to path.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an index from path.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadIndex(f)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

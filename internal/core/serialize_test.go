@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"bwaver/internal/readsim"
+	"bwaver/internal/rrr"
+)
+
+func roundTrip(t *testing.T, ix *Index) *Index {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestSerializeRoundTripConfigs(t *testing.T) {
+	ref := testGenome(t, 8000)
+	reads, _ := readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: 150, Length: 30, MappingRatio: 0.6, RevCompFraction: 0.5, Seed: 8,
+	})
+	configs := []IndexConfig{
+		{},
+		{PlainBitvectors: true},
+		{Locate: LocateSampled, SampleRate: 8},
+		{Locate: LocateNone},
+		{RRR: rrr.Params{BlockSize: 9, SuperblockFactor: 3}},
+	}
+	for _, cfg := range configs {
+		orig := mustBuild(t, ref, cfg)
+		back := roundTrip(t, orig)
+		if back.RefLength() != orig.RefLength() {
+			t.Fatalf("cfg %+v: length changed", cfg)
+		}
+		if back.Config().RRR != orig.Config().RRR ||
+			back.Config().PlainBitvectors != orig.Config().PlainBitvectors ||
+			back.Config().Locate != orig.Config().Locate {
+			t.Fatalf("cfg %+v: config changed to %+v", cfg, back.Config())
+		}
+		wantLocate := cfg.withDefaults().Locate != LocateNone
+		for _, r := range reads {
+			a := orig.MapRead(r.Seq)
+			b := back.MapRead(r.Seq)
+			if a.Forward != b.Forward || a.Reverse != b.Reverse {
+				t.Fatalf("cfg %+v: deserialized index disagrees on ranges", cfg)
+			}
+			if wantLocate && !a.Forward.Empty() {
+				pa, err := orig.FM().Locate(a.Forward)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pb, err := back.FM().Locate(b.Forward)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !equalPositions(pa, pb) {
+					t.Fatalf("cfg %+v: deserialized index disagrees on positions", cfg)
+				}
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ref := testGenome(t, 4000)
+	ix := mustBuild(t, ref, IndexConfig{})
+	path := filepath.Join(t.TempDir(), "test.bwx")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := back.MapRead(ref[100:140])
+	if !res.Mapped() {
+		t.Error("loaded index failed to map")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.bwx")); err == nil {
+		t.Error("loading missing file should fail")
+	}
+}
+
+func TestReadIndexRejectsCorruption(t *testing.T) {
+	ref := testGenome(t, 3000)
+	ix := mustBuild(t, ref, IndexConfig{})
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncations at several depths.
+	for _, cut := range []int{0, 3, 10, 40, len(good) / 2, len(good) - 1} {
+		if _, err := ReadIndex(bytes.NewReader(good[:cut])); err == nil {
+			t.Errorf("accepted index truncated to %d bytes", cut)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := ReadIndex(bytes.NewReader(bad)); err == nil {
+		t.Error("accepted bad magic")
+	}
+	// Corrupted RRR class data: flip a byte inside the tree payload. The
+	// reader must either error out or still produce a structurally valid
+	// index — it must never panic.
+	bad = append([]byte(nil), good...)
+	bad[60] ^= 0x0F
+	func() {
+		defer func() {
+			if recover() != nil {
+				t.Error("ReadIndex panicked on corrupted payload")
+			}
+		}()
+		ReadIndex(bytes.NewReader(bad))
+	}()
+}
+
+func TestSerializedSizeReasonable(t *testing.T) {
+	ref := testGenome(t, 50000)
+	ix := mustBuild(t, ref, IndexConfig{Locate: LocateNone})
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Without the SA the file should be in the ballpark of the structure
+	// size (not the raw reference, not 10x larger).
+	if buf.Len() > ix.Stats().StructureBytes*2+4096 {
+		t.Errorf("serialized %d bytes for %d-byte structure", buf.Len(), ix.Stats().StructureBytes)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bwaver/internal/dna"
+	"bwaver/internal/fastx"
+)
+
+// Streaming batch mapping. The paper's kernel "iteratively fetches query
+// sequences from the host's memory ... until there is no more data to map";
+// MapStream is the host-side equivalent for arbitrarily large FASTQ inputs:
+// records are parsed in fixed-size batches and mapped while the next batch
+// is being parsed, so memory stays bounded by the batch size regardless of
+// input size.
+
+// StreamResult couples one record's identity with its mapping outcome.
+type StreamResult struct {
+	ID   string
+	Read dna.Seq
+	Res  MapResult
+}
+
+// DefaultStreamBatch is the default batch size for MapStream.
+const DefaultStreamBatch = 8192
+
+// MapStream maps every record of a FASTA/FASTQ stream (plain or gzipped),
+// delivering results to emit in input order. batchSize <= 0 selects
+// DefaultStreamBatch. emit returning an error aborts the run.
+func (ix *Index) MapStream(r io.Reader, opts MapOptions, batchSize int, emit func(StreamResult) error) (MapStats, error) {
+	if batchSize <= 0 {
+		batchSize = DefaultStreamBatch
+	}
+	reader, err := fastx.NewReader(r)
+	if err != nil {
+		return MapStats{}, err
+	}
+	defer reader.Close()
+
+	type batch struct {
+		ids   []string
+		reads []dna.Seq
+		err   error
+	}
+	// The parser goroutine stays one batch ahead of the mapper.
+	batches := make(chan batch, 1)
+	go func() {
+		defer close(batches)
+		for {
+			b := batch{}
+			for len(b.reads) < batchSize {
+				rec, err := reader.Read()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.err = err
+					break
+				}
+				seq, _ := dna.Sanitize(rec.Seq, dna.A)
+				b.ids = append(b.ids, rec.ID)
+				b.reads = append(b.reads, seq)
+			}
+			if len(b.reads) == 0 && b.err == nil {
+				return
+			}
+			batches <- b
+			if b.err != nil {
+				return
+			}
+		}
+	}()
+
+	var stats MapStats
+	start := time.Now()
+	for b := range batches {
+		if len(b.reads) > 0 {
+			results, batchStats, err := ix.MapReads(b.reads, opts)
+			if err != nil {
+				// Drain the parser goroutine before returning.
+				for range batches {
+				}
+				return MapStats{}, err
+			}
+			stats.Reads += batchStats.Reads
+			stats.MappedReads += batchStats.MappedReads
+			stats.Occurrences += batchStats.Occurrences
+			stats.TotalSteps += batchStats.TotalSteps
+			for i := range results {
+				if err := emit(StreamResult{ID: b.ids[i], Read: b.reads[i], Res: results[i]}); err != nil {
+					for range batches {
+					}
+					return MapStats{}, fmt.Errorf("core: emit: %w", err)
+				}
+			}
+		}
+		if b.err != nil {
+			return MapStats{}, b.err
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}

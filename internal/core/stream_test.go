@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"bwaver/internal/fastx"
+	"bwaver/internal/readsim"
+)
+
+func streamInput(t *testing.T, reads []readsim.Read, gz bool) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w := fastx.NewWriter(&buf, fastx.FASTQ, gz)
+	for _, r := range reads {
+		if err := w.Write(&fastx.Record{ID: r.ID, Seq: []byte(r.Seq.String())}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestMapStreamMatchesBatch(t *testing.T) {
+	ref := testGenome(t, 20000)
+	sim, err := readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: 1000, Length: 40, MappingRatio: 0.6, RevCompFraction: 0.5, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := mustBuild(t, ref, IndexConfig{})
+	want, _, err := ix.MapReads(readsim.Seqs(sim), MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batchSize := range []int{0, 1, 7, 100, 5000} {
+		var got []StreamResult
+		stats, err := ix.MapStream(streamInput(t, sim, false), MapOptions{}, batchSize, func(r StreamResult) error {
+			got = append(got, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batchSize, err)
+		}
+		if stats.Reads != len(sim) || len(got) != len(sim) {
+			t.Fatalf("batch=%d: %d results for %d reads", batchSize, len(got), len(sim))
+		}
+		for i := range got {
+			if got[i].ID != sim[i].ID {
+				t.Fatalf("batch=%d: result %d out of order: %s vs %s", batchSize, i, got[i].ID, sim[i].ID)
+			}
+			if got[i].Res.Forward != want[i].Forward || got[i].Res.Reverse != want[i].Reverse {
+				t.Fatalf("batch=%d: result %d differs from batch mapping", batchSize, i)
+			}
+		}
+	}
+}
+
+func TestMapStreamGzip(t *testing.T) {
+	ref := testGenome(t, 5000)
+	sim, _ := readsim.Simulate(ref, readsim.ReadsConfig{Count: 100, Length: 30, MappingRatio: 1, Seed: 13})
+	ix := mustBuild(t, ref, IndexConfig{})
+	count := 0
+	stats, err := ix.MapStream(streamInput(t, sim, true), MapOptions{}, 16, func(r StreamResult) error {
+		count++
+		if !r.Res.Mapped() {
+			t.Errorf("read %s did not map", r.ID)
+		}
+		return nil
+	})
+	if err != nil || count != 100 || stats.MappedReads != 100 {
+		t.Fatalf("gzip stream: count=%d stats=%+v err=%v", count, stats, err)
+	}
+}
+
+func TestMapStreamEmptyInput(t *testing.T) {
+	ix := mustBuild(t, testGenome(t, 1000), IndexConfig{})
+	stats, err := ix.MapStream(strings.NewReader(""), MapOptions{}, 10, func(StreamResult) error {
+		t.Error("emit called for empty input")
+		return nil
+	})
+	if err != nil || stats.Reads != 0 {
+		t.Errorf("empty stream: %+v %v", stats, err)
+	}
+}
+
+func TestMapStreamMalformedMidStream(t *testing.T) {
+	ix := mustBuild(t, testGenome(t, 1000), IndexConfig{})
+	// Two good records, then a truncated one.
+	in := "@r1\nACGT\n+\nIIII\n@r2\nGGTT\n+\nIIII\n@broken\nACG\n"
+	emitted := 0
+	_, err := ix.MapStream(strings.NewReader(in), MapOptions{}, 2, func(StreamResult) error {
+		emitted++
+		return nil
+	})
+	if err == nil {
+		t.Fatal("malformed stream accepted")
+	}
+	if emitted != 2 {
+		t.Errorf("emitted %d results before the error, want 2", emitted)
+	}
+}
+
+func TestMapStreamEmitError(t *testing.T) {
+	ref := testGenome(t, 2000)
+	sim, _ := readsim.Simulate(ref, readsim.ReadsConfig{Count: 50, Length: 20, MappingRatio: 1, Seed: 14})
+	ix := mustBuild(t, ref, IndexConfig{})
+	boom := errors.New("boom")
+	_, err := ix.MapStream(streamInput(t, sim, false), MapOptions{}, 10, func(StreamResult) error {
+		return boom
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Errorf("emit error not propagated: %v", err)
+	}
+}

@@ -1,0 +1,326 @@
+// Package fastx reads and writes FASTA and FASTQ files, the interchange
+// formats BWaveR's web application accepts (paper §III-D: "upload the
+// reference and query sequences as FASTA and FASTQ files respectively, both
+// in uncompressed or gzipped formats").
+//
+// The reader auto-detects gzip compression from the magic bytes and the
+// record format from the first header character, so callers can hand it any
+// of the four combinations without configuration.
+package fastx
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format identifies a sequence file format.
+type Format int
+
+const (
+	// FASTA records start with '>' and carry no qualities.
+	FASTA Format = iota
+	// FASTQ records start with '@' and carry per-base qualities.
+	FASTQ
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	if f == FASTQ {
+		return "FASTQ"
+	}
+	return "FASTA"
+}
+
+// Record is one sequence record.
+type Record struct {
+	// ID is the first whitespace-delimited token of the header.
+	ID string
+	// Desc is the remainder of the header line, if any.
+	Desc string
+	// Seq is the raw sequence bytes (ASCII, case preserved).
+	Seq []byte
+	// Qual holds FASTQ quality bytes, nil for FASTA records. When present
+	// it has the same length as Seq.
+	Qual []byte
+}
+
+// Reader parses records from a FASTA or FASTQ stream.
+type Reader struct {
+	br     *bufio.Reader
+	format Format
+	gz     *gzip.Reader
+	line   int
+	// pending holds the next FASTA header once the previous record ends.
+	pending string
+	done    bool
+}
+
+// NewReader wraps r, transparently decompressing gzip input and detecting
+// the record format. An empty input yields a reader whose Read returns
+// io.EOF immediately.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(2)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("fastx: %w", err)
+	}
+	var gz *gzip.Reader
+	if len(magic) == 2 && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err = gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("fastx: bad gzip stream: %w", err)
+		}
+		br = bufio.NewReaderSize(gz, 1<<16)
+	}
+	first, err := br.Peek(1)
+	rd := &Reader{br: br, gz: gz}
+	switch {
+	case err == io.EOF:
+		rd.done = true
+	case err != nil:
+		return nil, fmt.Errorf("fastx: %w", err)
+	case first[0] == '>':
+		rd.format = FASTA
+	case first[0] == '@':
+		rd.format = FASTQ
+	default:
+		return nil, fmt.Errorf("fastx: unrecognised leading byte %q; want '>' (FASTA) or '@' (FASTQ)", first[0])
+	}
+	return rd, nil
+}
+
+// Format returns the detected format; meaningless for empty input.
+func (r *Reader) Format() Format { return r.format }
+
+// Close releases the gzip decompressor if one is active.
+func (r *Reader) Close() error {
+	if r.gz != nil {
+		return r.gz.Close()
+	}
+	return nil
+}
+
+func (r *Reader) readLine() (string, error) {
+	line, err := r.br.ReadString('\n')
+	if err != nil && err != io.EOF {
+		return "", fmt.Errorf("fastx: line %d: %w", r.line+1, err)
+	}
+	if line == "" && err == io.EOF {
+		return "", io.EOF
+	}
+	r.line++
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// Read returns the next record, or io.EOF when the stream ends.
+func (r *Reader) Read() (*Record, error) {
+	if r.done {
+		return nil, io.EOF
+	}
+	if r.format == FASTQ {
+		return r.readFastq()
+	}
+	return r.readFasta()
+}
+
+func splitHeader(h string) (id, desc string) {
+	if i := strings.IndexAny(h, " \t"); i >= 0 {
+		return h[:i], strings.TrimSpace(h[i+1:])
+	}
+	return h, ""
+}
+
+func (r *Reader) readFasta() (*Record, error) {
+	header := r.pending
+	r.pending = ""
+	if header == "" {
+		line, err := r.readLine()
+		if err == io.EOF {
+			r.done = true
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		header = line
+	}
+	if !strings.HasPrefix(header, ">") {
+		return nil, fmt.Errorf("fastx: line %d: FASTA header must start with '>', got %q", r.line, header)
+	}
+	rec := &Record{}
+	rec.ID, rec.Desc = splitHeader(strings.TrimPrefix(header, ">"))
+	if rec.ID == "" {
+		return nil, fmt.Errorf("fastx: line %d: empty FASTA header", r.line)
+	}
+	var seq bytes.Buffer
+	for {
+		line, err := r.readLine()
+		if err == io.EOF {
+			r.done = true
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasPrefix(line, ">") {
+			r.pending = line
+			break
+		}
+		if strings.ContainsRune(line, '>') {
+			return nil, fmt.Errorf("fastx: line %d: '>' inside sequence data of record %q", r.line, rec.ID)
+		}
+		seq.WriteString(strings.TrimSpace(line))
+	}
+	if seq.Len() == 0 {
+		return nil, fmt.Errorf("fastx: record %q has no sequence data", rec.ID)
+	}
+	rec.Seq = seq.Bytes()
+	return rec, nil
+}
+
+func (r *Reader) readFastq() (*Record, error) {
+	header, err := r.readLine()
+	if err == io.EOF {
+		r.done = true
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, err
+	}
+	if header == "" {
+		// Tolerate a trailing blank line.
+		if _, err := r.br.Peek(1); err == io.EOF {
+			r.done = true
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("fastx: line %d: blank line inside FASTQ", r.line)
+	}
+	if !strings.HasPrefix(header, "@") {
+		return nil, fmt.Errorf("fastx: line %d: FASTQ header must start with '@', got %q", r.line, header)
+	}
+	rec := &Record{}
+	rec.ID, rec.Desc = splitHeader(strings.TrimPrefix(header, "@"))
+	if rec.ID == "" {
+		return nil, fmt.Errorf("fastx: line %d: empty FASTQ header", r.line)
+	}
+	seq, err := r.readLine()
+	if err != nil {
+		return nil, fmt.Errorf("fastx: record %q: truncated after header", rec.ID)
+	}
+	sep, err := r.readLine()
+	if err != nil || !strings.HasPrefix(sep, "+") {
+		return nil, fmt.Errorf("fastx: record %q: missing '+' separator line", rec.ID)
+	}
+	qual, err := r.readLine()
+	if err != nil {
+		return nil, fmt.Errorf("fastx: record %q: truncated before quality line", rec.ID)
+	}
+	if len(qual) != len(seq) {
+		return nil, fmt.Errorf("fastx: record %q: %d quality bytes for %d bases", rec.ID, len(qual), len(seq))
+	}
+	rec.Seq = []byte(seq)
+	rec.Qual = []byte(qual)
+	return rec, nil
+}
+
+// ReadAll parses every record in r.
+func ReadAll(r io.Reader) ([]*Record, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	var out []*Record
+	for {
+		rec, err := rd.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Writer emits records in FASTA or FASTQ format, optionally gzipped.
+type Writer struct {
+	w      *bufio.Writer
+	gz     *gzip.Writer
+	format Format
+	// Width wraps FASTA sequence lines; <= 0 means no wrapping.
+	Width int
+}
+
+// NewWriter creates a Writer for the given format. If compress is true the
+// output is gzipped.
+func NewWriter(w io.Writer, format Format, compress bool) *Writer {
+	out := &Writer{format: format, Width: 70}
+	if compress {
+		out.gz = gzip.NewWriter(w)
+		out.w = bufio.NewWriter(out.gz)
+	} else {
+		out.w = bufio.NewWriter(w)
+	}
+	return out
+}
+
+// Write emits one record. FASTA output drops qualities; FASTQ output
+// synthesises flat qualities ('I') if the record has none.
+func (w *Writer) Write(rec *Record) error {
+	if rec.ID == "" {
+		return fmt.Errorf("fastx: cannot write record with empty ID")
+	}
+	header := rec.ID
+	if rec.Desc != "" {
+		header += " " + rec.Desc
+	}
+	if w.format == FASTA {
+		if _, err := fmt.Fprintf(w.w, ">%s\n", header); err != nil {
+			return err
+		}
+		seq := rec.Seq
+		width := w.Width
+		if width <= 0 {
+			width = len(seq)
+		}
+		for len(seq) > 0 {
+			n := width
+			if n > len(seq) {
+				n = len(seq)
+			}
+			if _, err := w.w.Write(seq[:n]); err != nil {
+				return err
+			}
+			if err := w.w.WriteByte('\n'); err != nil {
+				return err
+			}
+			seq = seq[n:]
+		}
+		return nil
+	}
+	qual := rec.Qual
+	if qual == nil {
+		qual = bytes.Repeat([]byte{'I'}, len(rec.Seq))
+	}
+	if len(qual) != len(rec.Seq) {
+		return fmt.Errorf("fastx: record %q: quality/sequence length mismatch", rec.ID)
+	}
+	_, err := fmt.Fprintf(w.w, "@%s\n%s\n+\n%s\n", header, rec.Seq, qual)
+	return err
+}
+
+// Close flushes buffers and finishes the gzip stream if active.
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.gz != nil {
+		return w.gz.Close()
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package fastx
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes through the parser: it must never panic,
+// and any input it accepts must survive a write/re-read round trip.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte(">a\nACGT\n"))
+	f.Add([]byte("@r\nACGT\n+\nIIII\n"))
+	f.Add([]byte(">a desc\nAC\nGT\n>b\nTT\n"))
+	f.Add([]byte("@\n\n+\n\n"))
+	f.Add([]byte{0x1f, 0x8b, 0x00})
+	f.Add([]byte(""))
+	f.Add([]byte(">"))
+	f.Add([]byte("@x\nAC\n+\nII"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, rec := range recs {
+			if rec.ID == "" {
+				t.Fatal("accepted record with empty ID")
+			}
+			if rec.Qual != nil && len(rec.Qual) != len(rec.Seq) {
+				t.Fatal("accepted record with mismatched qualities")
+			}
+		}
+		// Round trip whatever was accepted.
+		format := FASTA
+		if len(recs) > 0 && recs[0].Qual != nil {
+			format = FASTQ
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, format, false)
+		for _, rec := range recs {
+			if len(rec.Seq) == 0 {
+				return // FASTA writer emits no sequence line; skip round trip
+			}
+			if err := w.Write(rec); err != nil {
+				t.Fatalf("re-writing accepted record failed: %v", err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatalf("re-reading written records failed: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip produced %d records, want %d", len(back), len(recs))
+		}
+	})
+}

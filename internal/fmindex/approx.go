@@ -1,0 +1,103 @@
+package fmindex
+
+import "fmt"
+
+// Approximate (k-mismatch) search. The paper lists extending BWaveR "to
+// approximate string matching" as future work (§V) and its related work
+// (Fernandez et al., Arram et al.) describes FM-index kernels supporting
+// one and two substitutions; this file implements that extension: a
+// branching backward search that explores substituted symbols while the
+// mismatch budget lasts. Time grows exponentially with the budget — the
+// reason the paper's related work caps hardware designs at two mismatches —
+// so callers should keep k small.
+
+// ApproxMatch is one match range at a specific mismatch count.
+type ApproxMatch struct {
+	Range      Range
+	Mismatches int
+}
+
+// MaxMismatchBudget bounds CountApprox's budget; beyond two substitutions
+// the branching search degenerates, matching the hardware designs' limits.
+const MaxMismatchBudget = 4
+
+// CountApprox returns the row ranges of every string within maxMismatches
+// substitutions of pattern that occurs in the text (insertions/deletions are
+// not explored). Ranges of distinct generated strings are disjoint, and the
+// exact-match range (if any) is reported with Mismatches == 0.
+func (ix *Index) CountApprox(pattern []uint8, maxMismatches int) ([]ApproxMatch, error) {
+	matches, _, err := ix.CountApproxSteps(pattern, maxMismatches)
+	return matches, err
+}
+
+// CountApproxSteps is CountApprox plus the number of backward-search steps
+// the branching search executed, which the FPGA simulator charges cycles
+// for.
+func (ix *Index) CountApproxSteps(pattern []uint8, maxMismatches int) ([]ApproxMatch, int, error) {
+	if maxMismatches < 0 || maxMismatches > MaxMismatchBudget {
+		return nil, 0, fmt.Errorf("fmindex: mismatch budget %d outside [0,%d]", maxMismatches, MaxMismatchBudget)
+	}
+	for _, s := range pattern {
+		if int(s) >= ix.sigma {
+			return nil, 0, fmt.Errorf("fmindex: pattern symbol %d outside alphabet [0,%d)", s, ix.sigma)
+		}
+	}
+	var (
+		matches []ApproxMatch
+		steps   int
+	)
+	var dfs func(i int, r Range, mm int)
+	dfs = func(i int, r Range, mm int) {
+		if i < 0 {
+			matches = append(matches, ApproxMatch{Range: r, Mismatches: mm})
+			return
+		}
+		for sym := uint8(0); int(sym) < ix.sigma; sym++ {
+			cost := 0
+			if sym != pattern[i] {
+				cost = 1
+			}
+			if mm+cost > maxMismatches {
+				continue
+			}
+			steps++
+			next := ix.Step(r, sym)
+			if next.Empty() {
+				continue
+			}
+			dfs(i-1, next, mm+cost)
+		}
+	}
+	dfs(len(pattern)-1, ix.All(), 0)
+	return matches, steps, nil
+}
+
+// BestApprox reduces a CountApprox result to the matches at the lowest
+// mismatch count, the "best stratum" reporting mode short-read mappers use.
+func BestApprox(matches []ApproxMatch) []ApproxMatch {
+	best := -1
+	for _, m := range matches {
+		if best == -1 || m.Mismatches < best {
+			best = m.Mismatches
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	out := matches[:0:0]
+	for _, m := range matches {
+		if m.Mismatches == best {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// TotalOccurrences sums the row counts of a match set.
+func TotalOccurrences(matches []ApproxMatch) int {
+	total := 0
+	for _, m := range matches {
+		total += m.Range.Count()
+	}
+	return total
+}

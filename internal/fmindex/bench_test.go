@@ -1,0 +1,103 @@
+package fmindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwaver/internal/bwt"
+	"bwaver/internal/rrr"
+	"bwaver/internal/suffixarray"
+	"bwaver/internal/wavelet"
+)
+
+// benchIndex builds an index over 256 kbp of repeat-structured DNA with the
+// requested provider.
+func benchIndex(b *testing.B, mk func(data []uint8) (OccProvider, error)) (*Index, []uint8) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	pattern := buildText(rng, 9973)
+	text := make([]uint8, 0, 1<<18)
+	for len(text) < 1<<18 {
+		text = append(text, pattern...)
+		text = append(text, buildText(rng, 503)...)
+	}
+	sa, err := suffixarray.Build(text, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := bwt.Transform(text, sa)
+	if err != nil {
+		b.Fatal(err)
+	}
+	occ, err := mk(tr.Data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := New(tr, 4, occ, Options{SA: sa})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix, text
+}
+
+func BenchmarkBackwardSearch(b *testing.B) {
+	providers := []struct {
+		name string
+		mk   func(data []uint8) (OccProvider, error)
+	}{
+		{"wavelet-rrr", func(d []uint8) (OccProvider, error) { return NewWaveletOcc(d, 4, rrr.DefaultParams) }},
+		{"wavelet-plain", func(d []uint8) (OccProvider, error) {
+			return NewWaveletOccBackend(d, 4, wavelet.PlainBackend())
+		}},
+		{"checkpoint", func(d []uint8) (OccProvider, error) { return NewCheckpointOcc(d) }},
+		{"rlfm", func(d []uint8) (OccProvider, error) { return NewRLFMOcc(d, 4, rrr.DefaultParams) }},
+	}
+	for _, p := range providers {
+		ix, text := benchIndex(b, p.mk)
+		rng := rand.New(rand.NewSource(4))
+		patterns := make([][]uint8, 256)
+		for i := range patterns {
+			s := rng.Intn(len(text) - 40)
+			patterns[i] = text[s : s+40]
+		}
+		b.Run(p.name, func(b *testing.B) {
+			b.SetBytes(40)
+			for i := 0; i < b.N; i++ {
+				ix.Count(patterns[i%len(patterns)])
+			}
+		})
+	}
+}
+
+func BenchmarkLocate(b *testing.B) {
+	ix, text := benchIndex(b, func(d []uint8) (OccProvider, error) {
+		return NewWaveletOcc(d, 4, rrr.DefaultParams)
+	})
+	r := ix.Count(text[100:130])
+	if r.Empty() {
+		b.Fatal("bench pattern not found")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Locate(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCountApprox(b *testing.B) {
+	ix, text := benchIndex(b, func(d []uint8) (OccProvider, error) {
+		return NewWaveletOcc(d, 4, rrr.DefaultParams)
+	})
+	pattern := append([]uint8(nil), text[5000:5035]...)
+	pattern[17] ^= 1 // one mismatch
+	for _, k := range []int{0, 1, 2} {
+		b.Run("k="+string(rune('0'+k)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.CountApprox(pattern, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,134 @@
+package fmindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwaver/internal/rrr"
+)
+
+// runText builds BWT-like data: runs of equal symbols.
+func runText(rng *rand.Rand, n, meanRun int) []uint8 {
+	out := make([]uint8, n)
+	for i := 0; i < n; {
+		sym := uint8(rng.Intn(4))
+		runLen := 1 + rng.Intn(2*meanRun)
+		for j := 0; j < runLen && i < n; j++ {
+			out[i] = sym
+			i++
+		}
+	}
+	return out
+}
+
+var rlfmParams = rrr.Params{BlockSize: 15, SuperblockFactor: 10}
+
+func TestRLFMOccMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, meanRun := range []int{1, 3, 25} {
+		for _, n := range []int{1, 2, 50, 3000} {
+			data := runText(rng, n, meanRun)
+			occ, err := NewRLFMOcc(data, 4, rlfmParams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if occ.Len() != n {
+				t.Fatalf("Len=%d want %d", occ.Len(), n)
+			}
+			for i := 0; i <= n; i += 1 + n/500 {
+				for sym := uint8(0); sym < 4; sym++ {
+					want := 0
+					for _, s := range data[:i] {
+						if s == sym {
+							want++
+						}
+					}
+					if got := occ.Occ(sym, i); got != want {
+						t.Fatalf("meanRun=%d n=%d: Occ(%d,%d)=%d, want %d", meanRun, n, sym, i, got, want)
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				if occ.Symbol(i) != data[i] {
+					t.Fatalf("Symbol(%d)=%d, want %d", i, occ.Symbol(i), data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRLFMValidation(t *testing.T) {
+	if _, err := NewRLFMOcc([]uint8{0, 1}, 1, rlfmParams); err == nil {
+		t.Error("accepted sigma 1")
+	}
+	if _, err := NewRLFMOcc([]uint8{0, 9}, 4, rlfmParams); err == nil {
+		t.Error("accepted out-of-alphabet symbol")
+	}
+	if _, err := NewRLFMOcc([]uint8{0, 1}, 4, rrr.Params{BlockSize: 99}); err == nil {
+		t.Error("accepted invalid rrr params")
+	}
+}
+
+func TestRLFMRunCount(t *testing.T) {
+	occ, err := NewRLFMOcc([]uint8{0, 0, 1, 1, 1, 2, 0}, 4, rlfmParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.Runs() != 4 {
+		t.Errorf("Runs=%d, want 4", occ.Runs())
+	}
+}
+
+// TestRLFMIndexEndToEnd plugs the RLFM provider into a full FM-index and
+// checks count+locate against the naive scan, including LF walks through
+// the generic Symbol interface.
+func TestRLFMIndexEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	// A repetitive text gives the BWT real runs.
+	pattern := buildText(rng, 37)
+	var text []uint8
+	for len(text) < 3000 {
+		text = append(text, pattern...)
+		text = append(text, buildText(rng, 11)...)
+	}
+	ix := buildWith(t, text,
+		func(d []uint8) (OccProvider, error) { return NewRLFMOcc(d, 4, rlfmParams) },
+		sampledOpts(8)) // sampled SA exercises LF via Symbol()
+	for trial := 0; trial < 60; trial++ {
+		l := 4 + rng.Intn(20)
+		s := rng.Intn(len(text) - l)
+		pat := text[s : s+l]
+		want := naiveOccurrences(text, pat)
+		r := ix.Count(pat)
+		if r.Count() != len(want) {
+			t.Fatalf("Count=%d, want %d", r.Count(), len(want))
+		}
+		got, err := ix.Locate(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sortedEqual(got, want) {
+			t.Fatalf("locate mismatch for %v", pat)
+		}
+	}
+}
+
+// TestRLFMSmallerOnRunRichData: on run-rich BWTs the RLFM structure beats
+// even the wavelet/RRR encoding, because its size scales with runs, not
+// with positions.
+func TestRLFMSmallerOnRunRichData(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	data := runText(rng, 500000, 120)
+	rlfm, err := NewRLFMOcc(data, 4, rrr.Params{BlockSize: 15, SuperblockFactor: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := NewWaveletOcc(data, 4, rrr.Params{BlockSize: 15, SuperblockFactor: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rlfm.SizeBytes() >= wl.SizeBytes() {
+		t.Errorf("rlfm %d B not smaller than wavelet/rrr %d B on run-rich data",
+			rlfm.SizeBytes(), wl.SizeBytes())
+	}
+}

@@ -1,0 +1,70 @@
+package fmindex
+
+// Greedy backward-search segmentation, the classic FM-index seeding
+// strategy for error-containing reads: scan the pattern right to left,
+// extending the current match until the interval would empty, then emit the
+// matched segment and restart. Every emitted segment occurs in the text and
+// is left-maximal (extending it one symbol left kills it), which makes the
+// segments high-quality seeds for the seed-and-extend pipeline the paper's
+// introduction motivates.
+
+// Segment is one maximal exact match of a pattern slice.
+type Segment struct {
+	// Start and End delimit the matched pattern slice, half-open.
+	Start, End int
+	// Rows is the suffix-array interval of the matched slice.
+	Rows Range
+}
+
+// Len returns the segment length.
+func (s Segment) Len() int { return s.End - s.Start }
+
+// Segments decomposes pattern into greedy right-to-left maximal match
+// segments. Pattern positions whose symbol is outside the alphabet (or that
+// cannot extend any match, such as a symbol absent from the text) come back
+// as zero-length segments so the caller can account for every position;
+// they carry an empty row range.
+func (ix *Index) Segments(pattern []uint8) []Segment {
+	var out []Segment
+	end := len(pattern)
+	for end > 0 {
+		r := ix.All()
+		i := end
+		for i > 0 {
+			next := ix.Step(r, pattern[i-1])
+			if next.Empty() {
+				break
+			}
+			r = next
+			i--
+		}
+		if i == end {
+			// The single symbol at end-1 matches nowhere: emit a
+			// zero-length marker and move past it.
+			out = append(out, Segment{Start: end - 1, End: end - 1, Rows: Range{Start: 1, End: 0}})
+			end--
+			continue
+		}
+		out = append(out, Segment{Start: i, End: end, Rows: r})
+		end = i
+	}
+	// Reverse to pattern order.
+	for a, b := 0, len(out)-1; a < b; a, b = a+1, b-1 {
+		out[a], out[b] = out[b], out[a]
+	}
+	return out
+}
+
+// LongestSegment returns the longest segment of the decomposition, a cheap
+// single best seed; ok is false when nothing matched.
+func (ix *Index) LongestSegment(pattern []uint8) (Segment, bool) {
+	best := Segment{}
+	found := false
+	for _, s := range ix.Segments(pattern) {
+		if s.Len() > best.Len() {
+			best = s
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,132 @@
+package fmindex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func segmentsIndex(t *testing.T, text []uint8) *Index {
+	t.Helper()
+	return buildWith(t, text,
+		func(d []uint8) (OccProvider, error) { return NewWaveletOcc(d, 4, testParams) },
+		fullSAOpts)
+}
+
+func TestSegmentsExactReadIsOneSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	text := buildText(rng, 4000)
+	ix := segmentsIndex(t, text)
+	pattern := text[100:160]
+	segs := ix.Segments(pattern)
+	if len(segs) != 1 || segs[0].Start != 0 || segs[0].End != 60 {
+		t.Fatalf("exact read split into %v", segs)
+	}
+	if segs[0].Rows.Empty() {
+		t.Fatal("segment carries no rows")
+	}
+}
+
+func TestSegmentsTileThePattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	text := buildText(rng, 5000)
+	ix := segmentsIndex(t, text)
+	for trial := 0; trial < 60; trial++ {
+		pattern := buildText(rng, 5+rng.Intn(120))
+		segs := ix.Segments(pattern)
+		// Segments must cover the pattern contiguously from left to right
+		// (zero-length markers account for impossible single symbols).
+		cursor := 0
+		for _, s := range segs {
+			if s.Start != cursor && !(s.Start == s.End && s.Start == cursor) {
+				t.Fatalf("segments not contiguous: %v", segs)
+			}
+			if s.Start == s.End {
+				cursor = s.End + 1
+			} else {
+				cursor = s.End
+			}
+			// Every non-empty segment must genuinely occur.
+			if s.Len() > 0 {
+				if got := ix.Count(pattern[s.Start:s.End]); got != s.Rows {
+					t.Fatalf("segment rows %v disagree with Count %v", s.Rows, got)
+				}
+				if s.Rows.Empty() {
+					t.Fatalf("non-empty segment with empty rows: %+v", s)
+				}
+			}
+		}
+		if cursor != len(pattern) {
+			t.Fatalf("segments cover %d of %d pattern symbols", cursor, len(pattern))
+		}
+	}
+}
+
+func TestSegmentsLeftMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	text := buildText(rng, 5000)
+	ix := segmentsIndex(t, text)
+	for trial := 0; trial < 40; trial++ {
+		pattern := buildText(rng, 80)
+		for _, s := range ix.Segments(pattern) {
+			if s.Len() == 0 || s.Start == 0 {
+				continue
+			}
+			// Extending one symbol left must kill the match.
+			if !ix.Count(pattern[s.Start-1 : s.End]).Empty() {
+				t.Fatalf("segment [%d,%d) is not left-maximal", s.Start, s.End)
+			}
+		}
+	}
+}
+
+func TestSegmentsMutatedReadSplitsAtError(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	text := buildText(rng, 20000)
+	ix := segmentsIndex(t, text)
+	read := append([]uint8(nil), text[500:580]...)
+	read[40] ^= 1 // one substitution near the middle
+	segs := ix.Segments(read)
+	// The segment ending at the read's end must reach just past the error
+	// (backward search crosses position 40 only if the mutated context
+	// happens to exist elsewhere, which on 20 kbp random text it won't for
+	// long contexts).
+	last := segs[len(segs)-1]
+	if last.End != 80 {
+		t.Fatalf("last segment %+v does not end at read end", last)
+	}
+	if last.Start > 41 {
+		t.Errorf("last segment starts at %d; expected it to reach near the error at 40", last.Start)
+	}
+	long, ok := ix.LongestSegment(read)
+	if !ok || long.Len() < 39 {
+		t.Errorf("longest segment %+v implausibly short", long)
+	}
+}
+
+func TestLongestSegmentNothingMatches(t *testing.T) {
+	// Text without symbol 3.
+	text := make([]uint8, 300)
+	for i := range text {
+		text[i] = uint8(i % 3)
+	}
+	ix := segmentsIndex(t, text)
+	if _, ok := ix.LongestSegment([]uint8{3, 3, 3}); ok {
+		t.Error("LongestSegment found a match in impossible pattern")
+	}
+	segs := ix.Segments([]uint8{3, 3})
+	if len(segs) != 2 {
+		t.Fatalf("expected 2 zero-length markers, got %v", segs)
+	}
+	for _, s := range segs {
+		if s.Len() != 0 || !s.Rows.Empty() {
+			t.Errorf("marker segment wrong: %+v", s)
+		}
+	}
+}
+
+func TestSegmentsEmptyPattern(t *testing.T) {
+	ix := segmentsIndex(t, []uint8{0, 1, 2, 3})
+	if segs := ix.Segments(nil); len(segs) != 0 {
+		t.Errorf("empty pattern produced segments: %v", segs)
+	}
+}

@@ -1,0 +1,125 @@
+package fmindex
+
+import "fmt"
+
+// Super-maximal exact matches (Li 2012, the seeding algorithm of BWA-MEM):
+// an SMEM is an exact match between a pattern slice and the text that is
+// not contained in any other exact match of the pattern. SMEMs make far
+// better seeds than fixed-length fragments because they adapt their length
+// to the local repeat structure — long in unique regions, short where the
+// text is repetitive.
+
+// SMEM is one super-maximal exact match.
+type SMEM struct {
+	// Start and End delimit the pattern slice, half-open.
+	Start, End int
+	// Rows is the bidirectional interval of the match.
+	Rows BiRange
+}
+
+// Len returns the match length.
+func (s SMEM) Len() int { return s.End - s.Start }
+
+type biCandidate struct {
+	rows BiRange
+	end  int
+}
+
+// SMEMs returns every SMEM of pattern with length >= minLen, in pattern
+// order.
+func (bi *BiIndex) SMEMs(pattern []uint8, minLen int) ([]SMEM, error) {
+	if minLen < 1 {
+		return nil, fmt.Errorf("fmindex: minimum SMEM length %d must be >= 1", minLen)
+	}
+	var out []SMEM
+	x := 0
+	for x < len(pattern) {
+		mems, next := bi.smemsFromPivot(pattern, x)
+		for _, m := range mems {
+			if m.Len() >= minLen {
+				out = append(out, m)
+			}
+		}
+		x = next
+	}
+	// Pivot-order emission is per-pivot sorted by start already; across
+	// pivots starts strictly increase, so out is in pattern order.
+	return out, nil
+}
+
+// smemsFromPivot returns all SMEMs containing position x (unfiltered), plus
+// the next pivot (the end of the longest match through x).
+func (bi *BiIndex) smemsFromPivot(pattern []uint8, x int) ([]SMEM, int) {
+	sym := pattern[x]
+	if int(sym) >= bi.sigma {
+		return nil, x + 1
+	}
+	ik := bi.ExtendLeft(bi.All(), sym)
+	if ik.Empty() {
+		return nil, x + 1
+	}
+
+	// Forward pass: extend right from the pivot, recording the interval
+	// before every size drop. curr ends up holding the match [x, end) for
+	// each distinct right-maximality level.
+	var curr []biCandidate
+	for i := x + 1; ; i++ {
+		if i == len(pattern) {
+			curr = append(curr, biCandidate{rows: ik, end: i})
+			break
+		}
+		ik1 := bi.ExtendRight(ik, pattern[i])
+		if ik1.Count() != ik.Count() {
+			curr = append(curr, biCandidate{rows: ik, end: i})
+		}
+		if ik1.Empty() {
+			break
+		}
+		ik = ik1
+	}
+	// Longest first.
+	for a, b := 0, len(curr)-1; a < b; a, b = a+1, b-1 {
+		curr[a], curr[b] = curr[b], curr[a]
+	}
+	nextPivot := curr[0].end
+
+	// Backward pass: march the left edge from x-1 downwards. An element
+	// that can no longer extend left while nothing longer survived this
+	// round is a super-maximal match.
+	var out []SMEM
+	for j := x - 1; ; j-- {
+		var prev []biCandidate
+		sizeLast := -1
+		emitted := false
+		for _, cand := range curr {
+			var ext BiRange
+			if j >= 0 {
+				ext = bi.ExtendLeft(cand.rows, pattern[j])
+			}
+			if j < 0 || ext.Empty() {
+				// cand dies here. It is super-maximal iff nothing longer
+				// survived (prev empty) and nothing longer already died at
+				// this same left edge (emitted).
+				if len(prev) == 0 && !emitted {
+					out = append(out, SMEM{Start: j + 1, End: cand.end, Rows: cand.rows})
+					emitted = true
+				}
+				continue
+			}
+			if ext.Count() != sizeLast {
+				sizeLast = ext.Count()
+				prev = append(prev, biCandidate{rows: ext, end: cand.end})
+			}
+		}
+		if len(prev) == 0 {
+			break
+		}
+		curr = prev
+	}
+	// out was emitted with decreasing end / decreasing start; reverse to
+	// pattern order.
+	for a, b := 0, len(out)-1; a < b; a, b = a+1, b-1 {
+		out[a], out[b] = out[b], out[a]
+	}
+	return out, nextPivot
+}

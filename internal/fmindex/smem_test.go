@@ -1,0 +1,155 @@
+package fmindex
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteSMEMs computes SMEMs by definition: exact matches of pattern slices
+// that occur in text and are not contained in any other occurring slice.
+func bruteSMEMs(text, pattern []uint8, minLen int) [][2]int {
+	occurs := func(s, e int) bool {
+		return len(naiveOccurrences(text, pattern[s:e])) > 0
+	}
+	// Locally maximal matches: cannot extend either direction.
+	var mems [][2]int
+	for s := 0; s < len(pattern); s++ {
+		for e := s + 1; e <= len(pattern); e++ {
+			if !occurs(s, e) {
+				break
+			}
+			leftMax := s == 0 || !occurs(s-1, e)
+			rightMax := e == len(pattern) || !occurs(s, e+1)
+			if leftMax && rightMax {
+				mems = append(mems, [2]int{s, e})
+			}
+		}
+	}
+	// Super-maximal: not contained in another MEM.
+	var out [][2]int
+	for _, m := range mems {
+		contained := false
+		for _, o := range mems {
+			if o != m && o[0] <= m[0] && m[1] <= o[1] {
+				contained = true
+				break
+			}
+		}
+		if !contained && m[1]-m[0] >= minLen {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func TestSMEMsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 40; trial++ {
+		// Repetitive texts make interesting SMEM structure.
+		unit := buildText(rng, 13+rng.Intn(30))
+		var text []uint8
+		for len(text) < 1200 {
+			text = append(text, unit...)
+			text = append(text, buildText(rng, 5)...)
+		}
+		bi := buildBi(t, text)
+		var pattern []uint8
+		switch trial % 3 {
+		case 0:
+			pattern = buildText(rng, 20+rng.Intn(40))
+		case 1: // mutated substring
+			s := rng.Intn(len(text) - 60)
+			pattern = append([]uint8(nil), text[s:s+60]...)
+			for m := 0; m < 3; m++ {
+				p := rng.Intn(len(pattern))
+				pattern[p] = uint8((int(pattern[p]) + 1 + rng.Intn(3)) % 4)
+			}
+		case 2: // chimera of two loci
+			s1 := rng.Intn(len(text) - 30)
+			s2 := rng.Intn(len(text) - 30)
+			pattern = append(append([]uint8(nil), text[s1:s1+25]...), text[s2:s2+25]...)
+		}
+		want := bruteSMEMs(text, pattern, 1)
+		got, err := bi.SMEMs(pattern, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d SMEMs, want %d\ngot:  %v\nwant: %v\npattern: %v",
+				trial, len(got), len(want), smemIntervals(got), want, pattern)
+		}
+		for i := range want {
+			if got[i].Start != want[i][0] || got[i].End != want[i][1] {
+				t.Fatalf("trial %d: SMEM %d = [%d,%d), want [%d,%d)",
+					trial, i, got[i].Start, got[i].End, want[i][0], want[i][1])
+			}
+			// The interval must count the slice's occurrences.
+			plain := bi.Forward().Count(pattern[got[i].Start:got[i].End])
+			if got[i].Rows.Fwd != plain {
+				t.Fatalf("trial %d: SMEM %d rows %v, plain %v", trial, i, got[i].Rows.Fwd, plain)
+			}
+		}
+	}
+}
+
+func smemIntervals(ss []SMEM) [][2]int {
+	out := make([][2]int, len(ss))
+	for i, s := range ss {
+		out[i] = [2]int{s.Start, s.End}
+	}
+	return out
+}
+
+func TestSMEMsMinLenFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	text := buildText(rng, 2000)
+	bi := buildBi(t, text)
+	pattern := buildText(rng, 50)
+	all, err := bi.SMEMs(pattern, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := bi.SMEMs(pattern, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(long) > len(all) {
+		t.Fatal("filter grew the set")
+	}
+	for _, s := range long {
+		if s.Len() < 12 {
+			t.Fatalf("SMEM %+v below min length", s)
+		}
+	}
+	if _, err := bi.SMEMs(pattern, 0); err == nil {
+		t.Error("accepted minLen 0")
+	}
+}
+
+func TestSMEMsExactReadSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	text := buildText(rng, 5000)
+	bi := buildBi(t, text)
+	pattern := text[700:760]
+	smems, err := bi.SMEMs(pattern, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(smems) != 1 || smems[0].Start != 0 || smems[0].End != 60 {
+		t.Fatalf("exact read SMEMs = %v", smemIntervals(smems))
+	}
+}
+
+func TestSMEMsInvalidSymbolSkipped(t *testing.T) {
+	text := []uint8{0, 1, 2, 3, 0, 1, 2, 3}
+	bi := buildBi(t, text)
+	pattern := []uint8{0, 1, 9, 2, 3}
+	smems, err := bi.SMEMs(pattern, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [0,2) and [3,5) are the expected matches around the bad symbol.
+	if len(smems) != 2 || smems[0].End != 2 || smems[1].Start != 3 {
+		t.Fatalf("SMEMs around invalid symbol = %v", smemIntervals(smems))
+	}
+}

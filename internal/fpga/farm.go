@@ -1,0 +1,78 @@
+package fpga
+
+import (
+	"fmt"
+	"time"
+
+	"bwaver/internal/core"
+	"bwaver/internal/dna"
+)
+
+// Farm models a multi-card deployment, the configuration of the paper's
+// related work (Fernandez et al. on four Virtex-6 FPGAs, Arram et al. on
+// eight Stratix V): the same index is broadcast to every card and the read
+// batch is striped across them. The paper argues its single-card design
+// "can be easily replicated to obtain even better performances"; Farm
+// quantifies that claim under a shared-PCIe model — transfers serialise on
+// the host bus while kernels run in parallel.
+type Farm struct {
+	kernels []*Kernel
+}
+
+// NewFarm programs the index onto every device.
+func NewFarm(devices []*Device, ix *core.Index) (*Farm, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("fpga: farm needs at least one device")
+	}
+	f := &Farm{kernels: make([]*Kernel, len(devices))}
+	for i, d := range devices {
+		k, err := d.Program(ix)
+		if err != nil {
+			return nil, fmt.Errorf("fpga: device %d: %w", i, err)
+		}
+		f.kernels[i] = k
+	}
+	return f, nil
+}
+
+// Size returns the number of cards.
+func (f *Farm) Size() int { return len(f.kernels) }
+
+// MapReads stripes reads across the cards. The profile charges setup once,
+// index and query/result transfers serially (one shared host bus), and the
+// slowest card's kernel time.
+func (f *Farm) MapReads(reads []dna.Seq) (*RunResult, error) {
+	wallStart := time.Now()
+	n := len(f.kernels)
+	out := &RunResult{Results: make([]core.MapResult, len(reads))}
+	agg := Profile{Setup: f.kernels[0].dev.cfg.SetupTime}
+	var maxKernel time.Duration
+	var maxCycles uint64
+	for i, k := range f.kernels {
+		lo := len(reads) * i / n
+		hi := len(reads) * (i + 1) / n
+		agg.IndexTransfer += k.indexTransfer
+		if lo == hi {
+			continue
+		}
+		run, err := k.MapReads(reads[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		copy(out.Results[lo:hi], run.Results)
+		agg.QueryTransfer += run.Profile.QueryTransfer
+		agg.ResultTransfer += run.Profile.ResultTransfer
+		if run.Profile.KernelTime > maxKernel {
+			maxKernel = run.Profile.KernelTime
+		}
+		if run.Profile.KernelCycles > maxCycles {
+			maxCycles = run.Profile.KernelCycles
+		}
+	}
+	agg.KernelTime = maxKernel
+	agg.KernelCycles = maxCycles
+	agg.Events = buildEvents(agg)
+	agg.HostWallTime = time.Since(wallStart)
+	out.Profile = agg
+	return out, nil
+}

@@ -1,0 +1,412 @@
+package fpga
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bwaver/internal/core"
+	"bwaver/internal/dna"
+	"bwaver/internal/readsim"
+)
+
+func buildIndex(t *testing.T, n int) *core.Index {
+	t.Helper()
+	ref, err := readsim.Genome(readsim.GenomeConfig{Length: n, Seed: 21, RepeatFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.BuildIndex(ref, core.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func simReads(t *testing.T, ix *core.Index, count, length int, ratio float64) []dna.Seq {
+	t.Helper()
+	ref, err := readsim.Genome(readsim.GenomeConfig{Length: ix.RefLength(), Seed: 21, RepeatFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: count, Length: length, MappingRatio: ratio, RevCompFraction: 0.5, Seed: 33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return readsim.Seqs(reads)
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	d, err := NewDevice(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := d.Config()
+	if cfg.ClockHz != 300e6 || cfg.PowerWatts != 25 || cfg.PEs != 1 || cfg.BRAMBytes != 40<<20 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	bad := []Config{
+		{ClockHz: -1},
+		{BRAMBytes: -5},
+		{PCIeBytesPerSec: -1},
+		{PEs: -2},
+		{PowerWatts: -3},
+	}
+	for _, c := range bad {
+		if _, err := NewDevice(c); err == nil {
+			t.Errorf("NewDevice(%+v) accepted invalid config", c)
+		}
+	}
+}
+
+func TestBRAMCapacityGate(t *testing.T) {
+	ix := buildIndex(t, 50000)
+	d, err := NewDevice(Config{BRAMBytes: 1024}) // absurdly small card
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Program(ix); err == nil {
+		t.Fatal("programming oversized index should fail")
+	} else if !strings.Contains(err.Error(), "BRAM") {
+		t.Errorf("error should mention BRAM: %v", err)
+	}
+	big, err := NewDevice(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.Program(ix); err != nil {
+		t.Fatalf("default device rejected small index: %v", err)
+	}
+}
+
+// TestResultsMatchCPU is the accuracy claim: the device path must produce
+// bit-identical match ranges to the CPU path.
+func TestResultsMatchCPU(t *testing.T) {
+	ix := buildIndex(t, 30000)
+	reads := simReads(t, ix, 300, 40, 0.5)
+	d, _ := NewDevice(Config{})
+	k, err := d.Program(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := k.MapReads(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, _, err := ix.MapReads(reads, core.MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reads {
+		if run.Results[i].Forward != cpu[i].Forward || run.Results[i].Reverse != cpu[i].Reverse {
+			t.Fatalf("read %d: FPGA and CPU disagree", i)
+		}
+	}
+}
+
+func TestQueryRecordLimits(t *testing.T) {
+	ix := buildIndex(t, 5000)
+	d, _ := NewDevice(Config{})
+	k, _ := d.Program(ix)
+	long := make(dna.Seq, MaxQueryBases+1)
+	if _, err := k.MapReads([]dna.Seq{long}); err == nil {
+		t.Error("accepted read longer than the 512-bit record limit")
+	}
+	if _, err := k.MapReads([]dna.Seq{{}}); err == nil {
+		t.Error("accepted empty read")
+	}
+	ok := make(dna.Seq, MaxQueryBases)
+	if _, err := k.MapReads([]dna.Seq{ok}); err != nil {
+		t.Errorf("rejected maximum-length read: %v", err)
+	}
+}
+
+// TestFixedOverheadAmortisation reproduces the Table II trend: per-read cost
+// falls as the batch grows, because setup and index transfer are fixed.
+func TestFixedOverheadAmortisation(t *testing.T) {
+	ix := buildIndex(t, 40000)
+	d, _ := NewDevice(Config{})
+	k, _ := d.Program(ix)
+	perRead := func(count int) float64 {
+		run, err := k.MapReads(simReads(t, ix, count, 40, 0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run.Profile.Total().Seconds() / float64(count)
+	}
+	small := perRead(100)
+	large := perRead(10000)
+	if large >= small {
+		t.Errorf("per-read cost did not amortise: %v (100 reads) vs %v (10k reads)", small, large)
+	}
+}
+
+// TestKernelTimeIndependentOfReferenceSize reproduces the Fig. 7 claim:
+// search time depends on reads, not on the reference length.
+func TestKernelTimeIndependentOfReferenceSize(t *testing.T) {
+	small := buildIndex(t, 20000)
+	large := buildIndex(t, 200000)
+	d, _ := NewDevice(Config{})
+	ks, _ := d.Program(small)
+	kl, _ := d.Program(large)
+	reads := simReads(t, small, 2000, 40, 0) // unmapped reads: same work on both
+	runS, err := ks.MapReads(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runL, err := kl.MapReads(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := runS.Profile.KernelCycles
+	l := runL.Profile.KernelCycles
+	ratio := float64(l) / float64(s)
+	if ratio > 1.5 || ratio < 0.6 {
+		t.Errorf("kernel cycles scaled with reference size: %d vs %d", s, l)
+	}
+}
+
+// TestMappingRatioDrivesKernelTime reproduces the other Fig. 7 claim:
+// mapped reads cost more because unmapped reads exit early.
+func TestMappingRatioDrivesKernelTime(t *testing.T) {
+	ix := buildIndex(t, 100000)
+	d, _ := NewDevice(Config{})
+	k, _ := d.Program(ix)
+	cyclesAt := func(ratio float64) uint64 {
+		run, err := k.MapReads(simReads(t, ix, 3000, 100, ratio))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run.Profile.KernelCycles
+	}
+	c0 := cyclesAt(0)
+	c50 := cyclesAt(0.5)
+	c100 := cyclesAt(1)
+	if !(c0 < c50 && c50 < c100) {
+		t.Errorf("kernel cycles not increasing with mapping ratio: %d, %d, %d", c0, c50, c100)
+	}
+}
+
+func TestMultiPESpeedsKernel(t *testing.T) {
+	ix := buildIndex(t, 30000)
+	reads := simReads(t, ix, 5000, 40, 0.8)
+	single, _ := NewDevice(Config{PEs: 1})
+	quad, _ := NewDevice(Config{PEs: 4})
+	k1, _ := single.Program(ix)
+	k4, _ := quad.Program(ix)
+	r1, err := k1.MapReads(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := k4.MapReads(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(r1.Profile.KernelCycles) / float64(r4.Profile.KernelCycles)
+	if speedup < 3.5 || speedup > 4.1 {
+		t.Errorf("4-PE kernel speedup %v, want ~4", speedup)
+	}
+	// Results must be unchanged.
+	for i := range reads {
+		if r1.Results[i].Forward != r4.Results[i].Forward {
+			t.Fatal("PE count changed results")
+		}
+	}
+}
+
+func TestProfileAndEvents(t *testing.T) {
+	ix := buildIndex(t, 20000)
+	d, _ := NewDevice(Config{})
+	k, _ := d.Program(ix)
+	run, err := k.MapReads(simReads(t, ix, 500, 35, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := run.Profile
+	if p.Total() != p.Setup+p.IndexTransfer+p.QueryTransfer+p.KernelTime+p.ResultTransfer {
+		t.Error("Total does not sum components")
+	}
+	if p.KernelCycles == 0 || p.KernelTime <= 0 {
+		t.Error("kernel model produced no cycles")
+	}
+	if len(p.Events) != 5 {
+		t.Fatalf("%d events, want 5", len(p.Events))
+	}
+	// Events must tile the timeline in order.
+	var cursor time.Duration
+	for _, e := range p.Events {
+		if e.Start != cursor || e.End < e.Start {
+			t.Errorf("event %s misplaced: start=%v cursor=%v", e.Name, e.Start, cursor)
+		}
+		if e.Duration() != e.End-e.Start {
+			t.Errorf("event %s duration wrong", e.Name)
+		}
+		cursor = e.End
+	}
+	if cursor != p.Total() {
+		t.Errorf("events cover %v, total %v", cursor, p.Total())
+	}
+	if p.EnergyJoules(25) <= 0 {
+		t.Error("energy model returned nothing")
+	}
+	// 25 W for the modeled duration.
+	want := 25 * p.Total().Seconds()
+	if got := p.EnergyJoules(25); got != want {
+		t.Errorf("energy %v, want %v", got, want)
+	}
+}
+
+func TestLocateResults(t *testing.T) {
+	ix := buildIndex(t, 20000)
+	d, _ := NewDevice(Config{})
+	k, _ := d.Program(ix)
+	reads := simReads(t, ix, 200, 40, 1)
+	run, err := k.MapReads(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed, err := k.LocateResults(run.Results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Error("locate time not measured")
+	}
+	located := 0
+	for _, r := range run.Results {
+		located += len(r.ForwardPositions) + len(r.ReversePositions)
+	}
+	if located == 0 {
+		t.Error("no positions located for fully-mapping read set")
+	}
+}
+
+// TestSequentialRankAblation checks that removing the adder-tree pipelining
+// (DESIGN.md ablation) costs roughly levels*sf/2 more kernel cycles.
+func TestSequentialRankAblation(t *testing.T) {
+	ix := buildIndex(t, 30000)
+	reads := simReads(t, ix, 1000, 40, 0.8)
+	fast, _ := NewDevice(Config{})
+	slow, _ := NewDevice(Config{SequentialRank: true})
+	kf, _ := fast.Program(ix)
+	ks, _ := slow.Program(ix)
+	rf, err := kf.MapReads(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ks.MapReads(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(rs.Profile.KernelCycles) / float64(rf.Profile.KernelCycles)
+	// sf=50 -> per-step cost 2*(25+1)=52; with per-query overhead the
+	// end-to-end ratio lands somewhat below that.
+	if ratio < 10 || ratio > 60 {
+		t.Errorf("sequential-rank cycle ratio %v outside the plausible [10,60]", ratio)
+	}
+	// Results must be identical; only timing changes.
+	for i := range reads {
+		if rf.Results[i].Forward != rs.Results[i].Forward {
+			t.Fatal("ablation changed results")
+		}
+	}
+}
+
+// TestDoubleBufferOverlap checks the double-buffering ablation: overlapping
+// query streaming with compute hides min(transfer, kernel) time without
+// changing results.
+func TestDoubleBufferOverlap(t *testing.T) {
+	ix := buildIndex(t, 30000)
+	reads := simReads(t, ix, 5000, 40, 0.8)
+	plain, _ := NewDevice(Config{})
+	buffered, _ := NewDevice(Config{DoubleBuffer: true})
+	kp, _ := plain.Program(ix)
+	kb, _ := buffered.Program(ix)
+	rp, err := kp.MapReads(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := kb.MapReads(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Profile.Overlap <= 0 {
+		t.Fatal("double buffering hid no time")
+	}
+	wantSaving := min(rp.Profile.QueryTransfer, rp.Profile.KernelTime)
+	if got := rp.Profile.Total() - rb.Profile.Total(); got != wantSaving {
+		t.Errorf("saving %v, want %v", got, wantSaving)
+	}
+	for i := range reads {
+		if rp.Results[i].Forward != rb.Results[i].Forward {
+			t.Fatal("double buffering changed results")
+		}
+	}
+	// The merged streaming event must appear and the timeline still tiles.
+	var cursor time.Duration
+	merged := false
+	for _, e := range rb.Profile.Events {
+		if e.Name == "stream:queries+kernel" {
+			merged = true
+		}
+		if e.Start != cursor {
+			t.Errorf("event %s misplaced", e.Name)
+		}
+		cursor = e.End
+	}
+	if !merged {
+		t.Error("merged streaming event missing")
+	}
+	if cursor != rb.Profile.Total() {
+		t.Errorf("events cover %v, total %v", cursor, rb.Profile.Total())
+	}
+}
+
+// TestBatchSizeAblation checks the batched host flow: results identical,
+// per-batch pipeline fill making small batches costlier.
+func TestBatchSizeAblation(t *testing.T) {
+	ix := buildIndex(t, 20000)
+	reads := simReads(t, ix, 2000, 40, 0.6)
+	d, _ := NewDevice(Config{})
+	k, _ := d.Program(ix)
+	whole, err := k.MapReads(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevCycles uint64
+	for i, batchSize := range []int{10, 100, 2000} {
+		run, err := k.MapReadsBatched(reads, batchSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(run.Results) != len(reads) {
+			t.Fatalf("batch=%d: %d results", batchSize, len(run.Results))
+		}
+		for j := range reads {
+			if run.Results[j].Forward != whole.Results[j].Forward {
+				t.Fatalf("batch=%d: result %d differs", batchSize, j)
+			}
+		}
+		if i > 0 && run.Profile.KernelCycles > prevCycles {
+			t.Errorf("larger batches should not cost more cycles: %d then %d", prevCycles, run.Profile.KernelCycles)
+		}
+		prevCycles = run.Profile.KernelCycles
+		// Setup charged once regardless of batch count.
+		if run.Profile.Setup != d.Config().SetupTime {
+			t.Errorf("batch=%d: setup charged %v", batchSize, run.Profile.Setup)
+		}
+	}
+	// One big batch must equal the unbatched run exactly.
+	one, err := k.MapReadsBatched(reads, len(reads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Profile.KernelCycles != whole.Profile.KernelCycles {
+		t.Errorf("single batch cycles %d != unbatched %d", one.Profile.KernelCycles, whole.Profile.KernelCycles)
+	}
+	if _, err := k.MapReadsBatched(reads, 0); err == nil {
+		t.Error("batch size 0 accepted")
+	}
+}

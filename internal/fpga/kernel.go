@@ -1,0 +1,254 @@
+package fpga
+
+import (
+	"fmt"
+	"time"
+
+	"bwaver/internal/core"
+	"bwaver/internal/dna"
+)
+
+// Kernel is a programmed device: the index is resident in simulated BRAM.
+type Kernel struct {
+	dev           *Device
+	ix            *core.Index
+	indexBytes    int
+	indexTransfer time.Duration
+}
+
+// Index returns the index the kernel was programmed with.
+func (k *Kernel) Index() *core.Index { return k.ix }
+
+// IndexBytes returns the BRAM bytes occupied by the structure.
+func (k *Kernel) IndexBytes() int { return k.indexBytes }
+
+// stepCycles returns the modeled cost of one backward-search step. The
+// paper's design resolves the RRR class sum with a pipelined adder tree, so
+// a pipeline retires one step per cycle; the SequentialRank ablation walks
+// the (on average sf/2) class fields of the superblock serially on each of
+// the wavelet levels instead.
+func (k *Kernel) stepCycles() uint64 {
+	if !k.dev.cfg.SequentialRank {
+		return 1
+	}
+	sf := k.ix.Config().RRR.SuperblockFactor
+	const waveletLevels = 2 // log2 of the DNA alphabet
+	return uint64(waveletLevels * (sf/2 + 1))
+}
+
+// Event mirrors an OpenCL profiling event: the paper benchmarks with
+// "OpenCL events that provide an easy to use API to profile the code that
+// runs on the FPGA device". Timestamps are on the run's virtual timeline,
+// measured from enqueue of the first command.
+type Event struct {
+	Name      string
+	Queued    time.Duration
+	Submitted time.Duration
+	Start     time.Duration
+	End       time.Duration
+}
+
+// Duration returns the event's execution span.
+func (e Event) Duration() time.Duration { return e.End - e.Start }
+
+// Profile decomposes a modeled run.
+type Profile struct {
+	// Setup is the fixed OpenCL runtime overhead.
+	Setup time.Duration
+	// IndexTransfer moves the succinct structure into BRAM.
+	IndexTransfer time.Duration
+	// QueryTransfer streams the 512-bit query records to the device.
+	QueryTransfer time.Duration
+	// KernelTime is the modeled execution time of the search pipelines.
+	KernelTime time.Duration
+	// ResultTransfer returns the row ranges to the host.
+	ResultTransfer time.Duration
+	// Reconfig is the fabric-reconfiguration cost of a two-pass run
+	// (zero for exact-only runs).
+	Reconfig time.Duration
+	// Overlap is the time hidden by double-buffered query streaming
+	// (min(QueryTransfer, KernelTime) when Config.DoubleBuffer is set);
+	// Total subtracts it.
+	Overlap time.Duration
+	// KernelCycles is the raw cycle count behind KernelTime.
+	KernelCycles uint64
+	// Events is the OpenCL-style event log of the run.
+	Events []Event
+	// HostWallTime is how long the simulator actually took, for sanity
+	// checks; it plays no role in the model.
+	HostWallTime time.Duration
+}
+
+// Total is the modeled end-to-end device time, the quantity Tables I and II
+// report for BWaveR-FPGA.
+func (p Profile) Total() time.Duration {
+	return p.Setup + p.IndexTransfer + p.QueryTransfer + p.KernelTime + p.ResultTransfer + p.Reconfig - p.Overlap
+}
+
+// EnergyJoules is board power times modeled time, the paper's
+// power-efficiency accounting.
+func (p Profile) EnergyJoules(powerWatts float64) float64 {
+	return powerWatts * p.Total().Seconds()
+}
+
+// RunResult is a completed mapping run.
+type RunResult struct {
+	Results []core.MapResult
+	Profile Profile
+}
+
+// MapReads maps a batch of reads on the device. Every read must fit the
+// 512-bit query record (at most MaxQueryBases bases). The search itself is
+// executed bit-for-bit (results are exact); cycles are charged per the
+// pipeline model described in the package comment.
+func (k *Kernel) MapReads(reads []dna.Seq) (*RunResult, error) {
+	wallStart := time.Now()
+	cfg := k.dev.cfg
+
+	// Validate and pack the query records as the host code would. The
+	// packed form is what the query-transfer model charges for.
+	for i, r := range reads {
+		if len(r) == 0 {
+			return nil, fmt.Errorf("fpga: read %d is empty", i)
+		}
+		if len(r) > MaxQueryBases {
+			return nil, fmt.Errorf("fpga: read %d has %d bases; the 512-bit query record holds at most %d",
+				i, len(r), MaxQueryBases)
+		}
+	}
+	records := make([]dna.PackedSeq, len(reads))
+	for i, r := range reads {
+		records[i] = dna.Pack(r)
+	}
+
+	// Execute the searches functionally while accumulating the cycle model.
+	results := make([]core.MapResult, len(reads))
+	var stepCycles uint64
+	perStep := k.stepCycles()
+	for i, rec := range records {
+		// The kernel operates on the packed record, mirroring the decode
+		// the hardware performs.
+		res := k.ix.MapRead(rec.Unpack())
+		results[i] = res
+		stepCycles += uint64(res.Steps)*perStep + uint64(cfg.QueryOverheadCycles)
+	}
+	kernelCycles := uint64(cfg.PipelineFillCycles) + stepCycles/uint64(cfg.PEs)
+
+	profile := Profile{
+		Setup:          cfg.SetupTime,
+		IndexTransfer:  k.indexTransfer,
+		QueryTransfer:  k.dev.transfer(len(reads) * QueryRecordBytes),
+		KernelTime:     k.dev.cyclesToTime(kernelCycles),
+		ResultTransfer: k.dev.transfer(len(reads) * ResultRecordBytes),
+		KernelCycles:   kernelCycles,
+	}
+	if cfg.DoubleBuffer {
+		profile.Overlap = min(profile.QueryTransfer, profile.KernelTime)
+	}
+	profile.Events = buildEvents(profile)
+	profile.HostWallTime = time.Since(wallStart)
+	return &RunResult{Results: results, Profile: profile}, nil
+}
+
+// buildEvents lays the run's commands on a virtual timeline in dependency
+// order, the way an in-order OpenCL command queue would schedule them.
+func buildEvents(p Profile) []Event {
+	t := time.Duration(0)
+	mk := func(name string, queuedAt, d time.Duration) Event {
+		e := Event{Name: name, Queued: queuedAt, Submitted: t, Start: t, End: t + d}
+		t += d
+		return e
+	}
+	events := make([]Event, 0, 6)
+	events = append(events, mk("setup", 0, p.Setup))
+	events = append(events, mk("write:index", 0, p.IndexTransfer))
+	if p.Overlap > 0 {
+		// Double buffering: queries stream while the kernel runs; the
+		// merged phase spans the longer of the two.
+		events = append(events, mk("stream:queries+kernel", 0, p.QueryTransfer+p.KernelTime-p.Overlap))
+	} else {
+		events = append(events, mk("write:queries", 0, p.QueryTransfer))
+		events = append(events, mk("kernel:bwaver", 0, p.KernelTime))
+	}
+	if p.Reconfig > 0 {
+		events = append(events, mk("reconfigure", 0, p.Reconfig))
+	}
+	events = append(events, mk("read:results", 0, p.ResultTransfer))
+	return events
+}
+
+// MapReadsBatched maps reads in fixed-size batches, as hosts with bounded
+// device buffers must (the paper's related work sends queries "in batches
+// to the FPGA"). Each batch pays its own query/result transfer and pipeline
+// fill, so small batches waste cycles — the batch-size trade-off quantified
+// by TestBatchSizeAblation. Setup and index transfer are still charged
+// once. Results are identical to MapReads.
+func (k *Kernel) MapReadsBatched(reads []dna.Seq, batchSize int) (*RunResult, error) {
+	if batchSize < 1 {
+		return nil, fmt.Errorf("fpga: batch size %d must be >= 1", batchSize)
+	}
+	wallStart := time.Now()
+	out := &RunResult{Results: make([]core.MapResult, 0, len(reads))}
+	agg := Profile{Setup: k.dev.cfg.SetupTime, IndexTransfer: k.indexTransfer}
+	for start := 0; start < len(reads); start += batchSize {
+		end := min(start+batchSize, len(reads))
+		run, err := k.MapReads(reads[start:end])
+		if err != nil {
+			return nil, err
+		}
+		out.Results = append(out.Results, run.Results...)
+		agg.QueryTransfer += run.Profile.QueryTransfer
+		agg.KernelTime += run.Profile.KernelTime
+		agg.ResultTransfer += run.Profile.ResultTransfer
+		agg.KernelCycles += run.Profile.KernelCycles
+		agg.Overlap += run.Profile.Overlap
+	}
+	agg.Events = buildEvents(agg)
+	agg.HostWallTime = time.Since(wallStart)
+	out.Profile = agg
+	return out, nil
+}
+
+// ModelProfile returns the modeled profile for a batch of nReads reads whose
+// mean per-query pipeline occupancy (max of forward/reverse step counts) is
+// avgStepsPerRead, without functionally executing the searches. The bench
+// harness uses it to extrapolate the paper's 100-million-read workloads from
+// a measured sample: the cycle model is linear in the summed step counts, so
+// the extrapolation is exact up to sampling error in avgStepsPerRead.
+func (k *Kernel) ModelProfile(nReads int, avgStepsPerRead float64) Profile {
+	cfg := k.dev.cfg
+	stepCycles := uint64(float64(nReads) * (avgStepsPerRead*float64(k.stepCycles()) + float64(cfg.QueryOverheadCycles)))
+	kernelCycles := uint64(cfg.PipelineFillCycles) + stepCycles/uint64(cfg.PEs)
+	p := Profile{
+		Setup:          cfg.SetupTime,
+		IndexTransfer:  k.indexTransfer,
+		QueryTransfer:  k.dev.transfer(nReads * QueryRecordBytes),
+		KernelTime:     k.dev.cyclesToTime(kernelCycles),
+		ResultTransfer: k.dev.transfer(nReads * ResultRecordBytes),
+		KernelCycles:   kernelCycles,
+	}
+	if cfg.DoubleBuffer {
+		p.Overlap = min(p.QueryTransfer, p.KernelTime)
+	}
+	p.Events = buildEvents(p)
+	return p
+}
+
+// LocateResults resolves occurrence positions for a run on the host through
+// the index's suffix array — the paper's final host-side step. It returns
+// the wall-clock time spent, which the hybrid pipeline adds to the host
+// budget, not the device budget.
+func (k *Kernel) LocateResults(results []core.MapResult) (time.Duration, error) {
+	start := time.Now()
+	fm := k.ix.FM()
+	for i := range results {
+		var err error
+		if results[i].ForwardPositions, err = fm.Locate(results[i].Forward); err != nil {
+			return 0, err
+		}
+		if results[i].ReversePositions, err = fm.Locate(results[i].Reverse); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}

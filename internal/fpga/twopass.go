@@ -1,0 +1,89 @@
+package fpga
+
+import (
+	"fmt"
+	"time"
+
+	"bwaver/internal/core"
+	"bwaver/internal/dna"
+)
+
+// Two-pass approximate mapping, modeled on the runtime-reconfigurable
+// architecture of Arram et al. that the paper's related work describes
+// (§II: "the reads are first processed by the exact alignment module. Then,
+// the FPGA fabric is reconfigured and any unaligned read is processed by
+// the slower one- and two-mismatches alignment modules"). Pass 1 runs the
+// exact kernel over every read; reads that fail both orientations are
+// re-queued to a k-mismatch kernel after a fabric reconfiguration, whose
+// fixed cost is charged once.
+
+// DefaultReconfigTime is the modeled partial-reconfiguration cost of
+// swapping the exact kernel for the mismatch kernel.
+const DefaultReconfigTime = 500 * time.Millisecond
+
+// TwoPassResult is a completed two-pass run.
+type TwoPassResult struct {
+	// Exact holds pass-1 results for every read, by input position.
+	Exact []core.MapResult
+	// Approx holds pass-2 results for the reads pass 1 failed to map,
+	// keyed by input position. Reads mapped exactly do not appear.
+	Approx map[int]core.ApproxResult
+	// Rescued counts pass-2 reads that found an approximate match.
+	Rescued int
+	// Profile covers both passes plus the reconfiguration.
+	Profile Profile
+}
+
+// MapReadsTwoPass runs the exact kernel, reconfigures, and retries the
+// unaligned reads with up to maxMismatches substitutions. maxMismatches
+// must be at least 1 (use MapReads for exact-only runs).
+func (k *Kernel) MapReadsTwoPass(reads []dna.Seq, maxMismatches int) (*TwoPassResult, error) {
+	if maxMismatches < 1 {
+		return nil, fmt.Errorf("fpga: two-pass run needs a mismatch budget >= 1, got %d", maxMismatches)
+	}
+	pass1, err := k.MapReads(reads)
+	if err != nil {
+		return nil, err
+	}
+	out := &TwoPassResult{
+		Exact:   pass1.Results,
+		Approx:  map[int]core.ApproxResult{},
+		Profile: pass1.Profile,
+	}
+	var unaligned []int
+	for i, res := range pass1.Results {
+		if !res.Mapped() {
+			unaligned = append(unaligned, i)
+		}
+	}
+	if len(unaligned) == 0 {
+		return out, nil
+	}
+
+	cfg := k.dev.cfg
+	// Fabric reconfiguration: one fixed charge.
+	out.Profile.Reconfig = DefaultReconfigTime
+
+	// Pass 2: the mismatch kernel. Same pipeline model; the branching
+	// search simply executes more steps per query.
+	var stepCycles uint64
+	perStep := k.stepCycles()
+	for _, i := range unaligned {
+		res, err := k.ix.MapReadApprox(reads[i], maxMismatches)
+		if err != nil {
+			return nil, err
+		}
+		out.Approx[i] = res
+		if res.Mapped() {
+			out.Rescued++
+		}
+		stepCycles += uint64(res.Steps)*perStep + uint64(cfg.QueryOverheadCycles)
+	}
+	pass2Cycles := uint64(cfg.PipelineFillCycles) + stepCycles/uint64(cfg.PEs)
+	out.Profile.KernelCycles += pass2Cycles
+	out.Profile.KernelTime += k.dev.cyclesToTime(pass2Cycles)
+	out.Profile.QueryTransfer += k.dev.transfer(len(unaligned) * QueryRecordBytes)
+	out.Profile.ResultTransfer += k.dev.transfer(len(unaligned) * ResultRecordBytes)
+	out.Profile.Events = buildEvents(out.Profile)
+	return out, nil
+}

@@ -1,0 +1,236 @@
+// Package readsim generates the synthetic workloads BWaveR-Go is evaluated
+// on: reference genomes with realistic repeat structure and short-read sets
+// with a controlled mapping ratio.
+//
+// The paper evaluates on E. coli U00096.3 and human chromosome 21
+// (GRCh38.p12) with simulated 35-100 bp read sets of known mapping ratio.
+// Those exact sequences are proprietary-free but unavailable offline, so
+// this package substitutes seeded synthetic genomes at the same lengths and
+// GC content, with repeats injected so the BWT develops the run structure
+// (low zero-order entropy) that real genomes give the RRR encoding. See
+// DESIGN.md's substitution table.
+package readsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bwaver/internal/dna"
+)
+
+// GenomeConfig controls synthetic genome generation.
+type GenomeConfig struct {
+	// Length is the genome size in bases.
+	Length int
+	// GC is the target G+C fraction, in (0,1); 0 means 0.5.
+	GC float64
+	// RepeatFraction is the fraction of the genome rewritten by copying
+	// earlier segments, in [0,1). Repeats drive BWT compressibility.
+	RepeatFraction float64
+	// RepeatMinLen and RepeatMaxLen bound the copied segment lengths;
+	// zero values default to 200 and 5000.
+	RepeatMinLen, RepeatMaxLen int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+func (c GenomeConfig) withDefaults() GenomeConfig {
+	if c.GC == 0 {
+		c.GC = 0.5
+	}
+	if c.RepeatMinLen == 0 {
+		c.RepeatMinLen = 200
+	}
+	if c.RepeatMaxLen == 0 {
+		c.RepeatMaxLen = 5000
+	}
+	if c.RepeatMaxLen < c.RepeatMinLen {
+		c.RepeatMaxLen = c.RepeatMinLen
+	}
+	return c
+}
+
+// Genome generates a synthetic genome.
+func Genome(cfg GenomeConfig) (dna.Seq, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Length < 0 {
+		return nil, fmt.Errorf("readsim: negative genome length %d", cfg.Length)
+	}
+	if cfg.GC <= 0 || cfg.GC >= 1 {
+		return nil, fmt.Errorf("readsim: GC content %v outside (0,1)", cfg.GC)
+	}
+	if cfg.RepeatFraction < 0 || cfg.RepeatFraction >= 1 {
+		return nil, fmt.Errorf("readsim: repeat fraction %v outside [0,1)", cfg.RepeatFraction)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := make(dna.Seq, cfg.Length)
+	for i := range g {
+		if rng.Float64() < cfg.GC {
+			if rng.Intn(2) == 0 {
+				g[i] = dna.G
+			} else {
+				g[i] = dna.C
+			}
+		} else {
+			if rng.Intn(2) == 0 {
+				g[i] = dna.A
+			} else {
+				g[i] = dna.T
+			}
+		}
+	}
+	// Inject repeats: copy random earlier segments over later positions
+	// until the requested fraction of bases has been rewritten.
+	if cfg.Length > 2*cfg.RepeatMaxLen {
+		rewritten := 0
+		target := int(cfg.RepeatFraction * float64(cfg.Length))
+		for rewritten < target {
+			l := cfg.RepeatMinLen + rng.Intn(cfg.RepeatMaxLen-cfg.RepeatMinLen+1)
+			src := rng.Intn(cfg.Length - l)
+			dst := rng.Intn(cfg.Length - l)
+			copy(g[dst:dst+l], g[src:src+l])
+			rewritten += l
+		}
+	}
+	return g, nil
+}
+
+// Paper reference lengths (bases) and GC contents.
+const (
+	// EColiLength is the length of E. coli K-12 MG1655 (U00096.3).
+	EColiLength = 4641652
+	// Chr21Length matches the ~40.1 MB BWT the paper reports for
+	// GRCh38.p12 chromosome 21 after removing ambiguous bases.
+	Chr21Length = 40088619
+
+	eColiGC = 0.508
+	chr21GC = 0.408
+)
+
+// EColiLike generates a synthetic genome at the E. coli scale the paper
+// uses. The scale argument in (0,1] shrinks the genome proportionally so
+// tests and default bench runs stay fast; pass 1 for the paper's size.
+func EColiLike(seed int64, scale float64) (dna.Seq, error) {
+	return scaled(EColiLength, eColiGC, 0.25, seed, scale)
+}
+
+// Chr21Like generates a synthetic genome at the human chromosome 21 scale,
+// with a heavier repeat fraction as in real human sequence.
+func Chr21Like(seed int64, scale float64) (dna.Seq, error) {
+	return scaled(Chr21Length, chr21GC, 0.45, seed, scale)
+}
+
+func scaled(length int, gc, repeats float64, seed int64, scale float64) (dna.Seq, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("readsim: scale %v outside (0,1]", scale)
+	}
+	return Genome(GenomeConfig{
+		Length:         int(float64(length) * scale),
+		GC:             gc,
+		RepeatFraction: repeats,
+		Seed:           seed,
+	})
+}
+
+// Read is one simulated read with its provenance.
+type Read struct {
+	// ID is a unique identifier, FASTQ-ready.
+	ID string
+	// Seq is the read sequence.
+	Seq dna.Seq
+	// Origin is the 0-based reference position the read was sampled from,
+	// or -1 for random (unmappable) reads. For reverse-strand reads it is
+	// the position of the leftmost reference base covered.
+	Origin int
+	// RevStrand marks reads sampled from the reverse-complement strand.
+	RevStrand bool
+	// Errors is the number of substitution errors injected into the read.
+	Errors int
+}
+
+// ReadsConfig controls read-set simulation.
+type ReadsConfig struct {
+	// Count is the number of reads.
+	Count int
+	// Length is the read length in bases (paper: 35, 40, and 100 bp).
+	Length int
+	// MappingRatio is the fraction of reads sampled from the reference
+	// (the rest are random and map nowhere), in [0,1].
+	MappingRatio float64
+	// RevCompFraction is the fraction of mapped reads drawn from the
+	// reverse strand; 0.5 models real sequencing. BWaveR searches both
+	// orientations, so reverse-strand reads still map.
+	RevCompFraction float64
+	// ErrorRate is the per-base substitution probability applied to
+	// sampled reads, modelling sequencing errors. Exact matching misses
+	// reads that drew at least one error; the k-mismatch extension
+	// (core.MapReadApprox) rescues them. Random filler reads are
+	// unaffected.
+	ErrorRate float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Simulate draws a read set from ref.
+func Simulate(ref dna.Seq, cfg ReadsConfig) ([]Read, error) {
+	if cfg.Count < 0 {
+		return nil, fmt.Errorf("readsim: negative read count %d", cfg.Count)
+	}
+	if cfg.Length <= 0 {
+		return nil, fmt.Errorf("readsim: read length %d must be positive", cfg.Length)
+	}
+	if cfg.MappingRatio < 0 || cfg.MappingRatio > 1 {
+		return nil, fmt.Errorf("readsim: mapping ratio %v outside [0,1]", cfg.MappingRatio)
+	}
+	if cfg.RevCompFraction < 0 || cfg.RevCompFraction > 1 {
+		return nil, fmt.Errorf("readsim: reverse-complement fraction %v outside [0,1]", cfg.RevCompFraction)
+	}
+	if cfg.ErrorRate < 0 || cfg.ErrorRate >= 1 {
+		return nil, fmt.Errorf("readsim: error rate %v outside [0,1)", cfg.ErrorRate)
+	}
+	if cfg.MappingRatio > 0 && cfg.Length > len(ref) {
+		return nil, fmt.Errorf("readsim: read length %d exceeds reference length %d", cfg.Length, len(ref))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]Read, cfg.Count)
+	nMapped := int(float64(cfg.Count)*cfg.MappingRatio + 0.5)
+	for i := range out {
+		r := &out[i]
+		r.ID = fmt.Sprintf("read%08d", i)
+		if i < nMapped {
+			pos := rng.Intn(len(ref) - cfg.Length + 1)
+			r.Origin = pos
+			seq := ref[pos : pos+cfg.Length].Clone()
+			if rng.Float64() < cfg.RevCompFraction {
+				seq = seq.ReverseComplement()
+				r.RevStrand = true
+			}
+			for j := range seq {
+				if rng.Float64() < cfg.ErrorRate {
+					seq[j] = dna.Base((int(seq[j]) + 1 + rng.Intn(3)) % dna.AlphabetSize)
+					r.Errors++
+				}
+			}
+			r.Seq = seq
+		} else {
+			r.Origin = -1
+			seq := make(dna.Seq, cfg.Length)
+			for j := range seq {
+				seq[j] = dna.Base(rng.Intn(dna.AlphabetSize))
+			}
+			r.Seq = seq
+		}
+	}
+	// Shuffle so mapped and unmapped reads interleave as in a real run.
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, nil
+}
+
+// Seqs strips provenance, returning just the sequences in order.
+func Seqs(reads []Read) []dna.Seq {
+	out := make([]dna.Seq, len(reads))
+	for i, r := range reads {
+		out[i] = r.Seq
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package rrr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRank checks rank against a naive count for arbitrary bit patterns and
+// parameters — the core correctness contract of the whole repository.
+func FuzzRank(f *testing.F) {
+	f.Add([]byte{0xFF, 0x00, 0xAA}, uint8(15), uint8(50))
+	f.Add([]byte{}, uint8(2), uint8(1))
+	f.Add([]byte{0x01}, uint8(7), uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, bRaw, sfRaw uint8) {
+		if len(raw) > 4096 {
+			raw = raw[:4096]
+		}
+		b := int(bRaw)%(MaxBlockSize-MinBlockSize+1) + MinBlockSize
+		sf := int(sfRaw)%128 + 1
+		bits := make([]bool, len(raw)*8)
+		for i := range bits {
+			bits[i] = raw[i/8]>>(uint(i)%8)&1 == 1
+		}
+		s, err := FromBools(bits, Params{BlockSize: b, SuperblockFactor: sf})
+		if err != nil {
+			t.Fatalf("valid params rejected: %v", err)
+		}
+		count := 0
+		for i, bit := range bits {
+			if got := s.Rank1(i); got != count {
+				t.Fatalf("b=%d sf=%d: Rank1(%d)=%d, want %d", b, sf, i, got, count)
+			}
+			if s.Bit(i) != bit {
+				t.Fatalf("b=%d sf=%d: Bit(%d) wrong", b, sf, i)
+			}
+			if bit {
+				count++
+			}
+		}
+		if s.Rank1(len(bits)) != count || s.Ones() != count {
+			t.Fatalf("total rank wrong")
+		}
+	})
+}
+
+// FuzzSerialization checks that ReadSequence never panics on corrupted
+// input and that valid serializations round-trip exactly.
+func FuzzSerialization(f *testing.F) {
+	orig, err := FromBools([]bool{true, false, true, true, false}, Params{BlockSize: 5, SuperblockFactor: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if _, err := orig.WriteTo(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSequence(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever deserialized must be internally consistent: ranks are
+		// monotone and bounded.
+		prev := 0
+		for i := 0; i <= s.Len(); i += 1 + s.Len()/64 {
+			r := s.Rank1(i)
+			if r < prev || r > i {
+				t.Fatalf("inconsistent rank %d at %d (prev %d)", r, i, prev)
+			}
+			prev = r
+		}
+	})
+}

@@ -1,0 +1,339 @@
+package rrr
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveRank(b []bool, i int) int {
+	c := 0
+	for _, x := range b[:i] {
+		if x {
+			c++
+		}
+	}
+	return c
+}
+
+func randomBools(rng *rand.Rand, n int, density float64) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Float64() < density
+	}
+	return out
+}
+
+// runBools simulates low-entropy BWT-like input: long runs of equal bits.
+func runBools(rng *rand.Rand, n int, meanRun int) []bool {
+	out := make([]bool, n)
+	cur := rng.Intn(2) == 1
+	for i := 0; i < n; {
+		runLen := 1 + rng.Intn(2*meanRun)
+		for j := 0; j < runLen && i < n; j++ {
+			out[i] = cur
+			i++
+		}
+		cur = !cur
+	}
+	return out
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{BlockSize: 1, SuperblockFactor: 10},
+		{BlockSize: 16, SuperblockFactor: 10},
+		{BlockSize: 0, SuperblockFactor: 10},
+		{BlockSize: 15, SuperblockFactor: 0},
+		{BlockSize: 15, SuperblockFactor: -3},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid params", p)
+		}
+	}
+	if err := DefaultParams.Validate(); err != nil {
+		t.Errorf("DefaultParams invalid: %v", err)
+	}
+}
+
+func TestTableFor(t *testing.T) {
+	for b := MinBlockSize; b <= MaxBlockSize; b++ {
+		tab, err := TableFor(b)
+		if err != nil {
+			t.Fatalf("TableFor(%d): %v", b, err)
+		}
+		if len(tab.Permutations) != 1<<uint(b) {
+			t.Fatalf("b=%d: %d permutations, want %d", b, len(tab.Permutations), 1<<uint(b))
+		}
+		// Sorted by class then value; offsets invert correctly.
+		for i := 1; i < len(tab.Permutations); i++ {
+			ci := bits.OnesCount16(tab.Permutations[i-1])
+			cj := bits.OnesCount16(tab.Permutations[i])
+			if ci > cj || (ci == cj && tab.Permutations[i-1] >= tab.Permutations[i]) {
+				t.Fatalf("b=%d: permutations not sorted at %d", b, i)
+			}
+		}
+		for v := 0; v < 1<<uint(b); v++ {
+			c := bits.OnesCount16(uint16(v))
+			if tab.Block(c, tab.OffsetOf(uint16(v))) != uint16(v) {
+				t.Fatalf("b=%d: offset round trip failed for value %d", b, v)
+			}
+		}
+		// Class runs have binomial(b, c) entries and widths are ceil(log2).
+		binom := 1
+		for c := 0; c <= b; c++ {
+			run := int(tab.ClassOffset[c+1] - tab.ClassOffset[c])
+			if run != binom {
+				t.Fatalf("b=%d c=%d: run %d, want binomial %d", b, c, run, binom)
+			}
+			want := int(math.Ceil(math.Log2(float64(run))))
+			if run == 1 {
+				want = 0
+			}
+			if tab.Width(c) != want {
+				t.Fatalf("b=%d c=%d: width %d, want %d", b, c, tab.Width(c), want)
+			}
+			binom = binom * (b - c) / (c + 1)
+		}
+	}
+	if _, err := TableFor(1); err == nil {
+		t.Error("TableFor(1) should fail")
+	}
+	if _, err := TableFor(16); err == nil {
+		t.Error("TableFor(16) should fail")
+	}
+}
+
+func TestTableShared(t *testing.T) {
+	a, _ := TableFor(15)
+	b, _ := TableFor(15)
+	if a != b {
+		t.Error("TableFor(15) did not return the shared instance")
+	}
+}
+
+func TestRankMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	params := []Params{
+		{BlockSize: 15, SuperblockFactor: 50},
+		{BlockSize: 15, SuperblockFactor: 1},
+		{BlockSize: 15, SuperblockFactor: 100},
+		{BlockSize: 7, SuperblockFactor: 4},
+		{BlockSize: 3, SuperblockFactor: 2},
+		{BlockSize: 2, SuperblockFactor: 200},
+	}
+	lengths := []int{0, 1, 14, 15, 16, 749, 750, 751, 10000}
+	for _, p := range params {
+		for _, n := range lengths {
+			for _, density := range []float64{0, 0.1, 0.5, 1} {
+				in := randomBools(rng, n, density)
+				s, err := FromBools(in, p)
+				if err != nil {
+					t.Fatalf("FromBools(n=%d,%+v): %v", n, p, err)
+				}
+				if s.Len() != n {
+					t.Fatalf("Len=%d, want %d", s.Len(), n)
+				}
+				step := 1
+				if n > 2000 {
+					step = 53
+				}
+				for i := 0; i <= n; i += step {
+					if got, want := s.Rank1(i), naiveRank(in, i); got != want {
+						t.Fatalf("p=%+v n=%d density=%v: Rank1(%d)=%d, want %d", p, n, density, i, got, want)
+					}
+				}
+				if s.Ones() != naiveRank(in, n) {
+					t.Fatalf("Ones=%d, want %d", s.Ones(), naiveRank(in, n))
+				}
+			}
+		}
+	}
+}
+
+func TestRankOnRunInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := runBools(rng, 50000, 40)
+	s, err := FromBools(in, DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= len(in); i += 37 {
+		if got, want := s.Rank1(i), naiveRank(in, i); got != want {
+			t.Fatalf("Rank1(%d)=%d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBitDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := randomBools(rng, 4001, 0.4)
+	s, err := FromBools(in, Params{BlockSize: 11, SuperblockFactor: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range in {
+		if s.Bit(i) != want {
+			t.Fatalf("Bit(%d)=%v, want %v", i, s.Bit(i), want)
+		}
+	}
+}
+
+func TestSelect1(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 100, 7500} {
+		in := randomBools(rng, n, 0.3)
+		s, err := FromBools(in, Params{BlockSize: 15, SuperblockFactor: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 0
+		for i, b := range in {
+			if b {
+				k++
+				if got := s.Select1(k); got != i {
+					t.Fatalf("n=%d: Select1(%d)=%d, want %d", n, k, got, i)
+				}
+			}
+		}
+		if s.Select1(0) != -1 || s.Select1(s.Ones()+1) != -1 {
+			t.Error("Select1 out of range should return -1")
+		}
+	}
+}
+
+func TestRankSelectInverseProperty(t *testing.T) {
+	f := func(raw []byte, sfRaw uint8) bool {
+		in := make([]bool, len(raw)*2)
+		for i := range in {
+			in[i] = raw[i/2]>>(uint(i)%2)&1 == 1
+		}
+		sf := int(sfRaw%60) + 1
+		s, err := FromBools(in, Params{BlockSize: 15, SuperblockFactor: sf})
+		if err != nil {
+			return false
+		}
+		for k := 1; k <= s.Ones(); k++ {
+			p := s.Select1(k)
+			if !s.Bit(p) || s.Rank1(p) != k-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankBounds(t *testing.T) {
+	s, _ := FromBools([]bool{true, false}, DefaultParams)
+	for _, i := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Rank1(%d) did not panic", i)
+				}
+			}()
+			s.Rank1(i)
+		}()
+	}
+}
+
+func TestNegativeLength(t *testing.T) {
+	if _, err := New(func(int) bool { return false }, -1, DefaultParams); err == nil {
+		t.Error("New accepted negative length")
+	}
+}
+
+// TestSizeMatchesPaperFormula confirms the implementation's space accounting
+// tracks the closed form in §III-B of the paper within rounding slack.
+func TestSizeMatchesPaperFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	in := runBools(rng, 300000, 30)
+	for _, p := range []Params{{15, 50}, {15, 100}, {10, 50}, {7, 64}} {
+		s, err := FromBools(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(s.SizeBytes() + s.SharedSizeBytes())
+		want := s.PaperFormulaBytes()
+		// Allow a few percent of slack for array-boundary rounding and the
+		// +1 partial-sum entry.
+		if math.Abs(got-want) > 0.05*want+64 {
+			t.Errorf("p=%+v: size %v, paper formula %v", p, got, want)
+		}
+	}
+}
+
+// TestCompressionOnLowEntropyInput checks the headline property the paper
+// relies on: BWT-like run-structured bit-vectors compress well below the
+// plain 1-bit-per-bit representation.
+func TestCompressionOnLowEntropyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 400000
+	in := runBools(rng, n, 60)
+	s, err := FromBools(in, Params{BlockSize: 15, SuperblockFactor: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := n / 8
+	if s.SizeBytes() >= plain {
+		t.Errorf("low-entropy input did not compress: rrr=%dB plain=%dB", s.SizeBytes(), plain)
+	}
+}
+
+// TestSizeDecreasesWithSf reproduces the Fig. 5 trend at unit scale:
+// growing the superblock factor shrinks the structure.
+func TestSizeDecreasesWithSf(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := randomBools(rng, 200000, 0.5)
+	prev := math.MaxInt
+	for _, sf := range []int{25, 50, 100, 200} {
+		s, err := FromBools(in, Params{BlockSize: 15, SuperblockFactor: sf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.SizeBytes() >= prev {
+			t.Errorf("sf=%d: size %d did not decrease from %d", sf, s.SizeBytes(), prev)
+		}
+		prev = s.SizeBytes()
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := runBools(rng, 1<<20, 40)
+	for _, sf := range []int{50, 100, 200} {
+		s, err := FromBools(in, Params{BlockSize: 15, SuperblockFactor: sf})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(benchName("sf", sf), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.Rank1((i * 7919) % (s.Len() + 1))
+			}
+		})
+	}
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,152 @@
+package rrr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Serialization format (little endian):
+//
+//	magic   uint32  'RRR1'
+//	n, b, sf, nBlk, nSuper, offBits  uint32 each
+//	classes     [ceil(nBlk/2)]uint8
+//	partialSum  [nSuper+1]uint32
+//	offsetSum   [nSuper]uint32
+//	offsets     [ceil(offBits/64)]uint64
+//
+// The shared global rank table is not serialized; it is rebuilt from b on
+// load, exactly as the FPGA host code regenerates it rather than shipping
+// 64 KiB per node.
+const sequenceMagic = 0x52525231 // "RRR1"
+
+// WriteTo serializes the sequence. It implements io.WriterTo.
+func (s *Sequence) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	head := []uint32{sequenceMagic, uint32(s.n), uint32(s.b), uint32(s.sf),
+		uint32(s.nBlk), uint32(s.nSuper), uint32(s.offBits)}
+	for _, v := range head {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return cw.n, err
+		}
+	}
+	if _, err := cw.Write(s.classes); err != nil {
+		return cw.n, err
+	}
+	for _, arr := range [][]uint32{s.partialSum, s.offsetSum} {
+		if err := binary.Write(cw, binary.LittleEndian, arr); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, s.offsets); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadSequence deserializes a sequence written by WriteTo, validating the
+// header against the supported parameter ranges before allocating.
+func ReadSequence(r io.Reader) (*Sequence, error) {
+	var head [7]uint32
+	if err := binary.Read(r, binary.LittleEndian, &head); err != nil {
+		return nil, fmt.Errorf("rrr: reading header: %w", err)
+	}
+	if head[0] != sequenceMagic {
+		return nil, fmt.Errorf("rrr: bad magic %#x", head[0])
+	}
+	n, b, sf := int(head[1]), int(head[2]), int(head[3])
+	nBlk, nSuper, offBits := int(head[4]), int(head[5]), int(head[6])
+	p := Params{BlockSize: b, SuperblockFactor: sf}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if nBlk != (n+b-1)/b || nSuper != (nBlk+sf-1)/sf {
+		return nil, fmt.Errorf("rrr: inconsistent header: n=%d b=%d sf=%d nBlk=%d nSuper=%d", n, b, sf, nBlk, nSuper)
+	}
+	if offBits < 0 || offBits > n+nBlk*4 {
+		return nil, fmt.Errorf("rrr: implausible offset length %d bits for %d-bit sequence", offBits, n)
+	}
+	table, err := TableFor(b)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sequence{
+		n: n, b: b, sf: sf, nBlk: nBlk, nSuper: nSuper,
+		table:      table,
+		classes:    make([]uint8, (nBlk+1)/2),
+		partialSum: make([]uint32, nSuper+1),
+		offsetSum:  make([]uint32, nSuper),
+		offsets:    make([]uint64, (offBits+63)/64),
+		offBits:    offBits,
+	}
+	if _, err := io.ReadFull(r, s.classes); err != nil {
+		return nil, fmt.Errorf("rrr: reading classes: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, s.partialSum); err != nil {
+		return nil, fmt.Errorf("rrr: reading partial sums: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, s.offsetSum); err != nil {
+		return nil, fmt.Errorf("rrr: reading offset sums: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, s.offsets); err != nil {
+		return nil, fmt.Errorf("rrr: reading offsets: %w", err)
+	}
+	// Integrity: every stored class must be <= b; the per-superblock
+	// partial sums and offset-sum entries must agree with the class array;
+	// and the offset widths of all blocks must sum to offBits. This makes
+	// corrupted inputs fail loudly instead of answering wrong ranks.
+	ones, width := 0, 0
+	for blk := 0; blk < nBlk; blk++ {
+		if blk%sf == 0 {
+			super := blk / sf
+			if int(s.partialSum[super]) != ones {
+				return nil, fmt.Errorf("rrr: partial sum of superblock %d is %d, classes say %d",
+					super, s.partialSum[super], ones)
+			}
+			if int(s.offsetSum[super]) != width {
+				return nil, fmt.Errorf("rrr: offset sum of superblock %d is %d, classes say %d",
+					super, s.offsetSum[super], width)
+			}
+		}
+		c := s.class(blk)
+		if c > b {
+			return nil, fmt.Errorf("rrr: block %d has class %d > b=%d", blk, c, b)
+		}
+		if w := table.Width(c); w > 0 {
+			if width+w > offBits {
+				return nil, fmt.Errorf("rrr: offset fields overrun the offset bit-vector at block %d", blk)
+			}
+			run := int(table.ClassOffset[c+1] - table.ClassOffset[c])
+			if off := int(readBits(s.offsets, width, w)); off >= run {
+				return nil, fmt.Errorf("rrr: block %d stores offset %d for class %d (only %d permutations)",
+					blk, off, c, run)
+			}
+		}
+		ones += c
+		width += table.Width(c)
+	}
+	if int(s.partialSum[nSuper]) != ones {
+		return nil, fmt.Errorf("rrr: total partial sum %d, classes say %d", s.partialSum[nSuper], ones)
+	}
+	if width != offBits {
+		return nil, fmt.Errorf("rrr: offset bits %d do not match classes (want %d)", offBits, width)
+	}
+	// The last block's class cannot exceed the bits actually present.
+	if nBlk > 0 {
+		if rem := n - (nBlk-1)*b; s.class(nBlk-1) > rem {
+			return nil, fmt.Errorf("rrr: final block class %d exceeds its %d bits", s.class(nBlk-1), rem)
+		}
+	}
+	return s, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,622 @@
+// Package server implements the BWaveR web application of §III-D: users
+// upload a reference (FASTA) and reads (FASTQ), plain or gzipped; the server
+// runs the three-step pipeline — BWT and SA computation, BWT encoding,
+// sequence mapping — and serves the mapping results for download. The
+// paper's Flask front-end becomes a net/http front-end; the FPGA co-processor
+// becomes the simulated device of internal/fpga, selectable per job.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bwaver/internal/core"
+	"bwaver/internal/dna"
+	"bwaver/internal/fastx"
+	"bwaver/internal/fmindex"
+	"bwaver/internal/fpga"
+	"bwaver/internal/readsim"
+	"bwaver/internal/rrr"
+)
+
+// JobState tracks a pipeline run.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Job is one mapping request moving through the pipeline.
+type Job struct {
+	ID      int
+	State   JobState
+	Error   string
+	Backend string // "cpu" or "fpga"
+	B, SF   int
+	// Mismatches is the substitution budget; 0 = exact matching.
+	Mismatches int
+
+	RefName   string
+	RefLength int
+	Reads     int
+	Mapped    int
+	// Done counts reads mapped so far while the job is running.
+	Done int
+
+	BuildTime time.Duration
+	MapTime   time.Duration
+	Created   time.Time
+
+	results []byte // TSV, available when done
+}
+
+// Server is the web application. Create with New and mount via Handler.
+type Server struct {
+	mu     sync.Mutex
+	jobs   map[int]*Job
+	nextID int
+	// MaxUploadBytes bounds request bodies; default 256 MiB.
+	MaxUploadBytes int64
+	// sem bounds how many pipelines run at once; index builds are
+	// memory-hungry (the suffix array alone is 4 bytes/base), so excess
+	// jobs wait in the queued state instead of exhausting the host.
+	sem chan struct{}
+	// wg lets tests wait for asynchronous jobs.
+	wg sync.WaitGroup
+}
+
+// DefaultMaxConcurrentJobs bounds simultaneously running pipelines.
+const DefaultMaxConcurrentJobs = 2
+
+// New creates an empty server.
+func New() *Server {
+	return &Server{
+		jobs:           map[int]*Job{},
+		nextID:         1,
+		MaxUploadBytes: 256 << 20,
+		sem:            make(chan struct{}, DefaultMaxConcurrentJobs),
+	}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleHome)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /api/jobs/{id}", s.handleJobJSON)
+	mux.HandleFunc("GET /api/jobs", s.handleJobsJSON)
+	mux.HandleFunc("GET /demo", s.handleDemo)
+	return mux
+}
+
+// jobJSON is the wire form of a job for the JSON API.
+type jobJSON struct {
+	ID        int     `json:"id"`
+	State     string  `json:"state"`
+	Error     string  `json:"error,omitempty"`
+	Backend   string  `json:"backend"`
+	B         int     `json:"b"`
+	SF        int     `json:"sf"`
+	RefName   string  `json:"ref_name"`
+	RefLength int     `json:"ref_length"`
+	Reads     int     `json:"reads"`
+	Mapped    int     `json:"mapped"`
+	Done      int     `json:"done"`
+	BuildMs   float64 `json:"build_ms"`
+	MapMs     float64 `json:"map_ms"`
+}
+
+func (j *Job) toJSON() jobJSON {
+	return jobJSON{
+		ID: j.ID, State: string(j.State), Error: j.Error, Backend: j.Backend,
+		B: j.B, SF: j.SF, RefName: j.RefName, RefLength: j.RefLength,
+		Reads: j.Reads, Mapped: j.Mapped, Done: j.Done,
+		BuildMs: float64(j.BuildTime) / float64(time.Millisecond),
+		MapMs:   float64(j.MapTime) / float64(time.Millisecond),
+	}
+}
+
+func (s *Server) handleJobJSON(w http.ResponseWriter, r *http.Request) {
+	job, err := s.jobByRequest(r)
+	if err != nil {
+		http.Error(w, `{"error":"not found"}`, http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	payload := job.toJSON()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(payload)
+}
+
+func (s *Server) handleJobsJSON(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]jobJSON, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j.toJSON())
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(jobs)
+}
+
+// Wait blocks until all running jobs finish; used by tests and shutdown.
+func (s *Server) Wait() { s.wg.Wait() }
+
+var homeTemplate = template.Must(template.New("home").Parse(`<!doctype html>
+<html><head><title>BWaveR</title></head><body>
+<h1>BWaveR — hybrid DNA sequence mapper</h1>
+<p>Upload a reference genome (FASTA) and query sequences (FASTQ), plain or gzipped.
+The pipeline computes the BWT and suffix array, encodes the BWT as a wavelet
+tree of RRR sequences, and maps every read and its reverse complement.</p>
+<form action="/jobs" method="post" enctype="multipart/form-data">
+<p>Reference (FASTA): <input type="file" name="reference" required></p>
+<p>Reads (FASTQ): <input type="file" name="reads" required></p>
+<p>Block size b: <input type="number" name="b" value="15" min="2" max="15"></p>
+<p>Superblock factor sf: <input type="number" name="sf" value="50" min="1"></p>
+<p>Mismatch budget: <input type="number" name="mismatches" value="0" min="0" max="4"> (0 = exact)</p>
+<p>Backend:
+<select name="backend">
+<option value="fpga">FPGA (simulated Alveo U200)</option>
+<option value="cpu">CPU</option>
+</select></p>
+<p><input type="submit" value="Map"></p>
+</form>
+<h2>Jobs</h2>
+<ul>{{range .}}<li><a href="/jobs/{{.ID}}">job {{.ID}}</a> — {{.State}} ({{.RefName}}, {{.Reads}} reads)</li>{{end}}</ul>
+<p>No data handy? <a href="/demo">Run a synthetic demo job</a>.</p>
+</body></html>`))
+
+var jobTemplate = template.Must(template.New("job").Parse(`<!doctype html>
+<html><head><title>BWaveR job {{.ID}}</title>
+{{if or (eq .State "queued") (eq .State "running")}}<meta http-equiv="refresh" content="2">{{end}}
+</head><body>
+<h1>Job {{.ID}} — {{.State}}</h1>
+{{if .Error}}<p style="color:red">{{.Error}}</p>{{end}}
+<table>
+<tr><td>Backend</td><td>{{.Backend}}</td></tr>
+<tr><td>RRR parameters</td><td>b={{.B}} sf={{.SF}}</td></tr>
+<tr><td>Reference</td><td>{{.RefName}} ({{.RefLength}} bp)</td></tr>
+<tr><td>Reads</td><td>{{.Reads}}</td></tr>
+<tr><td>Mapped</td><td>{{.Mapped}}</td></tr>
+<tr><td>Index build</td><td>{{.BuildTime}}</td></tr>
+<tr><td>Mapping</td><td>{{.MapTime}}</td></tr>
+</table>
+{{if eq .State "done"}}<p><a href="/jobs/{{.ID}}/results">Download results (TSV)</a></p>{{end}}
+<p><a href="/">Back</a></p>
+</body></html>`))
+
+func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := homeTemplate.Execute(w, jobs); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func formInt(r *http.Request, name string, def int) (int, error) {
+	v := r.FormValue(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: %w", name, err)
+	}
+	return n, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.MaxUploadBytes)
+	if err := r.ParseMultipartForm(s.MaxUploadBytes); err != nil {
+		http.Error(w, "bad upload: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	b, err := formInt(r, "b", 15)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sf, err := formInt(r, "sf", 50)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	mismatches, err := formInt(r, "mismatches", 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if mismatches < 0 || mismatches > fmindex.MaxMismatchBudget {
+		http.Error(w, fmt.Sprintf("mismatch budget must be in [0,%d]", fmindex.MaxMismatchBudget), http.StatusBadRequest)
+		return
+	}
+	backend := r.FormValue("backend")
+	if backend == "" {
+		backend = "fpga"
+	}
+	if backend != "cpu" && backend != "fpga" {
+		http.Error(w, "backend must be cpu or fpga", http.StatusBadRequest)
+		return
+	}
+	if err := (rrr.Params{BlockSize: b, SuperblockFactor: sf}).Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	refFile, _, err := r.FormFile("reference")
+	if err != nil {
+		http.Error(w, "missing reference upload", http.StatusBadRequest)
+		return
+	}
+	defer refFile.Close()
+	readsFile, _, err := r.FormFile("reads")
+	if err != nil {
+		http.Error(w, "missing reads upload", http.StatusBadRequest)
+		return
+	}
+	defer readsFile.Close()
+
+	ref, contigs, refName, err := parseReference(refFile)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	reads, ids, err := parseReads(readsFile)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	job := s.createJob(backend, b, sf, refName, len(ref), len(reads))
+	job.Mismatches = mismatches
+	s.startJob(job, ref, contigs, reads, ids)
+	http.Redirect(w, r, fmt.Sprintf("/jobs/%d", job.ID), http.StatusSeeOther)
+}
+
+// handleDemo runs the pipeline on a small synthetic dataset so the UI can be
+// exercised without files at hand.
+func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
+	ref, err := readsim.Genome(readsim.GenomeConfig{Length: 50000, Seed: time.Now().UnixNano(), RepeatFraction: 0.2})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	sim, err := readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: 1000, Length: 80, MappingRatio: 0.7, RevCompFraction: 0.5, Seed: 42,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	ids := make([]string, len(sim))
+	for i, rd := range sim {
+		ids[i] = rd.ID
+	}
+	job := s.createJob("fpga", 15, 50, "synthetic-demo", len(ref), len(sim))
+	s.startJob(job, ref, nil, readsim.Seqs(sim), ids)
+	http.Redirect(w, r, fmt.Sprintf("/jobs/%d", job.ID), http.StatusSeeOther)
+}
+
+func parseReference(r io.Reader) (dna.Seq, *core.ContigSet, string, error) {
+	recs, err := fastx.ReadAll(r)
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("reference: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, nil, "", errors.New("reference: no FASTA records")
+	}
+	// Multi-record references are concatenated; contig metadata lets the
+	// results translate back to per-record coordinates.
+	var all []byte
+	names := make([]string, len(recs))
+	lengths := make([]int, len(recs))
+	for i, rec := range recs {
+		all = append(all, rec.Seq...)
+		names[i] = rec.ID
+		lengths[i] = len(rec.Seq)
+	}
+	seq, _ := dna.Sanitize(all, dna.A)
+	contigs, err := core.NewContigSet(names, lengths)
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("reference: %w", err)
+	}
+	return seq, contigs, recs[0].ID, nil
+}
+
+func parseReads(r io.Reader) ([]dna.Seq, []string, error) {
+	recs, err := fastx.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reads: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, nil, errors.New("reads: no records")
+	}
+	seqs := make([]dna.Seq, len(recs))
+	ids := make([]string, len(recs))
+	for i, rec := range recs {
+		seqs[i], _ = dna.Sanitize(rec.Seq, dna.A)
+		ids[i] = rec.ID
+	}
+	return seqs, ids, nil
+}
+
+func (s *Server) createJob(backend string, b, sf int, refName string, refLen, reads int) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job := &Job{
+		ID: s.nextID, State: StateQueued, Backend: backend, B: b, SF: sf,
+		RefName: refName, RefLength: refLen, Reads: reads, Created: time.Now(),
+	}
+	s.nextID++
+	s.jobs[job.ID] = job
+	return job
+}
+
+func (s *Server) startJob(job *Job, ref dna.Seq, contigs *core.ContigSet, reads []dna.Seq, ids []string) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		err := s.runJob(job, ref, contigs, reads, ids)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err != nil {
+			job.State = StateFailed
+			job.Error = err.Error()
+		} else {
+			job.State = StateDone
+		}
+	}()
+}
+
+func (s *Server) runJob(job *Job, ref dna.Seq, contigs *core.ContigSet, reads []dna.Seq, ids []string) error {
+	s.mu.Lock()
+	job.State = StateRunning
+	s.mu.Unlock()
+
+	// Steps 1+2: BWT/SA computation and succinct encoding.
+	buildStart := time.Now()
+	ix, err := core.BuildIndex(ref, core.IndexConfig{
+		RRR: rrr.Params{BlockSize: job.B, SuperblockFactor: job.SF},
+	})
+	if err != nil {
+		return err
+	}
+	if contigs != nil {
+		if err := ix.SetContigs(contigs); err != nil {
+			return err
+		}
+	}
+	buildTime := time.Since(buildStart)
+
+	var buf bytes.Buffer
+	var mapped int
+	var mapTime time.Duration
+	if job.Mismatches > 0 {
+		mapped, mapTime, err = s.runApprox(job, ix, reads, ids, &buf)
+	} else {
+		mapped, mapTime, err = s.runExact(job, ix, reads, ids, &buf)
+	}
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.BuildTime = buildTime
+	job.MapTime = mapTime
+	job.Mapped = mapped
+	job.results = buf.Bytes()
+	return nil
+}
+
+// runExact is pipeline step 3 for exact matching on either backend.
+func (s *Server) runExact(job *Job, ix *core.Index, reads []dna.Seq, ids []string, buf *bytes.Buffer) (int, time.Duration, error) {
+	var (
+		results []core.MapResult
+		mapTime time.Duration
+	)
+	if job.Backend == "fpga" {
+		dev, err := fpga.NewDevice(fpga.Config{})
+		if err != nil {
+			return 0, 0, err
+		}
+		kernel, err := dev.Program(ix)
+		if err != nil {
+			return 0, 0, err
+		}
+		run, err := kernel.MapReads(reads)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := kernel.LocateResults(run.Results); err != nil {
+			return 0, 0, err
+		}
+		results = run.Results
+		mapTime = run.Profile.Total()
+	} else {
+		var stats core.MapStats
+		var err error
+		results, stats, err = ix.MapReads(reads, core.MapOptions{
+			Locate: true, Workers: -1,
+			Progress: func(done, total int) {
+				s.mu.Lock()
+				job.Done = done
+				s.mu.Unlock()
+			},
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		mapTime = stats.Elapsed
+	}
+	mapped := writeResultsTSV(buf, ix.Contigs(), ids, reads, results)
+	return mapped, mapTime, nil
+}
+
+// runApprox is step 3 with a mismatch budget: the two-pass reconfigurable
+// flow on the FPGA model, the branching search on the CPU.
+func (s *Server) runApprox(job *Job, ix *core.Index, reads []dna.Seq, ids []string, buf *bytes.Buffer) (int, time.Duration, error) {
+	type row struct {
+		mapped      bool
+		bestMM      int
+		occurrences int
+	}
+	rows := make([]row, len(reads))
+	var mapTime time.Duration
+	if job.Backend == "fpga" {
+		dev, err := fpga.NewDevice(fpga.Config{})
+		if err != nil {
+			return 0, 0, err
+		}
+		kernel, err := dev.Program(ix)
+		if err != nil {
+			return 0, 0, err
+		}
+		run, err := kernel.MapReadsTwoPass(reads, job.Mismatches)
+		if err != nil {
+			return 0, 0, err
+		}
+		mapTime = run.Profile.Total()
+		for i, exact := range run.Exact {
+			if exact.Mapped() {
+				rows[i] = row{mapped: true, bestMM: 0, occurrences: exact.Occurrences()}
+				continue
+			}
+			res := run.Approx[i]
+			rows[i] = row{mapped: res.Mapped(), bestMM: res.BestMismatches(), occurrences: res.Occurrences()}
+		}
+	} else {
+		start := time.Now()
+		for i, read := range reads {
+			res, err := ix.MapReadApprox(read, job.Mismatches)
+			if err != nil {
+				return 0, 0, err
+			}
+			rows[i] = row{mapped: res.Mapped(), bestMM: res.BestMismatches(), occurrences: res.Occurrences()}
+		}
+		mapTime = time.Since(start)
+	}
+	fmt.Fprintln(buf, "read\tmapped\tbest_mismatches\toccurrences")
+	mapped := 0
+	for i, r := range rows {
+		if r.mapped {
+			mapped++
+		}
+		fmt.Fprintf(buf, "%s\t%t\t%d\t%d\n", ids[i], r.mapped, r.bestMM, r.occurrences)
+	}
+	return mapped, mapTime, nil
+}
+
+// writeResultsTSV emits one row per read: id, mapped flag, per-strand
+// occurrence counts and positions (contig-relative when the reference had
+// multiple records). It returns the mapped-read count.
+func writeResultsTSV(w io.Writer, contigs *core.ContigSet, ids []string, reads []dna.Seq, results []core.MapResult) int {
+	fmt.Fprintln(w, "read\tmapped\tfw_count\tfw_positions\trc_count\trc_positions")
+	mapped := 0
+	for i, res := range results {
+		if res.Mapped() {
+			mapped++
+		}
+		span := len(reads[i])
+		fmt.Fprintf(w, "%s\t%t\t%d\t%s\t%d\t%s\n",
+			ids[i], res.Mapped(),
+			res.Forward.Count(), joinPositions(contigs, res.ForwardPositions, span),
+			res.Reverse.Count(), joinPositions(contigs, res.ReversePositions, span))
+	}
+	return mapped
+}
+
+func joinPositions(contigs *core.ContigSet, ps []int32, span int) string {
+	if len(ps) == 0 {
+		return "-"
+	}
+	sorted := append([]int32(nil), ps...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	parts := make([]string, 0, len(sorted))
+	for _, p := range sorted {
+		if contigs != nil && contigs.Count() > 1 {
+			if c, off, ok := contigs.Resolve(int(p), span); ok {
+				parts = append(parts, fmt.Sprintf("%s:%d", c.Name, off))
+			} else {
+				parts = append(parts, fmt.Sprintf("boundary@%d", p))
+			}
+		} else {
+			parts = append(parts, strconv.Itoa(int(p)))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *Server) jobByRequest(r *http.Request) (*Job, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return nil, fmt.Errorf("bad job id %q", r.PathValue("id"))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("job %d not found", id)
+	}
+	return job, nil
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.jobByRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	snapshot := *job
+	s.mu.Unlock()
+	snapshot.results = nil
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := jobTemplate.Execute(w, snapshot); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	job, err := s.jobByRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	state := job.State
+	results := job.results
+	s.mu.Unlock()
+	if state != StateDone {
+		http.Error(w, fmt.Sprintf("job is %s; results not available", state), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=bwaver-job-%d.tsv", job.ID))
+	w.Write(results)
+}

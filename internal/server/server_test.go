@@ -1,0 +1,527 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bwaver/internal/core"
+	"bwaver/internal/dna"
+	"bwaver/internal/fastx"
+	"bwaver/internal/readsim"
+)
+
+// buildUpload assembles a multipart request body with the given files and
+// form fields.
+func buildUpload(t *testing.T, fields map[string]string, files map[string][]byte) (*bytes.Buffer, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for k, v := range fields {
+		if err := mw.WriteField(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, content := range files {
+		fw, err := mw.CreateFormFile(name, name+".txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mw.Close()
+	return &buf, mw.FormDataContentType()
+}
+
+func testData(t *testing.T) (refFasta, readsFastq []byte, reads []readsim.Read) {
+	t.Helper()
+	ref, err := readsim.Genome(readsim.GenomeConfig{Length: 5000, Seed: 9, RepeatFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: 50, Length: 40, MappingRatio: 0.6, RevCompFraction: 0.5, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb bytes.Buffer
+	fw := fastx.NewWriter(&fb, fastx.FASTA, false)
+	if err := fw.Write(&fastx.Record{ID: "testref", Seq: []byte(ref.String())}); err != nil {
+		t.Fatal(err)
+	}
+	fw.Close()
+	var qb bytes.Buffer
+	qw := fastx.NewWriter(&qb, fastx.FASTQ, false)
+	for _, r := range sim {
+		if err := qw.Write(&fastx.Record{ID: r.ID, Seq: []byte(r.Seq.String())}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qw.Close()
+	return fb.Bytes(), qb.Bytes(), sim
+}
+
+func submitJob(t *testing.T, s *Server, ts *httptest.Server, fields map[string]string, files map[string][]byte) string {
+	t.Helper()
+	body, ctype := buildUpload(t, fields, files)
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Post(ts.URL+"/jobs", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusSeeOther {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit returned %d: %s", resp.StatusCode, b)
+	}
+	return resp.Header.Get("Location")
+}
+
+func TestFullPipelineViaHTTP(t *testing.T) {
+	for _, backend := range []string{"cpu", "fpga"} {
+		t.Run(backend, func(t *testing.T) {
+			refFasta, readsFastq, sim := testData(t)
+			s := New()
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			loc := submitJob(t, s, ts,
+				map[string]string{"b": "15", "sf": "50", "backend": backend},
+				map[string][]byte{"reference": refFasta, "reads": readsFastq})
+			s.Wait()
+
+			// Job page should render as done.
+			resp, err := http.Get(ts.URL + loc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			page, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if !strings.Contains(string(page), "done") {
+				t.Fatalf("job page not done:\n%s", page)
+			}
+
+			// Results TSV must agree with the simulated truth.
+			resp, err = http.Get(ts.URL + loc + "/results")
+			if err != nil {
+				t.Fatal(err)
+			}
+			tsv, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("results status %d: %s", resp.StatusCode, tsv)
+			}
+			lines := strings.Split(strings.TrimSpace(string(tsv)), "\n")
+			if len(lines) != len(sim)+1 {
+				t.Fatalf("%d result lines, want %d", len(lines), len(sim)+1)
+			}
+			byID := map[string]string{}
+			for _, line := range lines[1:] {
+				fields := strings.Split(line, "\t")
+				byID[fields[0]] = fields[1]
+			}
+			for _, r := range sim {
+				wantMapped := fmt.Sprintf("%t", r.Origin >= 0)
+				if byID[r.ID] != wantMapped {
+					t.Errorf("read %s: mapped=%s, want %s", r.ID, byID[r.ID], wantMapped)
+				}
+			}
+		})
+	}
+}
+
+func TestGzippedUploads(t *testing.T) {
+	refFasta, readsFastq, _ := testData(t)
+	gzipped := func(b []byte) []byte {
+		var buf bytes.Buffer
+		gw := gzip.NewWriter(&buf)
+		gw.Write(b)
+		gw.Close()
+		return buf.Bytes()
+	}
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	loc := submitJob(t, s, ts,
+		map[string]string{"backend": "cpu"},
+		map[string][]byte{"reference": gzipped(refFasta), "reads": gzipped(readsFastq)})
+	s.Wait()
+	resp, err := http.Get(ts.URL + loc + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gzipped job failed: %d", resp.StatusCode)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	refFasta, readsFastq, _ := testData(t)
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(fields map[string]string, files map[string][]byte) int {
+		body, ctype := buildUpload(t, fields, files)
+		resp, err := http.Post(ts.URL+"/jobs", ctype, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	if code := post(map[string]string{"b": "99"}, map[string][]byte{"reference": refFasta, "reads": readsFastq}); code != http.StatusBadRequest {
+		t.Errorf("invalid b accepted: %d", code)
+	}
+	if code := post(map[string]string{"b": "abc"}, map[string][]byte{"reference": refFasta, "reads": readsFastq}); code != http.StatusBadRequest {
+		t.Errorf("non-numeric b accepted: %d", code)
+	}
+	if code := post(map[string]string{"backend": "gpu"}, map[string][]byte{"reference": refFasta, "reads": readsFastq}); code != http.StatusBadRequest {
+		t.Errorf("bad backend accepted: %d", code)
+	}
+	if code := post(nil, map[string][]byte{"reads": readsFastq}); code != http.StatusBadRequest {
+		t.Errorf("missing reference accepted: %d", code)
+	}
+	if code := post(nil, map[string][]byte{"reference": refFasta}); code != http.StatusBadRequest {
+		t.Errorf("missing reads accepted: %d", code)
+	}
+	if code := post(nil, map[string][]byte{"reference": []byte("garbage"), "reads": readsFastq}); code != http.StatusBadRequest {
+		t.Errorf("garbage reference accepted: %d", code)
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/jobs/999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job returned %d", resp.StatusCode)
+	}
+	resp2, err := http.Get(ts.URL + "/jobs/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("bad job id returned %d", resp2.StatusCode)
+	}
+}
+
+func TestResultsBeforeDone(t *testing.T) {
+	s := New()
+	job := s.createJob("cpu", 15, 50, "x", 100, 10)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%d/results", ts.URL, job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("queued job results returned %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestHomeListsJobs(t *testing.T) {
+	s := New()
+	s.createJob("cpu", 15, 50, "refA", 100, 10)
+	s.createJob("fpga", 15, 50, "refB", 100, 10)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	page, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"refA", "refB", "BWaveR"} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("home page missing %q", want)
+		}
+	}
+}
+
+func TestDemoJob(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Get(ts.URL + "/demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusSeeOther {
+		t.Fatalf("demo returned %d", resp.StatusCode)
+	}
+	s.Wait()
+	loc := resp.Header.Get("Location")
+	res, err := http.Get(ts.URL + loc + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("demo results returned %d", res.StatusCode)
+	}
+}
+
+func TestJoinPositions(t *testing.T) {
+	if got := joinPositions(nil, nil, 10); got != "-" {
+		t.Errorf("joinPositions(nil) = %q", got)
+	}
+	if got := joinPositions(nil, []int32{30, 10, 20}, 10); got != "10,20,30" {
+		t.Errorf("joinPositions = %q, want sorted", got)
+	}
+	cs, err := core.NewContigSet([]string{"a", "b"}, []int{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := joinPositions(cs, []int32{150, 95}, 10); got != "boundary@95,b:50" {
+		t.Errorf("contig joinPositions = %q", got)
+	}
+}
+
+func TestParseReferenceConcatenatesRecords(t *testing.T) {
+	in := strings.NewReader(">a\nACGT\n>b\nTTTT\n")
+	seq, contigs, name, err := parseReference(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "a" || !seq.Equal(dna.MustParseSeq("ACGTTTTT")) {
+		t.Errorf("parseReference = %q %q", name, seq)
+	}
+	if contigs == nil || contigs.Count() != 2 || contigs.Contig(1).Name != "b" {
+		t.Errorf("parseReference contigs wrong: %+v", contigs)
+	}
+}
+
+func TestJSONAPI(t *testing.T) {
+	refFasta, readsFastq, sim := testData(t)
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	loc := submitJob(t, s, ts,
+		map[string]string{"backend": "cpu"},
+		map[string][]byte{"reference": refFasta, "reads": readsFastq})
+	s.Wait()
+
+	resp, err := http.Get(ts.URL + "/api" + loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var payload struct {
+		State   string  `json:"state"`
+		Reads   int     `json:"reads"`
+		Mapped  int     `json:"mapped"`
+		Backend string  `json:"backend"`
+		MapMs   float64 `json:"map_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.State != "done" || payload.Reads != len(sim) || payload.Backend != "cpu" {
+		t.Errorf("payload wrong: %+v", payload)
+	}
+	wantMapped := 0
+	for _, r := range sim {
+		if r.Origin >= 0 {
+			wantMapped++
+		}
+	}
+	if payload.Mapped != wantMapped {
+		t.Errorf("mapped %d, want %d", payload.Mapped, wantMapped)
+	}
+
+	// The list endpoint must include the job.
+	listResp, err := http.Get(ts.URL + "/api/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listResp.Body.Close()
+	var list []struct {
+		ID int `json:"id"`
+	}
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != 1 {
+		t.Errorf("job list wrong: %+v", list)
+	}
+
+	// Missing job: 404 JSON.
+	missing, err := http.Get(ts.URL + "/api/jobs/99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job returned %d", missing.StatusCode)
+	}
+}
+
+func TestConcurrentJobsBounded(t *testing.T) {
+	refFasta, readsFastq, _ := testData(t)
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// Fire more jobs than the concurrency limit; all must finish correctly.
+	const jobs = 6
+	for i := 0; i < jobs; i++ {
+		submitJob(t, s, ts,
+			map[string]string{"backend": "cpu"},
+			map[string][]byte{"reference": refFasta, "reads": readsFastq})
+	}
+	s.Wait()
+	resp, err := http.Get(ts.URL + "/api/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []struct {
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != jobs {
+		t.Fatalf("%d jobs listed, want %d", len(list), jobs)
+	}
+	for i, j := range list {
+		if j.State != "done" {
+			t.Errorf("job %d state %q, want done", i, j.State)
+		}
+	}
+}
+
+func TestMismatchJob(t *testing.T) {
+	// Reads with one substitution each: exact jobs miss them, a mismatch
+	// budget of 1 maps them.
+	ref, err := readsim.Genome(readsim.GenomeConfig{Length: 6000, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: 30, Length: 50, MappingRatio: 1, ErrorRate: 0.02, Seed: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb bytes.Buffer
+	fw := fastx.NewWriter(&fb, fastx.FASTA, false)
+	fw.Write(&fastx.Record{ID: "ref", Seq: []byte(ref.String())})
+	fw.Close()
+	var qb bytes.Buffer
+	qw := fastx.NewWriter(&qb, fastx.FASTQ, false)
+	for _, r := range sim {
+		qw.Write(&fastx.Record{ID: r.ID, Seq: []byte(r.Seq.String())})
+	}
+	qw.Close()
+
+	for _, backend := range []string{"cpu", "fpga"} {
+		s := New()
+		ts := httptest.NewServer(s.Handler())
+		loc := submitJob(t, s, ts,
+			map[string]string{"backend": backend, "mismatches": "2"},
+			map[string][]byte{"reference": fb.Bytes(), "reads": qb.Bytes()})
+		s.Wait()
+		resp, err := http.Get(ts.URL + loc + "/results")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tsv, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		ts.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: results status %d: %s", backend, resp.StatusCode, tsv)
+		}
+		lines := strings.Split(strings.TrimSpace(string(tsv)), "\n")
+		if !strings.Contains(lines[0], "best_mismatches") {
+			t.Fatalf("%s: approx TSV header wrong: %q", backend, lines[0])
+		}
+		byID := map[string][]string{}
+		for _, line := range lines[1:] {
+			f := strings.Split(line, "\t")
+			byID[f[0]] = f
+		}
+		for _, r := range sim {
+			if r.Errors > 2 {
+				continue
+			}
+			f := byID[r.ID]
+			if f == nil || f[1] != "true" {
+				t.Errorf("%s: read %s with %d errors not mapped: %v", backend, r.ID, r.Errors, f)
+			}
+		}
+	}
+	// Budget out of range rejected.
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body, ctype := buildUpload(t, map[string]string{"mismatches": "9"},
+		map[string][]byte{"reference": fb.Bytes(), "reads": qb.Bytes()})
+	resp, err := http.Post(ts.URL+"/jobs", ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("excessive budget accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestMultiContigServerResults(t *testing.T) {
+	g1, _ := readsim.Genome(readsim.GenomeConfig{Length: 2000, Seed: 16})
+	g2, _ := readsim.Genome(readsim.GenomeConfig{Length: 1500, Seed: 17})
+	var fb bytes.Buffer
+	fw := fastx.NewWriter(&fb, fastx.FASTA, false)
+	fw.Write(&fastx.Record{ID: "chrA", Seq: []byte(g1.String())})
+	fw.Write(&fastx.Record{ID: "chrB", Seq: []byte(g2.String())})
+	fw.Close()
+	var qb bytes.Buffer
+	qw := fastx.NewWriter(&qb, fastx.FASTQ, false)
+	qw.Write(&fastx.Record{ID: "inB", Seq: []byte(g2[300:350].String())})
+	qw.Close()
+
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	loc := submitJob(t, s, ts, map[string]string{"backend": "cpu"},
+		map[string][]byte{"reference": fb.Bytes(), "reads": qb.Bytes()})
+	s.Wait()
+	resp, err := http.Get(ts.URL + loc + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	tsv, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(tsv), "chrB:300") {
+		t.Errorf("contig-relative position missing:\n%s", tsv)
+	}
+}

@@ -1,0 +1,142 @@
+// Package stats provides the small descriptive-statistics toolkit the
+// examples and benches share: summaries (mean/stddev/percentiles) and
+// fixed-width histograms with terminal rendering.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N            int
+	Min, Max     float64
+	Mean, StdDev float64
+	Median       float64
+	P5, P95      float64
+}
+
+// Summarize computes a Summary; it returns the zero value for an empty
+// sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // numeric guard
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		StdDev: math.Sqrt(variance),
+		Median: Percentile(sorted, 50),
+		P5:     Percentile(sorted, 5),
+		P95:    Percentile(sorted, 95),
+	}
+}
+
+// Percentile returns the p-th percentile (0-100) of an ascending-sorted
+// sample using linear interpolation. It panics on an unsorted hint only in
+// the sense of returning nonsense; callers sort first (Summarize does).
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram is a fixed-width-bucket histogram over [Min, Max).
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	// Under and Over count samples outside [Min, Max).
+	Under, Over int
+	total       int
+}
+
+// NewHistogram creates a histogram with the given bucket count.
+func NewHistogram(min, max float64, buckets int) (*Histogram, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("stats: bucket count %d must be >= 1", buckets)
+	}
+	if !(min < max) {
+		return nil, fmt.Errorf("stats: histogram range [%v,%v) is empty", min, max)
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, buckets)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Min:
+		h.Under++
+	case x >= h.Max:
+		h.Over++
+	default:
+		i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // exact-max float rounding
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of recorded samples, including out-of-range.
+func (h *Histogram) Total() int { return h.total }
+
+// BucketBounds returns bucket i's [lo, hi) range.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + float64(i)*w, h.Min + float64(i+1)*w
+}
+
+// Render writes a terminal bar chart, one line per bucket, bars scaled to
+// width characters.
+func (h *Histogram) Render(w io.Writer, width int) {
+	if width < 1 {
+		width = 40
+	}
+	peak := 1
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range h.Counts {
+		lo, hi := h.BucketBounds(i)
+		bar := strings.Repeat("#", c*width/peak)
+		fmt.Fprintf(w, "  [%8.1f,%8.1f) %9d %s\n", lo, hi, c, bar)
+	}
+	if h.Under > 0 || h.Over > 0 {
+		fmt.Fprintf(w, "  out of range: %d under, %d over\n", h.Under, h.Over)
+	}
+}

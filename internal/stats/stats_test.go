@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeFixed(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Errorf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("stddev %v, want sqrt(2)", s.StdDev)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.StdDev != 0 || s.Median != 7 {
+		t.Errorf("single summary: %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {-5, 10}, {150, 40},
+		{50, 25}, {25, 17.5}, {75, 32.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		clean := raw[:0:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		s := Summarize(clean)
+		if len(clean) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.P5 <= s.Median && s.Median <= s.P95 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("out of range: under=%d over=%d", h.Under, h.Over)
+	}
+	want := []int{2, 1, 1, 0, 1}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], c)
+		}
+	}
+	lo, hi := h.BucketBounds(2)
+	if lo != 4 || hi != 6 {
+		t.Errorf("BucketBounds(2) = %v,%v", lo, hi)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("accepted zero buckets")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("accepted empty range")
+	}
+	if _, err := NewHistogram(9, 2, 3); err == nil {
+		t.Error("accepted inverted range")
+	}
+}
+
+func TestHistogramCoversAllSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h, _ := NewHistogram(-3, 3, 12)
+	for i := 0; i < 10000; i++ {
+		h.Add(rng.NormFloat64())
+	}
+	inBuckets := 0
+	for _, c := range h.Counts {
+		inBuckets += c
+	}
+	if inBuckets+h.Under+h.Over != h.Total() {
+		t.Error("samples lost")
+	}
+	var sb strings.Builder
+	h.Render(&sb, 40)
+	if strings.Count(sb.String(), "\n") < 12 {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRenderEmptyHistogram(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 3)
+	var sb strings.Builder
+	h.Render(&sb, 0) // width <= 0 defaults
+	if sb.Len() == 0 {
+		t.Error("no output")
+	}
+}

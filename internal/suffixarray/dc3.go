@@ -1,0 +1,180 @@
+package suffixarray
+
+// BuildDC3 returns the suffix array of text·$ using the DC3 (skew)
+// algorithm of Kärkkäinen and Sanders — the third independent linear-time
+// construction in this package. Three mutually-checking implementations
+// (SA-IS, prefix doubling, DC3) give the BWT stage a very strong
+// correctness footing, since every downstream structure inherits its
+// ordering from the suffix array.
+func BuildDC3(text []uint8, sigma int) ([]int32, error) {
+	if err := checkText(text, sigma); err != nil {
+		return nil, err
+	}
+	n := len(text) + 1
+	// Symbols shifted so the explicit sentinel 1 is the unique smallest
+	// non-zero value; DC3 needs three zero pads at the end.
+	s := make([]int32, n+3)
+	for i, c := range text {
+		s[i] = int32(c) + 2
+	}
+	s[n-1] = 1
+	sa := make([]int32, n)
+	dc3(s, sa, n, sigma+2)
+	return sa, nil
+}
+
+// leq2 and leq3 are lexicographic pair/triple comparisons.
+func leq2(a1, a2, b1, b2 int32) bool {
+	return a1 < b1 || (a1 == b1 && a2 <= b2)
+}
+
+func leq3(a1, a2, a3, b1, b2, b3 int32) bool {
+	return a1 < b1 || (a1 == b1 && leq2(a2, a3, b2, b3))
+}
+
+// radixPass stably sorts a[0..n) into b by r[a[i]], keys in [0, k).
+func radixPass(a, b, r []int32, n, k int) {
+	count := make([]int32, k+1)
+	for i := 0; i < n; i++ {
+		count[r[a[i]]]++
+	}
+	var sum int32
+	for i := 0; i <= k; i++ {
+		count[i], sum = sum, sum+count[i]
+	}
+	for i := 0; i < n; i++ {
+		b[count[r[a[i]]]] = a[i]
+		count[r[a[i]]]++
+	}
+}
+
+// dc3 computes the suffix array of s[0..n) into sa. s must have values in
+// [1, k) and s[n] = s[n+1] = s[n+2] = 0.
+func dc3(s, sa []int32, n, k int) {
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		sa[0] = 0
+		return
+	}
+	if n == 2 {
+		if leq2(s[0], s[1], s[1], 0) {
+			sa[0], sa[1] = 0, 1
+		} else {
+			sa[0], sa[1] = 1, 0
+		}
+		return
+	}
+	n0 := (n + 2) / 3
+	n1 := (n + 1) / 3
+	n2 := n / 3
+	n02 := n0 + n2
+
+	s12 := make([]int32, n02+3)
+	sa12 := make([]int32, n02+3)
+	s0 := make([]int32, n0)
+	sa0 := make([]int32, n0)
+
+	// Positions i mod 3 != 0; the n0-n1 padding suffix keeps the recursion
+	// aligned when n%3 == 1.
+	j := 0
+	for i := 0; i < n+(n0-n1); i++ {
+		if i%3 != 0 {
+			s12[j] = int32(i)
+			j++
+		}
+	}
+
+	// Radix sort the mod-1/2 triples.
+	radixPass(s12, sa12, s[2:], n02, k)
+	radixPass(sa12, s12, s[1:], n02, k)
+	radixPass(s12, sa12, s, n02, k)
+
+	// Name the triples.
+	name := int32(0)
+	c0, c1, c2 := int32(-1), int32(-1), int32(-1)
+	for i := 0; i < n02; i++ {
+		if s[sa12[i]] != c0 || s[sa12[i]+1] != c1 || s[sa12[i]+2] != c2 {
+			name++
+			c0, c1, c2 = s[sa12[i]], s[sa12[i]+1], s[sa12[i]+2]
+		}
+		if sa12[i]%3 == 1 {
+			s12[sa12[i]/3] = name // left half
+		} else {
+			s12[sa12[i]/3+int32(n0)] = name // right half
+		}
+	}
+
+	if int(name) < n02 {
+		// Names collide: recurse on the half-length string.
+		dc3(s12, sa12, n02, int(name)+1)
+		// Store unique names in s12 using the suffix array.
+		for i := 0; i < n02; i++ {
+			s12[sa12[i]] = int32(i) + 1
+		}
+	} else {
+		// Names unique: derive the sample suffix array directly.
+		for i := 0; i < n02; i++ {
+			sa12[s12[i]-1] = int32(i)
+		}
+	}
+
+	// Sort the mod-0 suffixes by (first char, rank of following mod-1).
+	j = 0
+	for i := 0; i < n02; i++ {
+		if sa12[i] < int32(n0) {
+			s0[j] = 3 * sa12[i]
+			j++
+		}
+	}
+	radixPass(s0, sa0, s, n0, k)
+
+	// Merge the sorted mod-0 and sorted mod-1/2 suffixes.
+	getI := func(t int) int32 {
+		if sa12[t] < int32(n0) {
+			return sa12[t]*3 + 1
+		}
+		return (sa12[t]-int32(n0))*3 + 2
+	}
+	rank12 := func(pos int32) int32 {
+		// rank of suffix pos (pos mod 3 != 0) in the sample.
+		if pos%3 == 1 {
+			return s12[pos/3]
+		}
+		return s12[pos/3+int32(n0)]
+	}
+	p := 0
+	t := n0 - n1 // skip the padding suffix when n%3 == 1
+	for kk := 0; kk < n; kk++ {
+		i := getI(t) // current mod-1/2 suffix
+		jj := sa0[p] // current mod-0 suffix
+		var smaller bool
+		if i%3 == 1 {
+			smaller = leq2(s[i], rank12(i+1), s[jj], rank12(jj+1))
+		} else {
+			smaller = leq3(s[i], s[i+1], rank12(i+2), s[jj], s[jj+1], rank12(jj+2))
+		}
+		if smaller {
+			sa[kk] = i
+			t++
+			if t == n02 {
+				// Sample exhausted: copy the remaining mod-0 suffixes.
+				for kk++; p < n0; p, kk = p+1, kk+1 {
+					sa[kk] = sa0[p]
+				}
+				return
+			}
+		} else {
+			sa[kk] = jj
+			p++
+			if p == n0 {
+				// Mod-0 exhausted: copy the remaining sample suffixes.
+				for kk++; t < n02; t, kk = t+1, kk+1 {
+					sa[kk] = getI(t)
+				}
+				return
+			}
+		}
+	}
+}

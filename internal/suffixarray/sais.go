@@ -1,0 +1,196 @@
+// Package suffixarray builds suffix arrays for the BWT stage of BWaveR.
+//
+// The paper's host pipeline (§III-D step 1) computes the suffix array and
+// BWT of the reference before encoding. This package provides three
+// independent constructions that cross-check one another — linear-time
+// SA-IS (the production path), the linear-time DC3/skew algorithm, and an
+// O(n log^2 n) prefix-doubling construction — plus a naive construction
+// used only by tests. Every downstream structure inherits its ordering
+// from the suffix array, so this redundancy anchors the whole repository's
+// correctness.
+//
+// All constructions operate on a text over symbols [0, sigma) and return the
+// suffix array of text·$ where $ is a virtual sentinel smaller than every
+// symbol: the result has length len(text)+1 and its first entry is always
+// len(text) (the sentinel suffix).
+package suffixarray
+
+import "fmt"
+
+// Build returns the suffix array of text·$ using the SA-IS linear-time
+// algorithm. Symbols of text must lie in [0, sigma).
+func Build(text []uint8, sigma int) ([]int32, error) {
+	if err := checkText(text, sigma); err != nil {
+		return nil, err
+	}
+	n := len(text) + 1
+	// Shift symbols up by one so the appended sentinel 0 is unique smallest.
+	t := make([]int32, n)
+	for i, c := range text {
+		t[i] = int32(c) + 1
+	}
+	t[n-1] = 0
+	sa := make([]int32, n)
+	sais(t, sa, sigma+1)
+	return sa, nil
+}
+
+func checkText(text []uint8, sigma int) error {
+	if sigma < 1 || sigma > 256 {
+		return fmt.Errorf("suffixarray: alphabet size %d out of range [1,256]", sigma)
+	}
+	if len(text) > 1<<31-2 {
+		return fmt.Errorf("suffixarray: text of %d symbols exceeds int32 indexing", len(text))
+	}
+	for i, c := range text {
+		if int(c) >= sigma {
+			return fmt.Errorf("suffixarray: symbol %d at position %d outside alphabet [0,%d)", c, i, sigma)
+		}
+	}
+	return nil
+}
+
+// sais computes the suffix array of t into sa. t must end with a unique
+// sentinel 0 that is strictly smaller than all other symbols, all of which
+// lie in [0, sigma).
+func sais(t []int32, sa []int32, sigma int) {
+	n := len(t)
+	switch n {
+	case 0:
+		return
+	case 1:
+		sa[0] = 0
+		return
+	case 2:
+		sa[0], sa[1] = 1, 0
+		return
+	}
+
+	// Classify suffixes: S-type if t[i:] < t[i+1:], L-type otherwise.
+	isS := make([]bool, n)
+	isS[n-1] = true
+	for i := n - 2; i >= 0; i-- {
+		isS[i] = t[i] < t[i+1] || (t[i] == t[i+1] && isS[i+1])
+	}
+	isLMS := func(i int) bool { return i > 0 && isS[i] && !isS[i-1] }
+
+	bkt := make([]int32, sigma)
+	for _, c := range t {
+		bkt[c]++
+	}
+	bucketBounds := func(ends bool) []int32 {
+		b := make([]int32, sigma)
+		var sum int32
+		for c := 0; c < sigma; c++ {
+			sum += bkt[c]
+			if ends {
+				b[c] = sum
+			} else {
+				b[c] = sum - bkt[c]
+			}
+		}
+		return b
+	}
+
+	// induce sorts all suffixes given the LMS suffixes in ascending order.
+	induce := func(lms []int32) {
+		for i := range sa {
+			sa[i] = -1
+		}
+		b := bucketBounds(true)
+		for i := len(lms) - 1; i >= 0; i-- {
+			p := lms[i]
+			b[t[p]]--
+			sa[b[t[p]]] = p
+		}
+		b = bucketBounds(false)
+		for i := 0; i < n; i++ {
+			if j := sa[i] - 1; sa[i] > 0 && !isS[j] {
+				sa[b[t[j]]] = j
+				b[t[j]]++
+			}
+		}
+		b = bucketBounds(true)
+		for i := n - 1; i >= 0; i-- {
+			if j := sa[i] - 1; sa[i] > 0 && isS[j] {
+				b[t[j]]--
+				sa[b[t[j]]] = j
+			}
+		}
+	}
+
+	// LMS positions in text order.
+	var lms []int32
+	for i := 1; i < n; i++ {
+		if isLMS(i) {
+			lms = append(lms, int32(i))
+		}
+	}
+	if len(lms) == 0 {
+		induce(nil)
+		return
+	}
+
+	// First induced sort orders the LMS *substrings*.
+	induce(lms)
+	sortedLMS := make([]int32, 0, len(lms))
+	for _, p := range sa {
+		if p > 0 && isLMS(int(p)) {
+			sortedLMS = append(sortedLMS, p)
+		}
+	}
+
+	// Name LMS substrings by equality; equal substrings share a name.
+	names := make([]int32, n)
+	name := int32(0)
+	names[sortedLMS[0]] = 0
+	for i := 1; i < len(sortedLMS); i++ {
+		if !lmsSubstringEqual(t, isS, int(sortedLMS[i-1]), int(sortedLMS[i])) {
+			name++
+		}
+		names[sortedLMS[i]] = name
+	}
+
+	if int(name)+1 < len(lms) {
+		// Names collide: recurse on the reduced string to sort LMS suffixes.
+		sub := make([]int32, len(lms))
+		for i, p := range lms {
+			sub[i] = names[p]
+		}
+		subSA := make([]int32, len(sub))
+		sais(sub, subSA, int(name)+1)
+		ordered := make([]int32, len(lms))
+		for i, r := range subSA {
+			ordered[i] = lms[r]
+		}
+		induce(ordered)
+	} else {
+		// All names distinct: the substring order already sorts the suffixes.
+		induce(sortedLMS)
+	}
+}
+
+// lmsSubstringEqual reports whether the LMS substrings starting at a and b
+// are identical (same symbols and same type pattern up to the next LMS
+// position inclusive).
+func lmsSubstringEqual(t []int32, isS []bool, a, b int) bool {
+	n := len(t)
+	if a == n-1 || b == n-1 {
+		return a == b // the sentinel substring is unique
+	}
+	for i := 0; ; i++ {
+		if t[a+i] != t[b+i] || isS[a+i] != isS[b+i] {
+			return false
+		}
+		if i > 0 {
+			aLMS := isS[a+i] && !isS[a+i-1]
+			bLMS := isS[b+i] && !isS[b+i-1]
+			if aLMS && bLMS {
+				return true
+			}
+			if aLMS != bLMS {
+				return false
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package variant implements the last stage of the genome-resequencing
+// pipeline the paper's introduction motivates ("hundreds of millions of
+// short reads are mapped onto a reference genome ... to determine the
+// genetic variations of a sample in relation to the reference"): a per-base
+// pileup over uniquely-mapped reads and a simple frequency-threshold SNV
+// caller on top of it.
+package variant
+
+import (
+	"fmt"
+
+	"bwaver/internal/dna"
+)
+
+// Pileup accumulates per-position base observations.
+type Pileup struct {
+	counts [][dna.AlphabetSize]int32
+}
+
+// NewPileup creates a pileup over a reference of refLen bases.
+func NewPileup(refLen int) (*Pileup, error) {
+	if refLen <= 0 {
+		return nil, fmt.Errorf("variant: reference length %d must be positive", refLen)
+	}
+	return &Pileup{counts: make([][dna.AlphabetSize]int32, refLen)}, nil
+}
+
+// RefLen returns the covered reference length.
+func (p *Pileup) RefLen() int { return len(p.counts) }
+
+// AddRead records a read aligned (forward-oriented) at 0-based reference
+// position pos. Reverse-strand reads must be reverse-complemented by the
+// caller first — mapping hits of RC(read) at position q contribute
+// RC(read) at q. Bases running past the reference end are ignored.
+func (p *Pileup) AddRead(pos int, read dna.Seq) error {
+	if pos < 0 || pos >= len(p.counts) {
+		return fmt.Errorf("variant: read position %d outside reference [0,%d)", pos, len(p.counts))
+	}
+	for i, b := range read {
+		j := pos + i
+		if j >= len(p.counts) {
+			break
+		}
+		p.counts[j][b&3]++
+	}
+	return nil
+}
+
+// Depth returns the total observations at pos.
+func (p *Pileup) Depth(pos int) int {
+	d := 0
+	for _, c := range p.counts[pos] {
+		d += int(c)
+	}
+	return d
+}
+
+// BaseCount returns the observations of base b at pos.
+func (p *Pileup) BaseCount(pos int, b dna.Base) int { return int(p.counts[pos][b&3]) }
+
+// CallerConfig sets the SNV calling thresholds.
+type CallerConfig struct {
+	// MinDepth is the minimum pileup depth to consider a site; default 4.
+	MinDepth int
+	// MinFraction is the minimum alternate-allele fraction; default 0.8
+	// (haploid/clonal samples — the resequencing scenario of the
+	// examples).
+	MinFraction float64
+}
+
+func (c CallerConfig) withDefaults() CallerConfig {
+	if c.MinDepth == 0 {
+		c.MinDepth = 4
+	}
+	if c.MinFraction == 0 {
+		c.MinFraction = 0.8
+	}
+	return c
+}
+
+// Call is one called single-nucleotide variant.
+type Call struct {
+	Pos      int
+	Ref, Alt dna.Base
+	Depth    int
+	AltCount int
+}
+
+// Fraction returns the alternate-allele fraction.
+func (c Call) Fraction() float64 {
+	if c.Depth == 0 {
+		return 0
+	}
+	return float64(c.AltCount) / float64(c.Depth)
+}
+
+// String renders the call in a compact VCF-like form.
+func (c Call) String() string {
+	return fmt.Sprintf("%d %s>%s depth=%d alt=%d (%.0f%%)",
+		c.Pos, c.Ref, c.Alt, c.Depth, c.AltCount, c.Fraction()*100)
+}
+
+// CallSNVs scans the pileup against the reference and reports sites whose
+// dominant base differs from the reference and passes the thresholds.
+func CallSNVs(ref dna.Seq, p *Pileup, cfg CallerConfig) ([]Call, error) {
+	if len(ref) != p.RefLen() {
+		return nil, fmt.Errorf("variant: reference length %d, pileup covers %d", len(ref), p.RefLen())
+	}
+	cfg = cfg.withDefaults()
+	if cfg.MinDepth < 1 || cfg.MinFraction <= 0 || cfg.MinFraction > 1 {
+		return nil, fmt.Errorf("variant: invalid thresholds %+v", cfg)
+	}
+	var calls []Call
+	for pos := range ref {
+		depth := p.Depth(pos)
+		if depth < cfg.MinDepth {
+			continue
+		}
+		best, bestCount := dna.Base(0), -1
+		for b := dna.Base(0); b < dna.AlphabetSize; b++ {
+			if c := p.BaseCount(pos, b); c > bestCount {
+				best, bestCount = b, c
+			}
+		}
+		if best == ref[pos] {
+			continue
+		}
+		if float64(bestCount)/float64(depth) < cfg.MinFraction {
+			continue
+		}
+		calls = append(calls, Call{Pos: pos, Ref: ref[pos], Alt: best, Depth: depth, AltCount: bestCount})
+	}
+	return calls, nil
+}

@@ -1,0 +1,202 @@
+package variant
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwaver/internal/core"
+	"bwaver/internal/dna"
+	"bwaver/internal/readsim"
+)
+
+func TestPileupBasics(t *testing.T) {
+	p, err := NewPileup(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddRead(2, dna.MustParseSeq("ACGT")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddRead(2, dna.MustParseSeq("ACGT")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddRead(8, dna.MustParseSeq("TTTT")); err != nil { // runs off the end
+		t.Fatal(err)
+	}
+	if p.Depth(2) != 2 || p.BaseCount(2, dna.A) != 2 {
+		t.Errorf("depth at 2 = %d", p.Depth(2))
+	}
+	if p.Depth(5) != 2 || p.BaseCount(5, dna.T) != 2 {
+		t.Errorf("depth at 5 = %d", p.Depth(5))
+	}
+	if p.Depth(9) != 1 || p.BaseCount(9, dna.T) != 1 {
+		t.Errorf("truncated read not recorded at 9")
+	}
+	if p.Depth(0) != 0 {
+		t.Errorf("spurious depth at 0")
+	}
+	if err := p.AddRead(-1, dna.MustParseSeq("A")); err == nil {
+		t.Error("negative position accepted")
+	}
+	if err := p.AddRead(10, dna.MustParseSeq("A")); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	if _, err := NewPileup(0); err == nil {
+		t.Error("empty pileup accepted")
+	}
+}
+
+func TestCallSNVsThresholds(t *testing.T) {
+	ref := dna.MustParseSeq("AAAAAAAAAA")
+	p, _ := NewPileup(10)
+	// Position 3: 5x T (clean variant). Position 6: 2x T (below depth).
+	// Position 8: 3x T + 3x A (below fraction).
+	for i := 0; i < 5; i++ {
+		p.AddRead(3, dna.MustParseSeq("T"))
+	}
+	for i := 0; i < 2; i++ {
+		p.AddRead(6, dna.MustParseSeq("T"))
+	}
+	for i := 0; i < 3; i++ {
+		p.AddRead(8, dna.MustParseSeq("T"))
+		p.AddRead(8, dna.MustParseSeq("A"))
+	}
+	calls, err := CallSNVs(ref, p, CallerConfig{MinDepth: 4, MinFraction: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 1 || calls[0].Pos != 3 || calls[0].Alt != dna.T || calls[0].Ref != dna.A {
+		t.Fatalf("calls = %v", calls)
+	}
+	if calls[0].Fraction() != 1.0 {
+		t.Errorf("fraction = %v", calls[0].Fraction())
+	}
+	if calls[0].String() == "" {
+		t.Error("String empty")
+	}
+	// Validation paths.
+	if _, err := CallSNVs(ref[:5], p, CallerConfig{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := CallSNVs(ref, p, CallerConfig{MinDepth: -1, MinFraction: 0.5}); err == nil {
+		t.Error("bad thresholds accepted")
+	}
+	if _, err := CallSNVs(ref, p, CallerConfig{MinDepth: 1, MinFraction: 1.5}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+// TestEndToEndResequencing runs the full pipeline: plant SNVs in a sample
+// genome, sequence it, map the reads with the k-mismatch search, pile up
+// uniquely-mapped reads, call variants, and compare against the truth.
+func TestEndToEndResequencing(t *testing.T) {
+	const (
+		genomeLen = 40000
+		nSNVs     = 25
+		readLen   = 60
+		nReads    = 8000 // ~12x depth
+	)
+	rng := rand.New(rand.NewSource(9))
+	ref, err := readsim.Genome(readsim.GenomeConfig{Length: genomeLen, Seed: 5, RepeatFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant well-separated SNVs in the sample.
+	sample := ref.Clone()
+	truth := map[int]dna.Base{}
+	for len(truth) < nSNVs {
+		pos := 200 + rng.Intn(genomeLen-400)
+		tooClose := false
+		for q := range truth {
+			if abs(q-pos) < 2*readLen {
+				tooClose = true
+			}
+		}
+		if tooClose {
+			continue
+		}
+		alt := dna.Base((int(sample[pos]) + 1 + rng.Intn(3)) % 4)
+		truth[pos] = alt
+		sample[pos] = alt
+	}
+
+	// Sequence the sample and map against the *reference*.
+	reads, err := readsim.Simulate(sample, readsim.ReadsConfig{
+		Count: nReads, Length: readLen, MappingRatio: 1, RevCompFraction: 0.5, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.BuildIndex(ref, core.IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pile, err := NewPileup(genomeLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reads {
+		res, err := ix.MapReadApprox(r.Seq, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Mapped() || res.Occurrences() != 1 {
+			continue // unmapped or multi-mapping: excluded from the pileup
+		}
+		// The single hit is in exactly one stratum of one orientation.
+		for _, m := range res.Forward {
+			if m.Range.Count() == 1 {
+				ps, err := ix.FM().Locate(m.Range)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := pile.AddRead(int(ps[0]), r.Seq); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for _, m := range res.Reverse {
+			if m.Range.Count() == 1 {
+				ps, err := ix.FM().Locate(m.Range)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := pile.AddRead(int(ps[0]), r.Seq.ReverseComplement()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	calls, err := CallSNVs(ref, pile, CallerConfig{MinDepth: 4, MinFraction: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := map[int]dna.Base{}
+	for _, c := range calls {
+		called[c.Pos] = c.Alt
+	}
+	tp, fp := 0, 0
+	for pos, alt := range called {
+		if truth[pos] == alt {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	recall := float64(tp) / float64(len(truth))
+	if recall < 0.85 {
+		t.Errorf("recall %.2f (%d/%d SNVs found)", recall, tp, len(truth))
+	}
+	if fp > 2 {
+		t.Errorf("%d false-positive calls", fp)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

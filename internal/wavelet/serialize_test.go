@@ -1,0 +1,79 @@
+package wavelet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"bwaver/internal/rrr"
+)
+
+func TestTreeSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, sigma := range []int{2, 4, 7, 16} {
+		for _, backend := range []Backend{
+			RRRBackend(rrr.Params{BlockSize: 9, SuperblockFactor: 4}),
+			PlainBackend(),
+		} {
+			data := randomData(rng, 3000, sigma)
+			orig, err := New(data, sigma, backend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			n, err := orig.WriteTo(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(buf.Len()) {
+				t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+			}
+			back, err := ReadTree(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Len() != orig.Len() || back.Sigma() != orig.Sigma() || back.Levels() != orig.Levels() {
+				t.Fatalf("metadata changed: %d/%d/%d", back.Len(), back.Sigma(), back.Levels())
+			}
+			for i := 0; i < len(data); i += 7 {
+				if back.Access(i) != data[i] {
+					t.Fatalf("Access(%d) changed after round trip", i)
+				}
+				for sym := 0; sym < sigma; sym++ {
+					if back.Rank(uint8(sym), i) != orig.Rank(uint8(sym), i) {
+						t.Fatalf("Rank(%d,%d) changed after round trip", sym, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReadTreeRejectsCorruption(t *testing.T) {
+	data := randomData(rand.New(rand.NewSource(92)), 500, 4)
+	orig, err := New(data, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for _, cut := range []int{0, 4, 12, len(good) / 2, len(good) - 1} {
+		if _, err := ReadTree(bytes.NewReader(good[:cut])); err == nil {
+			t.Errorf("accepted tree truncated to %d bytes", cut)
+		}
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := ReadTree(bytes.NewReader(bad)); err == nil {
+		t.Error("accepted bad magic")
+	}
+	// Corrupt the sigma field: must be rejected by structural checks.
+	bad = append([]byte(nil), good...)
+	bad[8] = 0xEE
+	if _, err := ReadTree(bytes.NewReader(bad)); err == nil {
+		t.Error("accepted corrupted alphabet size")
+	}
+}

@@ -1,0 +1,355 @@
+// Package wavelet implements the balanced wavelet tree of the BWaveR paper
+// (§III-B, Fig. 1 and 2): a string over a small alphabet is represented as a
+// binary tree of bit-vectors, where each level splits the remaining alphabet
+// in half. A rank query over the string becomes log2(sigma) binary rank
+// queries down the tree.
+//
+// Following the paper, node bit-vectors are encoded as RRR sequences by
+// default, which compresses the low-entropy bit-vectors a BWT produces; a
+// plain (uncompressed) backend is provided for the space/time ablation
+// called out in DESIGN.md. The tree is optimised for power-of-two alphabets
+// (2^N symbols, N >= 2), the case of genomic sequences, but works for any
+// alphabet size >= 2.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+
+	"bwaver/internal/bitvec"
+	"bwaver/internal/rrr"
+)
+
+// RankVector is the bit-vector contract a wavelet node needs. Both
+// rrr.Sequence and bitvec.Vector satisfy it.
+type RankVector interface {
+	Len() int
+	Bit(i int) bool
+	Rank1(i int) int
+	Rank0(i int) int
+	Select1(k int) int
+	SizeBytes() int
+}
+
+var (
+	_ RankVector = (*rrr.Sequence)(nil)
+	_ RankVector = (*bitvec.Vector)(nil)
+)
+
+// Backend constructs the bit-vector of one wavelet node.
+type Backend interface {
+	// Build encodes n bits read from src.
+	Build(src func(i int) bool, n int) (RankVector, error)
+	// Name identifies the backend in stats output.
+	Name() string
+}
+
+type rrrBackend struct{ p rrr.Params }
+
+func (b rrrBackend) Build(src func(i int) bool, n int) (RankVector, error) {
+	return rrr.New(rrr.BitSource(src), n, b.p)
+}
+func (b rrrBackend) Name() string {
+	return fmt.Sprintf("rrr(b=%d,sf=%d)", b.p.BlockSize, b.p.SuperblockFactor)
+}
+
+// RRRBackend returns the paper's backend: every node encoded as an RRR
+// sequence with the given parameters.
+func RRRBackend(p rrr.Params) Backend { return rrrBackend{p} }
+
+type plainBackend struct{}
+
+func (plainBackend) Build(src func(i int) bool, n int) (RankVector, error) {
+	bld := bitvec.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		bld.Append(src(i))
+	}
+	return bld.Build(), nil
+}
+func (plainBackend) Name() string { return "plain" }
+
+// PlainBackend returns an uncompressed bit-vector backend, the ablation
+// baseline.
+func PlainBackend() Backend { return plainBackend{} }
+
+// node is one wavelet node: a bit-vector plus the two child subtrees. The
+// paper's struct also carries the child alphabets; because our symbols are
+// contiguous integer codes the alphabet of a node is fully described by the
+// [lo, hi) code range, stored here in place of the two character arrays.
+type node struct {
+	vec      RankVector
+	lo, hi   int // alphabet code range covered by this node
+	zero, on *node
+}
+
+// Tree is an immutable wavelet tree over symbols 0..sigma-1.
+// It is safe for concurrent readers.
+type Tree struct {
+	root    *node
+	n       int
+	sigma   int
+	levels  int
+	backend string
+}
+
+// New builds a wavelet tree over data, whose symbols must all be in
+// [0, sigma). A nil backend defaults to the paper's RRR backend with
+// rrr.DefaultParams.
+func New(data []uint8, sigma int, backend Backend) (*Tree, error) {
+	if sigma < 2 {
+		return nil, fmt.Errorf("wavelet: alphabet size %d must be >= 2", sigma)
+	}
+	if backend == nil {
+		backend = RRRBackend(rrr.DefaultParams)
+	}
+	for i, s := range data {
+		if int(s) >= sigma {
+			return nil, fmt.Errorf("wavelet: symbol %d at position %d outside alphabet [0,%d)", s, i, sigma)
+		}
+	}
+	levels := 0
+	for 1<<uint(levels) < sigma {
+		levels++
+	}
+	root, err := build(data, 0, sigma, backend)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{root: root, n: len(data), sigma: sigma, levels: levels, backend: backend.Name()}, nil
+}
+
+func build(data []uint8, lo, hi int, backend Backend) (*node, error) {
+	if hi-lo <= 1 {
+		return nil, nil // leaf: a single symbol needs no bit-vector
+	}
+	mid := (lo + hi + 1) / 2
+	vec, err := backend.Build(func(i int) bool { return int(data[i]) >= mid }, len(data))
+	if err != nil {
+		return nil, err
+	}
+	// Partition data into the two children, preserving order.
+	nOnes := vec.Rank1(len(data))
+	zeroData := make([]uint8, 0, len(data)-nOnes)
+	oneData := make([]uint8, 0, nOnes)
+	for _, s := range data {
+		if int(s) >= mid {
+			oneData = append(oneData, s)
+		} else {
+			zeroData = append(zeroData, s)
+		}
+	}
+	n := &node{vec: vec, lo: lo, hi: hi}
+	if n.zero, err = build(zeroData, lo, mid, backend); err != nil {
+		return nil, err
+	}
+	if n.on, err = build(oneData, mid, hi, backend); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Len returns the length of the underlying string.
+func (t *Tree) Len() int { return t.n }
+
+// Sigma returns the alphabet size.
+func (t *Tree) Sigma() int { return t.sigma }
+
+// Levels returns the tree depth, ceil(log2(sigma)).
+func (t *Tree) Levels() int { return t.levels }
+
+// BackendName reports which bit-vector backend encodes the nodes.
+func (t *Tree) BackendName() string { return t.backend }
+
+// Rank returns the number of occurrences of sym in positions [0, i) —
+// the rank query of Fig. 2, resolved by log2(sigma) binary ranks.
+func (t *Tree) Rank(sym uint8, i int) int {
+	if i < 0 || i > t.n {
+		panic(fmt.Sprintf("wavelet: rank position %d out of range [0,%d]", i, t.n))
+	}
+	if int(sym) >= t.sigma {
+		panic(fmt.Sprintf("wavelet: symbol %d outside alphabet [0,%d)", sym, t.sigma))
+	}
+	nd := t.root
+	for nd != nil {
+		mid := (nd.lo + nd.hi + 1) / 2
+		if int(sym) >= mid {
+			i = nd.vec.Rank1(i)
+			nd = nd.on
+		} else {
+			i = nd.vec.Rank0(i)
+			nd = nd.zero
+		}
+	}
+	return i
+}
+
+// Access returns the symbol at position i.
+func (t *Tree) Access(i int) uint8 {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("wavelet: index %d out of range [0,%d)", i, t.n))
+	}
+	nd := t.root
+	lo, hi := 0, t.sigma
+	for nd != nil {
+		mid := (nd.lo + nd.hi + 1) / 2
+		if nd.vec.Bit(i) {
+			i = nd.vec.Rank1(i)
+			lo = mid
+			nd = nd.on
+		} else {
+			i = nd.vec.Rank0(i)
+			hi = mid
+			nd = nd.zero
+		}
+	}
+	_ = hi
+	return uint8(lo)
+}
+
+// Select returns the position of the k-th occurrence of sym (k >= 1), or -1
+// if sym occurs fewer than k times. It descends to the leaf and maps the
+// position back up with binary selects.
+func (t *Tree) Select(sym uint8, k int) int {
+	if int(sym) >= t.sigma || k <= 0 {
+		return -1
+	}
+	return selectRec(t.root, sym, k)
+}
+
+func selectRec(nd *node, sym uint8, k int) int {
+	if nd == nil {
+		return k - 1 // leaf: the k-th occurrence is at position k-1
+	}
+	mid := (nd.lo + nd.hi + 1) / 2
+	if int(sym) >= mid {
+		p := selectRec(nd.on, sym, k)
+		if p < 0 {
+			return -1
+		}
+		return nd.vec.Select1(p + 1)
+	}
+	p := selectRec(nd.zero, sym, k)
+	if p < 0 {
+		return -1
+	}
+	return select0(nd.vec, p+1)
+}
+
+// select0 finds the position of the k-th zero bit via binary search on
+// Rank0; plain vectors have a native Select0 but the RankVector contract
+// keeps the surface minimal.
+func select0(v RankVector, k int) int {
+	zeros := v.Len() - v.Rank1(v.Len())
+	if k > zeros {
+		return -1
+	}
+	lo, hi := 0, v.Len()-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.Rank0(mid+1) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Count returns the total number of occurrences of sym.
+func (t *Tree) Count(sym uint8) int {
+	if int(sym) >= t.sigma {
+		return 0
+	}
+	return t.Rank(sym, t.n)
+}
+
+// SizeBytes returns the summed footprint of all node bit-vectors plus the
+// tree skeleton. For the RRR backend this excludes the shared global rank
+// table, matching the paper's accounting ("the permutations array and class
+// offsets array are stored only once, and shared among the RRRs encoding all
+// the wavelet nodes"); add SharedSizeBytes once per index.
+func (t *Tree) SizeBytes() int {
+	total := 0
+	var walk func(*node)
+	walk = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		total += nd.vec.SizeBytes() + 32 // struct overhead: pointers + range
+		walk(nd.zero)
+		walk(nd.on)
+	}
+	walk(t.root)
+	return total
+}
+
+// SharedSizeBytes returns the size of the shared RRR global rank table, or 0
+// for the plain backend.
+func (t *Tree) SharedSizeBytes() int {
+	if nd := t.root; nd != nil {
+		if s, ok := nd.vec.(*rrr.Sequence); ok {
+			return s.SharedSizeBytes()
+		}
+	}
+	return 0
+}
+
+// NodeStat describes one wavelet node for diagnostics: which alphabet
+// slice it distinguishes, how long its bit-vector is, how it compressed,
+// and its zero-order entropy — the quantity that drives RRR's offset size
+// (paper §III-B: "the size of the offset field ... depends only on the
+// zero-order empirical entropy of the bit sequence").
+type NodeStat struct {
+	// Lo and Hi delimit the alphabet code range the node covers.
+	Lo, Hi int
+	// Depth is the node's level, root = 0.
+	Depth int
+	// Bits is the bit-vector length, Ones its popcount.
+	Bits, Ones int
+	// SizeBytes is the encoded size (excluding any shared table).
+	SizeBytes int
+	// Entropy is the bit-vector's zero-order entropy in bits per bit.
+	Entropy float64
+}
+
+// NodeStats returns per-node diagnostics in depth-first order.
+func (t *Tree) NodeStats() []NodeStat {
+	var out []NodeStat
+	var walk func(nd *node, depth int)
+	walk = func(nd *node, depth int) {
+		if nd == nil {
+			return
+		}
+		n := nd.vec.Len()
+		ones := nd.vec.Rank1(n)
+		st := NodeStat{
+			Lo: nd.lo, Hi: nd.hi, Depth: depth,
+			Bits: n, Ones: ones, SizeBytes: nd.vec.SizeBytes(),
+		}
+		if n > 0 && ones > 0 && ones < n {
+			p := float64(ones) / float64(n)
+			st.Entropy = -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+		}
+		out = append(out, st)
+		walk(nd.zero, depth+1)
+		walk(nd.on, depth+1)
+	}
+	walk(t.root, 0)
+	return out
+}
+
+// NodeCount returns the number of internal nodes (bit-vectors) in the tree.
+func (t *Tree) NodeCount() int {
+	count := 0
+	var walk func(*node)
+	walk = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		count++
+		walk(nd.zero)
+		walk(nd.on)
+	}
+	walk(t.root)
+	return count
+}

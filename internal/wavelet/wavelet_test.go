@@ -1,0 +1,316 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bwaver/internal/rrr"
+)
+
+func naiveRank(data []uint8, sym uint8, i int) int {
+	c := 0
+	for _, s := range data[:i] {
+		if s == sym {
+			c++
+		}
+	}
+	return c
+}
+
+func naiveSelect(data []uint8, sym uint8, k int) int {
+	for i, s := range data {
+		if s == sym {
+			k--
+			if k == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func randomData(rng *rand.Rand, n, sigma int) []uint8 {
+	out := make([]uint8, n)
+	for i := range out {
+		out[i] = uint8(rng.Intn(sigma))
+	}
+	return out
+}
+
+var testBackends = []struct {
+	name string
+	b    Backend
+}{
+	{"rrr", RRRBackend(rrr.Params{BlockSize: 15, SuperblockFactor: 10})},
+	{"plain", PlainBackend()},
+	{"default", nil},
+}
+
+func TestRankMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, be := range testBackends {
+		for _, sigma := range []int{2, 3, 4, 5, 8, 16} {
+			for _, n := range []int{0, 1, 2, 100, 3000} {
+				data := randomData(rng, n, sigma)
+				tr, err := New(data, sigma, be.b)
+				if err != nil {
+					t.Fatalf("%s sigma=%d n=%d: %v", be.name, sigma, n, err)
+				}
+				step := 1
+				if n > 500 {
+					step = 17
+				}
+				for i := 0; i <= n; i += step {
+					for sym := 0; sym < sigma; sym++ {
+						got := tr.Rank(uint8(sym), i)
+						want := naiveRank(data, uint8(sym), i)
+						if got != want {
+							t.Fatalf("%s sigma=%d n=%d: Rank(%d,%d)=%d, want %d", be.name, sigma, n, sym, i, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, be := range testBackends {
+		for _, sigma := range []int{2, 4, 7, 16} {
+			data := randomData(rng, 2000, sigma)
+			tr, err := New(data, sigma, be.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, want := range data {
+				if got := tr.Access(i); got != want {
+					t.Fatalf("%s sigma=%d: Access(%d)=%d, want %d", be.name, sigma, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, be := range testBackends {
+		for _, sigma := range []int{2, 4, 6} {
+			data := randomData(rng, 1500, sigma)
+			tr, err := New(data, sigma, be.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for sym := 0; sym < sigma; sym++ {
+				count := tr.Count(uint8(sym))
+				if count != naiveRank(data, uint8(sym), len(data)) {
+					t.Fatalf("Count(%d) wrong", sym)
+				}
+				for k := 1; k <= count; k += 1 + count/40 {
+					got := tr.Select(uint8(sym), k)
+					want := naiveSelect(data, uint8(sym), k)
+					if got != want {
+						t.Fatalf("%s sigma=%d: Select(%d,%d)=%d, want %d", be.name, sigma, sym, k, got, want)
+					}
+				}
+				if tr.Select(uint8(sym), count+1) != -1 {
+					t.Error("Select past count should be -1")
+				}
+			}
+		}
+	}
+}
+
+func TestSelectRankInverseProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		data := make([]uint8, len(raw))
+		for i, r := range raw {
+			data[i] = r & 3
+		}
+		tr, err := New(data, 4, RRRBackend(rrr.Params{BlockSize: 7, SuperblockFactor: 3}))
+		if err != nil {
+			return false
+		}
+		for sym := uint8(0); sym < 4; sym++ {
+			for k := 1; k <= tr.Count(sym); k++ {
+				p := tr.Select(sym, k)
+				if tr.Access(p) != sym || tr.Rank(sym, p) != k-1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRanksSumToLength(t *testing.T) {
+	f := func(raw []byte) bool {
+		data := make([]uint8, len(raw))
+		for i, r := range raw {
+			data[i] = r & 3
+		}
+		tr, err := New(data, 4, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i <= len(data); i++ {
+			sum := 0
+			for sym := uint8(0); sym < 4; sym++ {
+				sum += tr.Rank(sym, i)
+			}
+			if sum != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	if _, err := New([]uint8{0, 1}, 1, nil); err == nil {
+		t.Error("accepted sigma < 2")
+	}
+	if _, err := New([]uint8{0, 5}, 4, nil); err == nil {
+		t.Error("accepted out-of-alphabet symbol")
+	}
+	tr, err := New([]uint8{0, 1, 2, 3}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []func(){
+		func() { tr.Rank(0, -1) },
+		func() { tr.Rank(0, 5) },
+		func() { tr.Rank(9, 0) },
+		func() { tr.Access(-1) },
+		func() { tr.Access(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid query")
+				}
+			}()
+			fn()
+		}()
+	}
+	if tr.Select(9, 1) != -1 || tr.Select(0, 0) != -1 {
+		t.Error("Select on invalid args should return -1")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 16: 4}
+	for sigma, want := range cases {
+		tr, err := New(randomData(rand.New(rand.NewSource(1)), 64, sigma), sigma, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Levels() != want {
+			t.Errorf("sigma=%d: Levels=%d, want %d", sigma, tr.Levels(), want)
+		}
+	}
+}
+
+func TestDNATreeShape(t *testing.T) {
+	// For sigma=4 the tree must have exactly 3 internal nodes and 2 levels.
+	tr, err := New(randomData(rand.New(rand.NewSource(1)), 1000, 4), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NodeCount() != 3 {
+		t.Errorf("NodeCount=%d, want 3", tr.NodeCount())
+	}
+	if tr.Levels() != 2 {
+		t.Errorf("Levels=%d, want 2", tr.Levels())
+	}
+}
+
+// TestRRRSmallerThanPlainOnRuns checks the paper's space claim at the tree
+// level: for run-structured (BWT-like) data the RRR backend is smaller than
+// the plain backend.
+func TestRRRSmallerThanPlainOnRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 300000
+	data := make([]uint8, n)
+	cur := uint8(rng.Intn(4))
+	for i := 0; i < n; {
+		runLen := 1 + rng.Intn(80)
+		for j := 0; j < runLen && i < n; j++ {
+			data[i] = cur
+			i++
+		}
+		cur = uint8(rng.Intn(4))
+	}
+	rrrTree, err := New(data, 4, RRRBackend(rrr.Params{BlockSize: 15, SuperblockFactor: 100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainTree, err := New(data, 4, PlainBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrrTree.SizeBytes() >= plainTree.SizeBytes() {
+		t.Errorf("rrr tree %dB not smaller than plain tree %dB on run input",
+			rrrTree.SizeBytes(), plainTree.SizeBytes())
+	}
+	if rrrTree.SharedSizeBytes() == 0 {
+		t.Error("rrr tree should report a shared table size")
+	}
+	if plainTree.SharedSizeBytes() != 0 {
+		t.Error("plain tree should have no shared table")
+	}
+}
+
+func TestNodeStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := randomData(rng, 3000, 4)
+	tr, err := New(data, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := tr.NodeStats()
+	if len(stats) != 3 {
+		t.Fatalf("%d node stats for sigma=4, want 3", len(stats))
+	}
+	root := stats[0]
+	if root.Depth != 0 || root.Lo != 0 || root.Hi != 4 || root.Bits != 3000 {
+		t.Errorf("root stat wrong: %+v", root)
+	}
+	// Children cover the root's zeros and ones.
+	var childBits int
+	for _, st := range stats[1:] {
+		if st.Depth != 1 {
+			t.Errorf("child depth %d", st.Depth)
+		}
+		childBits += st.Bits
+		if st.Entropy < 0 || st.Entropy > 1 {
+			t.Errorf("entropy %v out of [0,1]", st.Entropy)
+		}
+		if st.SizeBytes <= 0 {
+			t.Errorf("node size missing: %+v", st)
+		}
+	}
+	if childBits != 3000 {
+		t.Errorf("children cover %d bits, want 3000", childBits)
+	}
+	// On near-uniform data the root entropy approaches 1 bit.
+	if root.Entropy < 0.95 {
+		t.Errorf("root entropy %v implausibly low for uniform data", root.Entropy)
+	}
+	// A constant string has zero-entropy nodes.
+	flat := make([]uint8, 500)
+	ft, err := New(flat, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ft.NodeStats()[0]; s.Entropy != 0 || s.Ones != 0 {
+		t.Errorf("constant-string root stat: %+v", s)
+	}
+}
