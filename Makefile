@@ -1,0 +1,24 @@
+# BWaveR build/test entry points. `make ci` is the verification gate
+# referenced from ROADMAP.md: vet plus the full test suite under the race
+# detector (the server runs jobs on goroutines; races are correctness bugs).
+
+GO ?= go
+
+.PHONY: ci build vet test race bench
+
+ci: vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

@@ -1,10 +1,14 @@
 // Command bwaver-server runs the BWaveR web application (§III-D): upload a
 // reference FASTA and reads FASTQ (plain or gzipped), run the pipeline on
 // the CPU or the simulated FPGA with an optional mismatch budget, download
-// the mapping results. It shuts down gracefully on SIGINT/SIGTERM, letting
-// running pipeline jobs finish.
+// the mapping results. Built indexes are cached content-addressed, so repeat
+// references skip construction; jobs can be cancelled (DELETE
+// /api/jobs/{id}) and are evicted after a TTL; operational counters are at
+// /api/stats. It shuts down gracefully on SIGINT/SIGTERM, letting running
+// pipeline jobs finish.
 //
-//	bwaver-server [-addr :8080]
+//	bwaver-server [-addr :8080] [-max-jobs 2] [-cache-entries 8]
+//	              [-job-ttl 0] [-job-timeout 0] [-max-upload-mb 256]
 package main
 
 import (
@@ -23,9 +27,20 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	maxJobs := flag.Int("max-jobs", server.DefaultMaxConcurrentJobs, "max concurrently running pipelines")
+	cacheEntries := flag.Int("cache-entries", server.DefaultCacheEntries, "index cache capacity (distinct reference/parameter combinations)")
+	jobTTL := flag.Duration("job-ttl", 0, "evict finished jobs and their results this long after completion (0 = keep forever)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job runtime bound including queue wait (0 = unbounded)")
+	maxUploadMB := flag.Int64("max-upload-mb", 256, "request body limit in MiB")
 	flag.Parse()
 
-	s := server.New()
+	s := server.NewWithConfig(server.Config{
+		MaxConcurrentJobs: *maxJobs,
+		MaxUploadBytes:    *maxUploadMB << 20,
+		CacheEntries:      *cacheEntries,
+		JobTTL:            *jobTTL,
+		JobTimeout:        *jobTimeout,
+	})
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
@@ -45,6 +60,7 @@ func main() {
 			log.Printf("bwaver-server: shutdown: %v", err)
 		}
 		s.Wait()
+		s.Close()
 	}()
 
 	fmt.Printf("BWaveR web server listening on %s\n", *addr)

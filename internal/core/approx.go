@@ -65,6 +65,11 @@ func (ix *Index) MapReadsApprox(reads []dna.Seq, maxMismatches int, opts MapOpti
 		every = 1024
 	}
 	mapOne := func(i int) error {
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				return err
+			}
+		}
 		res, err := ix.MapReadApprox(reads[i], maxMismatches)
 		if err != nil {
 			return err

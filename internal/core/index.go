@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -284,6 +285,10 @@ func (ix *Index) MapRead(read dna.Seq) MapResult {
 
 // MapOptions control batch mapping.
 type MapOptions struct {
+	// Context, if non-nil, cancels the batch: worker loops stop between
+	// reads and the call returns the context's error. A nil Context maps
+	// to completion, preserving the historical behaviour.
+	Context context.Context
 	// Locate fills occurrence positions, the paper's host-side SA lookup.
 	Locate bool
 	// Workers is the number of parallel mapping goroutines; 0 or 1 keeps
@@ -343,6 +348,11 @@ func (ix *Index) MapReads(reads []dna.Seq, opts MapOptions) ([]MapResult, MapSta
 	}
 	var done atomic.Int64
 	mapOne := func(i int) error {
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				return err
+			}
+		}
 		res := ix.MapRead(reads[i])
 		if opts.Locate {
 			var err error

@@ -38,10 +38,18 @@ type TwoPassResult struct {
 // unaligned reads with up to maxMismatches substitutions. maxMismatches
 // must be at least 1 (use MapReads for exact-only runs).
 func (k *Kernel) MapReadsTwoPass(reads []dna.Seq, maxMismatches int) (*TwoPassResult, error) {
+	return k.MapReadsTwoPassOpts(reads, maxMismatches, MapRunOptions{})
+}
+
+// MapReadsTwoPassOpts is MapReadsTwoPass with per-run cancellation, progress
+// reporting, and index-residency control. Progress counts pass-1 queries
+// toward (done, total); pass 2 re-processes the unaligned subset under the
+// same total.
+func (k *Kernel) MapReadsTwoPassOpts(reads []dna.Seq, maxMismatches int, opts MapRunOptions) (*TwoPassResult, error) {
 	if maxMismatches < 1 {
 		return nil, fmt.Errorf("fpga: two-pass run needs a mismatch budget >= 1, got %d", maxMismatches)
 	}
-	pass1, err := k.MapReads(reads)
+	pass1, err := k.MapReadsOpts(reads, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -68,7 +76,12 @@ func (k *Kernel) MapReadsTwoPass(reads []dna.Seq, maxMismatches int) (*TwoPassRe
 	// search simply executes more steps per query.
 	var stepCycles uint64
 	perStep := k.stepCycles()
-	for _, i := range unaligned {
+	for n, i := range unaligned {
+		if opts.Context != nil && n%64 == 0 {
+			if err := opts.Context.Err(); err != nil {
+				return nil, err
+			}
+		}
 		res, err := k.ix.MapReadApprox(reads[i], maxMismatches)
 		if err != nil {
 			return nil, err

@@ -4,10 +4,18 @@
 // sequence mapping — and serves the mapping results for download. The
 // paper's Flask front-end becomes a net/http front-end; the FPGA co-processor
 // becomes the simulated device of internal/fpga, selectable per job.
+//
+// Built indexes are held in a content-addressed LRU cache (see cache.go), so
+// repeat references skip the dominant construction cost — the amortization
+// the paper's fixed-overhead argument depends on. Jobs carry a context: they
+// can be cancelled over the API (DELETE /api/jobs/{id}), bounded by a
+// per-job timeout, and finished jobs are evicted after a TTL. Operational
+// counters are exposed at /api/stats.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,11 +42,21 @@ type JobState string
 
 // Job lifecycle states.
 const (
-	StateQueued  JobState = "queued"
-	StateRunning JobState = "running"
-	StateDone    JobState = "done"
-	StateFailed  JobState = "failed"
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
 )
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// errJobCanceled is the cancellation cause recorded when a user cancels a
+// job over the API, distinguishing it from a timeout.
+var errJobCanceled = errors.New("canceled by user")
 
 // Job is one mapping request moving through the pipeline.
 type Job struct {
@@ -56,40 +74,170 @@ type Job struct {
 	Mapped    int
 	// Done counts reads mapped so far while the job is running.
 	Done int
+	// CacheHit reports whether the index came from the cache instead of
+	// being built for this job.
+	CacheHit bool
 
+	ParseTime time.Duration
 	BuildTime time.Duration
 	MapTime   time.Duration
 	Created   time.Time
+	Finished  time.Time
 
-	results []byte // TSV, available when done
+	results []byte                  // TSV, available when done
+	cancel  context.CancelCauseFunc // nil until the job is launched
 }
 
-// Server is the web application. Create with New and mount via Handler.
+// Config tunes the server; zero values take the listed defaults.
+type Config struct {
+	// MaxConcurrentJobs bounds simultaneously running pipelines;
+	// default DefaultMaxConcurrentJobs.
+	MaxConcurrentJobs int
+	// MaxUploadBytes bounds request bodies; default 256 MiB.
+	MaxUploadBytes int64
+	// CacheEntries is the index cache capacity in entries; default 8.
+	CacheEntries int
+	// JobTTL evicts finished (done/failed/canceled) jobs and their results
+	// this long after completion; 0 retains jobs forever.
+	JobTTL time.Duration
+	// JobTimeout bounds each job's runtime (queue wait included);
+	// 0 means no timeout.
+	JobTimeout time.Duration
+	// JanitorInterval is how often expired jobs are swept when JobTTL is
+	// set; default 30s.
+	JanitorInterval time.Duration
+}
+
+// DefaultCacheEntries is the default index cache capacity.
+const DefaultCacheEntries = 8
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrentJobs <= 0 {
+		c.MaxConcurrentJobs = DefaultMaxConcurrentJobs
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 256 << 20
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
+	if c.JanitorInterval <= 0 {
+		c.JanitorInterval = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the web application. Create with New or NewWithConfig and mount
+// via Handler.
 type Server struct {
 	mu     sync.Mutex
 	jobs   map[int]*Job
 	nextID int
-	// MaxUploadBytes bounds request bodies; default 256 MiB.
+	// MaxUploadBytes bounds request bodies; default 256 MiB. Retained as a
+	// field for backward compatibility; NewWithConfig sets it from Config.
 	MaxUploadBytes int64
+	cfg            Config
+	cache          *indexCache
+	dev            *fpga.Device // one simulated card, shared by cached kernels
 	// sem bounds how many pipelines run at once; index builds are
 	// memory-hungry (the suffix array alone is 4 bytes/base), so excess
 	// jobs wait in the queued state instead of exhausting the host.
 	sem chan struct{}
 	// wg lets tests wait for asynchronous jobs.
 	wg sync.WaitGroup
+
+	// Aggregate per-stage timings of completed jobs, for /api/stats.
+	totalParse    time.Duration
+	totalBuild    time.Duration
+	totalMap      time.Duration
+	completedJobs int
+	jobsEvicted   uint64
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	closeOnce   sync.Once
+
+	// testHookBeforeRun, when set, runs at the start of every job's
+	// pipeline with the job's context; tests use it to hold jobs in the
+	// running state deterministically.
+	testHookBeforeRun func(*Job, context.Context)
 }
 
 // DefaultMaxConcurrentJobs bounds simultaneously running pipelines.
 const DefaultMaxConcurrentJobs = 2
 
-// New creates an empty server.
-func New() *Server {
-	return &Server{
+// New creates a server with default configuration.
+func New() *Server { return NewWithConfig(Config{}) }
+
+// NewWithConfig creates a server. When cfg.JobTTL is set, a janitor
+// goroutine sweeps expired jobs until Close is called.
+func NewWithConfig(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	dev, err := fpga.NewDevice(fpga.Config{})
+	if err != nil {
+		// The zero config resolves to the paper-aligned defaults, which
+		// always validate.
+		panic("server: default fpga device: " + err.Error())
+	}
+	s := &Server{
 		jobs:           map[int]*Job{},
 		nextID:         1,
-		MaxUploadBytes: 256 << 20,
-		sem:            make(chan struct{}, DefaultMaxConcurrentJobs),
+		MaxUploadBytes: cfg.MaxUploadBytes,
+		cfg:            cfg,
+		cache:          newIndexCache(cfg.CacheEntries),
+		dev:            dev,
+		sem:            make(chan struct{}, cfg.MaxConcurrentJobs),
 	}
+	if cfg.JobTTL > 0 {
+		s.janitorStop = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.janitor()
+	}
+	return s
+}
+
+// Close stops the TTL janitor; it does not interrupt running jobs (use Wait
+// for those). Safe to call multiple times and on servers without a TTL.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.janitorStop != nil {
+			close(s.janitorStop)
+			<-s.janitorDone
+		}
+	})
+}
+
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	ticker := time.NewTicker(s.cfg.JanitorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.evictExpiredJobs(time.Now())
+		case <-s.janitorStop:
+			return
+		}
+	}
+}
+
+// evictExpiredJobs drops finished jobs whose TTL has lapsed, freeing their
+// retained TSV results. It returns how many were evicted.
+func (s *Server) evictExpiredJobs(now time.Time) int {
+	if s.cfg.JobTTL <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, j := range s.jobs {
+		if j.State.terminal() && !j.Finished.IsZero() && now.Sub(j.Finished) > s.cfg.JobTTL {
+			delete(s.jobs, id)
+			n++
+		}
+	}
+	s.jobsEvicted += uint64(n)
+	return n
 }
 
 // Handler returns the HTTP routes.
@@ -100,36 +248,49 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /api/jobs/{id}", s.handleJobJSON)
+	mux.HandleFunc("DELETE /api/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /api/jobs", s.handleJobsJSON)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("GET /demo", s.handleDemo)
 	return mux
 }
 
 // jobJSON is the wire form of a job for the JSON API.
 type jobJSON struct {
-	ID        int     `json:"id"`
-	State     string  `json:"state"`
-	Error     string  `json:"error,omitempty"`
-	Backend   string  `json:"backend"`
-	B         int     `json:"b"`
-	SF        int     `json:"sf"`
-	RefName   string  `json:"ref_name"`
-	RefLength int     `json:"ref_length"`
-	Reads     int     `json:"reads"`
-	Mapped    int     `json:"mapped"`
-	Done      int     `json:"done"`
-	BuildMs   float64 `json:"build_ms"`
-	MapMs     float64 `json:"map_ms"`
+	ID         int     `json:"id"`
+	State      string  `json:"state"`
+	Error      string  `json:"error,omitempty"`
+	Backend    string  `json:"backend"`
+	B          int     `json:"b"`
+	SF         int     `json:"sf"`
+	Mismatches int     `json:"mismatches"`
+	RefName    string  `json:"ref_name"`
+	RefLength  int     `json:"ref_length"`
+	Reads      int     `json:"reads"`
+	Mapped     int     `json:"mapped"`
+	Done       int     `json:"done"`
+	CacheHit   bool    `json:"cache_hit"`
+	ParseMs    float64 `json:"parse_ms"`
+	BuildMs    float64 `json:"build_ms"`
+	MapMs      float64 `json:"map_ms"`
 }
 
 func (j *Job) toJSON() jobJSON {
 	return jobJSON{
 		ID: j.ID, State: string(j.State), Error: j.Error, Backend: j.Backend,
-		B: j.B, SF: j.SF, RefName: j.RefName, RefLength: j.RefLength,
-		Reads: j.Reads, Mapped: j.Mapped, Done: j.Done,
+		B: j.B, SF: j.SF, Mismatches: j.Mismatches,
+		RefName: j.RefName, RefLength: j.RefLength,
+		Reads: j.Reads, Mapped: j.Mapped, Done: j.Done, CacheHit: j.CacheHit,
+		ParseMs: float64(j.ParseTime) / float64(time.Millisecond),
 		BuildMs: float64(j.BuildTime) / float64(time.Millisecond),
 		MapMs:   float64(j.MapTime) / float64(time.Millisecond),
 	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(payload)
 }
 
 func (s *Server) handleJobJSON(w http.ResponseWriter, r *http.Request) {
@@ -141,8 +302,7 @@ func (s *Server) handleJobJSON(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	payload := job.toJSON()
 	s.mu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(payload)
+	writeJSON(w, http.StatusOK, payload)
 }
 
 func (s *Server) handleJobsJSON(w http.ResponseWriter, r *http.Request) {
@@ -153,8 +313,76 @@ func (s *Server) handleJobsJSON(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(jobs)
+	writeJSON(w, http.StatusOK, jobs)
+}
+
+// handleCancelJob cancels a queued or running job. The job transitions to
+// the canceled state as soon as its pipeline observes the context (between
+// reads in the mapping loops, or immediately when still queued).
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.jobByRequest(r)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "not found"})
+		return
+	}
+	s.mu.Lock()
+	state := job.State
+	cancel := job.cancel
+	if state.terminal() {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusConflict, map[string]string{"error": fmt.Sprintf("job already %s", state)})
+		return
+	}
+	if cancel == nil {
+		// Never launched (created directly, or launch still pending):
+		// cancel it in place.
+		job.State = StateCanceled
+		job.Error = errJobCanceled.Error()
+		job.Finished = time.Now()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"id": job.ID, "state": string(StateCanceled)})
+		return
+	}
+	s.mu.Unlock()
+	cancel(errJobCanceled)
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": job.ID, "state": "canceling"})
+}
+
+// statsJSON is the /api/stats payload.
+type statsJSON struct {
+	Cache      cacheStats     `json:"cache"`
+	Jobs       map[string]int `json:"jobs"`
+	QueueDepth int            `json:"queue_depth"`
+	Running    int            `json:"running"`
+	Evicted    uint64         `json:"jobs_evicted"`
+	Stage      stageJSON      `json:"stage_totals"`
+}
+
+// stageJSON aggregates per-stage timings over completed (done) jobs.
+type stageJSON struct {
+	CompletedJobs int     `json:"completed_jobs"`
+	ParseMsTotal  float64 `json:"parse_ms_total"`
+	BuildMsTotal  float64 `json:"build_ms_total"`
+	MapMsTotal    float64 `json:"map_ms_total"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	payload := statsJSON{Cache: s.cache.stats(), Jobs: map[string]int{}}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		payload.Jobs[string(j.State)]++
+	}
+	payload.QueueDepth = payload.Jobs[string(StateQueued)]
+	payload.Running = payload.Jobs[string(StateRunning)]
+	payload.Evicted = s.jobsEvicted
+	payload.Stage = stageJSON{
+		CompletedJobs: s.completedJobs,
+		ParseMsTotal:  float64(s.totalParse) / float64(time.Millisecond),
+		BuildMsTotal:  float64(s.totalBuild) / float64(time.Millisecond),
+		MapMsTotal:    float64(s.totalMap) / float64(time.Millisecond),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // Wait blocks until all running jobs finish; used by tests and shutdown.
@@ -165,7 +393,8 @@ var homeTemplate = template.Must(template.New("home").Parse(`<!doctype html>
 <h1>BWaveR — hybrid DNA sequence mapper</h1>
 <p>Upload a reference genome (FASTA) and query sequences (FASTQ), plain or gzipped.
 The pipeline computes the BWT and suffix array, encodes the BWT as a wavelet
-tree of RRR sequences, and maps every read and its reverse complement.</p>
+tree of RRR sequences, and maps every read and its reverse complement.
+Repeat references are served from the index cache.</p>
 <form action="/jobs" method="post" enctype="multipart/form-data">
 <p>Reference (FASTA): <input type="file" name="reference" required></p>
 <p>Reads (FASTQ): <input type="file" name="reads" required></p>
@@ -193,9 +422,12 @@ var jobTemplate = template.Must(template.New("job").Parse(`<!doctype html>
 <table>
 <tr><td>Backend</td><td>{{.Backend}}</td></tr>
 <tr><td>RRR parameters</td><td>b={{.B}} sf={{.SF}}</td></tr>
+<tr><td>Mismatch budget</td><td>{{.Mismatches}}</td></tr>
 <tr><td>Reference</td><td>{{.RefName}} ({{.RefLength}} bp)</td></tr>
 <tr><td>Reads</td><td>{{.Reads}}</td></tr>
+<tr><td>Progress</td><td>{{.Done}}/{{.Reads}}</td></tr>
 <tr><td>Mapped</td><td>{{.Mapped}}</td></tr>
+<tr><td>Index</td><td>{{if .CacheHit}}cache hit{{else}}built{{end}}</td></tr>
 <tr><td>Index build</td><td>{{.BuildTime}}</td></tr>
 <tr><td>Mapping</td><td>{{.MapTime}}</td></tr>
 </table>
@@ -205,9 +437,9 @@ var jobTemplate = template.Must(template.New("job").Parse(`<!doctype html>
 
 func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	jobs := make([]*Job, 0, len(s.jobs))
+	jobs := make([]Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
-		jobs = append(jobs, j)
+		jobs = append(jobs, *j)
 	}
 	s.mu.Unlock()
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
@@ -229,6 +461,10 @@ func formInt(r *http.Request, name string, def int) (int, error) {
 	return n, nil
 }
 
+// handleSubmit validates the request parameters and captures the raw upload
+// bytes, then hands off to a job goroutine. Parsing and sanitizing the FASTA
+// and FASTQ happen on the job goroutine, so a malformed or huge upload fails
+// inside a visible job (StateFailed) instead of blocking the HTTP handler.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.MaxUploadBytes)
 	if err := r.ParseMultipartForm(s.MaxUploadBytes); err != nil {
@@ -266,46 +502,58 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	refFile, _, err := r.FormFile("reference")
+	refRaw, err := formFileBytes(r, "reference")
 	if err != nil {
 		http.Error(w, "missing reference upload", http.StatusBadRequest)
 		return
 	}
-	defer refFile.Close()
-	readsFile, _, err := r.FormFile("reads")
+	readsRaw, err := formFileBytes(r, "reads")
 	if err != nil {
 		http.Error(w, "missing reads upload", http.StatusBadRequest)
 		return
 	}
-	defer readsFile.Close()
 
-	ref, contigs, refName, err := parseReference(refFile)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	reads, ids, err := parseReads(readsFile)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-
-	job := s.createJob(backend, b, sf, refName, len(ref), len(reads))
-	job.Mismatches = mismatches
-	s.startJob(job, ref, contigs, reads, ids)
+	job := s.createJob(backend, b, sf, mismatches, "(parsing)", 0, 0)
+	s.launch(job, jobInput{refRaw: refRaw, readsRaw: readsRaw})
 	http.Redirect(w, r, fmt.Sprintf("/jobs/%d", job.ID), http.StatusSeeOther)
 }
+
+// formFileBytes copies one multipart file into memory; the multipart buffers
+// are released when the handler returns, so the job goroutine needs its own
+// copy.
+func formFileBytes(r *http.Request, field string) ([]byte, error) {
+	f, _, err := r.FormFile(field)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// DefaultDemoSeed seeds the /demo dataset; pass ?seed=N to override. One
+// seed drives both the genome and the reads (reads use seed+1) so repeated
+// demo runs are reproducible.
+const DefaultDemoSeed = 42
 
 // handleDemo runs the pipeline on a small synthetic dataset so the UI can be
 // exercised without files at hand.
 func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
-	ref, err := readsim.Genome(readsim.GenomeConfig{Length: 50000, Seed: time.Now().UnixNano(), RepeatFraction: 0.2})
+	seed := int64(DefaultDemoSeed)
+	if v := r.FormValue("seed"); v != "" {
+		parsed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, "parameter seed: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		seed = parsed
+	}
+	ref, err := readsim.Genome(readsim.GenomeConfig{Length: 50000, Seed: seed, RepeatFraction: 0.2})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	sim, err := readsim.Simulate(ref, readsim.ReadsConfig{
-		Count: 1000, Length: 80, MappingRatio: 0.7, RevCompFraction: 0.5, Seed: 42,
+		Count: 1000, Length: 80, MappingRatio: 0.7, RevCompFraction: 0.5, Seed: seed + 1,
 	})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -315,8 +563,8 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 	for i, rd := range sim {
 		ids[i] = rd.ID
 	}
-	job := s.createJob("fpga", 15, 50, "synthetic-demo", len(ref), len(sim))
-	s.startJob(job, ref, nil, readsim.Seqs(sim), ids)
+	job := s.createJob("fpga", 15, 50, 0, "synthetic-demo", len(ref), len(sim))
+	s.launch(job, jobInput{ref: ref, reads: readsim.Seqs(sim), ids: ids})
 	http.Redirect(w, r, fmt.Sprintf("/jobs/%d", job.ID), http.StatusSeeOther)
 }
 
@@ -363,63 +611,176 @@ func parseReads(r io.Reader) ([]dna.Seq, []string, error) {
 	return seqs, ids, nil
 }
 
-func (s *Server) createJob(backend string, b, sf int, refName string, refLen, reads int) *Job {
+func (s *Server) createJob(backend string, b, sf, mismatches int, refName string, refLen, reads int) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	job := &Job{
 		ID: s.nextID, State: StateQueued, Backend: backend, B: b, SF: sf,
-		RefName: refName, RefLength: refLen, Reads: reads, Created: time.Now(),
+		Mismatches: mismatches,
+		RefName:    refName, RefLength: refLen, Reads: reads, Created: time.Now(),
 	}
 	s.nextID++
 	s.jobs[job.ID] = job
 	return job
 }
 
-func (s *Server) startJob(job *Job, ref dna.Seq, contigs *core.ContigSet, reads []dna.Seq, ids []string) {
+// jobInput is what a launched job works on: either raw upload bytes (parsed
+// on the job goroutine) or pre-parsed sequences (demo path).
+type jobInput struct {
+	refRaw, readsRaw []byte
+	ref              dna.Seq
+	contigs          *core.ContigSet
+	reads            []dna.Seq
+	ids              []string
+}
+
+// launch runs the job asynchronously: it waits for a pipeline slot (abortable
+// by cancellation or timeout), runs the pipeline, and records the terminal
+// state.
+func (s *Server) launch(job *Job, in jobInput) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s.mu.Lock()
+	if job.State.terminal() {
+		// Canceled between createJob and launch.
+		s.mu.Unlock()
+		cancel(nil)
+		return
+	}
+	job.cancel = cancel
+	s.mu.Unlock()
+
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
-		err := s.runJob(job, ref, contigs, reads, ids)
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if err != nil {
-			job.State = StateFailed
-			job.Error = err.Error()
-		} else {
-			job.State = StateDone
+		defer cancel(nil)
+		runCtx := ctx
+		if s.cfg.JobTimeout > 0 {
+			var cancelTimeout context.CancelFunc
+			runCtx, cancelTimeout = context.WithTimeout(ctx, s.cfg.JobTimeout)
+			defer cancelTimeout()
 		}
+		select {
+		case s.sem <- struct{}{}:
+		case <-runCtx.Done():
+			s.finishJob(job, runCtx, runCtx.Err())
+			return
+		}
+		defer func() { <-s.sem }()
+		err := s.runJob(runCtx, job, in)
+		s.finishJob(job, runCtx, err)
 	}()
 }
 
-func (s *Server) runJob(job *Job, ref dna.Seq, contigs *core.ContigSet, reads []dna.Seq, ids []string) error {
+// finishJob records the job's terminal state and folds its stage timings
+// into the server aggregates.
+func (s *Server) finishJob(job *Job, ctx context.Context, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.Finished = time.Now()
+	if err == nil {
+		job.State = StateDone
+		s.totalParse += job.ParseTime
+		s.totalBuild += job.BuildTime
+		s.totalMap += job.MapTime
+		s.completedJobs++
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		cause := context.Cause(ctx)
+		if errors.Is(cause, errJobCanceled) {
+			job.State = StateCanceled
+			job.Error = errJobCanceled.Error()
+			return
+		}
+		if errors.Is(cause, context.DeadlineExceeded) || errors.Is(err, context.DeadlineExceeded) {
+			job.State = StateFailed
+			job.Error = fmt.Sprintf("job exceeded the %v timeout", s.cfg.JobTimeout)
+			return
+		}
+	}
+	job.State = StateFailed
+	job.Error = err.Error()
+}
+
+// setJobProgress updates Done monotonically (parallel mappers may report
+// out of order).
+func (s *Server) setJobProgress(job *Job, done int) {
+	s.mu.Lock()
+	if done > job.Done {
+		job.Done = done
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 	s.mu.Lock()
 	job.State = StateRunning
 	s.mu.Unlock()
+	if hook := s.testHookBeforeRun; hook != nil {
+		hook(job, ctx)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
-	// Steps 1+2: BWT/SA computation and succinct encoding.
-	buildStart := time.Now()
-	ix, err := core.BuildIndex(ref, core.IndexConfig{
+	ref, contigs, reads, ids := in.ref, in.contigs, in.reads, in.ids
+	if in.refRaw != nil {
+		parseStart := time.Now()
+		var refName string
+		var err error
+		ref, contigs, refName, err = parseReference(bytes.NewReader(in.refRaw))
+		if err != nil {
+			return err
+		}
+		reads, ids, err = parseReads(bytes.NewReader(in.readsRaw))
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		job.RefName = refName
+		job.RefLength = len(ref)
+		job.Reads = len(reads)
+		job.ParseTime = time.Since(parseStart)
+		s.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+
+	// Steps 1+2: BWT/SA computation and succinct encoding — through the
+	// content-addressed cache, so a repeat reference skips construction
+	// and concurrent jobs for one reference build once.
+	idxCfg := core.IndexConfig{
 		RRR: rrr.Params{BlockSize: job.B, SuperblockFactor: job.SF},
+	}
+	buildStart := time.Now()
+	entry, hit, err := s.cache.getOrBuild(ctx, core.CacheKey(ref, contigs, idxCfg), func() (*core.Index, error) {
+		ix, err := core.BuildIndex(ref, idxCfg)
+		if err != nil {
+			return nil, err
+		}
+		if contigs != nil {
+			if err := ix.SetContigs(contigs); err != nil {
+				return nil, err
+			}
+		}
+		return ix, nil
 	})
 	if err != nil {
 		return err
 	}
-	if contigs != nil {
-		if err := ix.SetContigs(contigs); err != nil {
-			return err
-		}
-	}
-	buildTime := time.Since(buildStart)
+	s.mu.Lock()
+	job.CacheHit = hit
+	job.BuildTime = time.Since(buildStart)
+	s.mu.Unlock()
 
 	var buf bytes.Buffer
 	var mapped int
 	var mapTime time.Duration
 	if job.Mismatches > 0 {
-		mapped, mapTime, err = s.runApprox(job, ix, reads, ids, &buf)
+		mapped, mapTime, err = s.runApprox(ctx, job, entry, reads, ids, &buf)
 	} else {
-		mapped, mapTime, err = s.runExact(job, ix, reads, ids, &buf)
+		mapped, mapTime, err = s.runExact(ctx, job, entry, reads, ids, &buf)
 	}
 	if err != nil {
 		return err
@@ -427,7 +788,6 @@ func (s *Server) runJob(job *Job, ref dna.Seq, contigs *core.ContigSet, reads []
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	job.BuildTime = buildTime
 	job.MapTime = mapTime
 	job.Mapped = mapped
 	job.results = buf.Bytes()
@@ -435,21 +795,21 @@ func (s *Server) runJob(job *Job, ref dna.Seq, contigs *core.ContigSet, reads []
 }
 
 // runExact is pipeline step 3 for exact matching on either backend.
-func (s *Server) runExact(job *Job, ix *core.Index, reads []dna.Seq, ids []string, buf *bytes.Buffer) (int, time.Duration, error) {
+func (s *Server) runExact(ctx context.Context, job *Job, entry *cacheEntry, reads []dna.Seq, ids []string, buf *bytes.Buffer) (int, time.Duration, error) {
+	ix := entry.ix
 	var (
 		results []core.MapResult
 		mapTime time.Duration
 	)
+	progress := func(done, total int) { s.setJobProgress(job, done) }
 	if job.Backend == "fpga" {
-		dev, err := fpga.NewDevice(fpga.Config{})
+		kernel, resident, err := entry.kernelFor(s.dev)
 		if err != nil {
 			return 0, 0, err
 		}
-		kernel, err := dev.Program(ix)
-		if err != nil {
-			return 0, 0, err
-		}
-		run, err := kernel.MapReads(reads)
+		run, err := kernel.MapReadsOpts(reads, fpga.MapRunOptions{
+			Context: ctx, Progress: progress, IndexResident: resident,
+		})
 		if err != nil {
 			return 0, 0, err
 		}
@@ -462,12 +822,7 @@ func (s *Server) runExact(job *Job, ix *core.Index, reads []dna.Seq, ids []strin
 		var stats core.MapStats
 		var err error
 		results, stats, err = ix.MapReads(reads, core.MapOptions{
-			Locate: true, Workers: -1,
-			Progress: func(done, total int) {
-				s.mu.Lock()
-				job.Done = done
-				s.mu.Unlock()
-			},
+			Context: ctx, Locate: true, Workers: -1, Progress: progress,
 		})
 		if err != nil {
 			return 0, 0, err
@@ -480,7 +835,8 @@ func (s *Server) runExact(job *Job, ix *core.Index, reads []dna.Seq, ids []strin
 
 // runApprox is step 3 with a mismatch budget: the two-pass reconfigurable
 // flow on the FPGA model, the branching search on the CPU.
-func (s *Server) runApprox(job *Job, ix *core.Index, reads []dna.Seq, ids []string, buf *bytes.Buffer) (int, time.Duration, error) {
+func (s *Server) runApprox(ctx context.Context, job *Job, entry *cacheEntry, reads []dna.Seq, ids []string, buf *bytes.Buffer) (int, time.Duration, error) {
+	ix := entry.ix
 	type row struct {
 		mapped      bool
 		bestMM      int
@@ -488,16 +844,15 @@ func (s *Server) runApprox(job *Job, ix *core.Index, reads []dna.Seq, ids []stri
 	}
 	rows := make([]row, len(reads))
 	var mapTime time.Duration
+	progress := func(done, total int) { s.setJobProgress(job, done) }
 	if job.Backend == "fpga" {
-		dev, err := fpga.NewDevice(fpga.Config{})
+		kernel, resident, err := entry.kernelFor(s.dev)
 		if err != nil {
 			return 0, 0, err
 		}
-		kernel, err := dev.Program(ix)
-		if err != nil {
-			return 0, 0, err
-		}
-		run, err := kernel.MapReadsTwoPass(reads, job.Mismatches)
+		run, err := kernel.MapReadsTwoPassOpts(reads, job.Mismatches, fpga.MapRunOptions{
+			Context: ctx, Progress: progress, IndexResident: resident,
+		})
 		if err != nil {
 			return 0, 0, err
 		}
@@ -512,11 +867,13 @@ func (s *Server) runApprox(job *Job, ix *core.Index, reads []dna.Seq, ids []stri
 		}
 	} else {
 		start := time.Now()
-		for i, read := range reads {
-			res, err := ix.MapReadApprox(read, job.Mismatches)
-			if err != nil {
-				return 0, 0, err
-			}
+		results, err := ix.MapReadsApprox(reads, job.Mismatches, core.MapOptions{
+			Context: ctx, Workers: -1, Progress: progress,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		for i, res := range results {
 			rows[i] = row{mapped: res.Mapped(), bestMM: res.BestMismatches(), occurrences: res.Occurrences()}
 		}
 		mapTime = time.Since(start)
@@ -527,10 +884,17 @@ func (s *Server) runApprox(job *Job, ix *core.Index, reads []dna.Seq, ids []stri
 		if r.mapped {
 			mapped++
 		}
-		fmt.Fprintf(buf, "%s\t%t\t%d\t%d\n", ids[i], r.mapped, r.bestMM, r.occurrences)
+		fmt.Fprintf(buf, "%s\t%t\t%d\t%d\n", sanitizeID(ids[i]), r.mapped, r.bestMM, r.occurrences)
 	}
 	return mapped, mapTime, nil
 }
+
+// idSanitizer strips the TSV structural characters from user-supplied read
+// IDs: an embedded tab or newline would otherwise corrupt the results file.
+var idSanitizer = strings.NewReplacer("\t", " ", "\n", " ", "\r", " ")
+
+// sanitizeID makes a read ID safe to embed in a TSV row.
+func sanitizeID(id string) string { return idSanitizer.Replace(id) }
 
 // writeResultsTSV emits one row per read: id, mapped flag, per-strand
 // occurrence counts and positions (contig-relative when the reference had
@@ -544,7 +908,7 @@ func writeResultsTSV(w io.Writer, contigs *core.ContigSet, ids []string, reads [
 		}
 		span := len(reads[i])
 		fmt.Fprintf(w, "%s\t%t\t%d\t%s\t%d\t%s\n",
-			ids[i], res.Mapped(),
+			sanitizeID(ids[i]), res.Mapped(),
 			res.Forward.Count(), joinPositions(contigs, res.ForwardPositions, span),
 			res.Reverse.Count(), joinPositions(contigs, res.ReversePositions, span))
 	}

@@ -174,9 +174,12 @@ func TestSubmitValidation(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
 	post := func(fields map[string]string, files map[string][]byte) int {
 		body, ctype := buildUpload(t, fields, files)
-		resp, err := http.Post(ts.URL+"/jobs", ctype, body)
+		resp, err := client.Post(ts.URL+"/jobs", ctype, body)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -200,9 +203,13 @@ func TestSubmitValidation(t *testing.T) {
 	if code := post(nil, map[string][]byte{"reference": refFasta}); code != http.StatusBadRequest {
 		t.Errorf("missing reads accepted: %d", code)
 	}
-	if code := post(nil, map[string][]byte{"reference": []byte("garbage"), "reads": readsFastq}); code != http.StatusBadRequest {
-		t.Errorf("garbage reference accepted: %d", code)
+	// A garbage reference parses on the job goroutine: the submission is
+	// accepted (303 redirect to the job page) and the failure lands in the
+	// job's failed state — see TestSubmitParseFailureFailsJob.
+	if code := post(nil, map[string][]byte{"reference": []byte("garbage"), "reads": readsFastq}); code != http.StatusSeeOther {
+		t.Errorf("garbage reference returned %d, want 303 (async parse failure)", code)
 	}
+	s.Wait()
 }
 
 func TestJobNotFound(t *testing.T) {
@@ -229,7 +236,7 @@ func TestJobNotFound(t *testing.T) {
 
 func TestResultsBeforeDone(t *testing.T) {
 	s := New()
-	job := s.createJob("cpu", 15, 50, "x", 100, 10)
+	job := s.createJob("cpu", 15, 50, 0, "x", 100, 10)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	resp, err := http.Get(fmt.Sprintf("%s/jobs/%d/results", ts.URL, job.ID))
@@ -244,8 +251,8 @@ func TestResultsBeforeDone(t *testing.T) {
 
 func TestHomeListsJobs(t *testing.T) {
 	s := New()
-	s.createJob("cpu", 15, 50, "refA", 100, 10)
-	s.createJob("fpga", 15, 50, "refB", 100, 10)
+	s.createJob("cpu", 15, 50, 0, "refA", 100, 10)
+	s.createJob("fpga", 15, 50, 0, "refB", 100, 10)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/")
