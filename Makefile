@@ -4,9 +4,13 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench
+# Per-corpus budget for fuzz-smoke; raise for a real fuzzing session, e.g.
+# `make fuzz-smoke FUZZTIME=5m`.
+FUZZTIME ?= 10s
 
-ci: vet race
+.PHONY: ci build vet test race bench fuzz-smoke fault-smoke
+
+ci: vet race fuzz-smoke fault-smoke
 
 build:
 	$(GO) build ./...
@@ -22,3 +26,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# fuzz-smoke gives every fuzz target a short budget; `go test` allows one
+# -fuzz target per invocation, hence the per-target lines.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzReader$$' -fuzztime=$(FUZZTIME) ./internal/fastx
+	$(GO) test -run='^$$' -fuzz='^FuzzReaderGzip$$' -fuzztime=$(FUZZTIME) ./internal/fastx
+	$(GO) test -run='^$$' -fuzz='^FuzzRank$$' -fuzztime=$(FUZZTIME) ./internal/rrr
+	$(GO) test -run='^$$' -fuzz='^FuzzSerialization$$' -fuzztime=$(FUZZTIME) ./internal/rrr
+	$(GO) test -run='^$$' -fuzz='^FuzzReadIndex$$' -fuzztime=$(FUZZTIME) ./internal/core
+
+# fault-smoke runs the fault-injection and resilience tests, including the
+# end-to-end server scenarios, under the race detector.
+fault-smoke:
+	$(GO) test -race -run='Fault|Resilience|Breaker|Retry|Fallback|Redistrib|Corrupt|SurvivesDeadDevice|Transient' ./internal/fpga ./internal/server

@@ -7,8 +7,18 @@
 // /api/stats. It shuts down gracefully on SIGINT/SIGTERM, letting running
 // pipeline jobs finish.
 //
+// The simulated FPGA layer is fault-injectable (-fault-plan) and resilient:
+// failed shards retry with backoff (-max-retries), repeatedly failing cards
+// trip a circuit breaker (-breaker-threshold, -breaker-cooldown), and jobs
+// whose devices are all broken transparently rerun on the CPU baseline
+// (-fallback=cpu, the default) with the fallback recorded in the job status
+// and /api/stats. Device health is at /api/health.
+//
 //	bwaver-server [-addr :8080] [-max-jobs 2] [-cache-entries 8]
 //	              [-job-ttl 0] [-job-timeout 0] [-max-upload-mb 256]
+//	              [-devices 1] [-fault-plan ""] [-max-retries 0]
+//	              [-breaker-threshold 5] [-breaker-cooldown 30s]
+//	              [-fallback cpu] [-verify-stride 64]
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"bwaver/internal/fpga"
 	"bwaver/internal/server"
 )
 
@@ -32,7 +43,26 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", 0, "evict finished jobs and their results this long after completion (0 = keep forever)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job runtime bound including queue wait (0 = unbounded)")
 	maxUploadMB := flag.Int64("max-upload-mb", 256, "request body limit in MiB")
+	devices := flag.Int("devices", 1, "number of simulated accelerator cards")
+	faultPlan := flag.String("fault-plan", "", `inject simulated device faults, e.g. "seed=7,kernel=0.01,corrupt=0.005,persistent=0:result"`)
+	maxRetries := flag.Int("max-retries", 0, "per-device retries after a failed shard attempt (0 = default of 2, negative = no retries)")
+	breakerThreshold := flag.Int("breaker-threshold", fpga.DefaultBreakerThreshold, "consecutive failures that open a device's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", fpga.DefaultBreakerCooldown, "how long an open breaker waits before admitting a probe")
+	fallback := flag.String("fallback", "cpu", "when the FPGA path fails with a device error: cpu = rerun on the CPU baseline, fail = fail the job")
+	verifyStride := flag.Int("verify-stride", server.DefaultVerifyStride, "CPU cross-check every Nth FPGA result (negative = disable)")
 	flag.Parse()
+
+	var plan *fpga.FaultPlan
+	if *faultPlan != "" {
+		parsed, err := fpga.ParseFaultPlan(*faultPlan)
+		if err != nil {
+			log.Fatalf("bwaver-server: -fault-plan: %v", err)
+		}
+		plan = parsed
+	}
+	if *fallback != "cpu" && *fallback != "fail" {
+		log.Fatalf("bwaver-server: -fallback must be cpu or fail, got %q", *fallback)
+	}
 
 	s := server.NewWithConfig(server.Config{
 		MaxConcurrentJobs: *maxJobs,
@@ -40,6 +70,13 @@ func main() {
 		CacheEntries:      *cacheEntries,
 		JobTTL:            *jobTTL,
 		JobTimeout:        *jobTimeout,
+		Devices:           *devices,
+		FaultPlan:         plan,
+		MaxRetries:        *maxRetries,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerCooldown:   *breakerCooldown,
+		Fallback:          *fallback,
+		VerifyStride:      *verifyStride,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"bwaver/internal/readsim"
+)
+
+func TestVerifySampled(t *testing.T) {
+	ref, err := readsim.Genome(readsim.GenomeConfig{Length: 4000, Seed: 3, RepeatFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndex(ref, IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: 60, Length: 30, MappingRatio: 0.7, RevCompFraction: 0.5, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := readsim.Seqs(sim)
+	results := make([]MapResult, len(reads))
+	for i, r := range reads {
+		results[i] = ix.MapRead(r)
+	}
+
+	if err := VerifySampled(ix, reads, results, 7); err != nil {
+		t.Fatalf("correct results rejected: %v", err)
+	}
+	if err := VerifySampled(ix, reads, results, 0); err != nil {
+		t.Fatalf("stride 0 must disable: %v", err)
+	}
+	if err := VerifySampled(ix, reads[:10], results, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+
+	// Corrupt a sampled position: stride 1 samples everything.
+	results[3].Forward.Start ^= 1
+	if err := VerifySampled(ix, reads, results, 1); err == nil {
+		t.Error("corrupted result passed the cross-check")
+	}
+	// A stride that skips index 3 does not see it.
+	if err := VerifySampled(ix, reads, results, len(reads)); err != nil {
+		t.Errorf("stride sampling only index 0 rejected clean read: %v", err)
+	}
+}

@@ -2,6 +2,8 @@ package fastx
 
 import (
 	"bytes"
+	"compress/gzip"
+	"reflect"
 	"testing"
 )
 
@@ -53,6 +55,40 @@ func FuzzReader(f *testing.F) {
 		}
 		if len(back) != len(recs) {
 			t.Fatalf("round trip produced %d records, want %d", len(back), len(recs))
+		}
+	})
+}
+
+// FuzzReaderGzip checks transparent decompression: gzipping any payload must
+// not change what the parser accepts or produces.
+func FuzzReaderGzip(f *testing.F) {
+	f.Add([]byte(">a\nACGT\n"))
+	f.Add([]byte("@r\nACGT\n+\nIIII\n"))
+	f.Add([]byte(""))
+	f.Add([]byte(">a\nAC\n>b\nGT\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A payload that itself starts with the gzip magic would be
+		// decompressed by the plain read, so equivalence doesn't hold.
+		if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+			return
+		}
+		plainRecs, plainErr := ReadAll(bytes.NewReader(data))
+
+		var zbuf bytes.Buffer
+		zw := gzip.NewWriter(&zbuf)
+		if _, err := zw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		gzRecs, gzErr := ReadAll(bytes.NewReader(zbuf.Bytes()))
+
+		if (plainErr == nil) != (gzErr == nil) {
+			t.Fatalf("plain err %v, gzip err %v", plainErr, gzErr)
+		}
+		if plainErr == nil && !reflect.DeepEqual(plainRecs, gzRecs) {
+			t.Fatalf("gzip parse diverged:\n%v\n%v", plainRecs, gzRecs)
 		}
 	})
 }

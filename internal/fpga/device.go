@@ -137,6 +137,14 @@ func (c Config) validate() error {
 // Device is a simulated accelerator card.
 type Device struct {
 	cfg Config
+	// id identifies the card in fault plans and health reports.
+	id int
+	// inj, when non-nil, injects simulated faults into the card's runs.
+	inj *faultInjector
+	// breaker is the card's circuit breaker; it lives on the device, not
+	// the farm, so farms programmed with different indexes over the same
+	// cards share health state.
+	breaker *Breaker
 }
 
 // NewDevice creates a device; zero-valued config fields take the
@@ -146,11 +154,49 @@ func NewDevice(cfg Config) (*Device, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Device{cfg: cfg}, nil
+	return &Device{
+		cfg:     cfg,
+		breaker: newBreaker(DefaultBreakerThreshold, DefaultBreakerCooldown),
+	}, nil
 }
 
 // Config returns the resolved device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// EnableFaults attaches a fault plan to the device under the given device
+// ID. A nil plan only assigns the ID (used in health reports). Call before
+// the device takes work; not safe to race with running kernels.
+func (d *Device) EnableFaults(plan *FaultPlan, deviceID int) {
+	d.id = deviceID
+	if plan != nil {
+		d.inj = newFaultInjector(plan, deviceID)
+	}
+}
+
+// ID returns the device's identifier (zero unless assigned via EnableFaults).
+func (d *Device) ID() int { return d.id }
+
+// Breaker returns the device's circuit breaker.
+func (d *Device) Breaker() *Breaker { return d.breaker }
+
+// FaultLog returns the injected-fault event sequence, empty when no fault
+// plan is attached. Two devices running the same plan seed over the same
+// request sequence produce identical logs — the determinism contract the
+// tests pin down.
+func (d *Device) FaultLog() []FaultEvent {
+	if d.inj == nil {
+		return nil
+	}
+	return d.inj.events()
+}
+
+// FaultCounts returns injected-fault counts by stage name.
+func (d *Device) FaultCounts() map[string]uint64 {
+	if d.inj == nil {
+		return map[string]uint64{}
+	}
+	return d.inj.faultCounts()
+}
 
 // transfer returns the modeled PCIe time for n bytes.
 func (d *Device) transfer(n int) time.Duration {

@@ -1,7 +1,10 @@
 package fpga
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"bwaver/internal/core"
@@ -15,22 +18,83 @@ import (
 // "can be easily replicated to obtain even better performances"; Farm
 // quantifies that claim under a shared-PCIe model — transfers serialise on
 // the host bus while kernels run in parallel.
+//
+// The farm is also the resilience layer over the fault-injectable devices:
+// each shard is retried on its card with exponential backoff and bounded
+// attempts, every result batch is checksum-verified (and optionally
+// cross-checked against the CPU path on a sampled subset), and a card whose
+// circuit breaker opens is taken out of rotation with its shard
+// redistributed to the healthy cards. Only when every card is broken does a
+// run fail — with ErrNoHealthyDevices, the signal the server's CPU fallback
+// keys on.
 type Farm struct {
 	kernels []*Kernel
+	devices []*Device
+	opts    FarmOptions
+	rec     *StatsRecorder
+
+	// mu guards the jitter RNG; concurrent jobs may share one farm.
+	mu  sync.Mutex
+	rng uint64
 }
 
-// NewFarm programs the index onto every device.
+// FarmOptions tune the resilience layer; the zero value takes the listed
+// defaults, reproducing fault-free behaviour exactly when no fault plan is
+// attached to the devices.
+type FarmOptions struct {
+	// Retry bounds per-device attempts and shapes the backoff.
+	Retry RetryPolicy
+	// BreakerThreshold consecutive failures open a device's breaker;
+	// default DefaultBreakerThreshold.
+	BreakerThreshold int
+	// BreakerCooldown is the open-breaker probe delay; default
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// VerifyStride cross-checks every Nth result of a shard against the
+	// CPU path (0 disables) — the host-side defense against corruption
+	// that slips past the batch checksum.
+	VerifyStride int
+	// Recorder receives the resilience counters; nil creates a private one.
+	Recorder *StatsRecorder
+	// Seed drives the backoff jitter; 0 takes a fixed default so runs stay
+	// reproducible.
+	Seed uint64
+}
+
+// NewFarm programs the index onto every device with default resilience
+// options.
 func NewFarm(devices []*Device, ix *core.Index) (*Farm, error) {
+	return NewFarmOpts(devices, ix, FarmOptions{})
+}
+
+// NewFarmOpts programs the index onto every device and configures the
+// resilience layer. Device breakers keep their accumulated state: a new farm
+// over already-running cards cannot mask an open breaker.
+func NewFarmOpts(devices []*Device, ix *core.Index, opts FarmOptions) (*Farm, error) {
 	if len(devices) == 0 {
 		return nil, fmt.Errorf("fpga: farm needs at least one device")
 	}
-	f := &Farm{kernels: make([]*Kernel, len(devices))}
+	opts.Retry = opts.Retry.withDefaults()
+	if opts.Seed == 0 {
+		opts.Seed = 0x42fa7a11
+	}
+	f := &Farm{
+		kernels: make([]*Kernel, len(devices)),
+		devices: devices,
+		opts:    opts,
+		rec:     opts.Recorder,
+		rng:     opts.Seed,
+	}
+	if f.rec == nil {
+		f.rec = NewStatsRecorder()
+	}
 	for i, d := range devices {
 		k, err := d.Program(ix)
 		if err != nil {
 			return nil, fmt.Errorf("fpga: device %d: %w", i, err)
 		}
 		f.kernels[i] = k
+		d.breaker.configure(opts.BreakerThreshold, opts.BreakerCooldown)
 	}
 	return f, nil
 }
@@ -38,30 +102,186 @@ func NewFarm(devices []*Device, ix *core.Index) (*Farm, error) {
 // Size returns the number of cards.
 func (f *Farm) Size() int { return len(f.kernels) }
 
-// MapReads stripes reads across the cards. The profile charges setup once,
-// index and query/result transfers serially (one shared host bus), and the
-// slowest card's kernel time.
+// Stats returns a snapshot of the farm's resilience counters.
+func (f *Farm) Stats() ResilienceStats { return f.rec.Snapshot() }
+
+// DeviceHealth returns every card's breaker snapshot.
+func (f *Farm) DeviceHealth() []DeviceHealth {
+	out := make([]DeviceHealth, len(f.devices))
+	for i, d := range f.devices {
+		out[i] = DeviceHealth{
+			Device:              i,
+			Breaker:             d.breaker.State().String(),
+			ConsecutiveFailures: d.breaker.ConsecutiveFailures(),
+			BreakerTrips:        d.breaker.Trips(),
+		}
+	}
+	return out
+}
+
+// LocateResults resolves occurrence positions on the host through the
+// index's suffix array (see Kernel.LocateResults).
+func (f *Farm) LocateResults(results []core.MapResult) (time.Duration, error) {
+	return f.kernels[0].LocateResults(results)
+}
+
+// healthyDevices returns the indexes of cards whose breaker admits work.
+func (f *Farm) healthyDevices() []int {
+	out := make([]int, 0, len(f.devices))
+	for i, d := range f.devices {
+		if d.breaker.Allow() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (f *Farm) jitter(attempt int) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.opts.Retry.delay(attempt, &f.rng)
+}
+
+// recordFailure folds one shard failure into the counters.
+func (f *Farm) recordFailure(err error) {
+	var fe *FaultError
+	switch {
+	case errors.As(err, &fe):
+		f.rec.fault(fe.Stage.String())
+	case errors.Is(err, ErrResultCorrupt):
+		f.rec.checksum()
+	case errors.Is(err, errCrossCheckFailed):
+		f.rec.crosscheck()
+	}
+}
+
+// execShard runs fn against the primary device with retry/backoff, then
+// against each remaining candidate in turn (redistribution) until one
+// succeeds or all are exhausted. It returns the accrued modeled backoff.
+func execShard[T any](f *Farm, ctx context.Context, primary int, candidates []int, fn func(*Kernel) (T, error)) (out T, backoff time.Duration, err error) {
+	var zero T
+	order := make([]int, 0, len(candidates))
+	order = append(order, primary)
+	for _, c := range candidates {
+		if c != primary {
+			order = append(order, c)
+		}
+	}
+	var lastErr error
+	for oi, di := range order {
+		dev := f.devices[di]
+		if !dev.breaker.Allow() {
+			continue
+		}
+		if oi > 0 {
+			f.rec.redistributed()
+		}
+		for attempt := 1; ; attempt++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return zero, backoff, err
+				}
+			}
+			res, err := fn(f.kernels[di])
+			if err == nil {
+				dev.breaker.Success()
+				return res, backoff, nil
+			}
+			if !isRetryableFault(err) {
+				return zero, backoff, err
+			}
+			lastErr = err
+			f.recordFailure(err)
+			dev.breaker.Failure()
+			if attempt >= f.opts.Retry.MaxAttempts || !dev.breaker.Allow() {
+				break
+			}
+			f.rec.retry()
+			backoff += f.jitter(attempt)
+		}
+	}
+	f.rec.exhausted()
+	if lastErr == nil {
+		return zero, backoff, ErrNoHealthyDevices
+	}
+	return zero, backoff, fmt.Errorf("%w (last error: %v)", ErrNoHealthyDevices, lastErr)
+}
+
+// verifyRun is the host's acceptance gate for one shard run: the batch
+// checksum always, plus a sampled CPU cross-check when configured.
+func (f *Farm) verifyRun(k *Kernel, shard []dna.Seq, run *RunResult) error {
+	if err := run.VerifyChecksum(); err != nil {
+		return err
+	}
+	if s := f.opts.VerifyStride; s > 0 {
+		if err := core.VerifySampled(k.ix, shard, run.Results, s); err != nil {
+			return fmt.Errorf("%w: %v", errCrossCheckFailed, err)
+		}
+	}
+	return nil
+}
+
+// shardProgress lifts a shard-local progress callback onto the whole batch.
+func shardProgress(opts MapRunOptions, lo, total int) func(done, _ int) {
+	if opts.Progress == nil {
+		return nil
+	}
+	p := opts.Progress
+	return func(done, _ int) { p(lo+done, total) }
+}
+
+// MapReads stripes reads across the cards; see MapReadsOpts.
 func (f *Farm) MapReads(reads []dna.Seq) (*RunResult, error) {
+	return f.MapReadsOpts(reads, MapRunOptions{})
+}
+
+// MapReadsOpts stripes reads across the healthy cards with per-shard retry,
+// checksum verification, and redistribution on device failure. The profile
+// charges setup once, transfers serially (one shared host bus), the slowest
+// card's kernel time, and the accrued retry backoff.
+func (f *Farm) MapReadsOpts(reads []dna.Seq, opts MapRunOptions) (*RunResult, error) {
 	wallStart := time.Now()
-	n := len(f.kernels)
+	healthy := f.healthyDevices()
+	if len(healthy) == 0 {
+		f.rec.exhausted()
+		return nil, ErrNoHealthyDevices
+	}
+	n := len(healthy)
 	out := &RunResult{Results: make([]core.MapResult, len(reads))}
 	agg := Profile{Setup: f.kernels[0].dev.cfg.SetupTime}
 	var maxKernel time.Duration
 	var maxCycles uint64
-	for i, k := range f.kernels {
-		lo := len(reads) * i / n
-		hi := len(reads) * (i + 1) / n
-		agg.IndexTransfer += k.indexTransfer
+	for si, di := range healthy {
+		lo := len(reads) * si / n
+		hi := len(reads) * (si + 1) / n
 		if lo == hi {
 			continue
 		}
-		run, err := k.MapReads(reads[lo:hi])
+		shard := reads[lo:hi]
+		runOpts := MapRunOptions{
+			Context:       opts.Context,
+			Progress:      shardProgress(opts, lo, len(reads)),
+			ProgressEvery: opts.ProgressEvery,
+			IndexResident: opts.IndexResident,
+		}
+		run, backoff, err := execShard(f, opts.Context, di, healthy, func(k *Kernel) (*RunResult, error) {
+			r, err := k.MapReadsOpts(shard, runOpts)
+			if err != nil {
+				return nil, err
+			}
+			if err := f.verifyRun(k, shard, r); err != nil {
+				return nil, err
+			}
+			return r, nil
+		})
 		if err != nil {
 			return nil, err
 		}
 		copy(out.Results[lo:hi], run.Results)
+		agg.IndexTransfer += run.Profile.IndexTransfer
 		agg.QueryTransfer += run.Profile.QueryTransfer
 		agg.ResultTransfer += run.Profile.ResultTransfer
+		agg.RetryBackoff += backoff
 		if run.Profile.KernelTime > maxKernel {
 			maxKernel = run.Profile.KernelTime
 		}
@@ -74,5 +294,89 @@ func (f *Farm) MapReads(reads []dna.Seq) (*RunResult, error) {
 	agg.Events = buildEvents(agg)
 	agg.HostWallTime = time.Since(wallStart)
 	out.Profile = agg
+	out.Checksum = ChecksumResults(out.Results)
+	return out, nil
+}
+
+// MapReadsTwoPassOpts is the farm's two-pass approximate flow: reads stripe
+// across the healthy cards, each card runs its own exact + reconfigured
+// mismatch pass (see Kernel.MapReadsTwoPassOpts) under the same retry,
+// verification, and redistribution regime as MapReadsOpts. Reconfiguration
+// happens on every card in parallel, so the profile charges the slowest.
+func (f *Farm) MapReadsTwoPassOpts(reads []dna.Seq, maxMismatches int, opts MapRunOptions) (*TwoPassResult, error) {
+	if maxMismatches < 1 {
+		return nil, fmt.Errorf("fpga: two-pass run needs a mismatch budget >= 1, got %d", maxMismatches)
+	}
+	wallStart := time.Now()
+	healthy := f.healthyDevices()
+	if len(healthy) == 0 {
+		f.rec.exhausted()
+		return nil, ErrNoHealthyDevices
+	}
+	n := len(healthy)
+	out := &TwoPassResult{
+		Exact:  make([]core.MapResult, len(reads)),
+		Approx: map[int]core.ApproxResult{},
+	}
+	agg := Profile{Setup: f.kernels[0].dev.cfg.SetupTime}
+	var maxKernel, maxReconfig time.Duration
+	var maxCycles uint64
+	for si, di := range healthy {
+		lo := len(reads) * si / n
+		hi := len(reads) * (si + 1) / n
+		if lo == hi {
+			continue
+		}
+		shard := reads[lo:hi]
+		runOpts := MapRunOptions{
+			Context:       opts.Context,
+			Progress:      shardProgress(opts, lo, len(reads)),
+			ProgressEvery: opts.ProgressEvery,
+			IndexResident: opts.IndexResident,
+		}
+		run, backoff, err := execShard(f, opts.Context, di, healthy, func(k *Kernel) (*TwoPassResult, error) {
+			r, err := k.MapReadsTwoPassOpts(shard, maxMismatches, runOpts)
+			if err != nil {
+				return nil, err
+			}
+			if err := r.VerifyChecksum(); err != nil {
+				return nil, err
+			}
+			if s := f.opts.VerifyStride; s > 0 {
+				if err := core.VerifySampled(k.ix, shard, r.Exact, s); err != nil {
+					return nil, fmt.Errorf("%w: %v", errCrossCheckFailed, err)
+				}
+			}
+			return r, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		copy(out.Exact[lo:hi], run.Exact)
+		for i, res := range run.Approx {
+			out.Approx[lo+i] = res
+		}
+		out.Rescued += run.Rescued
+		agg.IndexTransfer += run.Profile.IndexTransfer
+		agg.QueryTransfer += run.Profile.QueryTransfer
+		agg.ResultTransfer += run.Profile.ResultTransfer
+		agg.RetryBackoff += backoff
+		if run.Profile.Reconfig > maxReconfig {
+			maxReconfig = run.Profile.Reconfig
+		}
+		if run.Profile.KernelTime > maxKernel {
+			maxKernel = run.Profile.KernelTime
+		}
+		if run.Profile.KernelCycles > maxCycles {
+			maxCycles = run.Profile.KernelCycles
+		}
+	}
+	agg.KernelTime = maxKernel
+	agg.KernelCycles = maxCycles
+	agg.Reconfig = maxReconfig
+	agg.Events = buildEvents(agg)
+	agg.HostWallTime = time.Since(wallStart)
+	out.Profile = agg
+	out.Checksum = ChecksumResults(out.Exact)
 	return out, nil
 }

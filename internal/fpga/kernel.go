@@ -67,6 +67,10 @@ type Profile struct {
 	// Reconfig is the fabric-reconfiguration cost of a two-pass run
 	// (zero for exact-only runs).
 	Reconfig time.Duration
+	// RetryBackoff is the host-side wait accrued by the resilience layer's
+	// exponential backoff between retried shard attempts (zero without
+	// injected faults). Charged on the modeled timeline, not slept.
+	RetryBackoff time.Duration
 	// Overlap is the time hidden by double-buffered query streaming
 	// (min(QueryTransfer, KernelTime) when Config.DoubleBuffer is set);
 	// Total subtracts it.
@@ -83,7 +87,7 @@ type Profile struct {
 // Total is the modeled end-to-end device time, the quantity Tables I and II
 // report for BWaveR-FPGA.
 func (p Profile) Total() time.Duration {
-	return p.Setup + p.IndexTransfer + p.QueryTransfer + p.KernelTime + p.ResultTransfer + p.Reconfig - p.Overlap
+	return p.Setup + p.IndexTransfer + p.QueryTransfer + p.KernelTime + p.ResultTransfer + p.Reconfig + p.RetryBackoff - p.Overlap
 }
 
 // EnergyJoules is board power times modeled time, the paper's
@@ -96,6 +100,19 @@ func (p Profile) EnergyJoules(powerWatts float64) float64 {
 type RunResult struct {
 	Results []core.MapResult
 	Profile Profile
+	// Checksum is the per-batch checksum the kernel computed over its
+	// results before the result transfer; VerifyChecksum recomputes it
+	// host-side to detect transfer corruption.
+	Checksum uint64
+}
+
+// VerifyChecksum recomputes the batch checksum over the received results and
+// returns ErrResultCorrupt on mismatch.
+func (r *RunResult) VerifyChecksum() error {
+	if ChecksumResults(r.Results) != r.Checksum {
+		return ErrResultCorrupt
+	}
+	return nil
 }
 
 // MapRunOptions control one mapping run on a programmed kernel. The zero
@@ -148,6 +165,23 @@ func (k *Kernel) MapReadsOpts(reads []dna.Seq, opts MapRunOptions) (*RunResult, 
 		records[i] = dna.Pack(r)
 	}
 
+	// Injected faults strike in stage order: index load (only when the
+	// structure is not already resident), query streaming, then the kernel
+	// itself — a hang the runtime watchdog reports as a timeout.
+	if inj := k.dev.inj; inj != nil {
+		if !opts.IndexResident {
+			if err := inj.at(StageIndexLoad); err != nil {
+				return nil, err
+			}
+		}
+		if err := inj.at(StageQueryTransfer); err != nil {
+			return nil, err
+		}
+		if err := inj.at(StageKernel); err != nil {
+			return nil, err
+		}
+	}
+
 	every := opts.ProgressEvery
 	if every <= 0 {
 		every = 256
@@ -177,6 +211,17 @@ func (k *Kernel) MapReadsOpts(reads []dna.Seq, opts MapRunOptions) (*RunResult, 
 	}
 	kernelCycles := uint64(cfg.PipelineFillCycles) + stepCycles/uint64(cfg.PEs)
 
+	// The device checksums the batch before the result transfer; a result
+	// transfer fault drops the batch, a corruption fault silently flips
+	// bits afterwards for the host-side verification to catch.
+	checksum := ChecksumResults(results)
+	if inj := k.dev.inj; inj != nil {
+		if err := inj.at(StageResultTransfer); err != nil {
+			return nil, err
+		}
+		inj.corrupt(results)
+	}
+
 	indexTransfer := k.indexTransfer
 	if opts.IndexResident {
 		indexTransfer = 0
@@ -194,7 +239,7 @@ func (k *Kernel) MapReadsOpts(reads []dna.Seq, opts MapRunOptions) (*RunResult, 
 	}
 	profile.Events = buildEvents(profile)
 	profile.HostWallTime = time.Since(wallStart)
-	return &RunResult{Results: results, Profile: profile}, nil
+	return &RunResult{Results: results, Profile: profile, Checksum: checksum}, nil
 }
 
 // buildEvents lays the run's commands on a virtual timeline in dependency
@@ -253,6 +298,7 @@ func (k *Kernel) MapReadsBatched(reads []dna.Seq, batchSize int) (*RunResult, er
 	agg.Events = buildEvents(agg)
 	agg.HostWallTime = time.Since(wallStart)
 	out.Profile = agg
+	out.Checksum = ChecksumResults(out.Results)
 	return out, nil
 }
 

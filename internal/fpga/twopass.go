@@ -32,6 +32,17 @@ type TwoPassResult struct {
 	Rescued int
 	// Profile covers both passes plus the reconfiguration.
 	Profile Profile
+	// Checksum is the pass-1 batch checksum (see RunResult.Checksum).
+	Checksum uint64
+}
+
+// VerifyChecksum recomputes the pass-1 batch checksum over the received
+// exact results and returns ErrResultCorrupt on mismatch.
+func (t *TwoPassResult) VerifyChecksum() error {
+	if ChecksumResults(t.Exact) != t.Checksum {
+		return ErrResultCorrupt
+	}
+	return nil
 }
 
 // MapReadsTwoPass runs the exact kernel, reconfigures, and retries the
@@ -54,9 +65,10 @@ func (k *Kernel) MapReadsTwoPassOpts(reads []dna.Seq, maxMismatches int, opts Ma
 		return nil, err
 	}
 	out := &TwoPassResult{
-		Exact:   pass1.Results,
-		Approx:  map[int]core.ApproxResult{},
-		Profile: pass1.Profile,
+		Exact:    pass1.Results,
+		Approx:   map[int]core.ApproxResult{},
+		Profile:  pass1.Profile,
+		Checksum: pass1.Checksum,
 	}
 	var unaligned []int
 	for i, res := range pass1.Results {
@@ -71,6 +83,17 @@ func (k *Kernel) MapReadsTwoPassOpts(reads []dna.Seq, maxMismatches int, opts Ma
 	cfg := k.dev.cfg
 	// Fabric reconfiguration: one fixed charge.
 	out.Profile.Reconfig = DefaultReconfigTime
+
+	// Pass 2 re-streams the unaligned subset and runs the mismatch kernel,
+	// so it rolls the same injectable stages as a fresh run.
+	if inj := k.dev.inj; inj != nil {
+		if err := inj.at(StageQueryTransfer); err != nil {
+			return nil, err
+		}
+		if err := inj.at(StageKernel); err != nil {
+			return nil, err
+		}
+	}
 
 	// Pass 2: the mismatch kernel. Same pipeline model; the branching
 	// search simply executes more steps per query.
@@ -91,6 +114,11 @@ func (k *Kernel) MapReadsTwoPassOpts(reads []dna.Seq, maxMismatches int, opts Ma
 			out.Rescued++
 		}
 		stepCycles += uint64(res.Steps)*perStep + uint64(cfg.QueryOverheadCycles)
+	}
+	if inj := k.dev.inj; inj != nil {
+		if err := inj.at(StageResultTransfer); err != nil {
+			return nil, err
+		}
 	}
 	pass2Cycles := uint64(cfg.PipelineFillCycles) + stepCycles/uint64(cfg.PEs)
 	out.Profile.KernelCycles += pass2Cycles

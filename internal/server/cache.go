@@ -30,29 +30,31 @@ type cacheEntry struct {
 	buildTime time.Duration
 	sizeBytes int
 
-	// kmu guards the lazily programmed kernel; kernelRuns counts mapping
+	// kmu guards the lazily programmed farm; farmRuns counts mapping
 	// runs so the simulated index transfer is charged only on the first.
-	kmu        sync.Mutex
-	kernel     *fpga.Kernel
-	kernelRuns int
+	kmu      sync.Mutex
+	farm     *fpga.Farm
+	farmRuns int
 }
 
-// kernelFor returns the kernel programmed with the entry's index, programming
-// the device on first use. resident reports whether an earlier run already
-// paid the index transfer into BRAM.
-func (e *cacheEntry) kernelFor(dev *fpga.Device) (k *fpga.Kernel, resident bool, err error) {
+// farmFor returns the farm programmed with the entry's index, programming
+// the devices on first use. resident reports whether an earlier run already
+// paid the index transfer into BRAM. Farms built here share the devices'
+// breakers and the server's stats recorder, so health and counters are
+// global across cached indexes.
+func (e *cacheEntry) farmFor(devices []*fpga.Device, opts fpga.FarmOptions) (f *fpga.Farm, resident bool, err error) {
 	e.kmu.Lock()
 	defer e.kmu.Unlock()
-	if e.kernel == nil {
-		kern, err := dev.Program(e.ix)
+	if e.farm == nil {
+		farm, err := fpga.NewFarmOpts(devices, e.ix, opts)
 		if err != nil {
 			return nil, false, err
 		}
-		e.kernel = kern
+		e.farm = farm
 	}
-	resident = e.kernelRuns > 0
-	e.kernelRuns++
-	return e.kernel, resident, nil
+	resident = e.farmRuns > 0
+	e.farmRuns++
+	return e.farm, resident, nil
 }
 
 // indexCache is a bounded LRU of cacheEntry values with single-flight builds.

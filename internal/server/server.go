@@ -77,6 +77,11 @@ type Job struct {
 	// CacheHit reports whether the index came from the cache instead of
 	// being built for this job.
 	CacheHit bool
+	// FallbackUsed reports that the FPGA backend failed and the job was
+	// transparently rerun on the CPU baseline.
+	FallbackUsed bool
+	// FallbackReason records the device error that triggered the fallback.
+	FallbackReason string
 
 	ParseTime time.Duration
 	BuildTime time.Duration
@@ -106,10 +111,37 @@ type Config struct {
 	// JanitorInterval is how often expired jobs are swept when JobTTL is
 	// set; default 30s.
 	JanitorInterval time.Duration
+
+	// Devices is the number of simulated accelerator cards; default 1.
+	Devices int
+	// FaultPlan, when non-nil, injects simulated faults into every device
+	// (see fpga.ParseFaultPlan for the textual form).
+	FaultPlan *fpga.FaultPlan
+	// MaxRetries is how many times a failed shard is retried on the same
+	// device after its first attempt; 0 takes the fpga default (2 retries,
+	// 3 attempts), negative disables retries.
+	MaxRetries int
+	// BreakerThreshold consecutive failures open a device's circuit
+	// breaker; 0 takes the fpga default.
+	BreakerThreshold int
+	// BreakerCooldown is the open-breaker probe delay; 0 takes the fpga
+	// default.
+	BreakerCooldown time.Duration
+	// Fallback chooses what happens when the FPGA path fails with a device
+	// error: "cpu" (default) transparently reruns the job on the CPU
+	// baseline, "fail" surfaces the error as a failed job.
+	Fallback string
+	// VerifyStride cross-checks every Nth FPGA result against the CPU on
+	// the host; default DefaultVerifyStride, negative disables.
+	VerifyStride int
 }
 
 // DefaultCacheEntries is the default index cache capacity.
 const DefaultCacheEntries = 8
+
+// DefaultVerifyStride samples every Nth FPGA result for a host-side CPU
+// cross-check.
+const DefaultVerifyStride = 64
 
 func (c Config) withDefaults() Config {
 	if c.MaxConcurrentJobs <= 0 {
@@ -123,6 +155,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JanitorInterval <= 0 {
 		c.JanitorInterval = 30 * time.Second
+	}
+	if c.Devices <= 0 {
+		c.Devices = 1
+	}
+	if c.Fallback == "" {
+		c.Fallback = "cpu"
+	}
+	if c.VerifyStride == 0 {
+		c.VerifyStride = DefaultVerifyStride
+	} else if c.VerifyStride < 0 {
+		c.VerifyStride = 0
 	}
 	return c
 }
@@ -138,7 +181,11 @@ type Server struct {
 	MaxUploadBytes int64
 	cfg            Config
 	cache          *indexCache
-	dev            *fpga.Device // one simulated card, shared by cached kernels
+	// devices are the simulated cards, shared by cached farms; the cards
+	// own their circuit breakers, so health survives cache churn.
+	devices []*fpga.Device
+	// rec accumulates resilience counters across every farm.
+	rec *fpga.StatsRecorder
 	// sem bounds how many pipelines run at once; index builds are
 	// memory-hungry (the suffix array alone is 4 bytes/base), so excess
 	// jobs wait in the queued state instead of exhausting the host.
@@ -173,11 +220,16 @@ func New() *Server { return NewWithConfig(Config{}) }
 // goroutine sweeps expired jobs until Close is called.
 func NewWithConfig(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	dev, err := fpga.NewDevice(fpga.Config{})
-	if err != nil {
-		// The zero config resolves to the paper-aligned defaults, which
-		// always validate.
-		panic("server: default fpga device: " + err.Error())
+	devices := make([]*fpga.Device, cfg.Devices)
+	for i := range devices {
+		dev, err := fpga.NewDevice(fpga.Config{})
+		if err != nil {
+			// The zero config resolves to the paper-aligned defaults, which
+			// always validate.
+			panic("server: default fpga device: " + err.Error())
+		}
+		dev.EnableFaults(cfg.FaultPlan, i)
+		devices[i] = dev
 	}
 	s := &Server{
 		jobs:           map[int]*Job{},
@@ -185,7 +237,8 @@ func NewWithConfig(cfg Config) *Server {
 		MaxUploadBytes: cfg.MaxUploadBytes,
 		cfg:            cfg,
 		cache:          newIndexCache(cfg.CacheEntries),
-		dev:            dev,
+		devices:        devices,
+		rec:            fpga.NewStatsRecorder(),
 		sem:            make(chan struct{}, cfg.MaxConcurrentJobs),
 	}
 	if cfg.JobTTL > 0 {
@@ -251,28 +304,37 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /api/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /api/jobs", s.handleJobsJSON)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /api/health", s.handleHealth)
 	mux.HandleFunc("GET /demo", s.handleDemo)
 	return mux
 }
 
+// jsonError writes the structured error envelope every /api/* handler uses:
+// {"error": "..."} with the right status and content type.
+func jsonError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
 // jobJSON is the wire form of a job for the JSON API.
 type jobJSON struct {
-	ID         int     `json:"id"`
-	State      string  `json:"state"`
-	Error      string  `json:"error,omitempty"`
-	Backend    string  `json:"backend"`
-	B          int     `json:"b"`
-	SF         int     `json:"sf"`
-	Mismatches int     `json:"mismatches"`
-	RefName    string  `json:"ref_name"`
-	RefLength  int     `json:"ref_length"`
-	Reads      int     `json:"reads"`
-	Mapped     int     `json:"mapped"`
-	Done       int     `json:"done"`
-	CacheHit   bool    `json:"cache_hit"`
-	ParseMs    float64 `json:"parse_ms"`
-	BuildMs    float64 `json:"build_ms"`
-	MapMs      float64 `json:"map_ms"`
+	ID             int     `json:"id"`
+	State          string  `json:"state"`
+	Error          string  `json:"error,omitempty"`
+	Backend        string  `json:"backend"`
+	B              int     `json:"b"`
+	SF             int     `json:"sf"`
+	Mismatches     int     `json:"mismatches"`
+	RefName        string  `json:"ref_name"`
+	RefLength      int     `json:"ref_length"`
+	Reads          int     `json:"reads"`
+	Mapped         int     `json:"mapped"`
+	Done           int     `json:"done"`
+	CacheHit       bool    `json:"cache_hit"`
+	Fallback       bool    `json:"fallback"`
+	FallbackReason string  `json:"fallback_reason,omitempty"`
+	ParseMs        float64 `json:"parse_ms"`
+	BuildMs        float64 `json:"build_ms"`
+	MapMs          float64 `json:"map_ms"`
 }
 
 func (j *Job) toJSON() jobJSON {
@@ -281,6 +343,7 @@ func (j *Job) toJSON() jobJSON {
 		B: j.B, SF: j.SF, Mismatches: j.Mismatches,
 		RefName: j.RefName, RefLength: j.RefLength,
 		Reads: j.Reads, Mapped: j.Mapped, Done: j.Done, CacheHit: j.CacheHit,
+		Fallback: j.FallbackUsed, FallbackReason: j.FallbackReason,
 		ParseMs: float64(j.ParseTime) / float64(time.Millisecond),
 		BuildMs: float64(j.BuildTime) / float64(time.Millisecond),
 		MapMs:   float64(j.MapTime) / float64(time.Millisecond),
@@ -296,7 +359,7 @@ func writeJSON(w http.ResponseWriter, status int, payload any) {
 func (s *Server) handleJobJSON(w http.ResponseWriter, r *http.Request) {
 	job, err := s.jobByRequest(r)
 	if err != nil {
-		http.Error(w, `{"error":"not found"}`, http.StatusNotFound)
+		jsonError(w, http.StatusNotFound, err.Error())
 		return
 	}
 	s.mu.Lock()
@@ -322,7 +385,7 @@ func (s *Server) handleJobsJSON(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	job, err := s.jobByRequest(r)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "not found"})
+		jsonError(w, http.StatusNotFound, err.Error())
 		return
 	}
 	s.mu.Lock()
@@ -330,7 +393,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	cancel := job.cancel
 	if state.terminal() {
 		s.mu.Unlock()
-		writeJSON(w, http.StatusConflict, map[string]string{"error": fmt.Sprintf("job already %s", state)})
+		jsonError(w, http.StatusConflict, fmt.Sprintf("job already %s", state))
 		return
 	}
 	if cancel == nil {
@@ -350,12 +413,15 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 
 // statsJSON is the /api/stats payload.
 type statsJSON struct {
-	Cache      cacheStats     `json:"cache"`
-	Jobs       map[string]int `json:"jobs"`
-	QueueDepth int            `json:"queue_depth"`
-	Running    int            `json:"running"`
-	Evicted    uint64         `json:"jobs_evicted"`
-	Stage      stageJSON      `json:"stage_totals"`
+	Cache      cacheStats           `json:"cache"`
+	Jobs       map[string]int       `json:"jobs"`
+	QueueDepth int                  `json:"queue_depth"`
+	Running    int                  `json:"running"`
+	Evicted    uint64               `json:"jobs_evicted"`
+	Stage      stageJSON            `json:"stage_totals"`
+	Resilience fpga.ResilienceStats `json:"resilience"`
+	Devices    []fpga.DeviceHealth  `json:"devices"`
+	Fallback   string               `json:"fallback_policy"`
 }
 
 // stageJSON aggregates per-stage timings over completed (done) jobs.
@@ -367,7 +433,13 @@ type stageJSON struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	payload := statsJSON{Cache: s.cache.stats(), Jobs: map[string]int{}}
+	payload := statsJSON{
+		Cache:      s.cache.stats(),
+		Jobs:       map[string]int{},
+		Resilience: s.rec.Snapshot(),
+		Devices:    s.deviceHealth(),
+		Fallback:   s.cfg.Fallback,
+	}
 	s.mu.Lock()
 	for _, j := range s.jobs {
 		payload.Jobs[string(j.State)]++
@@ -383,6 +455,58 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, payload)
+}
+
+// deviceHealth snapshots every card's breaker.
+func (s *Server) deviceHealth() []fpga.DeviceHealth {
+	out := make([]fpga.DeviceHealth, len(s.devices))
+	for i, d := range s.devices {
+		b := d.Breaker()
+		out[i] = fpga.DeviceHealth{
+			Device:              i,
+			Breaker:             b.State().String(),
+			ConsecutiveFailures: b.ConsecutiveFailures(),
+			BreakerTrips:        b.Trips(),
+		}
+	}
+	return out
+}
+
+// healthJSON is the /api/health payload.
+type healthJSON struct {
+	// Status is "ok" (all breakers closed/half-open), "degraded" (some
+	// open), or "critical" (all open — every FPGA job will fall back or
+	// fail, per the fallback policy).
+	Status     string               `json:"status"`
+	Devices    []fpga.DeviceHealth  `json:"devices"`
+	Resilience fpga.ResilienceStats `json:"resilience"`
+	Fallback   string               `json:"fallback_policy"`
+}
+
+// handleHealth reports device health. It always answers 200 — the payload,
+// not the status code, carries the verdict, so pollers can distinguish
+// "degraded service" from "server down".
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	devices := s.deviceHealth()
+	open := 0
+	for _, d := range devices {
+		if d.Breaker == "open" {
+			open++
+		}
+	}
+	status := "ok"
+	switch {
+	case open == len(devices):
+		status = "critical"
+	case open > 0:
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, healthJSON{
+		Status:     status,
+		Devices:    devices,
+		Resilience: s.rec.Snapshot(),
+		Fallback:   s.cfg.Fallback,
+	})
 }
 
 // Wait blocks until all running jobs finish; used by tests and shutdown.
@@ -420,7 +544,7 @@ var jobTemplate = template.Must(template.New("job").Parse(`<!doctype html>
 <h1>Job {{.ID}} — {{.State}}</h1>
 {{if .Error}}<p style="color:red">{{.Error}}</p>{{end}}
 <table>
-<tr><td>Backend</td><td>{{.Backend}}</td></tr>
+<tr><td>Backend</td><td>{{.Backend}}{{if .FallbackUsed}} (fell back to CPU: {{.FallbackReason}}){{end}}</td></tr>
 <tr><td>RRR parameters</td><td>b={{.B}} sf={{.SF}}</td></tr>
 <tr><td>Mismatch budget</td><td>{{.Mismatches}}</td></tr>
 <tr><td>Reference</td><td>{{.RefName}} ({{.RefLength}} bp)</td></tr>
@@ -794,7 +918,46 @@ func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 	return nil
 }
 
-// runExact is pipeline step 3 for exact matching on either backend.
+// farmOptions derives the resilience tuning every cached farm shares.
+func (s *Server) farmOptions() fpga.FarmOptions {
+	retry := fpga.RetryPolicy{}
+	if s.cfg.MaxRetries > 0 {
+		retry.MaxAttempts = s.cfg.MaxRetries + 1
+	} else if s.cfg.MaxRetries < 0 {
+		retry.MaxAttempts = 1
+	}
+	return fpga.FarmOptions{
+		Retry:            retry,
+		BreakerThreshold: s.cfg.BreakerThreshold,
+		BreakerCooldown:  s.cfg.BreakerCooldown,
+		VerifyStride:     s.cfg.VerifyStride,
+		Recorder:         s.rec,
+	}
+}
+
+// shouldFallback decides whether an FPGA-path error warrants the transparent
+// CPU rerun: the policy allows it, the error is a device failure (not bad
+// input), and the job itself was not canceled or timed out.
+func (s *Server) shouldFallback(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	return s.cfg.Fallback == "cpu" && fpga.IsDeviceFailure(err)
+}
+
+// noteFallback records the CPU rerun on the job and in the global counters.
+func (s *Server) noteFallback(job *Job, cause error) {
+	s.rec.RecordFallback()
+	s.mu.Lock()
+	job.FallbackUsed = true
+	job.FallbackReason = cause.Error()
+	s.mu.Unlock()
+}
+
+// runExact is pipeline step 3 for exact matching on either backend. When the
+// FPGA farm fails with a device error and the fallback policy is "cpu", the
+// batch reruns on the CPU baseline — same results (the backends are
+// bit-identical by construction), honest CPU timing.
 func (s *Server) runExact(ctx context.Context, job *Job, entry *cacheEntry, reads []dna.Seq, ids []string, buf *bytes.Buffer) (int, time.Duration, error) {
 	ix := entry.ix
 	var (
@@ -802,23 +965,36 @@ func (s *Server) runExact(ctx context.Context, job *Job, entry *cacheEntry, read
 		mapTime time.Duration
 	)
 	progress := func(done, total int) { s.setJobProgress(job, done) }
-	if job.Backend == "fpga" {
-		kernel, resident, err := entry.kernelFor(s.dev)
-		if err != nil {
-			return 0, 0, err
+	useCPU := job.Backend != "fpga"
+	if !useCPU {
+		run, ferr := func() (*fpga.RunResult, error) {
+			farm, resident, err := entry.farmFor(s.devices, s.farmOptions())
+			if err != nil {
+				return nil, err
+			}
+			run, err := farm.MapReadsOpts(reads, fpga.MapRunOptions{
+				Context: ctx, Progress: progress, IndexResident: resident,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := farm.LocateResults(run.Results); err != nil {
+				return nil, err
+			}
+			return run, nil
+		}()
+		switch {
+		case ferr == nil:
+			results = run.Results
+			mapTime = run.Profile.Total()
+		case s.shouldFallback(ctx, ferr):
+			s.noteFallback(job, ferr)
+			useCPU = true
+		default:
+			return 0, 0, ferr
 		}
-		run, err := kernel.MapReadsOpts(reads, fpga.MapRunOptions{
-			Context: ctx, Progress: progress, IndexResident: resident,
-		})
-		if err != nil {
-			return 0, 0, err
-		}
-		if _, err := kernel.LocateResults(run.Results); err != nil {
-			return 0, 0, err
-		}
-		results = run.Results
-		mapTime = run.Profile.Total()
-	} else {
+	}
+	if useCPU {
 		var stats core.MapStats
 		var err error
 		results, stats, err = ix.MapReads(reads, core.MapOptions{
@@ -845,27 +1021,36 @@ func (s *Server) runApprox(ctx context.Context, job *Job, entry *cacheEntry, rea
 	rows := make([]row, len(reads))
 	var mapTime time.Duration
 	progress := func(done, total int) { s.setJobProgress(job, done) }
-	if job.Backend == "fpga" {
-		kernel, resident, err := entry.kernelFor(s.dev)
-		if err != nil {
-			return 0, 0, err
-		}
-		run, err := kernel.MapReadsTwoPassOpts(reads, job.Mismatches, fpga.MapRunOptions{
-			Context: ctx, Progress: progress, IndexResident: resident,
-		})
-		if err != nil {
-			return 0, 0, err
-		}
-		mapTime = run.Profile.Total()
-		for i, exact := range run.Exact {
-			if exact.Mapped() {
-				rows[i] = row{mapped: true, bestMM: 0, occurrences: exact.Occurrences()}
-				continue
+	useCPU := job.Backend != "fpga"
+	if !useCPU {
+		run, ferr := func() (*fpga.TwoPassResult, error) {
+			farm, resident, err := entry.farmFor(s.devices, s.farmOptions())
+			if err != nil {
+				return nil, err
 			}
-			res := run.Approx[i]
-			rows[i] = row{mapped: res.Mapped(), bestMM: res.BestMismatches(), occurrences: res.Occurrences()}
+			return farm.MapReadsTwoPassOpts(reads, job.Mismatches, fpga.MapRunOptions{
+				Context: ctx, Progress: progress, IndexResident: resident,
+			})
+		}()
+		switch {
+		case ferr == nil:
+			mapTime = run.Profile.Total()
+			for i, exact := range run.Exact {
+				if exact.Mapped() {
+					rows[i] = row{mapped: true, bestMM: 0, occurrences: exact.Occurrences()}
+					continue
+				}
+				res := run.Approx[i]
+				rows[i] = row{mapped: res.Mapped(), bestMM: res.BestMismatches(), occurrences: res.Occurrences()}
+			}
+		case s.shouldFallback(ctx, ferr):
+			s.noteFallback(job, ferr)
+			useCPU = true
+		default:
+			return 0, 0, ferr
 		}
-	} else {
+	}
+	if useCPU {
 		start := time.Now()
 		results, err := ix.MapReadsApprox(reads, job.Mismatches, core.MapOptions{
 			Context: ctx, Workers: -1, Progress: progress,
