@@ -8,9 +8,9 @@ GO ?= go
 # `make fuzz-smoke FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet test race bench fuzz-smoke fault-smoke
+.PHONY: ci build vet test race bench fuzz-smoke fault-smoke obs-smoke
 
-ci: vet race fuzz-smoke fault-smoke
+ci: vet race fuzz-smoke fault-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -40,3 +40,11 @@ fuzz-smoke:
 # end-to-end server scenarios, under the race detector.
 fault-smoke:
 	$(GO) test -race -run='Fault|Resilience|Breaker|Retry|Fallback|Redistrib|Corrupt|SurvivesDeadDevice|Transient' ./internal/fpga ./internal/server
+
+# obs-smoke covers the observability layer under the race detector: the
+# metrics registry and tracer, concurrent /metrics + trace scrapes against
+# faulted FPGA jobs, event identity tagging, and the mid-build cancellation
+# regression.
+obs-smoke:
+	$(GO) test -race ./internal/obs
+	$(GO) test -race -run='Metrics|Trace|Span|EventTagging|CancelDuringBuild|CanceledBuilder|BuildIndexCtx' ./internal/core ./internal/fpga ./internal/server

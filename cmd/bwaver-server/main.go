@@ -14,11 +14,17 @@
 // (-fallback=cpu, the default) with the fallback recorded in the job status
 // and /api/stats. Device health is at /api/health.
 //
+// Observability: structured request and job logs go to stderr (-log-format
+// text|json, -log-level), Prometheus metrics are at /metrics, per-job span
+// traces at /api/jobs/{id}/trace, and -pprof mounts net/http/pprof under
+// /debug/pprof/.
+//
 //	bwaver-server [-addr :8080] [-max-jobs 2] [-cache-entries 8]
 //	              [-job-ttl 0] [-job-timeout 0] [-max-upload-mb 256]
 //	              [-devices 1] [-fault-plan ""] [-max-retries 0]
 //	              [-breaker-threshold 5] [-breaker-cooldown 30s]
 //	              [-fallback cpu] [-verify-stride 64]
+//	              [-log-format text] [-log-level info] [-pprof]
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"time"
 
 	"bwaver/internal/fpga"
+	"bwaver/internal/obs"
 	"bwaver/internal/server"
 )
 
@@ -50,6 +57,9 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", fpga.DefaultBreakerCooldown, "how long an open breaker waits before admitting a probe")
 	fallback := flag.String("fallback", "cpu", "when the FPGA path fails with a device error: cpu = rerun on the CPU baseline, fail = fail the job")
 	verifyStride := flag.Int("verify-stride", server.DefaultVerifyStride, "CPU cross-check every Nth FPGA result (negative = disable)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	var plan *fpga.FaultPlan
@@ -77,6 +87,8 @@ func main() {
 		BreakerCooldown:   *breakerCooldown,
 		Fallback:          *fallback,
 		VerifyStride:      *verifyStride,
+		Logger:            obs.NewLogger(os.Stderr, *logFormat, *logLevel),
+		EnablePprof:       *enablePprof,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,

@@ -1,6 +1,7 @@
 // Command bwaver is the BWaveR command-line mapper.
 //
 //	bwaver index       -ref ref.fa[.gz] -out ref.bwx [-b 15] [-sf 50] [-locate full|sampled|none] [-plain]
+//	                   [-trace spans.json]
 //	bwaver map         -index ref.bwx -reads reads.fq[.gz] [-backend cpu|fpga] [-workers N]
 //	                   [-format tsv|sam] [-mismatches K] [-reads2 mate2.fq -min-insert N -max-insert N]
 //	                   [-stream] [-out results]
@@ -18,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +32,7 @@ import (
 	"bwaver/internal/fastx"
 	"bwaver/internal/fmindex"
 	"bwaver/internal/fpga"
+	"bwaver/internal/obs"
 	"bwaver/internal/rrr"
 	"bwaver/internal/sam"
 )
@@ -248,6 +251,7 @@ func cmdIndex(args []string, out io.Writer) error {
 	sampleRate := fs.Int("sample-rate", 32, "sampled-SA rate (with -locate sampled)")
 	plain := fs.Bool("plain", false, "use uncompressed bit-vectors instead of RRR")
 	saAlgo := fs.String("sa-algo", "sais", "suffix-array construction: sais, dc3 or doubling")
+	tracePath := fs.String("trace", "", "write the build's span trace as JSON to this file (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -280,8 +284,17 @@ func cmdIndex(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// A trace collects one span per construction phase (build.sa, build.bwt,
+	// build.encode); without -trace the context carries none and the spans
+	// are free no-ops.
+	var tr *obs.Trace
+	ctx := context.Background()
+	if *tracePath != "" {
+		tr = obs.NewTrace("index")
+		ctx = obs.WithTrace(ctx, tr)
+	}
 	start := time.Now()
-	ix, err := core.BuildIndex(ref, core.IndexConfig{
+	ix, err := core.BuildIndexCtx(ctx, ref, core.IndexConfig{
 		RRR:             rrr.Params{BlockSize: *b, SuperblockFactor: *sf},
 		PlainBitvectors: *plain,
 		Locate:          mode,
@@ -297,6 +310,11 @@ func cmdIndex(args []string, out io.Writer) error {
 	if err := ix.SaveFile(*outPath); err != nil {
 		return err
 	}
+	if tr != nil {
+		if err := writeTraceJSON(*tracePath, tr, out); err != nil {
+			return err
+		}
+	}
 	st := ix.Stats()
 	fmt.Fprintf(out, "indexed %d bases in %v (SA %v, BWT %v, encode %v)\n",
 		st.RefLength, time.Since(start).Round(time.Millisecond),
@@ -306,6 +324,21 @@ func cmdIndex(args []string, out io.Writer) error {
 		float64(st.StructureBytes)/1e6, float64(st.SharedBytes)/1e6,
 		st.CompressionRatio()*100, st.BWTEntropy)
 	return nil
+}
+
+// writeTraceJSON serializes a build trace to path ("-" = the command's
+// output writer).
+func writeTraceJSON(path string, tr *obs.Trace, out io.Writer) error {
+	payload, err := json.MarshalIndent(tr.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	payload = append(payload, '\n')
+	if path == "-" {
+		_, err := out.Write(payload)
+		return err
+	}
+	return os.WriteFile(path, payload, 0o644)
 }
 
 func cmdMap(args []string, out io.Writer) error {

@@ -16,6 +16,7 @@ import (
 	"bwaver/internal/bwt"
 	"bwaver/internal/dna"
 	"bwaver/internal/fmindex"
+	"bwaver/internal/obs"
 	"bwaver/internal/rrr"
 	"bwaver/internal/suffixarray"
 	"bwaver/internal/wavelet"
@@ -151,14 +152,27 @@ type Index struct {
 }
 
 // BuildIndex runs the first two pipeline steps over the reference: suffix
-// array and BWT computation, then succinct encoding.
+// array and BWT computation, then succinct encoding. It is BuildIndexCtx
+// without cancellation.
 func BuildIndex(ref dna.Seq, cfg IndexConfig) (*Index, error) {
+	return BuildIndexCtx(context.Background(), ref, cfg)
+}
+
+// BuildIndexCtx is BuildIndex with cancellation: the context is checked
+// between the build phases (suffix array, BWT, succinct encoding, locate
+// structure), so a canceled job stops at the next phase boundary instead of
+// running the whole construction to completion while holding resources.
+// When the context carries an obs trace, each phase emits a span.
+func BuildIndexCtx(ctx context.Context, ref dna.Seq, cfg IndexConfig) (*Index, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.RRR.Validate(); err != nil {
 		return nil, err
 	}
 	if len(ref) == 0 {
 		return nil, fmt.Errorf("core: empty reference")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	text := make([]uint8, len(ref))
@@ -171,20 +185,31 @@ func BuildIndex(ref dna.Seq, cfg IndexConfig) (*Index, error) {
 	stats.UncompressedBytes = len(ref)
 
 	start := time.Now()
+	_, saSpan := obs.StartSpan(ctx, "build.sa")
+	saSpan.SetAttr("algorithm", cfg.SAAlgorithm.String())
 	sa, err := cfg.SAAlgorithm.build(text, dna.AlphabetSize)
+	saSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: suffix array: %w", err)
 	}
 	stats.SATime = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	start = time.Now()
+	_, bwtSpan := obs.StartSpan(ctx, "build.bwt")
 	transform, err := bwt.Transform(text, sa)
+	bwtSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: bwt: %w", err)
 	}
 	stats.BWTTime = time.Since(start)
 	stats.BWTRuns = transform.RunCount()
 	stats.BWTEntropy = transform.Entropy(dna.AlphabetSize)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	start = time.Now()
 	var backend wavelet.Backend
@@ -193,13 +218,18 @@ func BuildIndex(ref dna.Seq, cfg IndexConfig) (*Index, error) {
 	} else {
 		backend = wavelet.RRRBackend(cfg.RRR)
 	}
+	_, encSpan := obs.StartSpan(ctx, "build.encode")
 	occ, err := fmindex.NewWaveletOccBackend(transform.Data, dna.AlphabetSize, backend)
+	encSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding: %w", err)
 	}
 	stats.EncodeTime = time.Since(start)
 	stats.StructureBytes = occ.Tree.SizeBytes()
 	stats.SharedBytes = occ.Tree.SharedSizeBytes()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	opts := fmindex.Options{}
 	switch cfg.Locate {

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"bwaver/internal/core"
 	"bwaver/internal/dna"
+	"bwaver/internal/obs"
 )
 
 // Farm models a multi-card deployment, the configuration of the paper's
@@ -33,6 +35,10 @@ type Farm struct {
 	opts    FarmOptions
 	rec     *StatsRecorder
 
+	// Metric instruments, nil unless FarmOptions.Metrics was set.
+	stageSeconds *obs.HistogramVec
+	backoffTotal *obs.CounterVec
+
 	// mu guards the jitter RNG; concurrent jobs may share one farm.
 	mu  sync.Mutex
 	rng uint64
@@ -56,6 +62,12 @@ type FarmOptions struct {
 	VerifyStride int
 	// Recorder receives the resilience counters; nil creates a private one.
 	Recorder *StatsRecorder
+	// Metrics, when non-nil, receives per-stage modeled duration histograms
+	// (bwaver_fpga_stage_seconds) and the accrued retry-backoff counter
+	// (bwaver_fpga_retry_backoff_seconds_total) for every successful shard
+	// run. Families are get-or-create, so farms built per cache entry share
+	// one registry's series.
+	Metrics *obs.Registry
 	// Seed drives the backoff jitter; 0 takes a fixed default so runs stay
 	// reproducible.
 	Seed uint64
@@ -87,6 +99,13 @@ func NewFarmOpts(devices []*Device, ix *core.Index, opts FarmOptions) (*Farm, er
 	}
 	if f.rec == nil {
 		f.rec = NewStatsRecorder()
+	}
+	if opts.Metrics != nil {
+		f.stageSeconds = opts.Metrics.Histogram("bwaver_fpga_stage_seconds",
+			"Modeled duration of FPGA run stages in seconds, one observation per successful shard run.",
+			nil, "stage")
+		f.backoffTotal = opts.Metrics.Counter("bwaver_fpga_retry_backoff_seconds_total",
+			"Modeled host-side retry backoff accrued by the resilience layer, in seconds.")
 	}
 	for i, d := range devices {
 		k, err := d.Program(ix)
@@ -155,10 +174,20 @@ func (f *Farm) recordFailure(err error) {
 	}
 }
 
+// shardWinner identifies where a shard finally succeeded: the device that
+// ran it and the 1-based attempt number on that device. Failed attempts
+// leave no event timeline (the run aborts before a profile exists), so the
+// winner's identity is what makes a recovered run's trace readable.
+type shardWinner struct {
+	Device  int
+	Attempt int
+}
+
 // execShard runs fn against the primary device with retry/backoff, then
 // against each remaining candidate in turn (redistribution) until one
-// succeeds or all are exhausted. It returns the accrued modeled backoff.
-func execShard[T any](f *Farm, ctx context.Context, primary int, candidates []int, fn func(*Kernel) (T, error)) (out T, backoff time.Duration, err error) {
+// succeeds or all are exhausted. It returns the accrued modeled backoff and
+// the identity of the successful attempt.
+func execShard[T any](f *Farm, ctx context.Context, primary int, candidates []int, fn func(*Kernel) (T, error)) (out T, backoff time.Duration, winner shardWinner, err error) {
 	var zero T
 	order := make([]int, 0, len(candidates))
 	order = append(order, primary)
@@ -179,16 +208,16 @@ func execShard[T any](f *Farm, ctx context.Context, primary int, candidates []in
 		for attempt := 1; ; attempt++ {
 			if ctx != nil {
 				if err := ctx.Err(); err != nil {
-					return zero, backoff, err
+					return zero, backoff, shardWinner{}, err
 				}
 			}
 			res, err := fn(f.kernels[di])
 			if err == nil {
 				dev.breaker.Success()
-				return res, backoff, nil
+				return res, backoff, shardWinner{Device: di, Attempt: attempt}, nil
 			}
 			if !isRetryableFault(err) {
-				return zero, backoff, err
+				return zero, backoff, shardWinner{}, err
 			}
 			lastErr = err
 			f.recordFailure(err)
@@ -202,9 +231,53 @@ func execShard[T any](f *Farm, ctx context.Context, primary int, candidates []in
 	}
 	f.rec.exhausted()
 	if lastErr == nil {
-		return zero, backoff, ErrNoHealthyDevices
+		return zero, backoff, shardWinner{}, ErrNoHealthyDevices
 	}
-	return zero, backoff, fmt.Errorf("%w (last error: %v)", ErrNoHealthyDevices, lastErr)
+	return zero, backoff, shardWinner{}, fmt.Errorf("%w (last error: %v)", ErrNoHealthyDevices, lastErr)
+}
+
+// observeRun folds one successful shard run's modeled stage durations and
+// accrued backoff into the metrics registry, when one is attached.
+func (f *Farm) observeRun(p Profile, backoff time.Duration) {
+	if f.backoffTotal != nil && backoff > 0 {
+		f.backoffTotal.With().Add(backoff.Seconds())
+	}
+	if f.stageSeconds == nil {
+		return
+	}
+	observe := func(stage string, d time.Duration) {
+		f.stageSeconds.With(stage).Observe(d.Seconds())
+	}
+	observe("setup", p.Setup)
+	observe("query_transfer", p.QueryTransfer)
+	observe("kernel", p.KernelTime)
+	observe("result_transfer", p.ResultTransfer)
+	// Conditional stages only when they happened: a resident index pays no
+	// transfer, exact-only runs never reconfigure.
+	if p.IndexTransfer > 0 {
+		observe("index_transfer", p.IndexTransfer)
+	}
+	if p.Reconfig > 0 {
+		observe("reconfig", p.Reconfig)
+	}
+	if backoff > 0 {
+		observe("retry_backoff", backoff)
+	}
+}
+
+// sortEvents orders a multi-shard event log deterministically: by shard,
+// then by virtual-timeline start, then by name. Each shard's events keep
+// their in-order command-queue sequence.
+func sortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Shard != events[j].Shard {
+			return events[i].Shard < events[j].Shard
+		}
+		if events[i].Start != events[j].Start {
+			return events[i].Start < events[j].Start
+		}
+		return events[i].Name < events[j].Name
+	})
 }
 
 // verifyRun is the host's acceptance gate for one shard run: the batch
@@ -251,6 +324,7 @@ func (f *Farm) MapReadsOpts(reads []dna.Seq, opts MapRunOptions) (*RunResult, er
 	agg := Profile{Setup: f.kernels[0].dev.cfg.SetupTime}
 	var maxKernel time.Duration
 	var maxCycles uint64
+	var events []Event
 	for si, di := range healthy {
 		lo := len(reads) * si / n
 		hi := len(reads) * (si + 1) / n
@@ -264,7 +338,7 @@ func (f *Farm) MapReadsOpts(reads []dna.Seq, opts MapRunOptions) (*RunResult, er
 			ProgressEvery: opts.ProgressEvery,
 			IndexResident: opts.IndexResident,
 		}
-		run, backoff, err := execShard(f, opts.Context, di, healthy, func(k *Kernel) (*RunResult, error) {
+		run, backoff, winner, err := execShard(f, opts.Context, di, healthy, func(k *Kernel) (*RunResult, error) {
 			r, err := k.MapReadsOpts(shard, runOpts)
 			if err != nil {
 				return nil, err
@@ -277,6 +351,8 @@ func (f *Farm) MapReadsOpts(reads []dna.Seq, opts MapRunOptions) (*RunResult, er
 		if err != nil {
 			return nil, err
 		}
+		f.observeRun(run.Profile, backoff)
+		events = append(events, tagEvents(run.Profile.Events, winner.Device, winner.Attempt, si)...)
 		copy(out.Results[lo:hi], run.Results)
 		agg.IndexTransfer += run.Profile.IndexTransfer
 		agg.QueryTransfer += run.Profile.QueryTransfer
@@ -291,7 +367,12 @@ func (f *Farm) MapReadsOpts(reads []dna.Seq, opts MapRunOptions) (*RunResult, er
 	}
 	agg.KernelTime = maxKernel
 	agg.KernelCycles = maxCycles
-	agg.Events = buildEvents(agg)
+	// The aggregate event log keeps per-shard identity — each shard's
+	// command queue tagged with the device and attempt that produced it —
+	// instead of a synthesized single-queue timeline that would misattribute
+	// recovered runs.
+	sortEvents(events)
+	agg.Events = events
 	agg.HostWallTime = time.Since(wallStart)
 	out.Profile = agg
 	out.Checksum = ChecksumResults(out.Results)
@@ -321,6 +402,7 @@ func (f *Farm) MapReadsTwoPassOpts(reads []dna.Seq, maxMismatches int, opts MapR
 	agg := Profile{Setup: f.kernels[0].dev.cfg.SetupTime}
 	var maxKernel, maxReconfig time.Duration
 	var maxCycles uint64
+	var events []Event
 	for si, di := range healthy {
 		lo := len(reads) * si / n
 		hi := len(reads) * (si + 1) / n
@@ -334,7 +416,7 @@ func (f *Farm) MapReadsTwoPassOpts(reads []dna.Seq, maxMismatches int, opts MapR
 			ProgressEvery: opts.ProgressEvery,
 			IndexResident: opts.IndexResident,
 		}
-		run, backoff, err := execShard(f, opts.Context, di, healthy, func(k *Kernel) (*TwoPassResult, error) {
+		run, backoff, winner, err := execShard(f, opts.Context, di, healthy, func(k *Kernel) (*TwoPassResult, error) {
 			r, err := k.MapReadsTwoPassOpts(shard, maxMismatches, runOpts)
 			if err != nil {
 				return nil, err
@@ -352,6 +434,8 @@ func (f *Farm) MapReadsTwoPassOpts(reads []dna.Seq, maxMismatches int, opts MapR
 		if err != nil {
 			return nil, err
 		}
+		f.observeRun(run.Profile, backoff)
+		events = append(events, tagEvents(run.Profile.Events, winner.Device, winner.Attempt, si)...)
 		copy(out.Exact[lo:hi], run.Exact)
 		for i, res := range run.Approx {
 			out.Approx[lo+i] = res
@@ -374,7 +458,8 @@ func (f *Farm) MapReadsTwoPassOpts(reads []dna.Seq, maxMismatches int, opts MapR
 	agg.KernelTime = maxKernel
 	agg.KernelCycles = maxCycles
 	agg.Reconfig = maxReconfig
-	agg.Events = buildEvents(agg)
+	sortEvents(events)
+	agg.Events = events
 	agg.HostWallTime = time.Since(wallStart)
 	out.Profile = agg
 	out.Checksum = ChecksumResults(out.Exact)

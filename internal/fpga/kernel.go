@@ -41,12 +41,22 @@ func (k *Kernel) stepCycles() uint64 {
 // "OpenCL events that provide an easy to use API to profile the code that
 // runs on the FPGA device". Timestamps are on the run's virtual timeline,
 // measured from enqueue of the first command.
+//
+// Device, Attempt, and Shard identify where the command actually ran. A
+// farm run that survives retries or shard redistribution would otherwise
+// be unreadable: without identity, a recovered run's timeline cannot say
+// which card finally did the work or how many attempts it took. Attempt is
+// 1-based on the device that succeeded (a plain kernel run reports 1);
+// Shard is the farm stripe index (0 for single-kernel runs).
 type Event struct {
 	Name      string
 	Queued    time.Duration
 	Submitted time.Duration
 	Start     time.Duration
 	End       time.Duration
+	Device    int
+	Attempt   int
+	Shard     int
 }
 
 // Duration returns the event's execution span.
@@ -237,9 +247,19 @@ func (k *Kernel) MapReadsOpts(reads []dna.Seq, opts MapRunOptions) (*RunResult, 
 	if cfg.DoubleBuffer {
 		profile.Overlap = min(profile.QueryTransfer, profile.KernelTime)
 	}
-	profile.Events = buildEvents(profile)
+	profile.Events = tagEvents(buildEvents(profile), k.dev.id, 1, 0)
 	profile.HostWallTime = time.Since(wallStart)
 	return &RunResult{Results: results, Profile: profile, Checksum: checksum}, nil
+}
+
+// tagEvents stamps run identity (device, attempt, shard) onto every event.
+func tagEvents(events []Event, device, attempt, shard int) []Event {
+	for i := range events {
+		events[i].Device = device
+		events[i].Attempt = attempt
+		events[i].Shard = shard
+	}
+	return events
 }
 
 // buildEvents lays the run's commands on a virtual timeline in dependency
@@ -295,7 +315,7 @@ func (k *Kernel) MapReadsBatched(reads []dna.Seq, batchSize int) (*RunResult, er
 		agg.KernelCycles += run.Profile.KernelCycles
 		agg.Overlap += run.Profile.Overlap
 	}
-	agg.Events = buildEvents(agg)
+	agg.Events = tagEvents(buildEvents(agg), k.dev.id, 1, 0)
 	agg.HostWallTime = time.Since(wallStart)
 	out.Profile = agg
 	out.Checksum = ChecksumResults(out.Results)
@@ -323,7 +343,7 @@ func (k *Kernel) ModelProfile(nReads int, avgStepsPerRead float64) Profile {
 	if cfg.DoubleBuffer {
 		p.Overlap = min(p.QueryTransfer, p.KernelTime)
 	}
-	p.Events = buildEvents(p)
+	p.Events = tagEvents(buildEvents(p), k.dev.id, 1, 0)
 	return p
 }
 

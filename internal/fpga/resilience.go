@@ -103,6 +103,7 @@ type Breaker struct {
 	consecutive int
 	openedAt    time.Time
 	trips       uint64
+	notify      func(from, to BreakerState)
 }
 
 func newBreaker(threshold int, cooldown time.Duration) *Breaker {
@@ -122,36 +123,59 @@ func (b *Breaker) configure(threshold int, cooldown time.Duration) {
 	}
 }
 
+// SetNotify registers fn to run after every state transition, with the old
+// and new states. The callback fires outside the breaker's lock, so it may
+// safely query the breaker or record metrics; it must tolerate concurrent
+// invocation. Passing nil removes the callback.
+func (b *Breaker) SetNotify(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	b.notify = fn
+	b.mu.Unlock()
+}
+
+// fire invokes the transition callback outside the lock when the state
+// actually changed. Callers pass the values captured under b.mu.
+func fireNotify(fn func(from, to BreakerState), from, to BreakerState) {
+	if fn != nil && from != to {
+		fn(from, to)
+	}
+}
+
 // Allow reports whether the device may take work. An open breaker past its
 // cooldown transitions to half-open and admits one probe.
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from, fn := b.state, b.notify
+	ok := true
 	switch b.state {
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) >= b.cooldown {
 			b.state = BreakerHalfOpen
-			return true
+		} else {
+			ok = false
 		}
-		return false
-	default:
-		return true
 	}
+	to := b.state
+	b.mu.Unlock()
+	fireNotify(fn, from, to)
+	return ok
 }
 
 // Success records a successful run, closing the breaker.
 func (b *Breaker) Success() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from, fn := b.state, b.notify
 	b.consecutive = 0
 	b.state = BreakerClosed
+	b.mu.Unlock()
+	fireNotify(fn, from, BreakerClosed)
 }
 
 // Failure records a failed run, opening the breaker at the threshold (or
 // immediately when a half-open probe fails).
 func (b *Breaker) Failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from, fn := b.state, b.notify
 	b.consecutive++
 	switch b.state {
 	case BreakerHalfOpen:
@@ -161,6 +185,9 @@ func (b *Breaker) Failure() {
 			b.open()
 		}
 	}
+	to := b.state
+	b.mu.Unlock()
+	fireNotify(fn, from, to)
 }
 
 func (b *Breaker) open() {

@@ -125,6 +125,6 @@ func (k *Kernel) MapReadsTwoPassOpts(reads []dna.Seq, maxMismatches int, opts Ma
 	out.Profile.KernelTime += k.dev.cyclesToTime(pass2Cycles)
 	out.Profile.QueryTransfer += k.dev.transfer(len(unaligned) * QueryRecordBytes)
 	out.Profile.ResultTransfer += k.dev.transfer(len(unaligned) * ResultRecordBytes)
-	out.Profile.Events = buildEvents(out.Profile)
+	out.Profile.Events = tagEvents(buildEvents(out.Profile), k.dev.id, 1, 0)
 	return out, nil
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -83,49 +84,73 @@ func newIndexCache(capacity int) *indexCache {
 // callers for the same key share one build; waiters abort when ctx is done.
 // hit reports whether the entry pre-existed (including an in-flight build —
 // the caller skipped construction either way). Failed builds are not cached.
-func (c *indexCache) getOrBuild(ctx context.Context, key string, build func() (*core.Index, error)) (entry *cacheEntry, hit bool, err error) {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		c.hits++
-		e := el.Value.(*cacheEntry)
+//
+// build receives the builder's context so index construction is cancellable.
+// That makes one hazard possible: the caller driving the build gets canceled
+// while healthy waiters share its entry. The failed entry is removed from the
+// map before ready is closed, and waiters that see a context-shaped error
+// while their own context is still live loop back to a fresh lookup — one of
+// them becomes the new builder instead of inheriting a stranger's
+// cancellation.
+func (c *indexCache) getOrBuild(ctx context.Context, key string, build func(context.Context) (*core.Index, error)) (entry *cacheEntry, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.order.MoveToFront(el)
+			c.hits++
+			e := el.Value.(*cacheEntry)
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, true, ctx.Err()
+			}
+			if e.err != nil {
+				if isContextError(e.err) && ctx.Err() == nil {
+					// The builder was canceled, not the index: retry under
+					// our own live context.
+					continue
+				}
+				return nil, true, e.err
+			}
+			return e, true, nil
+		}
+		c.misses++
+		e := &cacheEntry{key: key, ready: make(chan struct{})}
+		el := c.order.PushFront(e)
+		c.entries[key] = el
+		c.evictOverflowLocked()
 		c.mu.Unlock()
-		select {
-		case <-e.ready:
-		case <-ctx.Done():
-			return nil, true, ctx.Err()
+
+		start := time.Now()
+		e.ix, e.err = build(ctx)
+		e.buildTime = time.Since(start)
+		if e.ix != nil {
+			e.sizeBytes = e.ix.SizeBytes()
 		}
 		if e.err != nil {
-			return nil, true, e.err
+			// Drop the failed entry so a corrected retry rebuilds — before
+			// ready is closed, so retrying waiters cannot re-find it. The
+			// entry may already have been evicted by the LRU; only remove
+			// our own.
+			c.mu.Lock()
+			if cur, ok := c.entries[key]; ok && cur == el {
+				c.order.Remove(el)
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+			close(e.ready)
+			return nil, false, e.err
 		}
-		return e, true, nil
+		close(e.ready)
+		return e, false, nil
 	}
-	c.misses++
-	e := &cacheEntry{key: key, ready: make(chan struct{})}
-	el := c.order.PushFront(e)
-	c.entries[key] = el
-	c.evictOverflowLocked()
-	c.mu.Unlock()
+}
 
-	start := time.Now()
-	e.ix, e.err = build()
-	e.buildTime = time.Since(start)
-	if e.ix != nil {
-		e.sizeBytes = e.ix.SizeBytes()
-	}
-	close(e.ready)
-	if e.err != nil {
-		// Drop the failed entry so a corrected retry rebuilds. The entry
-		// may already have been evicted by the LRU; only remove our own.
-		c.mu.Lock()
-		if cur, ok := c.entries[key]; ok && cur == el {
-			c.order.Remove(el)
-			delete(c.entries, key)
-		}
-		c.mu.Unlock()
-		return nil, false, e.err
-	}
-	return e, false, nil
+// isContextError reports whether err is cancellation or timeout — the errors
+// a canceled builder poisons its entry with.
+func isContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // evictOverflowLocked drops least-recently-used entries past capacity.

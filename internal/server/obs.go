@@ -1,0 +1,206 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"bwaver/internal/fpga"
+	"bwaver/internal/obs"
+)
+
+// Observability wiring: the Prometheus-style registry behind GET /metrics,
+// the per-route HTTP instrumentation and access log, and the per-job trace
+// endpoint. The registry mixes two collector styles deliberately: stage
+// histograms and job counters are written at event time, while cache, queue,
+// resilience, and breaker figures are read at scrape time from the state
+// their owners already maintain — no double bookkeeping to drift.
+
+// initObs builds the metric registry and instruments. Called once from
+// NewWithConfig, before any job can run.
+func (s *Server) initObs() {
+	if s.log == nil {
+		s.log = obs.NopLogger()
+	}
+	reg := obs.NewRegistry()
+	s.registry = reg
+
+	s.mJobsTotal = reg.Counter("bwaver_jobs_finished_total",
+		"Jobs that reached a terminal state, by state (done, failed, canceled).", "state")
+	s.mJobStage = reg.Histogram("bwaver_job_stage_seconds",
+		"Wall-clock duration of completed-job pipeline stages (parse, build, map).", nil, "stage")
+	s.mBuildStage = reg.Histogram("bwaver_build_stage_seconds",
+		"Duration of index-construction phases (sa, bwt, encode) for fresh, uncached builds.", nil, "stage")
+	s.mHTTPTotal = reg.Counter("bwaver_http_requests_total",
+		"HTTP requests served, by route and status code.", "route", "code")
+	s.mHTTPSeconds = reg.Histogram("bwaver_http_request_seconds",
+		"HTTP request latency by route.", nil, "route")
+
+	// Breaker transitions are pushed by the devices themselves (outside the
+	// breaker lock); position and trip count are read at scrape time.
+	transitions := reg.Counter("bwaver_breaker_transitions_total",
+		"Circuit-breaker state transitions, by device and new state.", "device", "to")
+	for i, d := range s.devices {
+		dev := strconv.Itoa(i)
+		b := d.Breaker()
+		b.SetNotify(func(from, to fpga.BreakerState) {
+			transitions.With(dev, to.String()).Inc()
+		})
+		reg.GaugeFunc("bwaver_breaker_state",
+			"Breaker position by device: 0 closed, 1 open, 2 half-open.",
+			func() float64 { return float64(b.State()) }, "device", dev)
+		reg.CounterFunc("bwaver_breaker_trips_total",
+			"Times each device's breaker has opened.",
+			func() float64 { return float64(b.Trips()) }, "device", dev)
+	}
+
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		st := st
+		reg.GaugeFunc("bwaver_jobs",
+			"Jobs currently tracked by the server, by state.",
+			func() float64 { return float64(s.countJobs(st)) }, "state", string(st))
+	}
+	reg.GaugeFunc("bwaver_queue_depth",
+		"Jobs waiting for a pipeline slot.",
+		func() float64 { return float64(s.countJobs(StateQueued)) })
+	reg.CounterFunc("bwaver_jobs_evicted_total",
+		"Finished jobs dropped by the TTL janitor.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.jobsEvicted) })
+
+	reg.CounterFunc("bwaver_index_cache_hits_total",
+		"Index cache lookups served from an existing or in-flight build.",
+		func() float64 { return float64(s.cache.stats().Hits) })
+	reg.CounterFunc("bwaver_index_cache_misses_total",
+		"Index cache lookups that started a build.",
+		func() float64 { return float64(s.cache.stats().Misses) })
+	reg.CounterFunc("bwaver_index_cache_evictions_total",
+		"Index cache entries dropped by the LRU.",
+		func() float64 { return float64(s.cache.stats().Evictions) })
+	reg.GaugeFunc("bwaver_index_cache_entries",
+		"Indexes currently cached.",
+		func() float64 { return float64(s.cache.stats().Entries) })
+	reg.GaugeFunc("bwaver_index_cache_bytes",
+		"Total size of cached succinct structures in bytes.",
+		func() float64 { return float64(s.cache.stats().SizeBytes) })
+
+	for _, stage := range []string{"index", "query", "kernel", "result", "corrupt"} {
+		stage := stage
+		reg.CounterFunc("bwaver_fpga_faults_total",
+			"Device failures the farms observed, by stage.",
+			func() float64 { return float64(s.rec.Snapshot().Faults[stage]) }, "stage", stage)
+	}
+	reg.CounterFunc("bwaver_fpga_retries_total",
+		"Shard attempts repeated on the same device.",
+		func() float64 { return float64(s.rec.Snapshot().Retries) })
+	reg.CounterFunc("bwaver_fpga_redistributed_shards_total",
+		"Shards handed to a different device after their primary gave out.",
+		func() float64 { return float64(s.rec.Snapshot().Redistributed) })
+	reg.CounterFunc("bwaver_fpga_checksum_mismatches_total",
+		"Result batches the host rejected on checksum.",
+		func() float64 { return float64(s.rec.Snapshot().ChecksumMismatches) })
+	reg.CounterFunc("bwaver_fpga_crosscheck_failures_total",
+		"Sampled CPU cross-check rejections.",
+		func() float64 { return float64(s.rec.Snapshot().CrossCheckFailures) })
+	reg.CounterFunc("bwaver_fpga_exhausted_runs_total",
+		"Runs that failed on every available device.",
+		func() float64 { return float64(s.rec.Snapshot().Exhausted) })
+	reg.CounterFunc("bwaver_cpu_fallbacks_total",
+		"Jobs transparently rerun on the CPU baseline after a device failure.",
+		func() float64 { return float64(s.rec.Snapshot().Fallbacks) })
+}
+
+// countJobs counts tracked jobs in one state.
+func (s *Server) countJobs(state JobState) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.State == state {
+			n++
+		}
+	}
+	return n
+}
+
+// statusWriter captures the status code and byte count a handler wrote, for
+// the access log and the per-route metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with the per-route counter, latency histogram,
+// and structured access log.
+func (s *Server) instrument(route string, next http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next(sw, r)
+		elapsed := time.Since(start)
+		s.mHTTPTotal.With(route, strconv.Itoa(sw.status)).Inc()
+		s.mHTTPSeconds.With(route).Observe(elapsed.Seconds())
+		s.log.Info("http request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", route,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(elapsed)/float64(time.Millisecond),
+			"remote", r.RemoteAddr)
+	})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	s.registry.WritePrometheus(w)
+}
+
+// handleTrace serves a job's span tree. Traces are live: open spans appear
+// with duration_ms -1, so a running job can be watched mid-flight. Modeled
+// spans carry the device's virtual-timeline offsets plus the device, attempt,
+// and shard that produced them.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, err := s.jobByRequest(r)
+	if err != nil {
+		jsonError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	s.mu.Lock()
+	tr := job.trace
+	s.mu.Unlock()
+	if tr == nil {
+		jsonError(w, http.StatusNotFound, fmt.Sprintf("job %d has no trace (never launched)", job.ID))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Snapshot())
+}
+
+// addModeledEvents folds a tagged fpga event log into span as modeled
+// children, one per device command, annotated with the identity the farm
+// recorded: which device ran it, on which attempt, for which shard.
+func addModeledEvents(span *obs.Span, events []fpga.Event) {
+	if span == nil {
+		return
+	}
+	for _, e := range events {
+		span.AddModeled(e.Name, e.Start, e.End, map[string]any{
+			"device":  e.Device,
+			"attempt": e.Attempt,
+			"shard":   e.Shard,
+		})
+	}
+}

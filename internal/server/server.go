@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"html/template"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -33,6 +35,7 @@ import (
 	"bwaver/internal/fastx"
 	"bwaver/internal/fmindex"
 	"bwaver/internal/fpga"
+	"bwaver/internal/obs"
 	"bwaver/internal/readsim"
 	"bwaver/internal/rrr"
 )
@@ -91,6 +94,10 @@ type Job struct {
 
 	results []byte                  // TSV, available when done
 	cancel  context.CancelCauseFunc // nil until the job is launched
+	// trace is the job's span tree, created at launch and served live at
+	// /api/jobs/{id}/trace; span is its root, closed by finishJob.
+	trace *obs.Trace
+	span  *obs.Span
 }
 
 // Config tunes the server; zero values take the listed defaults.
@@ -134,6 +141,12 @@ type Config struct {
 	// VerifyStride cross-checks every Nth FPGA result against the CPU on
 	// the host; default DefaultVerifyStride, negative disables.
 	VerifyStride int
+
+	// Logger receives structured request and job logs; nil discards them.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiles expose internals and cost CPU to render.
+	EnablePprof bool
 }
 
 // DefaultCacheEntries is the default index cache capacity.
@@ -142,6 +155,11 @@ const DefaultCacheEntries = 8
 // DefaultVerifyStride samples every Nth FPGA result for a host-side CPU
 // cross-check.
 const DefaultVerifyStride = 64
+
+// multipartMemoryThreshold is how much of a multipart upload is held in
+// memory before spilling to disk — distinct from MaxUploadBytes, which
+// bounds the total request body.
+const multipartMemoryThreshold = 32 << 20
 
 func (c Config) withDefaults() Config {
 	if c.MaxConcurrentJobs <= 0 {
@@ -200,6 +218,17 @@ type Server struct {
 	completedJobs int
 	jobsEvicted   uint64
 
+	// Observability (see obs.go): structured logger, metric registry, and
+	// the event-time instruments; scrape-time collectors read server state
+	// directly.
+	log          *slog.Logger
+	registry     *obs.Registry
+	mJobsTotal   *obs.CounterVec
+	mJobStage    *obs.HistogramVec
+	mBuildStage  *obs.HistogramVec
+	mHTTPTotal   *obs.CounterVec
+	mHTTPSeconds *obs.HistogramVec
+
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 	closeOnce   sync.Once
@@ -208,6 +237,9 @@ type Server struct {
 	// pipeline with the job's context; tests use it to hold jobs in the
 	// running state deterministically.
 	testHookBeforeRun func(*Job, context.Context)
+	// testHookDuringBuild, when set, runs inside the index-build closure
+	// before construction; tests use it to cancel jobs mid-build.
+	testHookDuringBuild func(*Job, context.Context)
 }
 
 // DefaultMaxConcurrentJobs bounds simultaneously running pipelines.
@@ -240,7 +272,9 @@ func NewWithConfig(cfg Config) *Server {
 		devices:        devices,
 		rec:            fpga.NewStatsRecorder(),
 		sem:            make(chan struct{}, cfg.MaxConcurrentJobs),
+		log:            cfg.Logger,
 	}
+	s.initObs()
 	if cfg.JobTTL > 0 {
 		s.janitorStop = make(chan struct{})
 		s.janitorDone = make(chan struct{})
@@ -293,19 +327,41 @@ func (s *Server) evictExpiredJobs(now time.Time) int {
 	return n
 }
 
-// Handler returns the HTTP routes.
+// Handler returns the HTTP routes, each wrapped with the per-route request
+// counter, latency histogram, and access log (see obs.go). Route labels are
+// the patterns themselves, so metric cardinality stays fixed no matter what
+// IDs clients request.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /{$}", s.handleHome)
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /jobs/{id}/results", s.handleResults)
-	mux.HandleFunc("GET /api/jobs/{id}", s.handleJobJSON)
-	mux.HandleFunc("DELETE /api/jobs/{id}", s.handleCancelJob)
-	mux.HandleFunc("GET /api/jobs", s.handleJobsJSON)
-	mux.HandleFunc("GET /api/stats", s.handleStats)
-	mux.HandleFunc("GET /api/health", s.handleHealth)
-	mux.HandleFunc("GET /demo", s.handleDemo)
+	routes := []struct {
+		pattern string
+		handler http.HandlerFunc
+	}{
+		{"GET /{$}", s.handleHome},
+		{"POST /jobs", s.handleSubmit},
+		{"GET /jobs/{id}", s.handleJob},
+		{"GET /jobs/{id}/results", s.handleResults},
+		{"GET /api/jobs/{id}", s.handleJobJSON},
+		{"DELETE /api/jobs/{id}", s.handleCancelJob},
+		{"GET /api/jobs", s.handleJobsJSON},
+		{"GET /api/jobs/{id}/trace", s.handleTrace},
+		{"GET /api/stats", s.handleStats},
+		{"GET /api/health", s.handleHealth},
+		{"GET /metrics", s.handleMetrics},
+		{"GET /demo", s.handleDemo},
+	}
+	for _, rt := range routes {
+		mux.Handle(rt.pattern, s.instrument(rt.pattern, rt.handler))
+	}
+	if s.cfg.EnablePprof {
+		// Uninstrumented on purpose: profile downloads would dominate the
+		// latency histograms.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -567,10 +623,21 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := homeTemplate.Execute(w, jobs); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	s.renderHTML(w, homeTemplate, jobs)
+}
+
+// renderHTML executes a template into a buffer first, so a mid-render
+// failure produces a clean 500 instead of a half-written page, and the
+// error detail goes to the log rather than the client.
+func (s *Server) renderHTML(w http.ResponseWriter, tmpl *template.Template, data any) {
+	var buf bytes.Buffer
+	if err := tmpl.Execute(&buf, data); err != nil {
+		s.log.Error("template render failed", "template", tmpl.Name(), "err", err)
+		http.Error(w, "internal server error", http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(buf.Bytes())
 }
 
 func formInt(r *http.Request, name string, def int) (int, error) {
@@ -591,7 +658,10 @@ func formInt(r *http.Request, name string, def int) (int, error) {
 // inside a visible job (StateFailed) instead of blocking the HTTP handler.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.MaxUploadBytes)
-	if err := r.ParseMultipartForm(s.MaxUploadBytes); err != nil {
+	// The MaxBytesReader enforces the upload cap; the multipart argument is
+	// only the in-memory threshold past which parts spill to temp files.
+	// Passing the 256 MiB cap here would buffer whole uploads in RAM.
+	if err := r.ParseMultipartForm(multipartMemoryThreshold); err != nil {
 		http.Error(w, "bad upload: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -673,14 +743,16 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 	}
 	ref, err := readsim.Genome(readsim.GenomeConfig{Length: 50000, Seed: seed, RepeatFraction: 0.2})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.log.Error("demo genome generation failed", "seed", seed, "err", err)
+		http.Error(w, "internal server error", http.StatusInternalServerError)
 		return
 	}
 	sim, err := readsim.Simulate(ref, readsim.ReadsConfig{
 		Count: 1000, Length: 80, MappingRatio: 0.7, RevCompFraction: 0.5, Seed: seed + 1,
 	})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.log.Error("demo read simulation failed", "seed", seed, "err", err)
+		http.Error(w, "internal server error", http.StatusInternalServerError)
 		return
 	}
 	ids := make([]string, len(sim))
@@ -763,6 +835,11 @@ type jobInput struct {
 // state.
 func (s *Server) launch(job *Job, in jobInput) {
 	ctx, cancel := context.WithCancelCause(context.Background())
+	tr := obs.NewTrace(fmt.Sprintf("job-%d", job.ID))
+	// Later spans started from ctx nest under the job root.
+	ctx, root := obs.StartSpan(obs.WithTrace(ctx, tr), "job")
+	root.SetAttr("job_id", job.ID)
+	root.SetAttr("backend", job.Backend)
 	s.mu.Lock()
 	if job.State.terminal() {
 		// Canceled between createJob and launch.
@@ -771,6 +848,8 @@ func (s *Server) launch(job *Job, in jobInput) {
 		return
 	}
 	job.cancel = cancel
+	job.trace = tr
+	job.span = root
 	s.mu.Unlock()
 
 	s.wg.Add(1)
@@ -783,9 +862,12 @@ func (s *Server) launch(job *Job, in jobInput) {
 			runCtx, cancelTimeout = context.WithTimeout(ctx, s.cfg.JobTimeout)
 			defer cancelTimeout()
 		}
+		wait := root.StartChild("queue.wait")
 		select {
 		case s.sem <- struct{}{}:
+			wait.End()
 		case <-runCtx.Done():
+			wait.End()
 			s.finishJob(job, runCtx, runCtx.Err())
 			return
 		}
@@ -795,35 +877,53 @@ func (s *Server) launch(job *Job, in jobInput) {
 	}()
 }
 
-// finishJob records the job's terminal state and folds its stage timings
-// into the server aggregates.
+// finishJob records the job's terminal state, folds its stage timings into
+// the server aggregates and metrics, closes the trace's root span, and logs
+// the outcome.
 func (s *Server) finishJob(job *Job, ctx context.Context, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	job.Finished = time.Now()
-	if err == nil {
+	switch {
+	case err == nil:
 		job.State = StateDone
 		s.totalParse += job.ParseTime
 		s.totalBuild += job.BuildTime
 		s.totalMap += job.MapTime
 		s.completedJobs++
-		return
-	}
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.mJobStage.With("parse").Observe(job.ParseTime.Seconds())
+		s.mJobStage.With("build").Observe(job.BuildTime.Seconds())
+		s.mJobStage.With("map").Observe(job.MapTime.Seconds())
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		cause := context.Cause(ctx)
-		if errors.Is(cause, errJobCanceled) {
+		switch {
+		case errors.Is(cause, errJobCanceled):
 			job.State = StateCanceled
 			job.Error = errJobCanceled.Error()
-			return
-		}
-		if errors.Is(cause, context.DeadlineExceeded) || errors.Is(err, context.DeadlineExceeded) {
+		case errors.Is(cause, context.DeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
 			job.State = StateFailed
 			job.Error = fmt.Sprintf("job exceeded the %v timeout", s.cfg.JobTimeout)
-			return
+		default:
+			job.State = StateFailed
+			job.Error = err.Error()
 		}
+	default:
+		job.State = StateFailed
+		job.Error = err.Error()
 	}
-	job.State = StateFailed
-	job.Error = err.Error()
+	state, jobErr := job.State, job.Error
+	span := job.span
+	elapsed := job.Finished.Sub(job.Created)
+	s.mu.Unlock()
+
+	span.SetAttr("state", string(state))
+	span.End()
+	s.mJobsTotal.With(string(state)).Inc()
+	attrs := append(obs.JobAttrs(job.ID, job.Backend),
+		"state", string(state), "elapsed_ms", float64(elapsed)/float64(time.Millisecond))
+	if jobErr != "" {
+		attrs = append(attrs, "err", jobErr)
+	}
+	s.log.Info("job finished", attrs...)
 }
 
 // setJobProgress updates Done monotonically (parallel mappers may report
@@ -849,14 +949,17 @@ func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 
 	ref, contigs, reads, ids := in.ref, in.contigs, in.reads, in.ids
 	if in.refRaw != nil {
+		_, parseSpan := obs.StartSpan(ctx, "parse")
 		parseStart := time.Now()
 		var refName string
 		var err error
 		ref, contigs, refName, err = parseReference(bytes.NewReader(in.refRaw))
 		if err != nil {
+			parseSpan.End()
 			return err
 		}
 		reads, ids, err = parseReads(bytes.NewReader(in.readsRaw))
+		parseSpan.End()
 		if err != nil {
 			return err
 		}
@@ -873,13 +976,22 @@ func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 
 	// Steps 1+2: BWT/SA computation and succinct encoding — through the
 	// content-addressed cache, so a repeat reference skips construction
-	// and concurrent jobs for one reference build once.
+	// and concurrent jobs for one reference build once. The build threads
+	// the job's context: cancellation aborts at the next phase boundary
+	// instead of finishing a doomed construction while holding a slot, and
+	// a trace on the context collects the per-phase spans.
 	idxCfg := core.IndexConfig{
 		RRR: rrr.Params{BlockSize: job.B, SuperblockFactor: job.SF},
 	}
+	buildCtx, buildSpan := obs.StartSpan(ctx, "build")
 	buildStart := time.Now()
-	entry, hit, err := s.cache.getOrBuild(ctx, core.CacheKey(ref, contigs, idxCfg), func() (*core.Index, error) {
-		ix, err := core.BuildIndex(ref, idxCfg)
+	entry, hit, err := s.cache.getOrBuild(ctx, core.CacheKey(ref, contigs, idxCfg), func(context.Context) (*core.Index, error) {
+		if hook := s.testHookDuringBuild; hook != nil {
+			hook(job, buildCtx)
+		}
+		// buildCtx carries the same cancellation as the context the cache
+		// passes, plus this job's trace, so the phase spans land here.
+		ix, err := core.BuildIndexCtx(buildCtx, ref, idxCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -890,22 +1002,34 @@ func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 		}
 		return ix, nil
 	})
+	buildSpan.SetAttr("cache_hit", hit)
+	buildSpan.End()
 	if err != nil {
 		return err
+	}
+	if !hit {
+		// Fresh build: per-phase durations from the index's own stats.
+		bs := entry.ix.Stats()
+		s.mBuildStage.With("sa").Observe(bs.SATime.Seconds())
+		s.mBuildStage.With("bwt").Observe(bs.BWTTime.Seconds())
+		s.mBuildStage.With("encode").Observe(bs.EncodeTime.Seconds())
 	}
 	s.mu.Lock()
 	job.CacheHit = hit
 	job.BuildTime = time.Since(buildStart)
 	s.mu.Unlock()
 
+	mapCtx, mapSpan := obs.StartSpan(ctx, "map")
 	var buf bytes.Buffer
 	var mapped int
 	var mapTime time.Duration
 	if job.Mismatches > 0 {
-		mapped, mapTime, err = s.runApprox(ctx, job, entry, reads, ids, &buf)
+		mapped, mapTime, err = s.runApprox(mapCtx, job, entry, reads, ids, &buf)
 	} else {
-		mapped, mapTime, err = s.runExact(ctx, job, entry, reads, ids, &buf)
+		mapped, mapTime, err = s.runExact(mapCtx, job, entry, reads, ids, &buf)
 	}
+	mapSpan.SetAttr("reads", len(reads))
+	mapSpan.End()
 	if err != nil {
 		return err
 	}
@@ -932,6 +1056,7 @@ func (s *Server) farmOptions() fpga.FarmOptions {
 		BreakerCooldown:  s.cfg.BreakerCooldown,
 		VerifyStride:     s.cfg.VerifyStride,
 		Recorder:         s.rec,
+		Metrics:          s.registry,
 	}
 }
 
@@ -987,8 +1112,10 @@ func (s *Server) runExact(ctx context.Context, job *Job, entry *cacheEntry, read
 		case ferr == nil:
 			results = run.Results
 			mapTime = run.Profile.Total()
+			addModeledEvents(obs.SpanFrom(ctx), run.Profile.Events)
 		case s.shouldFallback(ctx, ferr):
 			s.noteFallback(job, ferr)
+			obs.SpanFrom(ctx).SetAttr("fallback", ferr.Error())
 			useCPU = true
 		default:
 			return 0, 0, ferr
@@ -1035,6 +1162,7 @@ func (s *Server) runApprox(ctx context.Context, job *Job, entry *cacheEntry, rea
 		switch {
 		case ferr == nil:
 			mapTime = run.Profile.Total()
+			addModeledEvents(obs.SpanFrom(ctx), run.Profile.Events)
 			for i, exact := range run.Exact {
 				if exact.Mapped() {
 					rows[i] = row{mapped: true, bestMM: 0, occurrences: exact.Occurrences()}
@@ -1045,6 +1173,7 @@ func (s *Server) runApprox(ctx context.Context, job *Job, entry *cacheEntry, rea
 			}
 		case s.shouldFallback(ctx, ferr):
 			s.noteFallback(job, ferr)
+			obs.SpanFrom(ctx).SetAttr("fallback", ferr.Error())
 			useCPU = true
 		default:
 			return 0, 0, ferr
@@ -1145,10 +1274,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	snapshot := *job
 	s.mu.Unlock()
 	snapshot.results = nil
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := jobTemplate.Execute(w, snapshot); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	s.renderHTML(w, jobTemplate, snapshot)
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
