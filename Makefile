@@ -8,9 +8,9 @@ GO ?= go
 # `make fuzz-smoke FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet test race bench fuzz-smoke fault-smoke obs-smoke
+.PHONY: ci build vet test race bench bench-smoke bench-baseline fuzz-smoke fault-smoke obs-smoke
 
-ci: vet race fuzz-smoke fault-smoke obs-smoke
+ci: vet race fuzz-smoke fault-smoke obs-smoke bench-smoke
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
+# bench-smoke exercises the prefix-table ablation path (build, sweep,
+# allocation accounting, kernel cycle model) at unit-test scale.
+bench-smoke:
+	$(GO) test -run='FtabAblation' ./internal/bench
+	$(GO) test -run='^$$' -bench='BenchmarkMapReads$$' -benchtime=1x ./internal/core
+
+# bench-baseline records the PR's performance numbers: the reduced-scale
+# prefix-table sweep (reads/sec, allocs/read, modeled FPGA ms, structure
+# bytes) written to BENCH_pr4.json.
+bench-baseline:
+	$(GO) run ./cmd/bwaver-bench -quiet -json BENCH_pr4.json ftab
+
 # fuzz-smoke gives every fuzz target a short budget; `go test` allows one
 # -fuzz target per invocation, hence the per-target lines.
 fuzz-smoke:
@@ -35,6 +47,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzRank$$' -fuzztime=$(FUZZTIME) ./internal/rrr
 	$(GO) test -run='^$$' -fuzz='^FuzzSerialization$$' -fuzztime=$(FUZZTIME) ./internal/rrr
 	$(GO) test -run='^$$' -fuzz='^FuzzReadIndex$$' -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzSearchWithFtab$$' -fuzztime=$(FUZZTIME) ./internal/fmindex
 
 # fault-smoke runs the fault-injection and resilience tests, including the
 # end-to-end server scenarios, under the race detector.

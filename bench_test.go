@@ -170,6 +170,7 @@ func BenchmarkOccProviders(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(p.name, func(b *testing.B) {
+			b.ReportAllocs()
 			b.ReportMetric(float64(occ.SizeBytes())/1e6, "MB")
 			for i := 0; i < b.N; i++ {
 				occ.Occ(uint8(i&3), (i*7919)%(occ.Len()+1))
@@ -195,6 +196,7 @@ func BenchmarkWaveletBackends(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			b.ReportMetric(float64(ix.StructureBytes())/1e6, "MB")
 			for i := 0; i < b.N; i++ {
 				ix.MapRead(reads[i%len(reads)])
@@ -224,6 +226,7 @@ func BenchmarkLocateStrategies(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			b.ReportMetric(float64(ix.SizeBytes())/1e6, "MB")
 			for i := 0; i < b.N; i++ {
 				res := ix.MapRead(reads[i%len(reads)])

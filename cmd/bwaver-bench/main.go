@@ -1,7 +1,8 @@
 // Command bwaver-bench regenerates the figures and tables of the paper's
 // evaluation (§IV).
 //
-//	bwaver-bench [-ref-scale 0.01] [-read-scale 0.001] [-sample 20000] [-seed 1] [-quiet] <fig5|fig6|fig7|table1|table2|all>
+//	bwaver-bench [-ref-scale 0.01] [-read-scale 0.001] [-sample 20000] [-seed 1] [-quiet]
+//	             [-csv DIR] [-json FILE] [-ftab-ks 0,8,10,12] <fig5|fig6|fig7|table1|table2|ablate|ftab|all>
 //
 // Default scales shrink the paper's workloads roughly 100-1000x so a full
 // run finishes in minutes; pass -ref-scale 1 -read-scale 1 for the paper's
@@ -14,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"bwaver/internal/bench"
 )
@@ -33,11 +36,13 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	quiet := fs.Bool("quiet", false, "suppress progress lines")
 	csvDir := fs.String("csv", "", "also export machine-readable CSV files into this directory")
+	jsonPath := fs.String("json", "", "write the ftab sweep as JSON to this file (with the ftab target)")
+	ftabKs := fs.String("ftab-ks", "", "comma-separated prefix-table orders for the ftab target (default 0,8,10,12)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: bwaver-bench [flags] <ablate|fig5|fig6|fig7|table1|table2|all>")
+		return fmt.Errorf("usage: bwaver-bench [flags] <ablate|fig5|fig6|fig7|ftab|table1|table2|all>")
 	}
 	scale := bench.Scale{Ref: *refScale, Reads: *readScale, SampleReads: *sample, Seed: *seed}
 	var progress io.Writer = os.Stderr
@@ -51,7 +56,8 @@ func run(args []string, out io.Writer) error {
 	runT1 := target == "table1" || target == "all"
 	runT2 := target == "table2" || target == "all"
 	runAblate := target == "ablate" || target == "all"
-	if !runFig56 && !runFig7 && !runT1 && !runT2 && !runAblate {
+	runFtab := target == "ftab" || target == "all"
+	if !runFig56 && !runFig7 && !runT1 && !runT2 && !runAblate && !runFtab {
 		return fmt.Errorf("unknown experiment %q", target)
 	}
 
@@ -125,5 +131,46 @@ func run(args []string, out io.Writer) error {
 		}
 		bench.PrintAblation(out, res)
 	}
+	if runFtab {
+		ks, err := parseKs(*ftabKs)
+		if err != nil {
+			return err
+		}
+		res, err := bench.FtabAblate(scale, ks, progress)
+		if err != nil {
+			return err
+		}
+		bench.PrintFtabAblation(out, res)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteFtabJSON(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *jsonPath)
+		}
+	}
 	return nil
+}
+
+// parseKs parses the -ftab-ks list; empty means the package default sweep.
+func parseKs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var ks []int
+	for _, part := range strings.Split(s, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("-ftab-ks: %w", err)
+		}
+		ks = append(ks, k)
+	}
+	return ks, nil
 }

@@ -19,7 +19,7 @@
 // traces at /api/jobs/{id}/trace, and -pprof mounts net/http/pprof under
 // /debug/pprof/.
 //
-//	bwaver-server [-addr :8080] [-max-jobs 2] [-cache-entries 8]
+//	bwaver-server [-addr :8080] [-max-jobs 2] [-cache-entries 8] [-ftab-k 10]
 //	              [-job-ttl 0] [-job-timeout 0] [-max-upload-mb 256]
 //	              [-devices 1] [-fault-plan ""] [-max-retries 0]
 //	              [-breaker-threshold 5] [-breaker-cooldown 30s]
@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"bwaver/internal/core"
 	"bwaver/internal/fpga"
 	"bwaver/internal/obs"
 	"bwaver/internal/server"
@@ -47,6 +48,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	maxJobs := flag.Int("max-jobs", server.DefaultMaxConcurrentJobs, "max concurrently running pipelines")
 	cacheEntries := flag.Int("cache-entries", server.DefaultCacheEntries, "index cache capacity (distinct reference/parameter combinations)")
+	ftabK := flag.Int("ftab-k", core.DefaultFtabK, "k-mer prefix-lookup table order for job indexes (0 = disable)")
 	jobTTL := flag.Duration("job-ttl", 0, "evict finished jobs and their results this long after completion (0 = keep forever)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job runtime bound including queue wait (0 = unbounded)")
 	maxUploadMB := flag.Int64("max-upload-mb", 256, "request body limit in MiB")
@@ -78,6 +80,7 @@ func main() {
 		MaxConcurrentJobs: *maxJobs,
 		MaxUploadBytes:    *maxUploadMB << 20,
 		CacheEntries:      *cacheEntries,
+		FtabK:             *ftabK,
 		JobTTL:            *jobTTL,
 		JobTimeout:        *jobTimeout,
 		Devices:           *devices,

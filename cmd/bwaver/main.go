@@ -251,6 +251,7 @@ func cmdIndex(args []string, out io.Writer) error {
 	sampleRate := fs.Int("sample-rate", 32, "sampled-SA rate (with -locate sampled)")
 	plain := fs.Bool("plain", false, "use uncompressed bit-vectors instead of RRR")
 	saAlgo := fs.String("sa-algo", "sais", "suffix-array construction: sais, dc3 or doubling")
+	ftabK := fs.Int("ftab-k", core.DefaultFtabK, "k-mer prefix-lookup table order (0 = none)")
 	tracePath := fs.String("trace", "", "write the build's span trace as JSON to this file (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -300,6 +301,7 @@ func cmdIndex(args []string, out io.Writer) error {
 		Locate:          mode,
 		SampleRate:      *sampleRate,
 		SAAlgorithm:     algo,
+		FtabK:           *ftabK,
 	})
 	if err != nil {
 		return err
@@ -323,6 +325,10 @@ func cmdIndex(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "structure %.2f MB (+%.2f MB shared table), %.1f%% of the plain BWT; BWT entropy %.3f bits\n",
 		float64(st.StructureBytes)/1e6, float64(st.SharedBytes)/1e6,
 		st.CompressionRatio()*100, st.BWTEntropy)
+	if st.FtabBytes > 0 {
+		fmt.Fprintf(out, "ftab k=%d: %.2f MB built in %v\n",
+			ix.FtabK(), float64(st.FtabBytes)/1e6, st.FtabTime.Round(time.Millisecond))
+	}
 	return nil
 }
 

@@ -227,6 +227,63 @@ func TestAblate(t *testing.T) {
 	}
 }
 
+// TestFtabAblation is the bench-smoke gate: it runs the prefix-table sweep
+// at tiny scale with small orders and checks the shape claims — the table
+// shrinks kernel cycles, the host path stays allocation-free, and the k=0
+// baseline anchors the speedup column.
+func TestFtabAblation(t *testing.T) {
+	res, err := FtabAblate(tiny, []int{0, 4, 6}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	if res.ReadLength != 35 || res.Reads != tiny.SampleReads {
+		t.Errorf("workload metadata wrong: %+v", res)
+	}
+	base := res.Rows[0]
+	if base.K != 0 || base.FtabBytes != 0 || base.Speedup != 1 {
+		t.Errorf("k=0 baseline wrong: %+v", base)
+	}
+	for _, r := range res.Rows[1:] {
+		if r.FtabBytes <= 0 {
+			t.Errorf("k=%d: no table bytes", r.K)
+		}
+		if r.Degraded {
+			t.Errorf("k=%d: unexpected BRAM degrade at tiny scale", r.K)
+		}
+		// The table collapses the first k iterations of every search, so
+		// the modeled kernel must retire fewer cycles than the baseline.
+		if r.KernelCycles >= base.KernelCycles {
+			t.Errorf("k=%d: %d kernel cycles, baseline %d — no cycle reduction",
+				r.K, r.KernelCycles, base.KernelCycles)
+		}
+	}
+	for _, r := range res.Rows {
+		// Steady-state MapReadsInto allocates a small constant per batch
+		// (worker closure, its escaping counters, and under -race the
+		// detector's own bookkeeping) and nothing per read, so the budget is
+		// per batch: any real per-read allocation would cost reads-many.
+		if batch := r.AllocsPerRead * float64(res.Reads); batch > 16 {
+			t.Errorf("k=%d: %.1f allocations per batch of %d reads in steady state",
+				r.K, batch, res.Reads)
+		}
+	}
+	var sb strings.Builder
+	PrintFtabAblation(&sb, res)
+	if !strings.Contains(sb.String(), "prefix table") {
+		t.Error("ftab ablation output incomplete")
+	}
+	sb.Reset()
+	if err := WriteFtabJSON(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "\"speedup_vs_k0\"") {
+		t.Error("ftab JSON missing fields")
+	}
+}
+
 func TestCSVWriters(t *testing.T) {
 	fig5, err := Fig5And6(tiny, io.Discard)
 	if err != nil {

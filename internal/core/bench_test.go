@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -41,15 +42,55 @@ func BenchmarkBuildIndex(b *testing.B) {
 
 func BenchmarkMapRead(b *testing.B) {
 	reads, ix := benchInputs(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.MapRead(reads[i%len(reads)].Seq)
 	}
 }
 
+// BenchmarkMapReads is the ftab acceptance benchmark: the batched
+// zero-allocation pipeline over short Table I-style reads, with and without
+// the prefix table. The k=10 arm should beat k=0 by well over 1.5x at
+// 0 allocs/read.
+func BenchmarkMapReads(b *testing.B) {
+	genome, err := readsim.EColiLike(1, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads, err := readsim.Simulate(genome, readsim.ReadsConfig{
+		Count: 5000, Length: 35, MappingRatio: 0.5, RevCompFraction: 0.5, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := BuildIndex(genome, IndexConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqs := readsim.Seqs(reads)
+	dst := make([]MapResult, len(seqs))
+	for _, k := range []int{0, 10} {
+		if err := ix.EnsureFtab(k); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("ftab-k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.MapReadsInto(dst, seqs, MapOptions{Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*len(seqs))/b.Elapsed().Seconds(), "reads/s")
+		})
+	}
+}
+
 func BenchmarkMapReadsLocate(b *testing.B) {
 	reads, ix := benchInputs(b)
 	seqs := readsim.Seqs(reads)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := ix.MapReads(seqs[:500], MapOptions{Locate: true}); err != nil {

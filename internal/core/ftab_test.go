@@ -1,0 +1,242 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"testing"
+
+	"bwaver/internal/readsim"
+)
+
+// v1HeaderPrefix is the byte length of the shared header fields before the
+// v2-only ftabK word: magic(4) b(4) sf(4) flags(1) locate(1) sampleRate(4)
+// primary(4).
+const v1HeaderPrefix = 22
+
+func TestBuildIndexWithFtab(t *testing.T) {
+	ref := testGenome(t, 6000)
+	ix := mustBuild(t, ref, IndexConfig{FtabK: 3})
+	if ix.FtabK() != 3 {
+		t.Fatalf("FtabK() = %d, want 3", ix.FtabK())
+	}
+	if ix.FtabBytes() != (1<<6)*8+16 {
+		t.Errorf("FtabBytes() = %d for k=3", ix.FtabBytes())
+	}
+	st := ix.Stats()
+	if st.FtabBytes != ix.FtabBytes() || st.FtabTime < 0 {
+		t.Errorf("build stats not filled: %+v", st)
+	}
+	plain := mustBuild(t, ref, IndexConfig{})
+	reads, err := readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: 200, Length: 30, MappingRatio: 0.5, RevCompFraction: 0.5, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reads {
+		a, b := ix.MapRead(r.Seq), plain.MapRead(r.Seq)
+		if a.Forward != b.Forward || a.Reverse != b.Reverse {
+			t.Fatalf("ftab index disagrees with plain index on %v", r.Seq)
+		}
+	}
+}
+
+func TestFtabRoundTrip(t *testing.T) {
+	ref := testGenome(t, 5000)
+	orig := mustBuild(t, ref, IndexConfig{FtabK: 3})
+	back := roundTrip(t, orig)
+	if back.FtabK() != 3 || back.FtabBytes() != orig.FtabBytes() {
+		t.Fatalf("ftab lost in serialization: k=%d bytes=%d", back.FtabK(), back.FtabBytes())
+	}
+	reads, err := readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: 100, Length: 25, MappingRatio: 0.5, RevCompFraction: 0.5, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reads {
+		a, b := orig.MapRead(r.Seq), back.MapRead(r.Seq)
+		if a.Forward != b.Forward || a.Reverse != b.Reverse {
+			t.Fatal("deserialized ftab index disagrees")
+		}
+	}
+}
+
+// TestReadIndexV1Compat synthesizes the previous on-disk format — same
+// stream minus the magic bump, the ftabK header word, and the ftab payload —
+// and checks it still loads, with the table rebuildable on demand.
+func TestReadIndexV1Compat(t *testing.T) {
+	ref := testGenome(t, 4000)
+	ix := mustBuild(t, ref, IndexConfig{}) // no ftab: payload matches v1
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	v1 := make([]byte, 0, len(raw)-4)
+	v1 = append(v1, raw[:v1HeaderPrefix]...)
+	v1 = append(v1, raw[v1HeaderPrefix+4:]...) // drop the ftabK word
+	binary.LittleEndian.PutUint32(v1[:4], indexMagicV1)
+
+	back, err := ReadIndex(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 index rejected: %v", err)
+	}
+	if back.FtabK() != 0 || back.FtabBytes() != 0 {
+		t.Fatalf("v1 index loaded with a table: k=%d", back.FtabK())
+	}
+	probe := ref[100:130]
+	want := ix.MapRead(probe)
+	if got := back.MapRead(probe); got.Forward != want.Forward || got.Reverse != want.Reverse {
+		t.Fatal("v1 index disagrees with original")
+	}
+	// The table is rebuilt on demand for old files.
+	if err := back.EnsureFtab(3); err != nil {
+		t.Fatal(err)
+	}
+	if back.FtabK() != 3 {
+		t.Fatalf("EnsureFtab did not attach: k=%d", back.FtabK())
+	}
+	if got := back.MapRead(probe); got.Forward != want.Forward || got.Reverse != want.Reverse {
+		t.Fatal("rebuilt ftab changes results")
+	}
+}
+
+func TestEnsureAndDropFtab(t *testing.T) {
+	ref := testGenome(t, 3000)
+	ix := mustBuild(t, ref, IndexConfig{})
+	if ix.FtabK() != 0 {
+		t.Fatal("unexpected default table")
+	}
+	if err := ix.EnsureFtab(2); err != nil {
+		t.Fatal(err)
+	}
+	first := ix.FM().Ftab()
+	if ix.FtabK() != 2 || first == nil {
+		t.Fatalf("EnsureFtab(2): k=%d", ix.FtabK())
+	}
+	// Same order is a no-op, not a rebuild.
+	if err := ix.EnsureFtab(2); err != nil {
+		t.Fatal(err)
+	}
+	if ix.FM().Ftab() != first {
+		t.Error("EnsureFtab(2) rebuilt an up-to-date table")
+	}
+	if err := ix.EnsureFtab(4); err != nil {
+		t.Fatal(err)
+	}
+	if ix.FtabK() != 4 || ix.FM().Ftab() == first {
+		t.Error("EnsureFtab(4) did not rebuild")
+	}
+	ix.DropFtab()
+	if ix.FtabK() != 0 || ix.FtabBytes() != 0 {
+		t.Errorf("DropFtab left k=%d bytes=%d", ix.FtabK(), ix.FtabBytes())
+	}
+	if err := ix.EnsureFtab(-1); err != nil {
+		t.Fatal(err)
+	}
+	if ix.FtabK() != 0 {
+		t.Error("EnsureFtab(-1) attached a table")
+	}
+}
+
+// TestMapReadsIntoMatchesMapReads pins the zero-allocation batch path to the
+// allocating one: identical results, positions included, across worker
+// counts — and nil (not empty) position slices for reads without matches.
+func TestMapReadsIntoMatchesMapReads(t *testing.T) {
+	ref := testGenome(t, 6000)
+	ix := mustBuild(t, ref, IndexConfig{FtabK: 3})
+	reads, err := readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: 300, Length: 28, MappingRatio: 0.5, RevCompFraction: 0.5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := readsim.Seqs(reads)
+	want, wantStats, err := ix.MapReads(seqs, MapOptions{Locate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		dst := make([]MapResult, len(seqs))
+		stats, err := ix.MapReadsInto(dst, seqs, MapOptions{Locate: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.MappedReads != wantStats.MappedReads || stats.TotalSteps != wantStats.TotalSteps {
+			t.Fatalf("workers=%d: stats %+v != %+v", workers, stats, wantStats)
+		}
+		for i := range dst {
+			if dst[i].Forward != want[i].Forward || dst[i].Reverse != want[i].Reverse {
+				t.Fatalf("workers=%d read %d: ranges differ", workers, i)
+			}
+			if !equalPositions(dst[i].ForwardPositions, want[i].ForwardPositions) ||
+				!equalPositions(dst[i].ReversePositions, want[i].ReversePositions) {
+				t.Fatalf("workers=%d read %d: positions differ", workers, i)
+			}
+			if want[i].ForwardPositions == nil && dst[i].ForwardPositions != nil {
+				t.Fatalf("workers=%d read %d: empty positions not nil", workers, i)
+			}
+		}
+	}
+
+	if _, err := ix.MapReadsInto(make([]MapResult, 1), seqs, MapOptions{}); err == nil {
+		t.Error("accepted mismatched dst length")
+	}
+}
+
+func TestMapReadsIntoZeroAlloc(t *testing.T) {
+	ref := testGenome(t, 4000)
+	ix := mustBuild(t, ref, IndexConfig{FtabK: 3})
+	reads, err := readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: 400, Length: 30, MappingRatio: 0.5, RevCompFraction: 0.5, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := readsim.Seqs(reads)
+	dst := make([]MapResult, len(seqs))
+	run := func() {
+		if _, err := ix.MapReadsInto(dst, seqs, MapOptions{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the scratch pool
+	// Steady state allocates a small constant per batch (the worker closure
+	// and its escaping cursor/done counters) and nothing per read: the bound
+	// is independent of the read count.
+	if avg := testing.AllocsPerRun(5, run); avg > 8 {
+		t.Errorf("MapReadsInto allocates %.1f times per batch of %d reads", avg, len(seqs))
+	}
+}
+
+func TestMapReadsIntoCancel(t *testing.T) {
+	ref := testGenome(t, 3000)
+	ix := mustBuild(t, ref, IndexConfig{})
+	reads, err := readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: 200, Length: 30, MappingRatio: 1, RevCompFraction: 0, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := readsim.Seqs(reads)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dst := make([]MapResult, len(seqs))
+	if _, err := ix.MapReadsInto(dst, seqs, MapOptions{Context: ctx}); err == nil {
+		t.Error("canceled context not observed")
+	}
+}
+
+func TestCacheKeyFtabK(t *testing.T) {
+	ref := testGenome(t, 500)
+	base := CacheKey(ref, nil, IndexConfig{})
+	if CacheKey(ref, nil, IndexConfig{FtabK: 10}) == base {
+		t.Error("ftab order not part of the cache key")
+	}
+	// Every non-positive order means "no table" and must share a key.
+	if CacheKey(ref, nil, IndexConfig{FtabK: -3}) != base {
+		t.Error("negative ftab order changed the key")
+	}
+}

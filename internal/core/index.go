@@ -65,7 +65,17 @@ type IndexConfig struct {
 	// SAIS. All three produce identical arrays (cross-checked in the
 	// suffix-array tests); the choice only affects build time and memory.
 	SAAlgorithm SAAlgorithm
+	// FtabK, when > 0, builds an order-k prefix-lookup table that replaces
+	// the first k backward-search steps with one lookup (8*4^k bytes; see
+	// fmindex.Ftab). The zero value builds no table, preserving the paper's
+	// original structure; DefaultFtabK is what the CLI and server pass.
+	FtabK int
 }
+
+// DefaultFtabK is the prefix-table order the CLI and server default to:
+// 4^10 intervals, ~8 MiB — the Bowtie-style sweet spot between lookup
+// coverage and BRAM footprint.
+const DefaultFtabK = 10
 
 // SAAlgorithm names a suffix-array construction.
 type SAAlgorithm int
@@ -127,6 +137,10 @@ type BuildStats struct {
 	// SharedBytes the global rank table shared across wavelet nodes.
 	StructureBytes int
 	SharedBytes    int
+	// FtabTime and FtabBytes cover the optional prefix-table phase
+	// (zero when IndexConfig.FtabK is 0).
+	FtabTime  time.Duration
+	FtabBytes int
 	// UncompressedBytes is the 1-byte-per-symbol BWT baseline the paper
 	// compares against.
 	UncompressedBytes int
@@ -250,7 +264,73 @@ func BuildIndexCtx(ctx context.Context, ref dna.Seq, cfg IndexConfig) (*Index, e
 	if err != nil {
 		return nil, fmt.Errorf("core: fm-index: %w", err)
 	}
+	if cfg.FtabK > 0 {
+		start = time.Now()
+		_, ftabSpan := obs.StartSpan(ctx, "build.ftab")
+		ftab, err := fm.BuildFtab(cfg.FtabK)
+		ftabSpan.End()
+		if err != nil {
+			return nil, fmt.Errorf("core: ftab: %w", err)
+		}
+		fm.SetFtab(ftab)
+		stats.FtabTime = time.Since(start)
+		stats.FtabBytes = ftab.SizeBytes()
+	}
 	return &Index{fm: fm, config: cfg, stats: stats}, nil
+}
+
+// EnsureFtab attaches an order-k prefix table, building one if the index has
+// none or one of a different order — the rebuild-on-demand path for indexes
+// deserialized from the pre-ftab file format. k <= 0 drops the table.
+func (ix *Index) EnsureFtab(k int) error {
+	if k <= 0 {
+		ix.fm.SetFtab(nil)
+		ix.config.FtabK = 0
+		ix.stats.FtabBytes = 0
+		return nil
+	}
+	if f := ix.fm.Ftab(); f != nil && f.K() == k {
+		ix.config.FtabK = k
+		return nil
+	}
+	start := time.Now()
+	f, err := ix.fm.BuildFtab(k)
+	if err != nil {
+		return err
+	}
+	ix.fm.SetFtab(f)
+	ix.config.FtabK = k
+	ix.stats.FtabTime = time.Since(start)
+	ix.stats.FtabBytes = f.SizeBytes()
+	return nil
+}
+
+// DropFtab detaches the prefix table (the ftab-off ablation arm).
+func (ix *Index) DropFtab() { _ = ix.EnsureFtab(0) }
+
+// FtabK returns the attached prefix table's order, 0 if none.
+func (ix *Index) FtabK() int {
+	if f := ix.fm.Ftab(); f != nil {
+		return f.K()
+	}
+	return 0
+}
+
+// FtabBytes returns the prefix table's footprint, 0 if none — charged
+// against the simulator's BRAM gate alongside StructureBytes.
+func (ix *Index) FtabBytes() int {
+	if f := ix.fm.Ftab(); f != nil {
+		return f.SizeBytes()
+	}
+	return 0
+}
+
+// FtabStats snapshots the prefix table's lookup counters (zero if none).
+func (ix *Index) FtabStats() fmindex.FtabStats {
+	if f := ix.fm.Ftab(); f != nil {
+		return f.Stats()
+	}
+	return fmindex.FtabStats{}
 }
 
 // FM exposes the underlying FM-index for step-level consumers such as the
@@ -295,21 +375,60 @@ func (m MapResult) Mapped() bool { return !m.Forward.Empty() || !m.Reverse.Empty
 // Occurrences returns the total number of occurrences across both strands.
 func (m MapResult) Occurrences() int { return m.Forward.Count() + m.Reverse.Count() }
 
-// MapRead maps one read and its reverse complement (count only).
-func (ix *Index) MapRead(read dna.Seq) MapResult {
-	fwPattern := make([]uint8, len(read))
-	rcPattern := make([]uint8, len(read))
+// mapBuffer is a worker's reusable scratch for the two search patterns. The
+// locate slab is deliberately not here: located positions outlive the call
+// as subslices of their slab, so that memory belongs to the results.
+type mapBuffer struct {
+	fw, rc []uint8
+}
+
+// mapBufPool recycles search scratch across calls, the allocation-free
+// steady state: after warm-up the count-only hot path performs no heap
+// allocation per read.
+var mapBufPool = sync.Pool{New: func() any { return new(mapBuffer) }}
+
+// mapReadBuf maps one read using buf's reusable pattern buffers. useFtab
+// gates the prefix-table path so a consumer whose table was evicted (the
+// simulator's BRAM degrade) can stay consistent with its own cycle model.
+func (ix *Index) mapReadBuf(buf *mapBuffer, read dna.Seq, useFtab bool) MapResult {
+	m := len(read)
+	if cap(buf.fw) < m {
+		buf.fw = make([]uint8, m)
+		buf.rc = make([]uint8, m)
+	}
+	fw, rc := buf.fw[:m], buf.rc[:m]
 	for i, b := range read {
-		fwPattern[i] = uint8(b)
-		rcPattern[len(read)-1-i] = uint8(b.Complement())
+		fw[i] = uint8(b)
+		rc[m-1-i] = uint8(b.Complement())
 	}
 	var res MapResult
 	var fwSteps, rcSteps int
-	res.Forward, fwSteps = ix.fm.CountSteps(fwPattern)
-	res.Reverse, rcSteps = ix.fm.CountSteps(rcPattern)
+	if useFtab {
+		res.Forward, fwSteps = ix.fm.SearchWithFtabSteps(fw)
+		res.Reverse, rcSteps = ix.fm.SearchWithFtabSteps(rc)
+	} else {
+		res.Forward, fwSteps = ix.fm.CountSteps(fw)
+		res.Reverse, rcSteps = ix.fm.CountSteps(rc)
+	}
 	// The two searches run in parallel pipelines in hardware (§III-C), so
 	// the slower one bounds the query's latency.
 	res.Steps = max(fwSteps, rcSteps)
+	return res
+}
+
+// MapRead maps one read and its reverse complement (count only), through
+// the prefix table when the index carries one.
+func (ix *Index) MapRead(read dna.Seq) MapResult {
+	return ix.MapReadMode(read, true)
+}
+
+// MapReadMode is MapRead with explicit prefix-table control: useFtab=false
+// forces the plain backward search even on an index that has a table — the
+// mode a BRAM-degraded kernel runs in.
+func (ix *Index) MapReadMode(read dna.Seq, useFtab bool) MapResult {
+	buf := mapBufPool.Get().(*mapBuffer)
+	res := ix.mapReadBuf(buf, read, useFtab)
+	mapBufPool.Put(buf)
 	return res
 }
 
@@ -362,6 +481,30 @@ func (s MapStats) ReadsPerSecond() float64 {
 // MapReads maps a batch of reads, the paper's "sequence mapping" step on
 // the CPU path (BWaveR-CPU).
 func (ix *Index) MapReads(reads []dna.Seq, opts MapOptions) ([]MapResult, MapStats, error) {
+	results := make([]MapResult, len(reads))
+	stats, err := ix.MapReadsInto(results, reads, opts)
+	if err != nil {
+		return nil, MapStats{}, err
+	}
+	return results, stats, nil
+}
+
+// mapChunk is how many reads a worker claims per fetch from the shared
+// cursor: large enough that the atomic add vanishes against the search
+// work, small enough that progress and cancellation stay responsive.
+const mapChunk = 64
+
+// MapReadsInto is MapReads writing into a caller-provided result slice
+// (len(dst) must equal len(reads)) — the allocation-free hot path. Workers
+// claim fixed-size chunks off an atomic cursor instead of receiving reads
+// over a channel, and reuse pooled pattern scratch, so the count-only
+// steady state allocates nothing per read. With Locate set, positions are
+// appended to one growing slab per worker and results hold subslices of it,
+// amortizing locate allocations to the slab's doubling growth.
+func (ix *Index) MapReadsInto(dst []MapResult, reads []dna.Seq, opts MapOptions) (MapStats, error) {
+	if len(dst) != len(reads) {
+		return MapStats{}, fmt.Errorf("core: result slice holds %d entries for %d reads", len(dst), len(reads))
+	}
 	workers := opts.Workers
 	if workers == 0 {
 		workers = 1
@@ -369,88 +512,101 @@ func (ix *Index) MapReads(reads []dna.Seq, opts MapOptions) ([]MapResult, MapSta
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	results := make([]MapResult, len(reads))
 	start := time.Now()
 
 	every := opts.ProgressEvery
 	if every <= 0 {
 		every = 1024
 	}
-	var done atomic.Int64
-	mapOne := func(i int) error {
-		if opts.Context != nil {
-			if err := opts.Context.Err(); err != nil {
-				return err
+	var (
+		cursor atomic.Int64
+		done   atomic.Int64
+	)
+	worker := func() error {
+		buf := mapBufPool.Get().(*mapBuffer)
+		defer mapBufPool.Put(buf)
+		var slab []int32
+		for {
+			end := int(cursor.Add(mapChunk))
+			begin := end - mapChunk
+			if begin >= len(reads) {
+				return nil
+			}
+			end = min(end, len(reads))
+			if opts.Context != nil {
+				if err := opts.Context.Err(); err != nil {
+					return err
+				}
+			}
+			for i := begin; i < end; i++ {
+				res := ix.mapReadBuf(buf, reads[i], true)
+				if opts.Locate {
+					var err error
+					a := len(slab)
+					if slab, err = ix.fm.LocateAppend(slab, res.Forward); err != nil {
+						return err
+					}
+					b := len(slab)
+					if slab, err = ix.fm.LocateAppend(slab, res.Reverse); err != nil {
+						return err
+					}
+					// Subslices stay valid across later slab growth: append
+					// copies the prefix, and slab contents are never mutated.
+					if b > a {
+						res.ForwardPositions = slab[a:b:b]
+					}
+					if c := len(slab); c > b {
+						res.ReversePositions = slab[b:c:c]
+					}
+				}
+				dst[i] = res
+			}
+			if opts.Progress != nil {
+				d := done.Add(int64(end - begin))
+				if d/int64(every) != (d-int64(end-begin))/int64(every) {
+					opts.Progress(int(d), len(reads))
+				}
 			}
 		}
-		res := ix.MapRead(reads[i])
-		if opts.Locate {
-			var err error
-			if res.ForwardPositions, err = ix.fm.Locate(res.Forward); err != nil {
-				return err
-			}
-			if res.ReversePositions, err = ix.fm.Locate(res.Reverse); err != nil {
-				return err
-			}
-		}
-		results[i] = res
-		if opts.Progress != nil {
-			if d := done.Add(1); d%int64(every) == 0 {
-				opts.Progress(int(d), len(reads))
-			}
-		}
-		return nil
 	}
 
 	var firstErr error
 	if workers == 1 {
-		for i := range reads {
-			if err := mapOne(i); err != nil {
-				return nil, MapStats{}, err
-			}
-		}
+		firstErr = worker()
 	} else {
 		var (
 			wg    sync.WaitGroup
 			errMu sync.Mutex
-			next  = make(chan int, workers)
 		)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for i := range next {
-					if err := mapOne(i); err != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						errMu.Unlock()
-						return
+				if err := worker(); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
 					}
+					errMu.Unlock()
 				}
 			}()
 		}
-		for i := range reads {
-			next <- i
-		}
-		close(next)
 		wg.Wait()
 	}
 	if firstErr != nil {
-		return nil, MapStats{}, firstErr
+		return MapStats{}, firstErr
 	}
 	if opts.Progress != nil {
 		opts.Progress(len(reads), len(reads))
 	}
 
 	stats := MapStats{Reads: len(reads), Elapsed: time.Since(start)}
-	for _, r := range results {
-		if r.Mapped() {
+	for i := range dst {
+		if dst[i].Mapped() {
 			stats.MappedReads++
 		}
-		stats.Occurrences += r.Occurrences()
-		stats.TotalSteps += r.Steps
+		stats.Occurrences += dst[i].Occurrences()
+		stats.TotalSteps += dst[i].Steps
 	}
-	return results, stats, nil
+	return stats, nil
 }

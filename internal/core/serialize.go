@@ -15,16 +15,26 @@ import (
 
 // Index file format (little endian):
 //
-//	magic    uint32 'BWX1'
+//	magic    uint32 'BWX2'
 //	b, sf    uint32  (RRR parameters; also stored when plain)
 //	flags    uint8   bit0 = plain bit-vectors
 //	locate   uint8   LocateMode
 //	sampleRate uint32
 //	primary  uint32
+//	ftabK    uint32  prefix-table order (0 = none; absent in 'BWX1')
 //	counts   [4]uint32 per-symbol occurrence counts
 //	wavelet tree payload
 //	locate payload (full SA as [n+1]int32, or sampled SA, or nothing)
-const indexMagic = 0x42575831 // "BWX1"
+//	ftab payload (when ftabK > 0)
+//	contigs
+//
+// ReadIndex still accepts the previous 'BWX1' format, which has no ftabK
+// header field and no ftab payload; such indexes load with no prefix table
+// and callers rebuild one on demand via EnsureFtab.
+const (
+	indexMagic   = 0x42575832 // "BWX2"
+	indexMagicV1 = 0x42575831 // "BWX1"
+)
 
 // WriteTo serializes the index. It implements io.WriterTo.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
@@ -44,6 +54,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		uint32(ix.config.RRR.BlockSize), uint32(ix.config.RRR.SuperblockFactor),
 		flags, uint8(ix.config.Locate), uint32(ix.config.SampleRate),
 		uint32(ix.fm.Primary()),
+		uint32(ix.FtabK()),
 	}
 	for _, v := range head {
 		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
@@ -65,6 +76,11 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		}
 	case LocateSampled:
 		if _, err := ix.fm.Sampled().WriteTo(cw); err != nil {
+			return cw.n, err
+		}
+	}
+	if ftab := ix.fm.Ftab(); ftab != nil {
+		if _, err := ftab.WriteTo(cw); err != nil {
 			return cw.n, err
 		}
 	}
@@ -135,22 +151,33 @@ func readContigs(r io.Reader) (*ContigSet, error) {
 func ReadIndex(r io.Reader) (*Index, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var (
-		magic, b, sf, sampleRate, primary uint32
-		flags, locate                     uint8
+		magic, b, sf, sampleRate, primary, ftabK uint32
+		flags, locate                            uint8
 	)
 	for _, v := range []any{&magic, &b, &sf, &flags, &locate, &sampleRate, &primary} {
 		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
 			return nil, fmt.Errorf("core: reading index header: %w", err)
 		}
 	}
-	if magic != indexMagic {
+	if magic != indexMagic && magic != indexMagicV1 {
 		return nil, fmt.Errorf("core: not a BWaveR index (magic %#x)", magic)
+	}
+	if magic == indexMagic {
+		// The v1 header has no prefix-table field; v1 files load with no
+		// table and callers rebuild one on demand (EnsureFtab).
+		if err := binary.Read(br, binary.LittleEndian, &ftabK); err != nil {
+			return nil, fmt.Errorf("core: reading index header: %w", err)
+		}
+		if ftabK > fmindex.MaxFtabK {
+			return nil, fmt.Errorf("core: implausible ftab order %d", ftabK)
+		}
 	}
 	cfg := IndexConfig{
 		RRR:             rrr.Params{BlockSize: int(b), SuperblockFactor: int(sf)},
 		PlainBitvectors: flags&1 != 0,
 		Locate:          LocateMode(locate),
 		SampleRate:      int(sampleRate),
+		FtabK:           int(ftabK),
 	}
 	if err := cfg.RRR.Validate(); err != nil {
 		return nil, err
@@ -208,6 +235,20 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		UncompressedBytes: total,
 		StructureBytes:    tree.SizeBytes(),
 		SharedBytes:       tree.SharedSizeBytes(),
+	}
+	if ftabK > 0 {
+		ftab, err := fmindex.ReadFtab(br)
+		if err != nil {
+			return nil, err
+		}
+		if got := ftab.K(); got != int(ftabK) {
+			return nil, fmt.Errorf("core: ftab payload order %d, header says %d", got, ftabK)
+		}
+		if err := ftab.Validate(total); err != nil {
+			return nil, err
+		}
+		fm.SetFtab(ftab)
+		stats.FtabBytes = ftab.SizeBytes()
 	}
 	ix := &Index{fm: fm, config: cfg, stats: stats}
 	contigs, err := readContigs(br)

@@ -1,6 +1,7 @@
 package fmindex
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -61,6 +62,7 @@ func BenchmarkBackwardSearch(b *testing.B) {
 			patterns[i] = text[s : s+40]
 		}
 		b.Run(p.name, func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(40)
 			for i := 0; i < b.N; i++ {
 				ix.Count(patterns[i%len(patterns)])
@@ -77,11 +79,65 @@ func BenchmarkLocate(b *testing.B) {
 	if r.Empty() {
 		b.Fatal("bench pattern not found")
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ix.Locate(r); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLocateAppend is the allocation-free counterpart: the caller's
+// slab absorbs every position, so steady state reports 0 allocs/op.
+func BenchmarkLocateAppend(b *testing.B) {
+	ix, text := benchIndex(b, func(d []uint8) (OccProvider, error) {
+		return NewWaveletOcc(d, 4, rrr.DefaultParams)
+	})
+	r := ix.Count(text[100:130])
+	if r.Empty() {
+		b.Fatal("bench pattern not found")
+	}
+	slab := make([]int32, 0, r.Count())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if slab, err = ix.LocateAppend(slab[:0], r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchWithFtab pits the prefix-table search against the plain
+// backward search on the same 40 bp patterns.
+func BenchmarkSearchWithFtab(b *testing.B) {
+	ix, text := benchIndex(b, func(d []uint8) (OccProvider, error) {
+		return NewWaveletOcc(d, 4, rrr.DefaultParams)
+	})
+	rng := rand.New(rand.NewSource(5))
+	patterns := make([][]uint8, 256)
+	for i := range patterns {
+		s := rng.Intn(len(text) - 40)
+		patterns[i] = text[s : s+40]
+	}
+	for _, k := range []int{0, 8, 10} {
+		if k > 0 {
+			ftab, err := ix.BuildFtab(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ix.SetFtab(ftab)
+		} else {
+			ix.SetFtab(nil)
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(40)
+			for i := 0; i < b.N; i++ {
+				ix.SearchWithFtab(patterns[i%len(patterns)])
+			}
+		})
 	}
 }
 
@@ -93,6 +149,7 @@ func BenchmarkCountApprox(b *testing.B) {
 	pattern[17] ^= 1 // one mismatch
 	for _, k := range []int{0, 1, 2} {
 		b.Run("k="+string(rune('0'+k)), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := ix.CountApprox(pattern, k); err != nil {
 					b.Fatal(err)

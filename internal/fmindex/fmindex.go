@@ -45,6 +45,7 @@ type Index struct {
 
 	sa      []int32    // full suffix array (optional)
 	sampled *SampledSA // sampled suffix array (optional)
+	ftab    *Ftab      // k-mer prefix-lookup table (optional)
 }
 
 // Options configure locate support.
@@ -249,27 +250,34 @@ func (ix *Index) Locate(r Range) ([]int32, error) {
 	if r.Empty() {
 		return nil, nil
 	}
-	if r.Start < 0 || r.End > ix.n {
-		return nil, fmt.Errorf("fmindex: range [%d,%d] outside rows [0,%d]", r.Start, r.End, ix.n)
+	return ix.LocateAppend(make([]int32, 0, r.Count()), r)
+}
+
+// LocateAppend appends the text positions of every row in r to dst and
+// returns the extended slice, allocating only when dst's capacity runs out —
+// the hot-path variant the batch mappers use with per-worker reusable
+// buffers. An empty range returns dst unchanged.
+func (ix *Index) LocateAppend(dst []int32, r Range) ([]int32, error) {
+	if r.Empty() {
+		return dst, nil
 	}
-	out := make([]int32, 0, r.Count())
+	if r.Start < 0 || r.End > ix.n {
+		return dst, fmt.Errorf("fmindex: range [%d,%d] outside rows [0,%d]", r.Start, r.End, ix.n)
+	}
 	if ix.sa != nil {
-		for row := r.Start; row <= r.End; row++ {
-			out = append(out, ix.sa[row])
-		}
-		return out, nil
+		return append(dst, ix.sa[r.Start:r.End+1]...), nil
 	}
 	if ix.sampled == nil {
-		return nil, errors.New("fmindex: index built without locate support")
+		return dst, errors.New("fmindex: index built without locate support")
 	}
 	for row := r.Start; row <= r.End; row++ {
 		pos, err := ix.locateOne(row)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		out = append(out, pos)
+		dst = append(dst, pos)
 	}
-	return out, nil
+	return dst, nil
 }
 
 func (ix *Index) locateOne(row int) (int32, error) {
@@ -289,7 +297,7 @@ func (ix *Index) locateOne(row int) (int32, error) {
 }
 
 // SizeBytes reports the footprint of the Occ structure plus whichever
-// locate structure is attached.
+// locate structure and prefix table are attached.
 func (ix *Index) SizeBytes() int {
 	size := ix.occ.SizeBytes() + len(ix.cFull)*8
 	if ix.sa != nil {
@@ -297,6 +305,9 @@ func (ix *Index) SizeBytes() int {
 	}
 	if ix.sampled != nil {
 		size += ix.sampled.SizeBytes()
+	}
+	if ix.ftab != nil {
+		size += ix.ftab.SizeBytes()
 	}
 	return size
 }

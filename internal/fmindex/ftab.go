@@ -1,0 +1,187 @@
+package fmindex
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ftab is a dense k-mer prefix-lookup table over the 4-symbol DNA alphabet,
+// the Bowtie/BWA-style optimisation the paper's backward search lacks: since
+// the search consumes the pattern right to left, the first k steps — the
+// widest intervals, with the worst rank locality — depend only on the
+// pattern's length-k suffix, so they can be replaced by one table lookup.
+//
+// Every length-k string S maps to the exact Range the plain backward search
+// returns when run on S alone. For a living k-mer that is [start(S), end(S)];
+// for a k-mer on which the search dies early the entry holds the precise
+// empty range produced at the step where it died (death ranges propagate
+// down the refinement unchanged, exactly as Count's early exit would return
+// them). SearchWithFtab is therefore bit-identical to Count on every input,
+// with no re-search fallback: a dead lookup answers immediately, which is
+// why unmapped reads get cheaper too, not just mapped ones.
+//
+// The table is built in O(4^k) total work by interval refinement: the entry
+// for sX is one Step (two rank queries) from the entry for X, and dead
+// entries are copied, never stepped. Two int32 arrays of 4^k entries each
+// cost 8·4^k bytes — 8 MiB at the default k=10.
+type Ftab struct {
+	k      int
+	lo, hi []int32
+
+	// Lookup counters, updated atomically by SearchWithFtab: hits answered
+	// from the table, misses where an out-of-alphabet symbol in the suffix
+	// forced a plain search, and short reads below k bases.
+	hits, misses, short atomic.Uint64
+}
+
+// ftab keys cover the fixed DNA alphabet, independent of the index's sigma;
+// symbols in [4, 255] cannot be encoded and fall back to the plain search,
+// while symbols in [sigma, 4) are handled by the table itself because the
+// build uses the same Step semantics (they yield dead entries).
+const ftabSigma = 4
+
+// MaxFtabK bounds the table order: 4^12 entries are 134 MiB, already past
+// any on-chip budget; larger orders only burn host memory.
+const MaxFtabK = 12
+
+// FtabStats is a snapshot of the lookup counters.
+type FtabStats struct {
+	// Hits are lookups answered from the table (living or dead entry).
+	Hits uint64 `json:"hits"`
+	// Misses are lookups abandoned because the pattern's length-k suffix
+	// contained a symbol outside the 4-symbol DNA alphabet.
+	Misses uint64 `json:"misses"`
+	// Short are patterns shorter than k, searched plainly.
+	Short uint64 `json:"short"`
+}
+
+// K returns the table order.
+func (f *Ftab) K() int { return f.k }
+
+// Entries returns the number of k-mers covered (4^k).
+func (f *Ftab) Entries() int { return len(f.lo) }
+
+// SizeBytes returns the table's footprint — the quantity the FPGA simulator
+// charges against its BRAM capacity gate.
+func (f *Ftab) SizeBytes() int { return len(f.lo)*4 + len(f.hi)*4 + 16 }
+
+// Stats snapshots the lookup counters.
+func (f *Ftab) Stats() FtabStats {
+	return FtabStats{Hits: f.hits.Load(), Misses: f.misses.Load(), Short: f.short.Load()}
+}
+
+// Lookup returns the stored range for a key in [0, 4^k): the big-endian
+// base-4 encoding of the k-mer (first symbol in the highest digit).
+func (f *Ftab) Lookup(key int) Range {
+	return Range{Start: int(f.lo[key]), End: int(f.hi[key])}
+}
+
+// Validate checks every stored range against the index length n, the same
+// defensive posture the index deserializer takes: a corrupted table must not
+// become out-of-bounds rank queries.
+func (f *Ftab) Validate(n int) error {
+	if f.k < 1 || f.k > MaxFtabK {
+		return fmt.Errorf("fmindex: ftab order %d outside [1,%d]", f.k, MaxFtabK)
+	}
+	if want := 1 << (2 * f.k); len(f.lo) != want || len(f.hi) != want {
+		return fmt.Errorf("fmindex: ftab has %d/%d entries, want %d", len(f.lo), len(f.hi), want)
+	}
+	for i := range f.lo {
+		lo, hi := int(f.lo[i]), int(f.hi[i])
+		if lo < 0 || lo > n+1 || hi < -1 || hi > n || hi-lo+1 > n+1 {
+			return fmt.Errorf("fmindex: ftab entry %d holds range [%d,%d] outside rows [0,%d]", i, lo, hi, n)
+		}
+	}
+	return nil
+}
+
+// BuildFtab constructs the order-k table for the index by interval
+// refinement: depth d+1 entries come from one Step on their depth-d parent,
+// dead parents propagate their death range to all children without any rank
+// work. Total Step calls are bounded by both 4^k and k times the number of
+// distinct k-mers in the text, so small references build small-alive tables
+// fast even at high k.
+func (ix *Index) BuildFtab(k int) (*Ftab, error) {
+	if k < 1 || k > MaxFtabK {
+		return nil, fmt.Errorf("fmindex: ftab order %d outside [1,%d]", k, MaxFtabK)
+	}
+	cur := []Range{ix.All()}
+	for d := 0; d < k; d++ {
+		next := make([]Range, len(cur)*ftabSigma)
+		for key, r := range cur {
+			if r.Empty() {
+				for s := 0; s < ftabSigma; s++ {
+					next[s*len(cur)+key] = r
+				}
+				continue
+			}
+			for s := 0; s < ftabSigma; s++ {
+				next[s*len(cur)+key] = ix.Step(r, uint8(s))
+			}
+		}
+		cur = next
+	}
+	f := &Ftab{k: k, lo: make([]int32, len(cur)), hi: make([]int32, len(cur))}
+	for i, r := range cur {
+		f.lo[i] = int32(r.Start)
+		f.hi[i] = int32(r.End)
+	}
+	return f, nil
+}
+
+// Ftab returns the attached prefix table, nil if none.
+func (ix *Index) Ftab() *Ftab { return ix.ftab }
+
+// SetFtab attaches a prefix table (nil detaches). The table must have been
+// built over this index — a foreign table silently answers wrong ranges, so
+// callers deserializing one should Validate it first.
+func (ix *Index) SetFtab(f *Ftab) { ix.ftab = f }
+
+// SearchWithFtab is Count accelerated by the attached prefix table; without
+// one (or for reads shorter than k, or suffixes containing out-of-alphabet
+// symbols) it is exactly Count. The returned range is bit-identical to
+// Count's on every input — the property the fuzz test pins down.
+func (ix *Index) SearchWithFtab(pattern []uint8) Range {
+	r, _ := ix.SearchWithFtabSteps(pattern)
+	return r
+}
+
+// SearchWithFtabSteps is SearchWithFtab reporting the modeled pipeline
+// iterations: one for the table lookup (the BRAM LUT access that replaces
+// the first k steps) plus one per subsequent Step, matching CountSteps'
+// accounting on the fallback paths.
+func (ix *Index) SearchWithFtabSteps(pattern []uint8) (Range, int) {
+	f := ix.ftab
+	if f == nil {
+		return ix.CountSteps(pattern)
+	}
+	m := len(pattern)
+	if m < f.k {
+		f.short.Add(1)
+		return ix.CountSteps(pattern)
+	}
+	key := 0
+	for _, s := range pattern[m-f.k:] {
+		if s >= ftabSigma {
+			f.misses.Add(1)
+			return ix.CountSteps(pattern)
+		}
+		key = key<<2 | int(s)
+	}
+	f.hits.Add(1)
+	r := Range{Start: int(f.lo[key]), End: int(f.hi[key])}
+	steps := 1
+	if r.Empty() {
+		// The search died inside the suffix; the stored range is the exact
+		// empty range Count's early exit would have returned.
+		return r, steps
+	}
+	for i := m - f.k - 1; i >= 0; i-- {
+		r = ix.Step(r, pattern[i])
+		steps++
+		if r.Empty() {
+			return r, steps
+		}
+	}
+	return r, steps
+}

@@ -1,0 +1,149 @@
+package fmindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func ftabTestIndex(t *testing.T, n int, seed int64) (*Index, []uint8) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	text := buildText(rng, n)
+	ix := buildWith(t, text, func(d []uint8) (OccProvider, error) {
+		return NewWaveletOcc(d, 4, testParams)
+	}, fullSAOpts)
+	return ix, text
+}
+
+// TestBuildFtabMatchesCount is the core contract: every entry of the table —
+// living or dead — equals what the plain backward search returns on that
+// k-mer, bit for bit. Dead entries must carry the exact range produced at
+// the first death step, not just any empty range, because SearchWithFtab
+// returns them verbatim.
+func TestBuildFtabMatchesCount(t *testing.T) {
+	ix, _ := ftabTestIndex(t, 300, 11)
+	for _, k := range []int{1, 2, 3, 5} {
+		ftab, err := ix.BuildFtab(k)
+		if err != nil {
+			t.Fatalf("BuildFtab(%d): %v", k, err)
+		}
+		if ftab.K() != k || ftab.Entries() != 1<<(2*k) {
+			t.Fatalf("k=%d: K()=%d Entries()=%d", k, ftab.K(), ftab.Entries())
+		}
+		kmer := make([]uint8, k)
+		for key := 0; key < ftab.Entries(); key++ {
+			for i := 0; i < k; i++ {
+				kmer[i] = uint8(key >> (2 * (k - 1 - i)) & 3)
+			}
+			want := ix.Count(kmer)
+			if got := ftab.Lookup(key); got != want {
+				t.Fatalf("k=%d key=%d kmer=%v: table %+v, plain search %+v",
+					k, key, kmer, got, want)
+			}
+		}
+		if err := ftab.Validate(ix.Len()); err != nil {
+			t.Fatalf("k=%d: Validate: %v", k, err)
+		}
+	}
+}
+
+func TestBuildFtabRejectsBadK(t *testing.T) {
+	ix, _ := ftabTestIndex(t, 64, 12)
+	for _, k := range []int{0, -1, MaxFtabK + 1} {
+		if _, err := ix.BuildFtab(k); err == nil {
+			t.Errorf("BuildFtab(%d) accepted", k)
+		}
+	}
+}
+
+// TestSearchWithFtabPaths drives all four lookup outcomes — table hit on a
+// living k-mer, hit on a dead k-mer, miss on an out-of-alphabet suffix
+// symbol, and a read shorter than k — and checks both the result equality
+// and the counter bookkeeping.
+func TestSearchWithFtabPaths(t *testing.T) {
+	ix, text := ftabTestIndex(t, 400, 13)
+	const k = 4
+	ftab, err := ix.BuildFtab(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SetFtab(ftab)
+	if ix.Ftab() != ftab {
+		t.Fatal("Ftab() does not return the attached table")
+	}
+
+	check := func(pattern []uint8) {
+		t.Helper()
+		if got, want := ix.SearchWithFtab(pattern), ix.Count(pattern); got != want {
+			t.Fatalf("pattern %v: ftab %+v != plain %+v", pattern, got, want)
+		}
+	}
+	check(text[10:30])                      // living hit
+	check([]uint8{0, 1, 2, 3, 9, 9, 9, 9}) // suffix k-mer with sym>=4: stored death range
+	check([]uint8{9, 9, 0, 1, 2, 3})       // miss: can't encode the suffix, falls back
+	check(text[5 : 5+k-1])                 // short read, falls back
+	check(nil)                             // empty pattern
+
+	st := ftab.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Short != 2 {
+		t.Errorf("stats = %+v, want 2 hits, 1 miss, 2 short", st)
+	}
+
+	// Steps accounting: a dead-suffix hit answers in one modeled cycle.
+	if _, steps := ix.SearchWithFtabSteps([]uint8{0, 0, 9, 9, 9, 9}); steps != 1 {
+		t.Errorf("dead table hit took %d steps, want 1", steps)
+	}
+
+	ix.SetFtab(nil)
+	if got, want := ix.SearchWithFtab(text[10:30]), ix.Count(text[10:30]); got != want {
+		t.Errorf("no table: %+v != %+v", got, want)
+	}
+}
+
+func TestFtabSerializeRoundTrip(t *testing.T) {
+	ix, _ := ftabTestIndex(t, 200, 14)
+	ftab, err := ix.BuildFtab(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if n, err := ftab.WriteTo(&buf); err != nil || n != int64(buf.Len()) {
+		t.Fatalf("WriteTo: n=%d err=%v (buffered %d)", n, err, buf.Len())
+	}
+	back, err := ReadFtab(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K() != ftab.K() || back.Entries() != ftab.Entries() || back.SizeBytes() != ftab.SizeBytes() {
+		t.Fatalf("shape changed: %d/%d/%d vs %d/%d/%d",
+			back.K(), back.Entries(), back.SizeBytes(), ftab.K(), ftab.Entries(), ftab.SizeBytes())
+	}
+	for key := 0; key < ftab.Entries(); key++ {
+		if back.Lookup(key) != ftab.Lookup(key) {
+			t.Fatalf("entry %d changed across serialization", key)
+		}
+	}
+	if err := back.Validate(ix.Len()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt magic must be rejected.
+	raw := buf.Bytes()
+	raw[0] ^= 0xff
+	if _, err := ReadFtab(bytes.NewReader(raw)); err == nil {
+		t.Error("accepted corrupt magic")
+	}
+}
+
+func TestFtabValidateRejectsForeignTable(t *testing.T) {
+	ix, _ := ftabTestIndex(t, 200, 15)
+	ftab, err := ix.BuildFtab(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Against a much shorter text the stored rows exceed n+1 and must fail.
+	if err := ftab.Validate(4); err == nil {
+		t.Error("Validate accepted a table with rows beyond the index")
+	}
+}

@@ -8,7 +8,10 @@ import (
 	"bwaver/internal/bitvec"
 )
 
-const sampledMagic = 0x53534131 // "SSA1"
+const (
+	sampledMagic = 0x53534131 // "SSA1"
+	ftabMagic    = 0x46544231 // "FTB1"
+)
 
 // WriteTo serializes the sampled suffix array. It implements io.WriterTo.
 func (s *SampledSA) WriteTo(w io.Writer) (int64, error) {
@@ -54,4 +57,50 @@ func ReadSampledSA(r io.Reader) (*SampledSA, error) {
 		return nil, fmt.Errorf("fmindex: reading sampled SA values: %w", err)
 	}
 	return &SampledSA{rate: int(head[1]), marks: marks, values: values}, nil
+}
+
+// WriteTo serializes the prefix table (magic, order, then the two interval
+// arrays). It implements io.WriterTo. Lookup counters are runtime state and
+// are not persisted.
+func (f *Ftab) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	head := [2]uint32{ftabMagic, uint32(f.k)}
+	if err := binary.Write(w, binary.LittleEndian, head); err != nil {
+		return written, err
+	}
+	written += 8
+	if err := binary.Write(w, binary.LittleEndian, f.lo); err != nil {
+		return written, err
+	}
+	written += int64(len(f.lo)) * 4
+	if err := binary.Write(w, binary.LittleEndian, f.hi); err != nil {
+		return written, err
+	}
+	written += int64(len(f.hi)) * 4
+	return written, nil
+}
+
+// ReadFtab deserializes a prefix table written by WriteTo. Callers must
+// Validate the result against their index length before attaching it.
+func ReadFtab(r io.Reader) (*Ftab, error) {
+	var head [2]uint32
+	if err := binary.Read(r, binary.LittleEndian, &head); err != nil {
+		return nil, fmt.Errorf("fmindex: reading ftab header: %w", err)
+	}
+	if head[0] != ftabMagic {
+		return nil, fmt.Errorf("fmindex: bad ftab magic %#x", head[0])
+	}
+	k := int(head[1])
+	if k < 1 || k > MaxFtabK {
+		return nil, fmt.Errorf("fmindex: ftab order %d outside [1,%d]", k, MaxFtabK)
+	}
+	entries := 1 << (2 * k)
+	f := &Ftab{k: k, lo: make([]int32, entries), hi: make([]int32, entries)}
+	if err := binary.Read(r, binary.LittleEndian, f.lo); err != nil {
+		return nil, fmt.Errorf("fmindex: reading ftab intervals: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, f.hi); err != nil {
+		return nil, fmt.Errorf("fmindex: reading ftab intervals: %w", err)
+	}
+	return f, nil
 }

@@ -19,6 +19,7 @@ package fpga
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"bwaver/internal/core"
@@ -210,19 +211,44 @@ func (d *Device) cyclesToTime(cycles uint64) time.Duration {
 
 // Program loads a built index onto the device, enforcing the BRAM capacity
 // gate, and returns a kernel ready to map reads. The returned profile-ready
-// transfer covers the succinct structure and its shared rank table; the
-// suffix array stays on the host (§III-C: positions are retrieved by the
-// host CPU).
+// transfer covers the succinct structure, its shared rank table, and the
+// prefix-lookup table when one fits; the suffix array stays on the host
+// (§III-C: positions are retrieved by the host CPU).
+//
+// The prefix table is optional hardware: if structure + ftab exceed BRAM
+// the kernel degrades to ftab-off with a logged warning instead of failing
+// the job — only the succinct structure itself is a hard capacity
+// requirement. A degraded kernel runs the plain backward search (still
+// bit-identical results) and its cycle model prices every step, matching
+// what its fabric would actually do.
 func (d *Device) Program(ix *core.Index) (*Kernel, error) {
-	bytes := ix.StructureBytes()
-	if bytes > d.cfg.BRAMBytes {
+	structure := ix.StructureBytes()
+	if structure > d.cfg.BRAMBytes {
 		return nil, fmt.Errorf("fpga: index needs %d bytes of BRAM, device has %d — reference too large for on-chip memory",
-			bytes, d.cfg.BRAMBytes)
+			structure, d.cfg.BRAMBytes)
 	}
+	ftabBytes := ix.FtabBytes()
+	useFtab := ftabBytes > 0
+	degraded := false
+	if useFtab && structure+ftabBytes > d.cfg.BRAMBytes {
+		slog.Warn("fpga: prefix table does not fit BRAM, degrading kernel to ftab-off",
+			"device", d.id,
+			"structure_bytes", structure,
+			"ftab_bytes", ftabBytes,
+			"bram_bytes", d.cfg.BRAMBytes,
+			"ftab_k", ix.FtabK())
+		useFtab = false
+		degraded = true
+		ftabBytes = 0
+	}
+	resident := structure + ftabBytes
 	return &Kernel{
 		dev:           d,
 		ix:            ix,
-		indexBytes:    bytes,
-		indexTransfer: d.transfer(bytes),
+		indexBytes:    resident,
+		ftabBytes:     ftabBytes,
+		useFtab:       useFtab,
+		ftabDegraded:  degraded,
+		indexTransfer: d.transfer(resident),
 	}, nil
 }

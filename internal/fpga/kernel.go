@@ -14,14 +14,31 @@ type Kernel struct {
 	dev           *Device
 	ix            *core.Index
 	indexBytes    int
+	ftabBytes     int
+	useFtab       bool
+	ftabDegraded  bool
 	indexTransfer time.Duration
 }
 
 // Index returns the index the kernel was programmed with.
 func (k *Kernel) Index() *core.Index { return k.ix }
 
-// IndexBytes returns the BRAM bytes occupied by the structure.
+// IndexBytes returns the BRAM bytes occupied by the resident structures
+// (succinct BWT plus the prefix table when one is resident).
 func (k *Kernel) IndexBytes() int { return k.indexBytes }
+
+// FtabBytes returns the BRAM bytes the resident prefix table occupies,
+// 0 when the kernel runs without one.
+func (k *Kernel) FtabBytes() int { return k.ftabBytes }
+
+// UsesFtab reports whether the kernel's pipelines consult a BRAM-resident
+// prefix table, collapsing the first k backward-search iterations of both
+// the forward and reverse-complement pipelines into one LUT access.
+func (k *Kernel) UsesFtab() bool { return k.useFtab }
+
+// FtabDegraded reports whether Program dropped the index's prefix table
+// because structure + table exceeded the device's BRAM capacity.
+func (k *Kernel) FtabDegraded() bool { return k.ftabDegraded }
 
 // stepCycles returns the modeled cost of one backward-search step. The
 // paper's design resolves the RRR class sum with a pipelined adder tree, so
@@ -208,8 +225,10 @@ func (k *Kernel) MapReadsOpts(reads []dna.Seq, opts MapRunOptions) (*RunResult, 
 			}
 		}
 		// The kernel operates on the packed record, mirroring the decode
-		// the hardware performs.
-		res := k.ix.MapRead(rec.Unpack())
+		// the hardware performs. The kernel's own ftab mode — not the host
+		// index's — decides the search path, so a BRAM-degraded kernel's
+		// cycle accounting matches the fabric it models.
+		res := k.ix.MapReadMode(rec.Unpack(), k.useFtab)
 		results[i] = res
 		stepCycles += uint64(res.Steps)*perStep + uint64(cfg.QueryOverheadCycles)
 		if opts.Progress != nil && (i+1)%every == 0 {
@@ -354,13 +373,24 @@ func (k *Kernel) ModelProfile(nReads int, avgStepsPerRead float64) Profile {
 func (k *Kernel) LocateResults(results []core.MapResult) (time.Duration, error) {
 	start := time.Now()
 	fm := k.ix.FM()
+	// One growing slab for the whole batch; results hold subslices of it.
+	// Append never mutates earlier content, so subslices survive regrowth.
+	var slab []int32
 	for i := range results {
 		var err error
-		if results[i].ForwardPositions, err = fm.Locate(results[i].Forward); err != nil {
+		a := len(slab)
+		if slab, err = fm.LocateAppend(slab, results[i].Forward); err != nil {
 			return 0, err
 		}
-		if results[i].ReversePositions, err = fm.Locate(results[i].Reverse); err != nil {
+		b := len(slab)
+		if slab, err = fm.LocateAppend(slab, results[i].Reverse); err != nil {
 			return 0, err
+		}
+		if b > a {
+			results[i].ForwardPositions = slab[a:b:b]
+		}
+		if c := len(slab); c > b {
+			results[i].ReversePositions = slab[b:c:c]
 		}
 	}
 	return time.Since(start), nil

@@ -22,7 +22,7 @@ func (k *Kernel) SimulateCycles(reads []dna.Seq) (total uint64, perPE []uint64, 
 		if len(r) == 0 || len(r) > MaxQueryBases {
 			return 0, nil, errQuerySize(i, len(r))
 		}
-		res := k.ix.MapRead(r)
+		res := k.ix.MapReadMode(r, k.useFtab)
 		perPE[i%cfg.PEs] += uint64(res.Steps)*perStep + uint64(cfg.QueryOverheadCycles)
 	}
 	for _, c := range perPE {

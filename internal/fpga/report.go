@@ -23,8 +23,12 @@ const (
 
 // Report summarises a programmed kernel's modeled footprint and throughput.
 type Report struct {
-	// StructureBytes is the succinct structure resident on-chip.
+	// StructureBytes is everything resident on-chip: the succinct structure
+	// plus the prefix-lookup table when the kernel carries one.
 	StructureBytes int
+	// FtabBytes is the prefix table's share of StructureBytes (0 when the
+	// kernel runs ftab-off, including after a BRAM degrade).
+	FtabBytes int
 	// URAMUsed and BRAMUsed tile the structure: bulk data in URAM,
 	// remainder and the shared rank table in BRAM.
 	URAMUsed, BRAMUsed int
@@ -51,6 +55,7 @@ func (k *Kernel) Report(avgSteps float64) (Report, error) {
 	cfg := k.dev.cfg
 	r := Report{
 		StructureBytes: k.indexBytes,
+		FtabBytes:      k.ftabBytes,
 		PEs:            cfg.PEs,
 		ClockMHz:       cfg.ClockHz / 1e6,
 		CyclesPerStep:  k.stepCycles(),
@@ -74,6 +79,9 @@ func WriteReport(w io.Writer, r Report) {
 	fmt.Fprintf(w, "kernel resource model (Alveo U200)\n")
 	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 46))
 	fmt.Fprintf(w, "structure on chip:   %10d bytes\n", r.StructureBytes)
+	if r.FtabBytes > 0 {
+		fmt.Fprintf(w, "  of which ftab LUT: %10d bytes\n", r.FtabBytes)
+	}
 	fmt.Fprintf(w, "URAM blocks:         %10d / %d (%.1f%%)\n", r.URAMUsed, U200URAMBlocks, r.URAMPct)
 	fmt.Fprintf(w, "BRAM36 blocks:       %10d / %d (%.1f%%)\n", r.BRAMUsed, U200BRAM36Blocks, r.BRAMPct)
 	fmt.Fprintf(w, "processing elements: %10d\n", r.PEs)

@@ -176,6 +176,41 @@ type cacheStats struct {
 	SizeBytes int    `json:"size_bytes"`
 }
 
+// ftabStats is the prefix-lookup-table block of /api/stats: the configured
+// table order plus figures aggregated over every ready cached index — bytes
+// resident and lookup outcomes (hit: the table answered, including stored
+// dead ranges; miss: the query suffix held an out-of-alphabet symbol; short:
+// the read was shorter than k).
+type ftabStats struct {
+	K         int    `json:"k"`
+	SizeBytes int    `json:"size_bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Short     uint64 `json:"short"`
+}
+
+func (c *indexCache) ftabStats(configuredK int) ftabStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := ftabStats{K: configuredK}
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		select {
+		case <-e.ready:
+			if e.ix == nil {
+				continue
+			}
+			s.SizeBytes += e.ix.FtabBytes()
+			fs := e.ix.FtabStats()
+			s.Hits += fs.Hits
+			s.Misses += fs.Misses
+			s.Short += fs.Short
+		default: // still building
+		}
+	}
+	return s
+}
+
 func (c *indexCache) stats() cacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -84,6 +84,29 @@ func (s *Server) initObs() {
 		"Total size of cached succinct structures in bytes.",
 		func() float64 { return float64(s.cache.stats().SizeBytes) })
 
+	// Prefix-table lookups, aggregated over cached indexes at scrape time.
+	// hit: the table answered (living or stored dead range); miss: the query
+	// suffix held an out-of-alphabet symbol; short: the read was below k.
+	for _, res := range []string{"hit", "miss", "short"} {
+		res := res
+		reg.CounterFunc("bwaver_ftab_lookups_total",
+			"K-mer prefix-table lookups across cached indexes, by outcome.",
+			func() float64 {
+				fs := s.cache.ftabStats(s.cfg.FtabK)
+				switch res {
+				case "hit":
+					return float64(fs.Hits)
+				case "miss":
+					return float64(fs.Misses)
+				default:
+					return float64(fs.Short)
+				}
+			}, "result", res)
+	}
+	reg.GaugeFunc("bwaver_ftab_bytes",
+		"Total prefix-table bytes across cached indexes.",
+		func() float64 { return float64(s.cache.ftabStats(s.cfg.FtabK).SizeBytes) })
+
 	for _, stage := range []string{"index", "query", "kernel", "result", "corrupt"} {
 		stage := stage
 		reg.CounterFunc("bwaver_fpga_faults_total",

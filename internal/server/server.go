@@ -109,6 +109,11 @@ type Config struct {
 	MaxUploadBytes int64
 	// CacheEntries is the index cache capacity in entries; default 8.
 	CacheEntries int
+	// FtabK is the order of the k-mer prefix-lookup table built into job
+	// indexes (the first FtabK backward-search steps collapse into one table
+	// lookup). 0 disables the table; the bwaver-server CLI passes
+	// core.DefaultFtabK unless overridden with -ftab-k.
+	FtabK int
 	// JobTTL evicts finished (done/failed/canceled) jobs and their results
 	// this long after completion; 0 retains jobs forever.
 	JobTTL time.Duration
@@ -470,6 +475,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 // statsJSON is the /api/stats payload.
 type statsJSON struct {
 	Cache      cacheStats           `json:"cache"`
+	Ftab       ftabStats            `json:"ftab"`
 	Jobs       map[string]int       `json:"jobs"`
 	QueueDepth int                  `json:"queue_depth"`
 	Running    int                  `json:"running"`
@@ -491,6 +497,7 @@ type stageJSON struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	payload := statsJSON{
 		Cache:      s.cache.stats(),
+		Ftab:       s.cache.ftabStats(s.cfg.FtabK),
 		Jobs:       map[string]int{},
 		Resilience: s.rec.Snapshot(),
 		Devices:    s.deviceHealth(),
@@ -981,7 +988,8 @@ func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 	// instead of finishing a doomed construction while holding a slot, and
 	// a trace on the context collects the per-phase spans.
 	idxCfg := core.IndexConfig{
-		RRR: rrr.Params{BlockSize: job.B, SuperblockFactor: job.SF},
+		RRR:   rrr.Params{BlockSize: job.B, SuperblockFactor: job.SF},
+		FtabK: s.cfg.FtabK,
 	}
 	buildCtx, buildSpan := obs.StartSpan(ctx, "build")
 	buildStart := time.Now()

@@ -37,6 +37,7 @@ func BenchmarkTreeRank(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(be.name, func(b *testing.B) {
+			b.ReportAllocs()
 			b.ReportMetric(float64(tree.SizeBytes())/1e6, "MB")
 			for i := 0; i < b.N; i++ {
 				tree.Rank(uint8(i&3), (i*7919)%(tree.Len()+1))
