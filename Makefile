@@ -8,9 +8,9 @@ GO ?= go
 # `make fuzz-smoke FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet test race bench bench-smoke bench-baseline fuzz-smoke fault-smoke obs-smoke
+.PHONY: ci build vet test race bench bench-smoke bench-baseline fuzz-smoke fault-smoke obs-smoke chaos-smoke
 
-ci: vet race fuzz-smoke fault-smoke obs-smoke bench-smoke
+ci: vet race fuzz-smoke fault-smoke obs-smoke bench-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,13 @@ fuzz-smoke:
 # end-to-end server scenarios, under the race detector.
 fault-smoke:
 	$(GO) test -race -run='Fault|Resilience|Breaker|Retry|Fallback|Redistrib|Corrupt|SurvivesDeadDevice|Transient' ./internal/fpga ./internal/server
+
+# chaos-smoke is the crash-safety gate: SIGKILL a real bwaver-server process
+# mid-job, restart it against the same -state-dir, and assert the journaled
+# job recovers and completes with correct results. The package tests also
+# cover the in-process variants (snapshot restore, drain vs. submits).
+chaos-smoke:
+	$(GO) test -race -run='ChaosKillRestart' -count=1 ./cmd/bwaver-server
 
 # obs-smoke covers the observability layer under the race detector: the
 # metrics registry and tracer, concurrent /metrics + trace scrapes against

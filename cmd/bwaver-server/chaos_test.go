@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bwaver/internal/fastx"
+	"bwaver/internal/readsim"
+)
+
+// TestChaosKillRestart is the crash-safety smoke (`make chaos-smoke`): a real
+// bwaver-server process is SIGKILLed mid-job, restarted against the same
+// -state-dir, and must recover the journaled job and run it to completion
+// with correct results. No graceful path is involved anywhere — the first
+// process dies without flushing anything beyond what the journal fsync'd.
+func TestChaosKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real server process")
+	}
+	bin := filepath.Join(t.TempDir(), "bwaver-server")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building server binary: %v", err)
+	}
+	stateDir := t.TempDir()
+
+	// A reference big enough that index construction keeps the job
+	// in-flight for seconds — the SIGKILL below lands mid-build.
+	refFasta, readsFastq := chaosUpload(t)
+
+	proc, base := startServer(t, bin, stateDir)
+	submitChaosJob(t, base, refFasta, readsFastq)
+	waitJobState(t, base, 1, func(state string) bool {
+		return state == "running" || state == "done"
+	}, 30*time.Second)
+	if err := proc.Process.Kill(); err != nil { // SIGKILL: no drain, no cleanup
+		t.Fatal(err)
+	}
+	proc.Wait()
+
+	proc2, base2 := startServer(t, bin, stateDir)
+	defer func() {
+		proc2.Process.Kill()
+		proc2.Wait()
+	}()
+	state := waitJobState(t, base2, 1, func(state string) bool {
+		return state == "done" || state == "failed"
+	}, 120*time.Second)
+	if state != "done" {
+		t.Fatalf("recovered job state %q, want done", state)
+	}
+	resp, err := http.Get(base2 + "/jobs/1/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered results returned %d", resp.StatusCode)
+	}
+	if !bytes.HasPrefix(results, []byte("read\t")) || bytes.Count(results, []byte("\n")) < 2 {
+		t.Fatalf("recovered results look empty:\n%.200s", results)
+	}
+
+	// The same upload to the recovered server must map identically — the
+	// replayed job's output is the ground truth for the repeat.
+	submitChaosJob(t, base2, refFasta, readsFastq)
+	if st := waitJobState(t, base2, 2, func(s string) bool { return s == "done" || s == "failed" }, 120*time.Second); st != "done" {
+		t.Fatalf("verification job state %q, want done", st)
+	}
+	resp, err = http.Get(base2 + "/jobs/2/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(results, verify) {
+		t.Error("replayed job results differ from a fresh run of the same upload")
+	}
+}
+
+// chaosUpload renders a large synthetic reference and a small read set.
+func chaosUpload(t *testing.T) (refFasta, readsFastq []byte) {
+	t.Helper()
+	ref, err := readsim.Genome(readsim.GenomeConfig{Length: 900_000, Seed: 99, RepeatFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := readsim.Simulate(ref, readsim.ReadsConfig{
+		Count: 50, Length: 60, MappingRatio: 0.7, RevCompFraction: 0.5, Seed: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fb bytes.Buffer
+	fw := fastx.NewWriter(&fb, fastx.FASTA, false)
+	if err := fw.Write(&fastx.Record{ID: "chaosref", Seq: []byte(ref.String())}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var qb bytes.Buffer
+	qw := fastx.NewWriter(&qb, fastx.FASTQ, false)
+	for _, r := range sim {
+		if err := qw.Write(&fastx.Record{ID: r.ID, Seq: []byte(r.Seq.String())}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := qw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return fb.Bytes(), qb.Bytes()
+}
+
+// startServer launches the binary on an ephemeral port with the given state
+// dir and returns the process plus the base URL parsed from its banner.
+func startServer(t *testing.T, bin, stateDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-state-dir", stateDir, "-log-level", "warn")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(60 * time.Second)
+	lineCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "listening on ") {
+				lineCh <- line
+			}
+		}
+	}()
+	select {
+	case line := <-lineCh:
+		addr := line[strings.LastIndex(line, " ")+1:]
+		return cmd, "http://" + addr
+	case <-deadline:
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("server did not print its listen address")
+		return nil, ""
+	}
+}
+
+func submitChaosJob(t *testing.T, base string, refFasta, readsFastq []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	mw.WriteField("backend", "cpu")
+	for name, data := range map[string][]byte{"reference": refFasta, "reads": readsFastq} {
+		fw, err := mw.CreateFormFile(name, name+".txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mw.Close()
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := client.Post(base+"/jobs", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSeeOther {
+		t.Fatalf("submit returned %d: %.200s", resp.StatusCode, body)
+	}
+}
+
+// waitJobState polls /api/jobs/{id} until ok(state) or the deadline; it
+// tolerates transient connection errors while a process comes up.
+func waitJobState(t *testing.T, base string, id int, ok func(string) bool, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("%s/api/jobs/%d", base, id))
+		if err == nil {
+			var j struct {
+				State string `json:"state"`
+				Error string `json:"error"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&j)
+			resp.Body.Close()
+			if err == nil {
+				last = j.State
+				if ok(j.State) {
+					if j.State == "failed" {
+						t.Logf("job %d failed: %s", id, j.Error)
+					}
+					return j.State
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %d stuck in state %q after %v", id, last, timeout)
+	return ""
+}

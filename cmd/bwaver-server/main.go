@@ -4,8 +4,18 @@
 // the mapping results. Built indexes are cached content-addressed, so repeat
 // references skip construction; jobs can be cancelled (DELETE
 // /api/jobs/{id}) and are evicted after a TTL; operational counters are at
-// /api/stats. It shuts down gracefully on SIGINT/SIGTERM, letting running
-// pipeline jobs finish.
+// /api/stats.
+//
+// Durability: with -state-dir the server is crash-safe — every job lifecycle
+// transition is journaled (fsync'd) under the directory, built indexes are
+// spilled to disk with checksummed atomic writes, and on startup the journal
+// is replayed: finished jobs come back with their results, jobs that were
+// accepted or running when the process died re-queue and run again. On
+// SIGINT/SIGTERM the server drains: new submissions get 503 + Retry-After
+// while in-flight jobs finish (bounded by -drain-timeout), then it exits.
+// Admission control sheds load before it hurts: -max-queue bounds jobs
+// waiting for a pipeline slot (503 when full) and -rate-limit enforces a
+// per-client token bucket (429 when exceeded).
 //
 // The simulated FPGA layer is fault-injectable (-fault-plan) and resilient:
 // failed shards retry with backoff (-max-retries), repeatedly failing cards
@@ -19,7 +29,9 @@
 // traces at /api/jobs/{id}/trace, and -pprof mounts net/http/pprof under
 // /debug/pprof/.
 //
-//	bwaver-server [-addr :8080] [-max-jobs 2] [-cache-entries 8] [-ftab-k 10]
+//	bwaver-server [-addr :8080] [-state-dir ""] [-drain-timeout 30s]
+//	              [-max-jobs 2] [-max-queue 64] [-rate-limit 0] [-rate-burst 0]
+//	              [-cache-entries 8] [-ftab-k 10]
 //	              [-job-ttl 0] [-job-timeout 0] [-max-upload-mb 256]
 //	              [-devices 1] [-fault-plan ""] [-max-retries 0]
 //	              [-breaker-threshold 5] [-breaker-cooldown 30s]
@@ -32,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,8 +58,13 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port; the bound address is printed)")
+	stateDir := flag.String("state-dir", "", "directory for the durable job journal and index spill; empty = stateless")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs before exiting anyway")
 	maxJobs := flag.Int("max-jobs", server.DefaultMaxConcurrentJobs, "max concurrently running pipelines")
+	maxQueue := flag.Int("max-queue", server.DefaultMaxQueue, "max jobs waiting for a pipeline slot before submissions are shed with 503 (negative = unlimited)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client job submissions per second (token bucket, keyed by client IP; 0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst when -rate-limit is set (0 = derive from the rate)")
 	cacheEntries := flag.Int("cache-entries", server.DefaultCacheEntries, "index cache capacity (distinct reference/parameter combinations)")
 	ftabK := flag.Int("ftab-k", core.DefaultFtabK, "k-mer prefix-lookup table order for job indexes (0 = disable)")
 	jobTTL := flag.Duration("job-ttl", 0, "evict finished jobs and their results this long after completion (0 = keep forever)")
@@ -76,13 +94,17 @@ func main() {
 		log.Fatalf("bwaver-server: -fallback must be cpu or fail, got %q", *fallback)
 	}
 
-	s := server.NewWithConfig(server.Config{
+	s, err := server.Open(server.Config{
 		MaxConcurrentJobs: *maxJobs,
 		MaxUploadBytes:    *maxUploadMB << 20,
 		CacheEntries:      *cacheEntries,
 		FtabK:             *ftabK,
 		JobTTL:            *jobTTL,
 		JobTimeout:        *jobTimeout,
+		StateDir:          *stateDir,
+		MaxQueue:          *maxQueue,
+		RatePerSec:        *rateLimit,
+		RateBurst:         *rateBurst,
 		Devices:           *devices,
 		FaultPlan:         plan,
 		MaxRetries:        *maxRetries,
@@ -93,10 +115,16 @@ func main() {
 		Logger:            obs.NewLogger(os.Stderr, *logFormat, *logLevel),
 		EnablePprof:       *enablePprof,
 	})
+	if err != nil {
+		log.Fatalf("bwaver-server: %v", err)
+	}
 	httpServer := &http.Server{
-		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("bwaver-server: listen: %v", err)
 	}
 
 	done := make(chan struct{})
@@ -105,18 +133,25 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		fmt.Println("\nbwaver-server: shutting down; waiting for running jobs")
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		fmt.Println("\nbwaver-server: draining; rejecting new jobs, waiting for running ones")
+		// Drain first, with the API still up: /api/health reports
+		// "draining", status polls keep working, and new submissions get
+		// 503 + Retry-After. Only then stop the listener and close.
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		if err := httpServer.Shutdown(ctx); err != nil {
+		if err := s.Drain(ctx); err != nil {
+			log.Printf("bwaver-server: drain: %v (unfinished jobs stay journaled)", err)
+		}
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shutCancel()
+		if err := httpServer.Shutdown(shutCtx); err != nil {
 			log.Printf("bwaver-server: shutdown: %v", err)
 		}
-		s.Wait()
 		s.Close()
 	}()
 
-	fmt.Printf("BWaveR web server listening on %s\n", *addr)
-	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	fmt.Printf("BWaveR web server listening on %s\n", ln.Addr())
+	if err := httpServer.Serve(ln); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
 	<-done

@@ -3,9 +3,12 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc64"
 	"io"
 	"os"
+	"path/filepath"
 
 	"bwaver/internal/dna"
 	"bwaver/internal/fmindex"
@@ -35,6 +38,35 @@ const (
 	indexMagic   = 0x42575832 // "BWX2"
 	indexMagicV1 = 0x42575831 // "BWX1"
 )
+
+// Index *files* additionally end with a fixed-size integrity trailer so a
+// truncated, bit-flipped, or pre-trailer (stale) file is rejected on load
+// instead of silently producing wrong mappings:
+//
+//	trailerMagic uint32 'BWXT'
+//	payloadLen   uint64  bytes preceding the trailer
+//	checksum     uint64  CRC-64/ECMA over those payloadLen bytes
+//
+// The trailer is a property of SaveFile/LoadFile, not of WriteTo/ReadIndex:
+// streams keep the raw format (and its consumers, e.g. FuzzReadIndex), while
+// every file that goes through the filesystem is checksummed. SaveFile also
+// writes atomically — temp file in the destination directory, fsync, rename —
+// so a crash mid-write can never leave a half-written file under the final
+// name.
+const (
+	trailerMagic = 0x42575854 // "BWXT"
+	trailerSize  = 4 + 8 + 8
+)
+
+// crcTable is the CRC-64/ECMA polynomial used by the file trailer.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// ErrIndexIntegrity tags LoadFile failures caused by the file itself —
+// missing trailer, truncation, or checksum mismatch — as opposed to I/O
+// errors. Callers holding the reference (the server's index cache, build
+// pipelines) match it with errors.Is and rebuild instead of serving from a
+// corrupt artifact.
+var ErrIndexIntegrity = errors.New("index integrity check failed")
 
 // WriteTo serializes the index. It implements io.WriterTo.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
@@ -261,27 +293,111 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	return ix, nil
 }
 
-// SaveFile writes the index to path.
-func (ix *Index) SaveFile(path string) error {
-	f, err := os.Create(path)
+// SaveFile writes the index to path atomically with an integrity trailer:
+// the payload and its CRC-64 trailer go to a temp file in the destination
+// directory, the file is fsync'd, and only then renamed over path. A crash at
+// any point leaves either the previous file or a stray temp file — never a
+// truncated index under the final name.
+func (ix *Index) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if _, err := ix.WriteTo(f); err != nil {
-		f.Close()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	hw := &hashingWriter{w: tmp, h: crc64.New(crcTable)}
+	n, err := ix.WriteTo(hw)
+	if err != nil {
 		return err
 	}
-	return f.Close()
+	var trailer [trailerSize]byte
+	binary.LittleEndian.PutUint32(trailer[0:4], trailerMagic)
+	binary.LittleEndian.PutUint64(trailer[4:12], uint64(n))
+	binary.LittleEndian.PutUint64(trailer[12:20], hw.h.Sum64())
+	if _, err = tmp.Write(trailer[:]); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Persist the rename itself. Directory fsync is advisory on some
+	// platforms; failure to open the directory is not a save failure.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
-// LoadFile reads an index from path.
+// LoadFile reads an index from path, verifying the integrity trailer before
+// parsing: a missing trailer (stale pre-checksum BWX file), a length mismatch
+// (truncation), or a checksum mismatch (bit rot, torn write) fails closed
+// with an error matching ErrIndexIntegrity.
 func LoadFile(path string) (*Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadIndex(f)
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < trailerSize {
+		return nil, fmt.Errorf("core: %s: %w: file is %d bytes, smaller than the integrity trailer", path, ErrIndexIntegrity, size)
+	}
+	var trailer [trailerSize]byte
+	if _, err := f.ReadAt(trailer[:], size-trailerSize); err != nil {
+		return nil, fmt.Errorf("core: %s: reading integrity trailer: %w", path, err)
+	}
+	if got := binary.LittleEndian.Uint32(trailer[0:4]); got != trailerMagic {
+		return nil, fmt.Errorf("core: %s: %w: missing integrity trailer (stale pre-checksum index? rebuild with `bwaver index`)", path, ErrIndexIntegrity)
+	}
+	payloadLen := binary.LittleEndian.Uint64(trailer[4:12])
+	if payloadLen != uint64(size-trailerSize) {
+		return nil, fmt.Errorf("core: %s: %w: trailer says %d payload bytes, file holds %d (truncated or overwritten)", path, ErrIndexIntegrity, payloadLen, size-trailerSize)
+	}
+	// Verify the checksum over the whole payload before parsing a single
+	// field: a corrupt file must never reach the deserializer, whose
+	// structural checks are necessarily incomplete.
+	h := crc64.New(crcTable)
+	if _, err := io.Copy(h, io.NewSectionReader(f, 0, int64(payloadLen))); err != nil {
+		return nil, fmt.Errorf("core: %s: checksumming payload: %w", path, err)
+	}
+	if got, want := h.Sum64(), binary.LittleEndian.Uint64(trailer[12:20]); got != want {
+		return nil, fmt.Errorf("core: %s: %w: checksum mismatch (have %#x, trailer says %#x)", path, ErrIndexIntegrity, got, want)
+	}
+	return ReadIndex(io.NewSectionReader(f, 0, int64(payloadLen)))
+}
+
+// hashingWriter tees writes into a running checksum.
+type hashingWriter struct {
+	w io.Writer
+	h hash64
+}
+
+// hash64 is the subset of hash.Hash64 the trailer needs.
+type hash64 interface {
+	io.Writer
+	Sum64() uint64
+}
+
+func (hw *hashingWriter) Write(p []byte) (int, error) {
+	n, err := hw.w.Write(p)
+	hw.h.Write(p[:n])
+	return n, err
 }
 
 type countingWriter struct {

@@ -2,6 +2,10 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -127,6 +131,105 @@ func TestReadIndexRejectsCorruption(t *testing.T) {
 		}()
 		ReadIndex(bytes.NewReader(bad))
 	}()
+}
+
+// The trailer must reject every corruption class fail-closed: truncation at
+// any depth, a single flipped bit in any section (header, wavelet tree,
+// suffix array, ftab, contigs, trailer), and stale trailer-less files —
+// including old BWX1 images — with an error matching ErrIndexIntegrity.
+func TestLoadFileCorruptionMatrix(t *testing.T) {
+	ref := testGenome(t, 6000)
+	ix := mustBuild(t, ref, IndexConfig{FtabK: 4})
+	contigs, err := NewContigSet([]string{"chrA", "chrB"}, []int{3000, 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SetContigs(contigs); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "good.bwx")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("control load failed: %v", err)
+	}
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		p := filepath.Join(dir, name+".bwx")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadFile(p)
+		if err == nil {
+			t.Errorf("%s: load succeeded, want integrity failure", name)
+			return
+		}
+		if !errors.Is(err, ErrIndexIntegrity) {
+			t.Errorf("%s: error %v does not match ErrIndexIntegrity", name, err)
+		}
+	}
+
+	// Truncations at several depths, including mid-trailer.
+	for _, cut := range []int{0, 10, len(good) / 3, len(good) / 2, len(good) - trailerSize - 1, len(good) - 5, len(good) - 1} {
+		check(fmt.Sprintf("trunc-%d", cut), good[:cut])
+	}
+	// One flipped bit in each section of the payload and in the trailer. The
+	// offsets walk the file: header, tree, SA, ftab/contigs, trailer fields.
+	payloadLen := len(good) - trailerSize
+	for _, off := range []int{1, 8, payloadLen / 4, payloadLen / 2, 3 * payloadLen / 4, payloadLen - 2,
+		payloadLen + 1, payloadLen + 6, payloadLen + 14} {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x10
+		check(fmt.Sprintf("flip-%d", off), bad)
+	}
+
+	// A stale trailer-less file (raw WriteTo image, the pre-checksum layout).
+	var raw bytes.Buffer
+	if _, err := ix.WriteTo(&raw); err != nil {
+		t.Fatal(err)
+	}
+	check("stale-raw", raw.Bytes())
+	staleErrPath := filepath.Join(dir, "stale-raw.bwx")
+	if _, err := LoadFile(staleErrPath); err == nil || !errors.Is(err, ErrIndexIntegrity) {
+		t.Errorf("stale file error = %v, want ErrIndexIntegrity", err)
+	}
+	// Same image with a BWX1 magic: an old-format file must also fail closed
+	// at the trailer check, long before version sniffing.
+	v1 := append([]byte(nil), raw.Bytes()...)
+	binary.LittleEndian.PutUint32(v1[0:4], 0x42575831)
+	check("stale-bwx1", v1)
+}
+
+// SaveFile must be atomic: no temp droppings after success, and a failed
+// save (unwritable directory) must not clobber the existing file.
+func TestSaveFileAtomic(t *testing.T) {
+	ref := testGenome(t, 2000)
+	ix := mustBuild(t, ref, IndexConfig{})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ix.bwx")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries after save, want only the index", len(entries))
+	}
+	if err := ix.SaveFile(filepath.Join(dir, "missing-subdir", "ix.bwx")); err == nil {
+		t.Error("save into a missing directory should fail")
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Errorf("original file unreadable after failed save: %v", err)
+	}
 }
 
 func TestSerializedSizeReasonable(t *testing.T) {

@@ -4,6 +4,10 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"io/fs"
+	"log/slog"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -58,7 +62,8 @@ func (e *cacheEntry) farmFor(devices []*fpga.Device, opts fpga.FarmOptions) (f *
 	return e.farm, resident, nil
 }
 
-// indexCache is a bounded LRU of cacheEntry values with single-flight builds.
+// indexCache is a bounded LRU of cacheEntry values with single-flight builds,
+// optionally backed by a disk spill directory of serialized indexes.
 type indexCache struct {
 	mu        sync.Mutex
 	capacity  int
@@ -67,6 +72,15 @@ type indexCache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	diskHits  uint64
+
+	// dir, when set, is the spill directory: fresh builds are saved there
+	// (atomic write + checksum trailer via core.SaveFile) and misses try a
+	// LoadFile before rebuilding, so LRU-evicted or post-restart indexes come
+	// back without paying construction again. A corrupt spill file fails its
+	// checksum, is logged and removed, and the index is rebuilt from source.
+	dir string
+	log *slog.Logger
 }
 
 func newIndexCache(capacity int) *indexCache {
@@ -123,7 +137,15 @@ func (c *indexCache) getOrBuild(ctx context.Context, key string, build func(cont
 		c.mu.Unlock()
 
 		start := time.Now()
-		e.ix, e.err = build(ctx)
+		fromDisk := false
+		if ix, ok := c.loadSpill(key); ok {
+			e.ix, fromDisk = ix, true
+			c.mu.Lock()
+			c.diskHits++
+			c.mu.Unlock()
+		} else {
+			e.ix, e.err = build(ctx)
+		}
 		e.buildTime = time.Since(start)
 		if e.ix != nil {
 			e.sizeBytes = e.ix.SizeBytes()
@@ -142,8 +164,61 @@ func (c *indexCache) getOrBuild(ctx context.Context, key string, build func(cont
 			close(e.ready)
 			return nil, false, e.err
 		}
+		if !fromDisk {
+			c.saveSpill(key, e.ix)
+		}
 		close(e.ready)
-		return e, false, nil
+		// A disk-restored index counts as a hit: the caller skipped
+		// construction, so build-stage figures should not include it.
+		return e, fromDisk, nil
+	}
+}
+
+// setSpill enables the disk tier rooted at dir.
+func (c *indexCache) setSpill(dir string, log *slog.Logger) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dir = dir
+	c.log = log
+}
+
+// loadSpill tries to restore key's index from the spill directory. A file
+// that fails its integrity check (or any other read error) is removed so the
+// fresh build can replace it — corruption degrades to a rebuild, never to a
+// failed job.
+func (c *indexCache) loadSpill(key string) (*core.Index, bool) {
+	c.mu.Lock()
+	dir, log := c.dir, c.log
+	c.mu.Unlock()
+	if dir == "" {
+		return nil, false
+	}
+	path := filepath.Join(dir, key+".bwx")
+	ix, err := core.LoadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			if log != nil {
+				log.Warn("rejecting unreadable spilled index; rebuilding", "path", path, "err", err)
+			}
+			os.Remove(path)
+		}
+		return nil, false
+	}
+	return ix, true
+}
+
+// saveSpill persists a freshly built index to the spill directory,
+// best-effort: a failed save costs a rebuild later, nothing else.
+func (c *indexCache) saveSpill(key string, ix *core.Index) {
+	c.mu.Lock()
+	dir, log := c.dir, c.log
+	c.mu.Unlock()
+	if dir == "" || ix == nil {
+		return
+	}
+	// CacheKey is hex SHA-256, so the key is filename-safe by construction.
+	if err := ix.SaveFile(filepath.Join(dir, key+".bwx")); err != nil && log != nil {
+		log.Warn("could not spill index to disk", "key", key, "err", err)
 	}
 }
 
@@ -173,6 +248,7 @@ type cacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	DiskHits  uint64 `json:"disk_hits"`
 	SizeBytes int    `json:"size_bytes"`
 }
 
@@ -220,6 +296,7 @@ func (c *indexCache) stats() cacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		DiskHits:  c.diskHits,
 	}
 	for el := c.order.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*cacheEntry)

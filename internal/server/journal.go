@@ -1,0 +1,575 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Durable job journal. A bwaver-server restart used to lose every queued and
+// running job silently; with a -state-dir the server now appends one fsync'd
+// JSON record per lifecycle transition (accepted → running → done / failed /
+// canceled, plus evicted) to <state-dir>/journal.jsonl. Raw uploads are
+// persisted under payloads/ when a job is accepted and deleted once it is
+// terminal; results TSVs are persisted under results/ before the done record
+// that references them is written, so a record never points at data that a
+// crash could have lost. On startup the journal is replayed: terminal jobs
+// are restored with their results, unfinished jobs are re-queued against
+// their saved payloads, and the log is compacted to one record per live job.
+// Built indexes are spilled under indexes/ by the cache (see cache.go), so a
+// replayed job usually skips reconstruction.
+
+// Journal record types. accepted/running mark forward progress; the three
+// terminal types mirror JobState; evicted marks a TTL-swept job so replay
+// does not resurrect it (compaction then drops it entirely).
+const (
+	recAccepted = "accepted"
+	recRunning  = "running"
+	recDone     = "done"
+	recFailed   = "failed"
+	recCanceled = "canceled"
+	recEvicted  = "evicted"
+)
+
+// journalRecord is one line of journal.jsonl. Records are cumulative: an
+// accepted record carries the job spec and payload references; terminal
+// records carry the outcome. Compacted terminal snapshots carry both, so a
+// compacted journal is self-contained line by line.
+type journalRecord struct {
+	Type string    `json:"type"`
+	Job  int       `json:"job"`
+	Time time.Time `json:"time"`
+
+	// Spec (accepted records and compacted terminal snapshots).
+	Backend      string `json:"backend,omitempty"`
+	B            int    `json:"b,omitempty"`
+	SF           int    `json:"sf,omitempty"`
+	Mismatches   int    `json:"mismatches,omitempty"`
+	RefPayload   string `json:"ref_payload,omitempty"`
+	ReadsPayload string `json:"reads_payload,omitempty"`
+	Created      time.Time `json:"created"`
+
+	// Outcome.
+	Error          string    `json:"error,omitempty"`
+	RefName        string    `json:"ref_name,omitempty"`
+	RefLength      int       `json:"ref_length,omitempty"`
+	Reads          int       `json:"reads,omitempty"`
+	Mapped         int       `json:"mapped,omitempty"`
+	CacheHit       bool      `json:"cache_hit,omitempty"`
+	Fallback       bool      `json:"fallback,omitempty"`
+	FallbackReason string    `json:"fallback_reason,omitempty"`
+	ParseMs        float64   `json:"parse_ms,omitempty"`
+	BuildMs        float64   `json:"build_ms,omitempty"`
+	MapMs          float64   `json:"map_ms,omitempty"`
+	Results        string    `json:"results,omitempty"`
+	Finished       time.Time `json:"finished"`
+}
+
+// journal owns the state directory: the append-only log plus the payload and
+// result files the records reference. All methods are safe for concurrent
+// use and a nil *journal is a valid no-op (stateless server).
+type journal struct {
+	mu  sync.Mutex
+	dir string
+	f   *os.File
+	log *slog.Logger
+}
+
+// Well-known names inside the state directory.
+const (
+	journalFile  = "journal.jsonl"
+	payloadsDir  = "payloads"
+	resultsDir   = "results"
+	indexSpillDir = "indexes"
+)
+
+// openJournal creates the state-dir layout and opens the log for appending.
+func openJournal(dir string, log *slog.Logger) (*journal, error) {
+	for _, d := range []string{dir, filepath.Join(dir, payloadsDir), filepath.Join(dir, resultsDir), filepath.Join(dir, indexSpillDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("server: state dir: %w", err)
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: opening journal: %w", err)
+	}
+	return &journal{dir: dir, f: f, log: log}, nil
+}
+
+func (jl *journal) close() {
+	if jl == nil {
+		return
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f != nil {
+		jl.f.Close()
+		jl.f = nil
+	}
+}
+
+// append writes one record and fsyncs the log, so an acknowledged transition
+// survives a crash in the very next instruction.
+func (jl *journal) append(rec journalRecord) error {
+	if jl == nil {
+		return nil
+	}
+	if rec.Time.IsZero() {
+		rec.Time = time.Now()
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f == nil {
+		return fmt.Errorf("server: journal closed")
+	}
+	if _, err := jl.f.Write(line); err != nil {
+		return fmt.Errorf("server: appending journal record: %w", err)
+	}
+	return jl.f.Sync()
+}
+
+// appendBestEffort journals a transition whose loss only degrades recovery
+// fidelity (the job re-runs or re-reports); failures are logged, not fatal.
+func (jl *journal) appendBestEffort(rec journalRecord) {
+	if jl == nil {
+		return
+	}
+	if err := jl.append(rec); err != nil {
+		jl.log.Error("journal append failed", "type", rec.Type, "job", rec.Job, "err", err)
+	}
+}
+
+// payloadNames returns the conventional payload file names for a job.
+func payloadNames(id int) (ref, reads string) {
+	return filepath.Join(payloadsDir, fmt.Sprintf("job-%d-ref", id)),
+		filepath.Join(payloadsDir, fmt.Sprintf("job-%d-reads", id))
+}
+
+// resultsName returns the conventional results file name for a job.
+func resultsName(id int) string {
+	return filepath.Join(resultsDir, fmt.Sprintf("job-%d.tsv", id))
+}
+
+// writeFileSync persists data at rel (relative to the state dir) and fsyncs
+// it, so a journal record written afterwards never references missing bytes.
+func (jl *journal) writeFileSync(rel string, data []byte) error {
+	path := filepath.Join(jl.dir, rel)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+func (jl *journal) readFile(rel string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(jl.dir, rel))
+}
+
+func (jl *journal) removeFiles(rels ...string) {
+	for _, rel := range rels {
+		if rel == "" {
+			continue
+		}
+		os.Remove(filepath.Join(jl.dir, rel))
+	}
+}
+
+// load reads every decodable record. A torn final line — the signature of a
+// crash mid-append — is tolerated: replay stops at the first undecodable
+// line and logs what it skipped, because everything before it was fsync'd.
+func (jl *journal) load() ([]journalRecord, error) {
+	f, err := os.Open(filepath.Join(jl.dir, journalFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var recs []journalRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			jl.log.Warn("journal holds a torn record; ignoring the tail",
+				"line", line, "err", err)
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, fmt.Errorf("server: scanning journal: %w", err)
+	}
+	return recs, nil
+}
+
+// compact atomically rewrites the journal to exactly recs (one snapshot per
+// live job) and reopens the append handle. Called once at startup after
+// replay, so the log does not grow without bound across restarts.
+func (jl *journal) compact(recs []journalRecord) error {
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	path := filepath.Join(jl.dir, journalFile)
+	tmp, err := os.CreateTemp(jl.dir, journalFile+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if jl.f != nil {
+		jl.f.Close()
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		jl.f = nil
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		jl.f = nil
+		return err
+	}
+	jl.f = f
+	return nil
+}
+
+// foldedJob is a job's state reconstructed from its journal records.
+type foldedJob struct {
+	spec journalRecord // cumulative spec fields (accepted / compacted)
+	last journalRecord // most recent record, decides the state
+}
+
+// foldRecords reduces the log to per-job state, latest record winning, and
+// drops evicted jobs. Order of spec vs. terminal records does not matter: a
+// canceled-before-accepted pair (possible when a client cancels in the
+// createJob→launch window) folds the same either way.
+func foldRecords(recs []journalRecord) map[int]*foldedJob {
+	jobs := map[int]*foldedJob{}
+	for _, rec := range recs {
+		fj := jobs[rec.Job]
+		if fj == nil {
+			fj = &foldedJob{}
+			jobs[rec.Job] = fj
+		}
+		if rec.Backend != "" {
+			fj.spec.Backend = rec.Backend
+			fj.spec.B, fj.spec.SF, fj.spec.Mismatches = rec.B, rec.SF, rec.Mismatches
+			fj.spec.RefPayload, fj.spec.ReadsPayload = rec.RefPayload, rec.ReadsPayload
+			fj.spec.Created = rec.Created
+		}
+		// running records refine accepted; terminal records override both.
+		switch rec.Type {
+		case recAccepted:
+			if fj.last.Type == "" {
+				fj.last = rec
+			}
+		default:
+			fj.last = rec
+		}
+	}
+	for id, fj := range jobs {
+		if fj.last.Type == recEvicted {
+			delete(jobs, id)
+		}
+	}
+	return jobs
+}
+
+// snapshotRecord renders a job's current state as one self-contained record,
+// the unit of journal compaction.
+func snapshotRecord(j *Job) journalRecord {
+	rec := journalRecord{
+		Job:        j.ID,
+		Time:       time.Now(),
+		Backend:    j.Backend,
+		B:          j.B,
+		SF:         j.SF,
+		Mismatches: j.Mismatches,
+		Created:    j.Created,
+		RefName:    j.RefName,
+		RefLength:  j.RefLength,
+		Reads:      j.Reads,
+		Mapped:     j.Mapped,
+		CacheHit:   j.CacheHit,
+		Fallback:   j.FallbackUsed,
+		FallbackReason: j.FallbackReason,
+		Error:      j.Error,
+		ParseMs:    float64(j.ParseTime) / float64(time.Millisecond),
+		BuildMs:    float64(j.BuildTime) / float64(time.Millisecond),
+		MapMs:      float64(j.MapTime) / float64(time.Millisecond),
+		Finished:   j.Finished,
+	}
+	switch j.State {
+	case StateDone:
+		rec.Type = recDone
+		rec.Results = resultsName(j.ID)
+	case StateFailed:
+		rec.Type = recFailed
+	case StateCanceled:
+		rec.Type = recCanceled
+	default:
+		rec.Type = recAccepted
+		rec.RefPayload, rec.ReadsPayload = payloadNames(j.ID)
+	}
+	return rec
+}
+
+// journalAccept persists a job's inputs and appends its accepted record.
+// This happens before launch: once the submit handler responds, the job is
+// durable. Acceptance is the one transition whose journal failure fails the
+// job — admitting work the server cannot make durable would break the
+// crash-safety contract.
+func (s *Server) journalAccept(job *Job, in jobInput) error {
+	if s.journal == nil {
+		return nil
+	}
+	refRel, readsRel := payloadNames(job.ID)
+	if err := s.journal.writeFileSync(refRel, in.refRaw); err != nil {
+		return fmt.Errorf("persisting reference payload: %w", err)
+	}
+	if err := s.journal.writeFileSync(readsRel, in.readsRaw); err != nil {
+		s.journal.removeFiles(refRel)
+		return fmt.Errorf("persisting reads payload: %w", err)
+	}
+	rec := journalRecord{
+		Type:         recAccepted,
+		Job:          job.ID,
+		Backend:      job.Backend,
+		B:            job.B,
+		SF:           job.SF,
+		Mismatches:   job.Mismatches,
+		RefPayload:   refRel,
+		ReadsPayload: readsRel,
+		Created:      job.Created,
+	}
+	if err := s.journal.append(rec); err != nil {
+		s.journal.removeFiles(refRel, readsRel)
+		return err
+	}
+	return nil
+}
+
+// journalFinish records a terminal transition: results are persisted first
+// (done jobs), then the terminal record, then the now-redundant payloads are
+// deleted. Best-effort — the job already finished; a journal failure only
+// means a restart re-runs it.
+func (s *Server) journalFinish(job *Job, state JobState, results []byte) {
+	if s.journal == nil {
+		return
+	}
+	rec := journalRecord{Job: job.ID, Finished: job.Finished}
+	switch state {
+	case StateDone:
+		rec.Type = recDone
+		rec.Results = resultsName(job.ID)
+		if err := s.journal.writeFileSync(rec.Results, results); err != nil {
+			s.journal.log.Error("persisting job results failed; job will re-run after a restart",
+				"job", job.ID, "err", err)
+			return
+		}
+	case StateFailed:
+		rec.Type = recFailed
+	case StateCanceled:
+		rec.Type = recCanceled
+	default:
+		return
+	}
+	s.mu.Lock()
+	rec.Error = job.Error
+	rec.RefName = job.RefName
+	rec.RefLength = job.RefLength
+	rec.Reads = job.Reads
+	rec.Mapped = job.Mapped
+	rec.CacheHit = job.CacheHit
+	rec.Fallback = job.FallbackUsed
+	rec.FallbackReason = job.FallbackReason
+	rec.ParseMs = float64(job.ParseTime) / float64(time.Millisecond)
+	rec.BuildMs = float64(job.BuildTime) / float64(time.Millisecond)
+	rec.MapMs = float64(job.MapTime) / float64(time.Millisecond)
+	s.mu.Unlock()
+	s.journal.appendBestEffort(rec)
+	refRel, readsRel := payloadNames(job.ID)
+	s.journal.removeFiles(refRel, readsRel)
+}
+
+// recover replays the journal into the server: terminal jobs come back with
+// their results, unfinished jobs are re-queued against their saved payloads,
+// and the log is compacted. Called from Open before the server accepts
+// traffic.
+func (s *Server) recover() error {
+	recs, err := s.journal.load()
+	if err != nil {
+		return err
+	}
+	folded := foldRecords(recs)
+	type relaunch struct {
+		job *Job
+		in  jobInput
+	}
+	var relaunches []relaunch
+	var compacted []journalRecord
+
+	// Deterministic order: ascending job ID.
+	ids := make([]int, 0, len(folded))
+	for id := range folded {
+		ids = append(ids, id)
+	}
+	for i := 0; i < len(ids); i++ {
+		for k := i + 1; k < len(ids); k++ {
+			if ids[k] < ids[i] {
+				ids[i], ids[k] = ids[k], ids[i]
+			}
+		}
+	}
+
+	s.mu.Lock()
+	for _, id := range ids {
+		fj := folded[id]
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+		job := &Job{
+			ID:         id,
+			Backend:    fj.spec.Backend,
+			B:          fj.spec.B,
+			SF:         fj.spec.SF,
+			Mismatches: fj.spec.Mismatches,
+			Created:    fj.spec.Created,
+			RefName:    fj.last.RefName,
+			RefLength:  fj.last.RefLength,
+			Reads:      fj.last.Reads,
+			Mapped:     fj.last.Mapped,
+			CacheHit:   fj.last.CacheHit,
+		}
+		if job.Created.IsZero() {
+			job.Created = fj.last.Time
+		}
+		switch fj.last.Type {
+		case recDone:
+			results, err := s.journal.readFile(fj.last.Results)
+			if err != nil {
+				// The record promised results the disk no longer has: fail
+				// the job visibly rather than serving an empty download.
+				job.State = StateFailed
+				job.Error = fmt.Sprintf("journaled results lost: %v", err)
+			} else {
+				job.State = StateDone
+				job.results = results
+				job.Done = job.Reads
+			}
+			job.Error = firstNonEmpty(fj.last.Error, job.Error)
+			job.FallbackUsed = fj.last.Fallback
+			job.FallbackReason = fj.last.FallbackReason
+			job.ParseTime = time.Duration(fj.last.ParseMs * float64(time.Millisecond))
+			job.BuildTime = time.Duration(fj.last.BuildMs * float64(time.Millisecond))
+			job.MapTime = time.Duration(fj.last.MapMs * float64(time.Millisecond))
+			job.Finished = fj.last.Finished
+		case recFailed, recCanceled:
+			if fj.last.Type == recFailed {
+				job.State = StateFailed
+			} else {
+				job.State = StateCanceled
+			}
+			job.Error = fj.last.Error
+			job.Finished = fj.last.Finished
+		default: // accepted or running: re-queue against the saved payloads
+			refRel, readsRel := fj.spec.RefPayload, fj.spec.ReadsPayload
+			if refRel == "" || readsRel == "" {
+				refRel, readsRel = payloadNames(id)
+			}
+			refRaw, refErr := s.journal.readFile(refRel)
+			readsRaw, readsErr := s.journal.readFile(readsRel)
+			if refErr != nil || readsErr != nil {
+				job.State = StateFailed
+				job.Error = fmt.Sprintf("journaled payloads lost: %v", firstErr(refErr, readsErr))
+				job.Finished = time.Now()
+			} else {
+				job.State = StateQueued
+				job.Done = 0
+				job.Mapped = 0
+				relaunches = append(relaunches, relaunch{job: job, in: jobInput{refRaw: refRaw, readsRaw: readsRaw}})
+			}
+		}
+		if job.Finished.IsZero() && job.State.terminal() {
+			job.Finished = time.Now()
+		}
+		s.jobs[id] = job
+		compacted = append(compacted, snapshotRecord(job))
+	}
+	s.jobsReplayed = uint64(len(relaunches))
+	s.mu.Unlock()
+
+	if err := s.journal.compact(compacted); err != nil {
+		return fmt.Errorf("server: compacting journal: %w", err)
+	}
+	for _, rl := range relaunches {
+		s.log.Info("replaying journaled job", "job", rl.job.ID, "backend", rl.job.Backend)
+		s.launch(rl.job, rl.in)
+	}
+	return nil
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

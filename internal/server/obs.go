@@ -36,6 +36,19 @@ func (s *Server) initObs() {
 		"HTTP requests served, by route and status code.", "route", "code")
 	s.mHTTPSeconds = reg.Histogram("bwaver_http_request_seconds",
 		"HTTP request latency by route.", nil, "route")
+	s.mAdmissionRejected = reg.Counter("bwaver_admission_rejected_total",
+		"Job submissions refused before a job was created, by reason (draining, queue_full, rate_limited).", "reason")
+	reg.CounterFunc("bwaver_jobs_replayed_total",
+		"Jobs re-queued from the journal at startup.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.jobsReplayed) })
+	reg.GaugeFunc("bwaver_draining",
+		"1 while the server is draining (rejecting new jobs), else 0.",
+		func() float64 {
+			if s.Draining() {
+				return 1
+			}
+			return 0
+		})
 
 	// Breaker transitions are pushed by the devices themselves (outside the
 	// breaker lock); position and trip count are read at scrape time.
@@ -77,6 +90,9 @@ func (s *Server) initObs() {
 	reg.CounterFunc("bwaver_index_cache_evictions_total",
 		"Index cache entries dropped by the LRU.",
 		func() float64 { return float64(s.cache.stats().Evictions) })
+	reg.CounterFunc("bwaver_index_cache_disk_hits_total",
+		"Cache misses served by loading a spilled index from the state dir.",
+		func() float64 { return float64(s.cache.stats().DiskHits) })
 	reg.GaugeFunc("bwaver_index_cache_entries",
 		"Indexes currently cached.",
 		func() float64 { return float64(s.cache.stats().Entries) })

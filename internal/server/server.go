@@ -24,6 +24,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -124,6 +125,23 @@ type Config struct {
 	// set; default 30s.
 	JanitorInterval time.Duration
 
+	// StateDir, when set, makes the server crash-safe: job lifecycle
+	// transitions are journaled (fsync'd) under this directory, built
+	// indexes are spilled to disk, and Open replays the journal on startup —
+	// terminal jobs come back with their results, unfinished jobs re-queue.
+	// Empty means stateless (the pre-journal behavior).
+	StateDir string
+	// MaxQueue bounds jobs waiting for a pipeline slot; submissions beyond
+	// it are shed with 503. 0 takes DefaultMaxQueue, negative disables the
+	// bound.
+	MaxQueue int
+	// RatePerSec is the per-client job-creation rate limit (token bucket,
+	// keyed by client IP); exceeded clients get 429. 0 disables.
+	RatePerSec float64
+	// RateBurst is the token-bucket depth when RatePerSec is set; 0 derives
+	// it from the rate (at least 1).
+	RateBurst int
+
 	// Devices is the number of simulated accelerator cards; default 1.
 	Devices int
 	// FaultPlan, when non-nil, injects simulated faults into every device
@@ -185,6 +203,11 @@ func (c Config) withDefaults() Config {
 	if c.Fallback == "" {
 		c.Fallback = "cpu"
 	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = DefaultMaxQueue
+	} else if c.MaxQueue < 0 {
+		c.MaxQueue = 0 // unlimited
+	}
 	if c.VerifyStride == 0 {
 		c.VerifyStride = DefaultVerifyStride
 	} else if c.VerifyStride < 0 {
@@ -216,6 +239,19 @@ type Server struct {
 	// wg lets tests wait for asynchronous jobs.
 	wg sync.WaitGroup
 
+	// journal is the durable job log under Config.StateDir; nil when the
+	// server is stateless. limiter is the per-client admission rate limiter;
+	// nil when disabled. Both are safe to use as nil.
+	journal *journal
+	limiter *rateLimiter
+	// draining marks the server as shutting down: admission rejects new
+	// jobs while in-flight ones finish. Guarded by mu.
+	draining bool
+	// jobsReplayed counts jobs re-queued from the journal at startup;
+	// admissionRejected counts shed submissions by reason. Guarded by mu.
+	jobsReplayed      uint64
+	admissionRejected map[string]uint64
+
 	// Aggregate per-stage timings of completed jobs, for /api/stats.
 	totalParse    time.Duration
 	totalBuild    time.Duration
@@ -226,13 +262,14 @@ type Server struct {
 	// Observability (see obs.go): structured logger, metric registry, and
 	// the event-time instruments; scrape-time collectors read server state
 	// directly.
-	log          *slog.Logger
-	registry     *obs.Registry
-	mJobsTotal   *obs.CounterVec
-	mJobStage    *obs.HistogramVec
-	mBuildStage  *obs.HistogramVec
-	mHTTPTotal   *obs.CounterVec
-	mHTTPSeconds *obs.HistogramVec
+	log                *slog.Logger
+	registry           *obs.Registry
+	mJobsTotal         *obs.CounterVec
+	mJobStage          *obs.HistogramVec
+	mBuildStage        *obs.HistogramVec
+	mHTTPTotal         *obs.CounterVec
+	mHTTPSeconds       *obs.HistogramVec
+	mAdmissionRejected *obs.CounterVec
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -254,8 +291,22 @@ const DefaultMaxConcurrentJobs = 2
 func New() *Server { return NewWithConfig(Config{}) }
 
 // NewWithConfig creates a server. When cfg.JobTTL is set, a janitor
-// goroutine sweeps expired jobs until Close is called.
+// goroutine sweeps expired jobs until Close is called. It panics when the
+// state directory cannot be opened — use Open to handle that error.
 func NewWithConfig(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic("server: " + err.Error())
+	}
+	return s
+}
+
+// Open creates a server and, when cfg.StateDir is set, opens the durable
+// job journal and replays it: finished jobs are restored with their results
+// and accepted-but-unfinished jobs are re-queued against their persisted
+// inputs, then the journal is compacted. The error covers an unusable state
+// directory; with no StateDir, Open cannot fail.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	devices := make([]*fpga.Device, cfg.Devices)
 	for i := range devices {
@@ -269,33 +320,52 @@ func NewWithConfig(cfg Config) *Server {
 		devices[i] = dev
 	}
 	s := &Server{
-		jobs:           map[int]*Job{},
-		nextID:         1,
-		MaxUploadBytes: cfg.MaxUploadBytes,
-		cfg:            cfg,
-		cache:          newIndexCache(cfg.CacheEntries),
-		devices:        devices,
-		rec:            fpga.NewStatsRecorder(),
-		sem:            make(chan struct{}, cfg.MaxConcurrentJobs),
-		log:            cfg.Logger,
+		jobs:              map[int]*Job{},
+		nextID:            1,
+		MaxUploadBytes:    cfg.MaxUploadBytes,
+		cfg:               cfg,
+		cache:             newIndexCache(cfg.CacheEntries),
+		devices:           devices,
+		rec:               fpga.NewStatsRecorder(),
+		sem:               make(chan struct{}, cfg.MaxConcurrentJobs),
+		log:               cfg.Logger,
+		limiter:           newRateLimiter(cfg.RatePerSec, cfg.RateBurst),
+		admissionRejected: map[string]uint64{},
 	}
 	s.initObs()
+	if cfg.StateDir != "" {
+		jl, err := openJournal(cfg.StateDir, s.log)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jl
+		// Built indexes spill next to the journal, so replayed jobs (and
+		// post-restart repeats) skip reconstruction; a corrupt spill file is
+		// rejected by its checksum and rebuilt.
+		s.cache.setSpill(filepath.Join(cfg.StateDir, indexSpillDir), s.log)
+		if err := s.recover(); err != nil {
+			jl.close()
+			return nil, err
+		}
+	}
 	if cfg.JobTTL > 0 {
 		s.janitorStop = make(chan struct{})
 		s.janitorDone = make(chan struct{})
 		go s.janitor()
 	}
-	return s
+	return s, nil
 }
 
-// Close stops the TTL janitor; it does not interrupt running jobs (use Wait
-// for those). Safe to call multiple times and on servers without a TTL.
+// Close stops the TTL janitor and closes the journal; it does not interrupt
+// running jobs (use Wait or Drain for those). Safe to call multiple times
+// and on servers without a TTL or state dir.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		if s.janitorStop != nil {
 			close(s.janitorStop)
 			<-s.janitorDone
 		}
+		s.journal.close()
 	})
 }
 
@@ -314,22 +384,30 @@ func (s *Server) janitor() {
 }
 
 // evictExpiredJobs drops finished jobs whose TTL has lapsed, freeing their
-// retained TSV results. It returns how many were evicted.
+// retained TSV results. Evictions are journaled (with their result files
+// removed) so a restart does not resurrect them. It returns how many were
+// evicted.
 func (s *Server) evictExpiredJobs(now time.Time) int {
 	if s.cfg.JobTTL <= 0 {
 		return 0
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
+	var evicted []int
 	for id, j := range s.jobs {
 		if j.State.terminal() && !j.Finished.IsZero() && now.Sub(j.Finished) > s.cfg.JobTTL {
 			delete(s.jobs, id)
-			n++
+			evicted = append(evicted, id)
 		}
 	}
-	s.jobsEvicted += uint64(n)
-	return n
+	s.jobsEvicted += uint64(len(evicted))
+	s.mu.Unlock()
+	if s.journal != nil {
+		for _, id := range evicted {
+			s.journal.appendBestEffort(journalRecord{Type: recEvicted, Job: id})
+			s.journal.removeFiles(resultsName(id))
+		}
+	}
+	return len(evicted)
 }
 
 // Handler returns the HTTP routes, each wrapped with the per-route request
@@ -440,9 +518,12 @@ func (s *Server) handleJobsJSON(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, jobs)
 }
 
-// handleCancelJob cancels a queued or running job. The job transitions to
-// the canceled state as soon as its pipeline observes the context (between
-// reads in the mapping loops, or immediately when still queued).
+// handleCancelJob cancels a queued or running job. A queued job leaves the
+// admission queue immediately: its launch goroutine is parked on the slot
+// semaphore and the context cancellation below wins that select at once,
+// freeing the queue slot for new admissions. An already-terminal job answers
+// 409 carrying the terminal state, so a canceling client that raced the
+// job's completion learns what actually happened.
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	job, err := s.jobByRequest(r)
 	if err != nil {
@@ -454,7 +535,11 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	cancel := job.cancel
 	if state.terminal() {
 		s.mu.Unlock()
-		jsonError(w, http.StatusConflict, fmt.Sprintf("job already %s", state))
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": fmt.Sprintf("job already %s", state),
+			"id":    job.ID,
+			"state": string(state),
+		})
 		return
 	}
 	if cancel == nil {
@@ -464,11 +549,20 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		job.Error = errJobCanceled.Error()
 		job.Finished = time.Now()
 		s.mu.Unlock()
+		if s.journal != nil {
+			s.journal.appendBestEffort(journalRecord{Type: recCanceled, Job: job.ID, Error: errJobCanceled.Error(), Finished: job.Finished})
+			refRel, readsRel := payloadNames(job.ID)
+			s.journal.removeFiles(refRel, readsRel)
+		}
 		writeJSON(w, http.StatusOK, map[string]any{"id": job.ID, "state": string(StateCanceled)})
 		return
 	}
-	s.mu.Unlock()
+	// Cancel while still holding the lock: the state was checked terminal-
+	// free under this same critical section, so the 202 below can never race
+	// a completed job into looking cancelable. CancelCauseFunc is lock-free;
+	// the job goroutine observes it at its next context check.
 	cancel(errJobCanceled)
+	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": job.ID, "state": "canceling"})
 }
 
@@ -484,6 +578,19 @@ type statsJSON struct {
 	Resilience fpga.ResilienceStats `json:"resilience"`
 	Devices    []fpga.DeviceHealth  `json:"devices"`
 	Fallback   string               `json:"fallback_policy"`
+	Admission  admissionJSON        `json:"admission"`
+}
+
+// admissionJSON is the overload-protection block of /api/stats.
+type admissionJSON struct {
+	Draining      bool              `json:"draining"`
+	MaxQueue      int               `json:"max_queue"`
+	MaxConcurrent int               `json:"max_concurrent_jobs"`
+	RatePerSec    float64           `json:"rate_per_sec"`
+	RateBurst     int               `json:"rate_burst"`
+	Rejected      map[string]uint64 `json:"rejected"`
+	JobsReplayed  uint64            `json:"jobs_replayed"`
+	Durable       bool              `json:"durable"`
 }
 
 // stageJSON aggregates per-stage timings over completed (done) jobs.
@@ -516,6 +623,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BuildMsTotal:  float64(s.totalBuild) / float64(time.Millisecond),
 		MapMsTotal:    float64(s.totalMap) / float64(time.Millisecond),
 	}
+	rejected := make(map[string]uint64, len(s.admissionRejected))
+	for reason, n := range s.admissionRejected {
+		rejected[reason] = n
+	}
+	payload.Admission = admissionJSON{
+		Draining:      s.draining,
+		MaxQueue:      s.cfg.MaxQueue,
+		MaxConcurrent: s.cfg.MaxConcurrentJobs,
+		RatePerSec:    s.cfg.RatePerSec,
+		RateBurst:     s.cfg.RateBurst,
+		Rejected:      rejected,
+		JobsReplayed:  s.jobsReplayed,
+		Durable:       s.journal != nil,
+	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, payload)
 }
@@ -538,9 +659,11 @@ func (s *Server) deviceHealth() []fpga.DeviceHealth {
 // healthJSON is the /api/health payload.
 type healthJSON struct {
 	// Status is "ok" (all breakers closed/half-open), "degraded" (some
-	// open), or "critical" (all open — every FPGA job will fall back or
-	// fail, per the fallback policy).
+	// open), "critical" (all open — every FPGA job will fall back or fail,
+	// per the fallback policy), or "draining" (shutdown in progress; new
+	// jobs are rejected while in-flight ones finish).
 	Status     string               `json:"status"`
+	Draining   bool                 `json:"draining"`
 	Devices    []fpga.DeviceHealth  `json:"devices"`
 	Resilience fpga.ResilienceStats `json:"resilience"`
 	Fallback   string               `json:"fallback_policy"`
@@ -564,8 +687,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	case open > 0:
 		status = "degraded"
 	}
+	draining := s.Draining()
+	if draining {
+		// Drain outranks device health: orchestrators must route new work
+		// elsewhere no matter how healthy the cards are.
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, healthJSON{
 		Status:     status,
+		Draining:   draining,
 		Devices:    devices,
 		Resilience: s.rec.Snapshot(),
 		Fallback:   s.cfg.Fallback,
@@ -664,6 +794,12 @@ func formInt(r *http.Request, name string, def int) (int, error) {
 // and FASTQ happen on the job goroutine, so a malformed or huge upload fails
 // inside a visible job (StateFailed) instead of blocking the HTTP handler.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Shed before reading the body: a draining or rate-limited client's
+	// upload should not cost parsing.
+	if ae := s.preAdmit(r); ae != nil {
+		s.rejectAdmission(w, ae)
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.MaxUploadBytes)
 	// The MaxBytesReader enforces the upload cap; the multipart argument is
 	// only the in-memory threshold past which parts spill to temp files.
@@ -714,9 +850,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job := s.createJob(backend, b, sf, mismatches, "(parsing)", 0, 0)
-	s.launch(job, jobInput{refRaw: refRaw, readsRaw: readsRaw})
+	job, ae := s.admitJob(backend, b, sf, mismatches, "(parsing)", 0, 0)
+	if ae != nil {
+		s.rejectAdmission(w, ae)
+		return
+	}
+	if err := s.acceptAndLaunch(job, jobInput{refRaw: refRaw, readsRaw: readsRaw}); err != nil {
+		s.log.Error("accepting job failed", "job", job.ID, "err", err)
+		jsonError(w, http.StatusInternalServerError, "could not persist job")
+		return
+	}
 	http.Redirect(w, r, fmt.Sprintf("/jobs/%d", job.ID), http.StatusSeeOther)
+}
+
+// acceptAndLaunch makes an admitted job durable (journal + payloads, when a
+// state dir is configured) and starts it. A journaling failure fails the job
+// in place — accepting work the server cannot persist would silently break
+// the crash-safety contract.
+func (s *Server) acceptAndLaunch(job *Job, in jobInput) error {
+	// Balance the WaitGroup reference admitJob took for the admit→launch
+	// window; launch (or the failure path) is reached before this returns,
+	// so the count never dips early.
+	defer s.wg.Done()
+	if err := s.journalAccept(job, in); err != nil {
+		s.mu.Lock()
+		job.State = StateFailed
+		job.Error = "journal: " + err.Error()
+		job.Finished = time.Now()
+		s.mu.Unlock()
+		return err
+	}
+	s.launch(job, in)
+	return nil
 }
 
 // formFileBytes copies one multipart file into memory; the multipart buffers
@@ -737,8 +902,14 @@ func formFileBytes(r *http.Request, field string) ([]byte, error) {
 const DefaultDemoSeed = 42
 
 // handleDemo runs the pipeline on a small synthetic dataset so the UI can be
-// exercised without files at hand.
+// exercised without files at hand. The dataset is rendered to FASTA/FASTQ
+// bytes and submitted through the same raw-payload path as an upload, so
+// demo jobs are journaled and replayed exactly like real ones.
 func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
+	if ae := s.preAdmit(r); ae != nil {
+		s.rejectAdmission(w, ae)
+		return
+	}
 	seed := int64(DefaultDemoSeed)
 	if v := r.FormValue("seed"); v != "" {
 		parsed, err := strconv.ParseInt(v, 10, 64)
@@ -748,27 +919,58 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 		}
 		seed = parsed
 	}
-	ref, err := readsim.Genome(readsim.GenomeConfig{Length: 50000, Seed: seed, RepeatFraction: 0.2})
+	refRaw, readsRaw, counts, err := demoDataset(seed)
 	if err != nil {
-		s.log.Error("demo genome generation failed", "seed", seed, "err", err)
+		s.log.Error("demo dataset generation failed", "seed", seed, "err", err)
 		http.Error(w, "internal server error", http.StatusInternalServerError)
 		return
+	}
+	job, ae := s.admitJob("fpga", 15, 50, 0, "synthetic-demo", counts.refLen, counts.reads)
+	if ae != nil {
+		s.rejectAdmission(w, ae)
+		return
+	}
+	if err := s.acceptAndLaunch(job, jobInput{refRaw: refRaw, readsRaw: readsRaw}); err != nil {
+		s.log.Error("accepting demo job failed", "job", job.ID, "err", err)
+		jsonError(w, http.StatusInternalServerError, "could not persist job")
+		return
+	}
+	http.Redirect(w, r, fmt.Sprintf("/jobs/%d", job.ID), http.StatusSeeOther)
+}
+
+// demoDataset renders the seeded synthetic reference and reads as FASTA and
+// FASTQ bytes — the same wire form an upload arrives in.
+func demoDataset(seed int64) (refRaw, readsRaw []byte, counts struct{ refLen, reads int }, err error) {
+	ref, err := readsim.Genome(readsim.GenomeConfig{Length: 50000, Seed: seed, RepeatFraction: 0.2})
+	if err != nil {
+		return nil, nil, counts, err
 	}
 	sim, err := readsim.Simulate(ref, readsim.ReadsConfig{
 		Count: 1000, Length: 80, MappingRatio: 0.7, RevCompFraction: 0.5, Seed: seed + 1,
 	})
 	if err != nil {
-		s.log.Error("demo read simulation failed", "seed", seed, "err", err)
-		http.Error(w, "internal server error", http.StatusInternalServerError)
-		return
+		return nil, nil, counts, err
 	}
-	ids := make([]string, len(sim))
-	for i, rd := range sim {
-		ids[i] = rd.ID
+	var fb bytes.Buffer
+	fw := fastx.NewWriter(&fb, fastx.FASTA, false)
+	if err := fw.Write(&fastx.Record{ID: "synthetic-demo", Seq: []byte(ref.String())}); err != nil {
+		return nil, nil, counts, err
 	}
-	job := s.createJob("fpga", 15, 50, 0, "synthetic-demo", len(ref), len(sim))
-	s.launch(job, jobInput{ref: ref, reads: readsim.Seqs(sim), ids: ids})
-	http.Redirect(w, r, fmt.Sprintf("/jobs/%d", job.ID), http.StatusSeeOther)
+	if err := fw.Close(); err != nil {
+		return nil, nil, counts, err
+	}
+	var qb bytes.Buffer
+	qw := fastx.NewWriter(&qb, fastx.FASTQ, false)
+	for _, rd := range sim {
+		if err := qw.Write(&fastx.Record{ID: rd.ID, Seq: []byte(rd.Seq.String())}); err != nil {
+			return nil, nil, counts, err
+		}
+	}
+	if err := qw.Close(); err != nil {
+		return nil, nil, counts, err
+	}
+	counts.refLen, counts.reads = len(ref), len(sim)
+	return fb.Bytes(), qb.Bytes(), counts, nil
 }
 
 func parseReference(r io.Reader) (dna.Seq, *core.ContigSet, string, error) {
@@ -918,10 +1120,12 @@ func (s *Server) finishJob(job *Job, ctx context.Context, err error) {
 		job.Error = err.Error()
 	}
 	state, jobErr := job.State, job.Error
+	results := job.results
 	span := job.span
 	elapsed := job.Finished.Sub(job.Created)
 	s.mu.Unlock()
 
+	s.journalFinish(job, state, results)
 	span.SetAttr("state", string(state))
 	span.End()
 	s.mJobsTotal.With(string(state)).Inc()
@@ -947,6 +1151,9 @@ func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 	s.mu.Lock()
 	job.State = StateRunning
 	s.mu.Unlock()
+	if s.journal != nil {
+		s.journal.appendBestEffort(journalRecord{Type: recRunning, Job: job.ID})
+	}
 	if hook := s.testHookBeforeRun; hook != nil {
 		hook(job, ctx)
 	}
