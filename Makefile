@@ -8,9 +8,9 @@ GO ?= go
 # `make fuzz-smoke FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet test race bench bench-smoke bench-baseline fuzz-smoke fault-smoke obs-smoke chaos-smoke
+.PHONY: ci build vet test race bench bench-smoke bench-baseline fuzz-smoke fault-smoke obs-smoke chaos-smoke stream-smoke
 
-ci: vet race fuzz-smoke fault-smoke obs-smoke bench-smoke chaos-smoke
+ci: vet race fuzz-smoke fault-smoke obs-smoke bench-smoke chaos-smoke stream-smoke
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,13 @@ fault-smoke:
 # cover the in-process variants (snapshot restore, drain vs. submits).
 chaos-smoke:
 	$(GO) test -race -run='ChaosKillRestart' -count=1 ./cmd/bwaver-server
+
+# stream-smoke is the streaming-protocol crash gate: SIGKILL a real server
+# mid chunked upload and again mid result-stream, then assert the client
+# recovers via the journaled offsets, an idempotent resubmit, and a ?from=N
+# stream resume whose rows are bit-identical to an undisturbed buffered run.
+stream-smoke:
+	$(GO) test -race -run='StreamChaosKillResume' -count=1 ./cmd/bwaver-server
 
 # obs-smoke covers the observability layer under the race detector: the
 # metrics registry and tracer, concurrent /metrics + trace scrapes against

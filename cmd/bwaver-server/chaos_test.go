@@ -126,10 +126,12 @@ func chaosUpload(t *testing.T) (refFasta, readsFastq []byte) {
 }
 
 // startServer launches the binary on an ephemeral port with the given state
-// dir and returns the process plus the base URL parsed from its banner.
-func startServer(t *testing.T, bin, stateDir string) (*exec.Cmd, string) {
+// dir (plus any extra flags) and returns the process plus the base URL parsed
+// from its banner.
+func startServer(t *testing.T, bin, stateDir string, extra ...string) (*exec.Cmd, string) {
 	t.Helper()
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-state-dir", stateDir, "-log-level", "warn")
+	args := append([]string{"-addr", "127.0.0.1:0", "-state-dir", stateDir, "-log-level", "warn"}, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {

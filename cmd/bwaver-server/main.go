@@ -15,7 +15,17 @@
 // while in-flight jobs finish (bounded by -drain-timeout), then it exits.
 // Admission control sheds load before it hurts: -max-queue bounds jobs
 // waiting for a pipeline slot (503 when full) and -rate-limit enforces a
-// per-client token bucket (429 when exceeded).
+// per-client token bucket (429 when exceeded; X-Forwarded-For is only
+// honored behind proxies listed in -trusted-proxies).
+//
+// Streaming protocol: POST /api/jobs opens a job shell, PUT
+// /api/jobs/{id}/reference and /reads append resumable chunks at the
+// committed offset, POST /api/jobs/{id}/finalize seals and queues it. GET
+// /api/jobs/{id}/stream serves results as Server-Sent Events (Last-Event-ID
+// resume) or raw NDJSON, batch by batch (-stream-batch) as mapping
+// progresses, holding O(batch) result memory per job. An Idempotency-Key
+// header on any submission path makes retries return the original job, even
+// across a crash-restart.
 //
 // The simulated FPGA layer is fault-injectable (-fault-plan) and resilient:
 // failed shards retry with backoff (-max-retries), repeatedly failing cards
@@ -31,6 +41,7 @@
 //
 //	bwaver-server [-addr :8080] [-state-dir ""] [-drain-timeout 30s]
 //	              [-max-jobs 2] [-max-queue 64] [-rate-limit 0] [-rate-burst 0]
+//	              [-trusted-proxies ""] [-stream-batch 0] [-upload-timeout 10m]
 //	              [-cache-entries 8] [-ftab-k 10]
 //	              [-job-ttl 0] [-job-timeout 0] [-max-upload-mb 256]
 //	              [-devices 1] [-fault-plan ""] [-max-retries 0]
@@ -65,6 +76,9 @@ func main() {
 	maxQueue := flag.Int("max-queue", server.DefaultMaxQueue, "max jobs waiting for a pipeline slot before submissions are shed with 503 (negative = unlimited)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client job submissions per second (token bucket, keyed by client IP; 0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst when -rate-limit is set (0 = derive from the rate)")
+	trustedProxies := flag.String("trusted-proxies", "", "comma-separated CIDRs whose X-Forwarded-For is trusted for rate-limit client keying (empty = never trust the header)")
+	streamBatch := flag.Int("stream-batch", 0, "reads mapped between result-stream flushes (0 = default 8192)")
+	uploadTimeout := flag.Duration("upload-timeout", 10*time.Minute, "fail chunked uploads idle this long, freeing their queue slot (0 = never)")
 	cacheEntries := flag.Int("cache-entries", server.DefaultCacheEntries, "index cache capacity (distinct reference/parameter combinations)")
 	ftabK := flag.Int("ftab-k", core.DefaultFtabK, "k-mer prefix-lookup table order for job indexes (0 = disable)")
 	jobTTL := flag.Duration("job-ttl", 0, "evict finished jobs and their results this long after completion (0 = keep forever)")
@@ -105,6 +119,9 @@ func main() {
 		MaxQueue:          *maxQueue,
 		RatePerSec:        *rateLimit,
 		RateBurst:         *rateBurst,
+		TrustedProxies:    *trustedProxies,
+		StreamBatch:       *streamBatch,
+		UploadTimeout:     *uploadTimeout,
 		Devices:           *devices,
 		FaultPlan:         plan,
 		MaxRetries:        *maxRetries,

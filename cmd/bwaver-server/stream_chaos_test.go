@@ -1,0 +1,231 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStreamChaosKillResume is the streaming-protocol crash smoke
+// (`make stream-smoke`): a real bwaver-server process is SIGKILLed twice —
+// once mid chunked upload, once with a result-stream subscriber attached —
+// and each restart must let the client pick up where it left off: the upload
+// resumes from the journaled committed offset, an idempotent resubmission
+// replays the original job instead of double-running it, and the NDJSON
+// stream resumed with ?from=N yields, together with the rows held from before
+// the crash, exactly the byte sequence an undisturbed buffered run produces.
+func TestStreamChaosKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real server process")
+	}
+	bin := filepath.Join(t.TempDir(), "bwaver-server")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building server binary: %v", err)
+	}
+	stateDir := t.TempDir()
+	refFasta, readsFastq := chaosUpload(t)
+	// A small stream batch makes the job commit its stream incrementally, so
+	// the mid-stream kill actually lands between batches.
+	flags := []string{"-stream-batch", "4"}
+
+	// Ground truth: an undisturbed buffered run on the same data.
+	proc, base := startServer(t, bin, stateDir, flags...)
+	submitChaosJob(t, base, refFasta, readsFastq)
+	if st := waitJobState(t, base, 1, func(s string) bool { return s == "done" || s == "failed" }, 120*time.Second); st != "done" {
+		t.Fatalf("golden job state %q, want done", st)
+	}
+	goldenTSV := fetchChaosResults(t, base, 1)
+	goldenStream := fetchNDJSON(t, base, 1, 0)
+
+	// Open a chunked job and feed half the reference, then SIGKILL mid-upload.
+	created := postJSON(t, base+"/api/jobs", `{"backend":"cpu"}`, "stream-chaos", http.StatusCreated)
+	id := int(created["id"].(float64))
+	cut := len(refFasta) / 2
+	putStreamChunk(t, base, id, "reference", 0, refFasta[:cut])
+	if err := proc.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	proc.Wait()
+
+	// Restart #1: the idempotent resubmit replays the uploading job with its
+	// committed offset, and the upload resumes from there.
+	proc2, base2 := startServer(t, bin, stateDir, flags...)
+	replayed := postJSON(t, base2+"/api/jobs", `{"backend":"cpu"}`, "stream-chaos", http.StatusOK)
+	if got := int(replayed["id"].(float64)); got != id {
+		t.Fatalf("post-crash resubmit returned job %d, want %d", got, id)
+	}
+	off := int64(replayed["reference_offset"].(float64))
+	if off <= 0 || off > int64(cut) {
+		t.Fatalf("replayed committed offset %d outside (0,%d]", off, cut)
+	}
+	putStreamChunk(t, base2, id, "reference", off, refFasta[off:])
+	putStreamChunk(t, base2, id, "reads", 0, readsFastq)
+	resp, err := http.Post(fmt.Sprintf("%s/api/jobs/%d/finalize", base2, id), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("finalize returned %d", resp.StatusCode)
+	}
+
+	// Attach an NDJSON subscriber while the job runs, collect whatever rows
+	// arrive, and SIGKILL mid-stream.
+	held := make(chan []string, 1)
+	go func() {
+		req, _ := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/api/jobs/%d/stream", base2, id), nil)
+		req.Header.Set("Accept", "application/x-ndjson")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			held <- nil
+			return
+		}
+		defer resp.Body.Close()
+		var lines []string
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, `{"event"`) {
+				break // terminal summary, not a result row
+			}
+			lines = append(lines, line)
+		}
+		held <- lines
+	}()
+	waitJobState(t, base2, id, func(s string) bool { return s == "running" || s == "done" }, 120*time.Second)
+	time.Sleep(200 * time.Millisecond)
+	if err := proc2.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	proc2.Wait()
+	heldRows := <-held
+	// The kill can tear the connection mid-line; only the final held row can
+	// be affected, so drop it when it doesn't match the golden run.
+	if n := len(heldRows); n > 0 && (n > len(goldenStream) || heldRows[n-1] != goldenStream[n-1]) {
+		heldRows = heldRows[:n-1]
+	}
+
+	// Restart #2: the accepted job replays from its journaled payloads and
+	// re-runs deterministically; the client resumes the stream after the rows
+	// it already holds and must end up with the golden byte sequence.
+	proc3, base3 := startServer(t, bin, stateDir, flags...)
+	defer func() {
+		proc3.Process.Kill()
+		proc3.Wait()
+	}()
+	if st := waitJobState(t, base3, id, func(s string) bool { return s == "done" || s == "failed" }, 120*time.Second); st != "done" {
+		t.Fatalf("replayed chunked job state %q, want done", st)
+	}
+	resumed := fetchNDJSON(t, base3, id, len(heldRows))
+	combined := append(append([]string{}, heldRows...), resumed...)
+	if len(combined) != len(goldenStream) {
+		t.Fatalf("held %d + resumed %d rows != golden %d", len(heldRows), len(resumed), len(goldenStream))
+	}
+	for i := range combined {
+		if combined[i] != goldenStream[i] {
+			t.Fatalf("stream row %d differs after crash resume:\n got %s\nwant %s", i+1, combined[i], goldenStream[i])
+		}
+	}
+	// And the buffered TSV download agrees bit for bit with the golden run.
+	if got := fetchChaosResults(t, base3, id); !bytes.Equal(got, goldenTSV) {
+		t.Error("chunked job TSV differs from the buffered golden run")
+	}
+}
+
+// postJSON posts a JSON body with an Idempotency-Key and decodes the reply.
+func postJSON(t *testing.T, url, body, idemKey string, wantCode int) map[string]any {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s returned %d, want %d: %.200s", url, resp.StatusCode, wantCode, raw)
+	}
+	payload := map[string]any{}
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		t.Fatalf("POST %s: non-JSON reply: %.200s", url, raw)
+	}
+	return payload
+}
+
+// putStreamChunk uploads one chunk at an explicit offset.
+func putStreamChunk(t *testing.T, base string, id int, part string, offset int64, data []byte) {
+	t.Helper()
+	url := fmt.Sprintf("%s/api/jobs/%d/%s?offset=%d", base, id, part, offset)
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk %s@%d returned %d: %.200s", part, offset, resp.StatusCode, raw)
+	}
+}
+
+// fetchNDJSON drains a finished job's stream from row `from` on, returning
+// the result rows (the terminal summary line is dropped).
+func fetchNDJSON(t *testing.T, base string, id, from int) []string {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/api/jobs/%d/stream?from=%d", base, id, from), nil)
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[len(lines)-1], `{"event"`) {
+		t.Fatalf("stream did not end with a terminal summary:\n%.300s", body)
+	}
+	return lines[:len(lines)-1]
+}
+
+func fetchChaosResults(t *testing.T, base string, id int) []byte {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%d/results", base, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results for job %d returned %d", id, resp.StatusCode)
+	}
+	return body
+}

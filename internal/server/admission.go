@@ -6,6 +6,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
@@ -130,13 +131,81 @@ func (rl *rateLimiter) pruneLocked(now time.Time) {
 	}
 }
 
-// clientKey identifies a client for rate limiting: the IP without the
-// ephemeral port, falling back to the whole RemoteAddr.
-func clientKey(r *http.Request) string {
-	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
-		return host
+// parseTrustedProxies parses the -trusted-proxies flag: a comma-separated
+// list of CIDRs (bare IPs are accepted as /32 or /128).
+func parseTrustedProxies(spec string) ([]*net.IPNet, error) {
+	var nets []*net.IPNet
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "/") {
+			ip := net.ParseIP(part)
+			if ip == nil {
+				return nil, fmt.Errorf("bad trusted proxy %q", part)
+			}
+			bits := 32
+			if ip.To4() == nil {
+				bits = 128
+			}
+			part = fmt.Sprintf("%s/%d", ip, bits)
+		}
+		_, n, err := net.ParseCIDR(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad trusted proxy %q: %w", part, err)
+		}
+		nets = append(nets, n)
 	}
-	return r.RemoteAddr
+	return nets, nil
+}
+
+func ipTrusted(nets []*net.IPNet, ip net.IP) bool {
+	for _, n := range nets {
+		if n.Contains(ip) {
+			return true
+		}
+	}
+	return false
+}
+
+// clientKey identifies a client for rate limiting. By default it is the
+// connection's IP: X-Forwarded-For is attacker-controlled and is never
+// trusted unless -trusted-proxies says the peer is ours. When the peer IS a
+// trusted proxy, the chain is walked right to left past every trusted hop and
+// the rightmost untrusted address is the client — rightmost because each hop
+// appends, so everything left of it is whatever the client claimed.
+func (s *Server) clientKey(r *http.Request) string {
+	peer := r.RemoteAddr
+	if host, _, err := net.SplitHostPort(peer); err == nil {
+		peer = host
+	}
+	if len(s.trustedProxies) == 0 {
+		return peer
+	}
+	ip := net.ParseIP(peer)
+	if ip == nil || !ipTrusted(s.trustedProxies, ip) {
+		return peer
+	}
+	hops := strings.Split(r.Header.Get("X-Forwarded-For"), ",")
+	for i := len(hops) - 1; i >= 0; i-- {
+		hop := strings.TrimSpace(hops[i])
+		if hop == "" {
+			continue
+		}
+		hopIP := net.ParseIP(hop)
+		if hopIP == nil {
+			// Garbage in the chain: fall back to the direct peer rather than
+			// letting a client mint arbitrary bucket keys.
+			return peer
+		}
+		if !ipTrusted(s.trustedProxies, hopIP) {
+			return hop
+		}
+	}
+	// Every hop was one of our proxies (or the header was empty): key on the
+	// direct peer.
+	return peer
 }
 
 // preAdmit runs the cheap gates — drain state and rate limit — before the
@@ -151,7 +220,7 @@ func (s *Server) preAdmit(r *http.Request) *admissionError {
 			retryAfter: drainRetryAfter,
 		}
 	}
-	if ok, retry := s.limiter.allow(clientKey(r), time.Now()); !ok {
+	if ok, retry := s.limiter.allow(s.clientKey(r), time.Now()); !ok {
 		return &admissionError{
 			status:     http.StatusTooManyRequests,
 			reason:     reasonRateLimited,
@@ -162,49 +231,94 @@ func (s *Server) preAdmit(r *http.Request) *admissionError {
 	return nil
 }
 
+// holdsSlot reports whether a state occupies an admission queue slot: jobs
+// waiting for a pipeline slot, and chunked jobs still feeding their payload
+// (a half-uploaded job is queued work the server has committed to).
+func holdsSlot(st JobState) bool {
+	return st == StateQueued || st == StateUploading
+}
+
+// setJobStateLocked is the single place job state changes, so the queued
+// counter that backs the -max-queue gate stays exact without scanning the
+// jobs map; s.mu must be held.
+func (s *Server) setJobStateLocked(job *Job, st JobState) {
+	if holdsSlot(job.State) {
+		s.queuedCount--
+	}
+	job.State = st
+	if holdsSlot(st) {
+		s.queuedCount++
+	}
+}
+
 // admitJob creates a job if the server is accepting work and the admission
 // queue has room; the check and the creation share one critical section, so
-// concurrent submits cannot overshoot -max-queue.
-func (s *Server) admitJob(backend string, b, sf, mismatches int, refName string, refLen, reads int) (*Job, *admissionError) {
+// concurrent submits cannot overshoot -max-queue. The queue gate is the O(1)
+// queuedCount counter maintained by setJobStateLocked — admission used to
+// scan the whole retained-jobs map (terminal jobs included) per submit.
+//
+// idemKey, when non-empty, is reserved inside the same critical section: a
+// concurrent duplicate submission gets the already-admitted job back
+// (existing=true) instead of a second run. initial is StateQueued for buffered
+// submissions (payload already in hand) or StateUploading for chunked ones;
+// only queued admissions join the drain WaitGroup — uploading jobs hold a
+// queue slot but must not block Drain, which would otherwise wait on a client
+// that walked away.
+func (s *Server) admitJob(backend string, b, sf, mismatches int, refName string, refLen, reads int, idemKey string, initial JobState) (job *Job, existing bool, ae *admissionError) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return nil, &admissionError{
+		return nil, false, &admissionError{
 			status:     http.StatusServiceUnavailable,
 			reason:     reasonDraining,
 			msg:        "server is draining; not accepting new jobs",
 			retryAfter: drainRetryAfter,
 		}
 	}
-	if s.cfg.MaxQueue > 0 {
-		queued := 0
-		for _, j := range s.jobs {
-			if j.State == StateQueued {
-				queued++
-			}
-		}
-		if queued >= s.cfg.MaxQueue {
-			return nil, &admissionError{
-				status:     http.StatusServiceUnavailable,
-				reason:     reasonQueueFull,
-				msg:        fmt.Sprintf("admission queue full (%d jobs waiting)", queued),
-				retryAfter: queueFullRetryAfter,
+	if idemKey != "" {
+		if id, ok := s.idemKeys[idemKey]; ok {
+			if j := s.jobs[id]; j != nil {
+				return j, true, nil
 			}
 		}
 	}
-	job := &Job{
-		ID: s.nextID, State: StateQueued, Backend: backend, B: b, SF: sf,
-		Mismatches: mismatches,
-		RefName:    refName, RefLength: refLen, Reads: reads, Created: time.Now(),
+	if s.cfg.MaxQueue > 0 && s.queuedCount >= s.cfg.MaxQueue {
+		return nil, false, &admissionError{
+			status:     http.StatusServiceUnavailable,
+			reason:     reasonQueueFull,
+			msg:        fmt.Sprintf("admission queue full (%d jobs waiting)", s.queuedCount),
+			retryAfter: queueFullRetryAfter,
+		}
 	}
+	job = &Job{
+		ID: s.nextID, Backend: backend, B: b, SF: sf,
+		Mismatches: mismatches, IdemKey: idemKey,
+		RefName: refName, RefLength: refLen, Reads: reads, Created: time.Now(),
+	}
+	s.setJobStateLocked(job, initial)
 	s.nextID++
 	s.jobs[job.ID] = job
-	// Cover the admit→launch window in the drain WaitGroup: without this a
-	// Drain racing a submit could observe zero in-flight jobs while an
-	// admitted job is still being journaled. acceptAndLaunch drops it once
-	// launch holds its own reference.
-	s.wg.Add(1)
-	return job, nil
+	if idemKey != "" {
+		s.idemKeys[idemKey] = job.ID
+	}
+	if initial == StateUploading {
+		job.upload = &uploadState{lastActivity: job.Created}
+	} else {
+		// Cover the admit→launch window in the drain WaitGroup: without this
+		// a Drain racing a submit could observe zero in-flight jobs while an
+		// admitted job is still being journaled. acceptAndLaunch drops it
+		// once launch holds its own reference.
+		s.wg.Add(1)
+	}
+	return job, false, nil
+}
+
+// releaseIdemKeyLocked drops a key reservation (admission failed after the
+// fact, or the job is being evicted); s.mu must be held.
+func (s *Server) releaseIdemKeyLocked(job *Job) {
+	if job.IdemKey != "" && s.idemKeys[job.IdemKey] == job.ID {
+		delete(s.idemKeys, job.IdemKey)
+	}
 }
 
 // rejectAdmission records and renders a rejection.

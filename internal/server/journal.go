@@ -15,26 +15,32 @@ import (
 // Durable job journal. A bwaver-server restart used to lose every queued and
 // running job silently; with a -state-dir the server now appends one fsync'd
 // JSON record per lifecycle transition (accepted → running → done / failed /
-// canceled, plus evicted) to <state-dir>/journal.jsonl. Raw uploads are
-// persisted under payloads/ when a job is accepted and deleted once it is
-// terminal; results TSVs are persisted under results/ before the done record
-// that references them is written, so a record never points at data that a
-// crash could have lost. On startup the journal is replayed: terminal jobs
-// are restored with their results, unfinished jobs are re-queued against
-// their saved payloads, and the log is compacted to one record per live job.
+// canceled, plus uploading for chunked ingest and evicted) to
+// <state-dir>/journal.jsonl. Raw uploads are persisted under payloads/ when a
+// job is accepted (chunked jobs stream there directly, chunk by chunk) and
+// deleted once it is terminal; results TSVs and NDJSON stream logs are
+// persisted under results/ before the done record that references them is
+// written, so a record never points at data that a crash could have lost. On
+// startup the journal is replayed: terminal jobs are restored pointing at
+// their on-disk results, uploading jobs come back resumable at their
+// committed offsets, unfinished jobs are re-queued against their saved
+// payloads, and the log is compacted to one record per live job.
 // Built indexes are spilled under indexes/ by the cache (see cache.go), so a
 // replayed job usually skips reconstruction.
 
-// Journal record types. accepted/running mark forward progress; the three
-// terminal types mirror JobState; evicted marks a TTL-swept job so replay
-// does not resurrect it (compaction then drops it entirely).
+// Journal record types. uploading marks a chunked job whose payload is still
+// arriving (its partial payload files are authoritative on disk);
+// accepted/running mark forward progress; the three terminal types mirror
+// JobState; evicted marks a TTL-swept job so replay does not resurrect it
+// (compaction then drops it entirely).
 const (
-	recAccepted = "accepted"
-	recRunning  = "running"
-	recDone     = "done"
-	recFailed   = "failed"
-	recCanceled = "canceled"
-	recEvicted  = "evicted"
+	recUploading = "uploading"
+	recAccepted  = "accepted"
+	recRunning   = "running"
+	recDone      = "done"
+	recFailed    = "failed"
+	recCanceled  = "canceled"
+	recEvicted   = "evicted"
 )
 
 // journalRecord is one line of journal.jsonl. Records are cumulative: an
@@ -53,7 +59,10 @@ type journalRecord struct {
 	Mismatches   int    `json:"mismatches,omitempty"`
 	RefPayload   string `json:"ref_payload,omitempty"`
 	ReadsPayload string `json:"reads_payload,omitempty"`
-	Created      time.Time `json:"created"`
+	// IdemKey is the client's Idempotency-Key, replayed with the job so
+	// post-restart retries still map to it.
+	IdemKey string    `json:"idem_key,omitempty"`
+	Created time.Time `json:"created"`
 
 	// Outcome.
 	Error          string    `json:"error,omitempty"`
@@ -160,6 +169,11 @@ func payloadNames(id int) (ref, reads string) {
 // resultsName returns the conventional results file name for a job.
 func resultsName(id int) string {
 	return filepath.Join(resultsDir, fmt.Sprintf("job-%d.tsv", id))
+}
+
+// abs resolves a state-dir-relative name to its absolute path.
+func (jl *journal) abs(rel string) string {
+	return filepath.Join(jl.dir, rel)
 }
 
 // writeFileSync persists data at rel (relative to the state dir) and fsyncs
@@ -306,10 +320,19 @@ func foldRecords(recs []journalRecord) map[int]*foldedJob {
 			fj.spec.RefPayload, fj.spec.ReadsPayload = rec.RefPayload, rec.ReadsPayload
 			fj.spec.Created = rec.Created
 		}
-		// running records refine accepted; terminal records override both.
+		if rec.IdemKey != "" {
+			fj.spec.IdemKey = rec.IdemKey
+		}
+		// Progress records only advance the state (uploading → accepted →
+		// running); terminal records override everything, whatever order the
+		// log holds them in.
 		switch rec.Type {
-		case recAccepted:
+		case recUploading:
 			if fj.last.Type == "" {
+				fj.last = rec
+			}
+		case recAccepted:
+			if fj.last.Type == "" || fj.last.Type == recUploading {
 				fj.last = rec
 			}
 		default:
@@ -334,6 +357,7 @@ func snapshotRecord(j *Job) journalRecord {
 		B:          j.B,
 		SF:         j.SF,
 		Mismatches: j.Mismatches,
+		IdemKey:    j.IdemKey,
 		Created:    j.Created,
 		RefName:    j.RefName,
 		RefLength:  j.RefLength,
@@ -356,6 +380,9 @@ func snapshotRecord(j *Job) journalRecord {
 		rec.Type = recFailed
 	case StateCanceled:
 		rec.Type = recCanceled
+	case StateUploading:
+		rec.Type = recUploading
+		rec.RefPayload, rec.ReadsPayload = payloadNames(j.ID)
 	default:
 		rec.Type = recAccepted
 		rec.RefPayload, rec.ReadsPayload = payloadNames(j.ID)
@@ -373,12 +400,16 @@ func (s *Server) journalAccept(job *Job, in jobInput) error {
 		return nil
 	}
 	refRel, readsRel := payloadNames(job.ID)
-	if err := s.journal.writeFileSync(refRel, in.refRaw); err != nil {
-		return fmt.Errorf("persisting reference payload: %w", err)
-	}
-	if err := s.journal.writeFileSync(readsRel, in.readsRaw); err != nil {
-		s.journal.removeFiles(refRel)
-		return fmt.Errorf("persisting reads payload: %w", err)
+	// Chunked jobs already streamed their payloads to these files (fsync'd by
+	// finalize), so only buffered submissions write them here.
+	if in.refPath == "" {
+		if err := s.journal.writeFileSync(refRel, in.refRaw); err != nil {
+			return fmt.Errorf("persisting reference payload: %w", err)
+		}
+		if err := s.journal.writeFileSync(readsRel, in.readsRaw); err != nil {
+			s.journal.removeFiles(refRel)
+			return fmt.Errorf("persisting reads payload: %w", err)
+		}
 	}
 	rec := journalRecord{
 		Type:         recAccepted,
@@ -389,6 +420,7 @@ func (s *Server) journalAccept(job *Job, in jobInput) error {
 		Mismatches:   job.Mismatches,
 		RefPayload:   refRel,
 		ReadsPayload: readsRel,
+		IdemKey:      job.IdemKey,
 		Created:      job.Created,
 	}
 	if err := s.journal.append(rec); err != nil {
@@ -402,7 +434,7 @@ func (s *Server) journalAccept(job *Job, in jobInput) error {
 // (done jobs), then the terminal record, then the now-redundant payloads are
 // deleted. Best-effort — the job already finished; a journal failure only
 // means a restart re-runs it.
-func (s *Server) journalFinish(job *Job, state JobState, results []byte) {
+func (s *Server) journalFinish(job *Job, state JobState, results []byte, resultsPath string) {
 	if s.journal == nil {
 		return
 	}
@@ -411,10 +443,15 @@ func (s *Server) journalFinish(job *Job, state JobState, results []byte) {
 	case StateDone:
 		rec.Type = recDone
 		rec.Results = resultsName(job.ID)
-		if err := s.journal.writeFileSync(rec.Results, results); err != nil {
-			s.journal.log.Error("persisting job results failed; job will re-run after a restart",
-				"job", job.ID, "err", err)
-			return
+		// The emitter already wrote and fsync'd the TSV incrementally at the
+		// journal-contract path; only jobs without one (replays of old-format
+		// records) still need the buffered write.
+		if resultsPath == "" {
+			if err := s.journal.writeFileSync(rec.Results, results); err != nil {
+				s.journal.log.Error("persisting job results failed; job will re-run after a restart",
+					"job", job.ID, "err", err)
+				return
+			}
 		}
 	case StateFailed:
 		rec.Type = recFailed
@@ -483,6 +520,7 @@ func (s *Server) recover() error {
 			B:          fj.spec.B,
 			SF:         fj.spec.SF,
 			Mismatches: fj.spec.Mismatches,
+			IdemKey:    fj.spec.IdemKey,
 			Created:    fj.spec.Created,
 			RefName:    fj.last.RefName,
 			RefLength:  fj.last.RefLength,
@@ -493,17 +531,27 @@ func (s *Server) recover() error {
 		if job.Created.IsZero() {
 			job.Created = fj.last.Time
 		}
+		refRel, readsRel := fj.spec.RefPayload, fj.spec.ReadsPayload
+		if refRel == "" || readsRel == "" {
+			refRel, readsRel = payloadNames(id)
+		}
 		switch fj.last.Type {
 		case recDone:
-			results, err := s.journal.readFile(fj.last.Results)
-			if err != nil {
+			rel := fj.last.Results
+			if rel == "" {
+				rel = resultsName(id)
+			}
+			// The results stay on disk and are served from there; loading
+			// them here would make replay memory O(sum of all job results).
+			if fi, err := os.Stat(s.journal.abs(rel)); err != nil {
 				// The record promised results the disk no longer has: fail
 				// the job visibly rather than serving an empty download.
-				job.State = StateFailed
+				s.setJobStateLocked(job, StateFailed)
 				job.Error = fmt.Sprintf("journaled results lost: %v", err)
 			} else {
-				job.State = StateDone
-				job.results = results
+				s.setJobStateLocked(job, StateDone)
+				job.resultsPath = s.journal.abs(rel)
+				job.resultsSize = fi.Size()
 				job.Done = job.Reads
 			}
 			job.Error = firstNonEmpty(fj.last.Error, job.Error)
@@ -515,32 +563,45 @@ func (s *Server) recover() error {
 			job.Finished = fj.last.Finished
 		case recFailed, recCanceled:
 			if fj.last.Type == recFailed {
-				job.State = StateFailed
+				s.setJobStateLocked(job, StateFailed)
 			} else {
-				job.State = StateCanceled
+				s.setJobStateLocked(job, StateCanceled)
 			}
 			job.Error = fj.last.Error
 			job.Finished = fj.last.Finished
+		case recUploading:
+			// A partial upload survives the crash: restore the job with the
+			// committed offsets the disk actually holds, so the client's next
+			// GET /api/jobs/{id} tells it where to resume.
+			up := &uploadState{lastActivity: time.Now()}
+			up.refSize = fileSize(s.journal.abs(refRel))
+			up.readsSize = fileSize(s.journal.abs(readsRel))
+			job.upload = up
+			s.setJobStateLocked(job, StateUploading)
 		default: // accepted or running: re-queue against the saved payloads
-			refRel, readsRel := fj.spec.RefPayload, fj.spec.ReadsPayload
-			if refRel == "" || readsRel == "" {
-				refRel, readsRel = payloadNames(id)
-			}
-			refRaw, refErr := s.journal.readFile(refRel)
-			readsRaw, readsErr := s.journal.readFile(readsRel)
-			if refErr != nil || readsErr != nil {
-				job.State = StateFailed
-				job.Error = fmt.Sprintf("journaled payloads lost: %v", firstErr(refErr, readsErr))
+			refErr := statErr(s.journal.abs(refRel))
+			readsErr := statErr(s.journal.abs(readsRel))
+			if err := firstErr(refErr, readsErr); err != nil {
+				s.setJobStateLocked(job, StateFailed)
+				job.Error = fmt.Sprintf("journaled payloads lost: %v", err)
 				job.Finished = time.Now()
 			} else {
-				job.State = StateQueued
+				s.setJobStateLocked(job, StateQueued)
 				job.Done = 0
 				job.Mapped = 0
-				relaunches = append(relaunches, relaunch{job: job, in: jobInput{refRaw: refRaw, readsRaw: readsRaw}})
+				relaunches = append(relaunches, relaunch{job: job, in: jobInput{
+					refPath:   s.journal.abs(refRel),
+					readsPath: s.journal.abs(readsRel),
+				}})
 			}
 		}
 		if job.Finished.IsZero() && job.State.terminal() {
 			job.Finished = time.Now()
+		}
+		if job.IdemKey != "" {
+			// Terminal jobs keep their reservation too: a post-restart retry
+			// of a finished job must return it, not run it again.
+			s.idemKeys[job.IdemKey] = id
 		}
 		s.jobs[id] = job
 		compacted = append(compacted, snapshotRecord(job))
@@ -572,4 +633,19 @@ func firstErr(errs ...error) error {
 		}
 	}
 	return nil
+}
+
+// fileSize returns a file's size, 0 when it does not exist yet.
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// statErr reports whether a file is present and statable.
+func statErr(path string) error {
+	_, err := os.Stat(path)
+	return err
 }

@@ -417,13 +417,20 @@ func TestTSVEscapesReadIDs(t *testing.T) {
 	close(entry.ready)
 	s := New()
 	job := s.createJob("cpu", 15, 50, 1, "x", len(ref), 1)
-	var abuf bytes.Buffer
-	if _, _, err := s.runApprox(context.Background(), job, entry, reads, ids, &abuf); err != nil {
+	em, err := s.newEmitter(job)
+	if err != nil {
 		t.Fatal(err)
 	}
-	alines := strings.Split(strings.TrimRight(abuf.String(), "\n"), "\n")
+	if _, _, err := s.runApprox(context.Background(), job, entry, reads, ids, em); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.finish(); err != nil {
+		t.Fatal(err)
+	}
+	atsv := string(job.results)
+	alines := strings.Split(strings.TrimRight(atsv, "\n"), "\n")
 	if len(alines) != 2 {
-		t.Fatalf("approx TSV has %d lines, want 2:\n%s", len(alines), abuf.String())
+		t.Fatalf("approx TSV has %d lines, want 2:\n%s", len(alines), atsv)
 	}
 	if fields := strings.Split(alines[1], "\t"); len(fields) != 4 {
 		t.Fatalf("approx row has %d fields, want 4: %q", len(fields), alines[1])

@@ -38,6 +38,14 @@ func (s *Server) initObs() {
 		"HTTP request latency by route.", nil, "route")
 	s.mAdmissionRejected = reg.Counter("bwaver_admission_rejected_total",
 		"Job submissions refused before a job was created, by reason (draining, queue_full, rate_limited).", "reason")
+	s.mStreamEvents = reg.Counter("bwaver_stream_events_total",
+		"Result rows appended to job result streams.")
+	s.mStreamSubscribers = reg.Gauge("bwaver_stream_subscribers",
+		"Clients currently connected to GET /api/jobs/{id}/stream.")
+	s.mUploadChunks = reg.Counter("bwaver_upload_chunks_total",
+		"Chunks committed through the resumable ingest protocol, by part.", "part")
+	s.mUploadBytes = reg.Counter("bwaver_upload_bytes_total",
+		"Bytes committed through the resumable ingest protocol, by part.", "part")
 	reg.CounterFunc("bwaver_jobs_replayed_total",
 		"Jobs re-queued from the journal at startup.",
 		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.jobsReplayed) })
@@ -68,7 +76,7 @@ func (s *Server) initObs() {
 			func() float64 { return float64(b.Trips()) }, "device", dev)
 	}
 
-	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+	for _, st := range []JobState{StateUploading, StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
 		st := st
 		reg.GaugeFunc("bwaver_jobs",
 			"Jobs currently tracked by the server, by state.",
@@ -179,6 +187,14 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += n
 	return n, err
+}
+
+// Flush forwards to the wrapped writer so SSE responses stream through the
+// instrumentation instead of buffering until the handler returns.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with the per-route counter, latency histogram,

@@ -22,8 +22,10 @@ import (
 	"html/template"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -34,7 +36,6 @@ import (
 	"bwaver/internal/core"
 	"bwaver/internal/dna"
 	"bwaver/internal/fastx"
-	"bwaver/internal/fmindex"
 	"bwaver/internal/fpga"
 	"bwaver/internal/obs"
 	"bwaver/internal/readsim"
@@ -44,13 +45,16 @@ import (
 // JobState tracks a pipeline run.
 type JobState string
 
-// Job lifecycle states.
+// Job lifecycle states. Uploading jobs were created through the chunked
+// protocol (POST /api/jobs) and are still receiving payload chunks; they
+// occupy an admission queue slot but have not launched.
 const (
-	StateQueued   JobState = "queued"
-	StateRunning  JobState = "running"
-	StateDone     JobState = "done"
-	StateFailed   JobState = "failed"
-	StateCanceled JobState = "canceled"
+	StateUploading JobState = "uploading"
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCanceled  JobState = "canceled"
 )
 
 // terminal reports whether the state is final.
@@ -93,8 +97,26 @@ type Job struct {
 	Created   time.Time
 	Finished  time.Time
 
-	results []byte                  // TSV, available when done
-	cancel  context.CancelCauseFunc // nil until the job is launched
+	// IdemKey is the client's Idempotency-Key, journaled with the job so a
+	// retried submission maps back here instead of double-running.
+	IdemKey string
+	// PeakResultBuf is the largest number of result bytes the job staged in
+	// memory for one batch — the figure that proves streamed jobs hold
+	// O(batch), not O(job), result memory.
+	PeakResultBuf int
+
+	results []byte // TSV in memory (stateless servers)
+	// resultsPath/resultsSize point at the file-backed TSV written
+	// incrementally by the job's emitter (durable servers); results stays nil.
+	resultsPath string
+	resultsSize int64
+	// stream is the job's NDJSON result log served by GET
+	// /api/jobs/{id}/stream; created lazily on first use.
+	stream *resultStream
+	// upload tracks chunked-ingest progress; nil for buffered submissions.
+	upload *uploadState
+
+	cancel context.CancelCauseFunc // nil until the job is launched
 	// trace is the job's span tree, created at launch and served live at
 	// /api/jobs/{id}/trace; span is its root, closed by finishJob.
 	trace *obs.Trace
@@ -141,6 +163,18 @@ type Config struct {
 	// RateBurst is the token-bucket depth when RatePerSec is set; 0 derives
 	// it from the rate (at least 1).
 	RateBurst int
+	// TrustedProxies is a comma-separated list of CIDRs (or bare IPs) whose
+	// X-Forwarded-For headers are trusted for rate-limit client keying. Empty
+	// (the default) never trusts the header.
+	TrustedProxies string
+
+	// StreamBatch is how many reads are mapped between result-stream flushes;
+	// default core.DefaultStreamBatch. Smaller batches stream sooner and hold
+	// less memory; larger ones amortize per-batch overhead.
+	StreamBatch int
+	// UploadTimeout fails chunked jobs idle this long mid-upload, freeing
+	// their admission queue slot; 0 disables the sweep.
+	UploadTimeout time.Duration
 
 	// Devices is the number of simulated accelerator cards; default 1.
 	Devices int
@@ -213,6 +247,9 @@ func (c Config) withDefaults() Config {
 	} else if c.VerifyStride < 0 {
 		c.VerifyStride = 0
 	}
+	if c.StreamBatch <= 0 {
+		c.StreamBatch = DefaultStreamBatch
+	}
 	return c
 }
 
@@ -244,6 +281,15 @@ type Server struct {
 	// nil when disabled. Both are safe to use as nil.
 	journal *journal
 	limiter *rateLimiter
+	// trustedProxies are the networks whose X-Forwarded-For is believed for
+	// rate-limit keying; empty means never.
+	trustedProxies []*net.IPNet
+	// queuedCount tracks jobs occupying admission queue slots (queued +
+	// uploading), maintained by setJobStateLocked so the -max-queue gate is
+	// O(1) instead of a scan over every retained job. Guarded by mu.
+	queuedCount int
+	// idemKeys maps Idempotency-Key values to job IDs. Guarded by mu.
+	idemKeys map[string]int
 	// draining marks the server as shutting down: admission rejects new
 	// jobs while in-flight ones finish. Guarded by mu.
 	draining bool
@@ -270,6 +316,10 @@ type Server struct {
 	mHTTPTotal         *obs.CounterVec
 	mHTTPSeconds       *obs.HistogramVec
 	mAdmissionRejected *obs.CounterVec
+	mStreamEvents      *obs.CounterVec
+	mStreamSubscribers *obs.GaugeVec
+	mUploadChunks      *obs.CounterVec
+	mUploadBytes       *obs.CounterVec
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -331,6 +381,14 @@ func Open(cfg Config) (*Server, error) {
 		log:               cfg.Logger,
 		limiter:           newRateLimiter(cfg.RatePerSec, cfg.RateBurst),
 		admissionRejected: map[string]uint64{},
+		idemKeys:          map[string]int{},
+	}
+	if cfg.TrustedProxies != "" {
+		nets, err := parseTrustedProxies(cfg.TrustedProxies)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.trustedProxies = nets
 	}
 	s.initObs()
 	if cfg.StateDir != "" {
@@ -348,7 +406,7 @@ func Open(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	if cfg.JobTTL > 0 {
+	if cfg.JobTTL > 0 || cfg.UploadTimeout > 0 {
 		s.janitorStop = make(chan struct{})
 		s.janitorDone = make(chan struct{})
 		go s.janitor()
@@ -376,7 +434,9 @@ func (s *Server) janitor() {
 	for {
 		select {
 		case <-ticker.C:
-			s.evictExpiredJobs(time.Now())
+			now := time.Now()
+			s.evictExpiredJobs(now)
+			s.sweepStalledUploads(now)
 		case <-s.janitorStop:
 			return
 		}
@@ -395,6 +455,7 @@ func (s *Server) evictExpiredJobs(now time.Time) int {
 	var evicted []int
 	for id, j := range s.jobs {
 		if j.State.terminal() && !j.Finished.IsZero() && now.Sub(j.Finished) > s.cfg.JobTTL {
+			s.releaseIdemKeyLocked(j)
 			delete(s.jobs, id)
 			evicted = append(evicted, id)
 		}
@@ -404,7 +465,7 @@ func (s *Server) evictExpiredJobs(now time.Time) int {
 	if s.journal != nil {
 		for _, id := range evicted {
 			s.journal.appendBestEffort(journalRecord{Type: recEvicted, Job: id})
-			s.journal.removeFiles(resultsName(id))
+			s.journal.removeFiles(resultsName(id), streamName(id))
 		}
 	}
 	return len(evicted)
@@ -427,6 +488,11 @@ func (s *Server) Handler() http.Handler {
 		{"GET /api/jobs/{id}", s.handleJobJSON},
 		{"DELETE /api/jobs/{id}", s.handleCancelJob},
 		{"GET /api/jobs", s.handleJobsJSON},
+		{"POST /api/jobs", s.handleCreateJob},
+		{"PUT /api/jobs/{id}/reference", s.handleUploadChunk("reference")},
+		{"PUT /api/jobs/{id}/reads", s.handleUploadChunk("reads")},
+		{"POST /api/jobs/{id}/finalize", s.handleFinalize},
+		{"GET /api/jobs/{id}/stream", s.handleStream},
 		{"GET /api/jobs/{id}/trace", s.handleTrace},
 		{"GET /api/stats", s.handleStats},
 		{"GET /api/health", s.handleHealth},
@@ -454,6 +520,24 @@ func jsonError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
+// wantsJSON reports whether the client asked for a JSON response.
+func wantsJSON(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/json") || strings.Contains(accept, "application/x-ndjson")
+}
+
+// httpError renders an error for endpoints reachable from both the HTML forms
+// and the API: the structured JSON envelope when the client accepts JSON,
+// plain text otherwise. The form endpoints used to answer plain text
+// unconditionally, so API clients had to parse two error shapes.
+func httpError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	if wantsJSON(r) {
+		jsonError(w, status, msg)
+		return
+	}
+	http.Error(w, msg, status)
+}
+
 // jobJSON is the wire form of a job for the JSON API.
 type jobJSON struct {
 	ID             int     `json:"id"`
@@ -474,19 +558,31 @@ type jobJSON struct {
 	ParseMs        float64 `json:"parse_ms"`
 	BuildMs        float64 `json:"build_ms"`
 	MapMs          float64 `json:"map_ms"`
+	PeakResultBuf  int     `json:"peak_result_buffer_bytes"`
+	// Upload resume anchors, present while the job is uploading.
+	ReferenceOffset *int64 `json:"reference_offset,omitempty"`
+	ReadsOffset     *int64 `json:"reads_offset,omitempty"`
 }
 
 func (j *Job) toJSON() jobJSON {
-	return jobJSON{
+	out := jobJSON{
 		ID: j.ID, State: string(j.State), Error: j.Error, Backend: j.Backend,
 		B: j.B, SF: j.SF, Mismatches: j.Mismatches,
 		RefName: j.RefName, RefLength: j.RefLength,
 		Reads: j.Reads, Mapped: j.Mapped, Done: j.Done, CacheHit: j.CacheHit,
 		Fallback: j.FallbackUsed, FallbackReason: j.FallbackReason,
-		ParseMs: float64(j.ParseTime) / float64(time.Millisecond),
-		BuildMs: float64(j.BuildTime) / float64(time.Millisecond),
-		MapMs:   float64(j.MapTime) / float64(time.Millisecond),
+		ParseMs:       float64(j.ParseTime) / float64(time.Millisecond),
+		BuildMs:       float64(j.BuildTime) / float64(time.Millisecond),
+		MapMs:         float64(j.MapTime) / float64(time.Millisecond),
+		PeakResultBuf: j.PeakResultBuf,
 	}
+	if j.State == StateUploading && j.upload != nil {
+		j.upload.mu.Lock()
+		ref, reads := j.upload.refSize, j.upload.readsSize
+		j.upload.mu.Unlock()
+		out.ReferenceOffset, out.ReadsOffset = &ref, &reads
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, status int, payload any) {
@@ -543,9 +639,9 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if cancel == nil {
-		// Never launched (created directly, or launch still pending):
-		// cancel it in place.
-		job.State = StateCanceled
+		// Never launched (still uploading, created directly, or launch still
+		// pending): cancel it in place.
+		s.setJobStateLocked(job, StateCanceled)
 		job.Error = errJobCanceled.Error()
 		job.Finished = time.Now()
 		s.mu.Unlock()
@@ -554,6 +650,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 			refRel, readsRel := payloadNames(job.ID)
 			s.journal.removeFiles(refRel, readsRel)
 		}
+		s.closeJobStream(job)
 		writeJSON(w, http.StatusOK, map[string]any{"id": job.ID, "state": string(StateCanceled)})
 		return
 	}
@@ -614,7 +711,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, j := range s.jobs {
 		payload.Jobs[string(j.State)]++
 	}
-	payload.QueueDepth = payload.Jobs[string(StateQueued)]
+	// Queue depth is the slot-holding count the -max-queue gate sees:
+	// queued plus still-uploading jobs.
+	payload.QueueDepth = s.queuedCount
 	payload.Running = payload.Jobs[string(StateRunning)]
 	payload.Evicted = s.jobsEvicted
 	payload.Stage = stageJSON{
@@ -794,6 +893,13 @@ func formInt(r *http.Request, name string, def int) (int, error) {
 // and FASTQ happen on the job goroutine, so a malformed or huge upload fails
 // inside a visible job (StateFailed) instead of blocking the HTTP handler.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Idempotent replay first, before any gate: a retried submission must
+	// come back with the original job without consuming a rate-limit token.
+	idemKey := strings.TrimSpace(r.Header.Get("Idempotency-Key"))
+	if job := s.idemLookup(idemKey); job != nil {
+		s.answerSubmitted(w, r, job, true)
+		return
+	}
 	// Shed before reading the body: a draining or rate-limited client's
 	// upload should not cost parsing.
 	if ae := s.preAdmit(r); ae != nil {
@@ -805,59 +911,69 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// only the in-memory threshold past which parts spill to temp files.
 	// Passing the 256 MiB cap here would buffer whole uploads in RAM.
 	if err := r.ParseMultipartForm(multipartMemoryThreshold); err != nil {
-		http.Error(w, "bad upload: "+err.Error(), http.StatusBadRequest)
+		httpError(w, r, http.StatusBadRequest, "bad upload: "+err.Error())
 		return
 	}
 	b, err := formInt(r, "b", 15)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		httpError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	sf, err := formInt(r, "sf", 50)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		httpError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	mismatches, err := formInt(r, "mismatches", 0)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		httpError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	if mismatches < 0 || mismatches > fmindex.MaxMismatchBudget {
-		http.Error(w, fmt.Sprintf("mismatch budget must be in [0,%d]", fmindex.MaxMismatchBudget), http.StatusBadRequest)
-		return
-	}
-	backend := r.FormValue("backend")
-	if backend == "" {
-		backend = "fpga"
-	}
-	if backend != "cpu" && backend != "fpga" {
-		http.Error(w, "backend must be cpu or fpga", http.StatusBadRequest)
-		return
-	}
-	if err := (rrr.Params{BlockSize: b, SuperblockFactor: sf}).Validate(); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	backend, err := validateJobParams(r.FormValue("backend"), b, sf, mismatches)
+	if err != nil {
+		httpError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	refRaw, err := formFileBytes(r, "reference")
 	if err != nil {
-		http.Error(w, "missing reference upload", http.StatusBadRequest)
+		httpError(w, r, http.StatusBadRequest, "missing reference upload")
 		return
 	}
 	readsRaw, err := formFileBytes(r, "reads")
 	if err != nil {
-		http.Error(w, "missing reads upload", http.StatusBadRequest)
+		httpError(w, r, http.StatusBadRequest, "missing reads upload")
 		return
 	}
 
-	job, ae := s.admitJob(backend, b, sf, mismatches, "(parsing)", 0, 0)
+	job, existing, ae := s.admitJob(backend, b, sf, mismatches, "(parsing)", 0, 0, idemKey, StateQueued)
 	if ae != nil {
 		s.rejectAdmission(w, ae)
+		return
+	}
+	if existing {
+		s.answerSubmitted(w, r, job, true)
 		return
 	}
 	if err := s.acceptAndLaunch(job, jobInput{refRaw: refRaw, readsRaw: readsRaw}); err != nil {
 		s.log.Error("accepting job failed", "job", job.ID, "err", err)
 		jsonError(w, http.StatusInternalServerError, "could not persist job")
+		return
+	}
+	s.answerSubmitted(w, r, job, false)
+}
+
+// answerSubmitted responds to a successful (or idempotently replayed) submit:
+// API clients get the job JSON, browsers get the redirect to the job page.
+func (s *Server) answerSubmitted(w http.ResponseWriter, r *http.Request, job *Job, replayed bool) {
+	if wantsJSON(r) {
+		if replayed {
+			s.respondIdempotentReplay(w, job)
+			return
+		}
+		s.mu.Lock()
+		payload := job.toJSON()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, payload)
 		return
 	}
 	http.Redirect(w, r, fmt.Sprintf("/jobs/%d", job.ID), http.StatusSeeOther)
@@ -874,10 +990,14 @@ func (s *Server) acceptAndLaunch(job *Job, in jobInput) error {
 	defer s.wg.Done()
 	if err := s.journalAccept(job, in); err != nil {
 		s.mu.Lock()
-		job.State = StateFailed
+		s.setJobStateLocked(job, StateFailed)
 		job.Error = "journal: " + err.Error()
 		job.Finished = time.Now()
+		// The submission never became durable, so the idempotency key must
+		// not pin a retry to this failure.
+		s.releaseIdemKeyLocked(job)
 		s.mu.Unlock()
+		s.closeJobStream(job)
 		return err
 	}
 	s.launch(job, in)
@@ -906,6 +1026,11 @@ const DefaultDemoSeed = 42
 // bytes and submitted through the same raw-payload path as an upload, so
 // demo jobs are journaled and replayed exactly like real ones.
 func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
+	idemKey := strings.TrimSpace(r.Header.Get("Idempotency-Key"))
+	if job := s.idemLookup(idemKey); job != nil {
+		s.answerSubmitted(w, r, job, true)
+		return
+	}
 	if ae := s.preAdmit(r); ae != nil {
 		s.rejectAdmission(w, ae)
 		return
@@ -914,7 +1039,7 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 	if v := r.FormValue("seed"); v != "" {
 		parsed, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
-			http.Error(w, "parameter seed: "+err.Error(), http.StatusBadRequest)
+			httpError(w, r, http.StatusBadRequest, "parameter seed: "+err.Error())
 			return
 		}
 		seed = parsed
@@ -922,12 +1047,16 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 	refRaw, readsRaw, counts, err := demoDataset(seed)
 	if err != nil {
 		s.log.Error("demo dataset generation failed", "seed", seed, "err", err)
-		http.Error(w, "internal server error", http.StatusInternalServerError)
+		httpError(w, r, http.StatusInternalServerError, "internal server error")
 		return
 	}
-	job, ae := s.admitJob("fpga", 15, 50, 0, "synthetic-demo", counts.refLen, counts.reads)
+	job, existing, ae := s.admitJob("fpga", 15, 50, 0, "synthetic-demo", counts.refLen, counts.reads, idemKey, StateQueued)
 	if ae != nil {
 		s.rejectAdmission(w, ae)
+		return
+	}
+	if existing {
+		s.answerSubmitted(w, r, job, true)
 		return
 	}
 	if err := s.acceptAndLaunch(job, jobInput{refRaw: refRaw, readsRaw: readsRaw}); err != nil {
@@ -935,7 +1064,7 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusInternalServerError, "could not persist job")
 		return
 	}
-	http.Redirect(w, r, fmt.Sprintf("/jobs/%d", job.ID), http.StatusSeeOther)
+	s.answerSubmitted(w, r, job, false)
 }
 
 // demoDataset renders the seeded synthetic reference and reads as FASTA and
@@ -1020,23 +1149,39 @@ func (s *Server) createJob(backend string, b, sf, mismatches int, refName string
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	job := &Job{
-		ID: s.nextID, State: StateQueued, Backend: backend, B: b, SF: sf,
+		ID: s.nextID, Backend: backend, B: b, SF: sf,
 		Mismatches: mismatches,
 		RefName:    refName, RefLength: refLen, Reads: reads, Created: time.Now(),
 	}
+	s.setJobStateLocked(job, StateQueued)
 	s.nextID++
 	s.jobs[job.ID] = job
 	return job
 }
 
-// jobInput is what a launched job works on: either raw upload bytes (parsed
-// on the job goroutine) or pre-parsed sequences (demo path).
+// jobInput is what a launched job works on: raw upload bytes (parsed on the
+// job goroutine), payload files on disk (chunked uploads and journal
+// replays), or pre-parsed sequences.
 type jobInput struct {
-	refRaw, readsRaw []byte
-	ref              dna.Seq
-	contigs          *core.ContigSet
-	reads            []dna.Seq
-	ids              []string
+	refRaw, readsRaw   []byte
+	refPath, readsPath string
+	ref                dna.Seq
+	contigs            *core.ContigSet
+	reads              []dna.Seq
+	ids                []string
+}
+
+// hasRawInput reports whether the job must parse its payload itself.
+func (in jobInput) hasRawInput() bool {
+	return in.refRaw != nil || in.refPath != ""
+}
+
+// openPayload returns a reader over one payload part, raw bytes or file.
+func openPayload(raw []byte, path string) (io.ReadCloser, error) {
+	if path != "" {
+		return os.Open(path)
+	}
+	return io.NopCloser(bytes.NewReader(raw)), nil
 }
 
 // launch runs the job asynchronously: it waits for a pipeline slot (abortable
@@ -1094,7 +1239,7 @@ func (s *Server) finishJob(job *Job, ctx context.Context, err error) {
 	job.Finished = time.Now()
 	switch {
 	case err == nil:
-		job.State = StateDone
+		s.setJobStateLocked(job, StateDone)
 		s.totalParse += job.ParseTime
 		s.totalBuild += job.BuildTime
 		s.totalMap += job.MapTime
@@ -1106,26 +1251,30 @@ func (s *Server) finishJob(job *Job, ctx context.Context, err error) {
 		cause := context.Cause(ctx)
 		switch {
 		case errors.Is(cause, errJobCanceled):
-			job.State = StateCanceled
+			s.setJobStateLocked(job, StateCanceled)
 			job.Error = errJobCanceled.Error()
 		case errors.Is(cause, context.DeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
-			job.State = StateFailed
+			s.setJobStateLocked(job, StateFailed)
 			job.Error = fmt.Sprintf("job exceeded the %v timeout", s.cfg.JobTimeout)
 		default:
-			job.State = StateFailed
+			s.setJobStateLocked(job, StateFailed)
 			job.Error = err.Error()
 		}
 	default:
-		job.State = StateFailed
+		s.setJobStateLocked(job, StateFailed)
 		job.Error = err.Error()
 	}
 	state, jobErr := job.State, job.Error
 	results := job.results
+	resultsPath := job.resultsPath
 	span := job.span
 	elapsed := job.Finished.Sub(job.Created)
 	s.mu.Unlock()
 
-	s.journalFinish(job, state, results)
+	s.journalFinish(job, state, results, resultsPath)
+	// Seal the result stream after the terminal state is durable, so every
+	// subscriber gets the closing done/failed/canceled event.
+	s.closeJobStream(job)
 	span.SetAttr("state", string(state))
 	span.End()
 	s.mJobsTotal.With(string(state)).Inc()
@@ -1149,7 +1298,7 @@ func (s *Server) setJobProgress(job *Job, done int) {
 
 func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 	s.mu.Lock()
-	job.State = StateRunning
+	s.setJobStateLocked(job, StateRunning)
 	s.mu.Unlock()
 	if s.journal != nil {
 		s.journal.appendBestEffort(journalRecord{Type: recRunning, Job: job.ID})
@@ -1162,17 +1311,28 @@ func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 	}
 
 	ref, contigs, reads, ids := in.ref, in.contigs, in.reads, in.ids
-	if in.refRaw != nil {
+	if in.hasRawInput() {
 		_, parseSpan := obs.StartSpan(ctx, "parse")
 		parseStart := time.Now()
 		var refName string
-		var err error
-		ref, contigs, refName, err = parseReference(bytes.NewReader(in.refRaw))
+		refReader, err := openPayload(in.refRaw, in.refPath)
 		if err != nil {
 			parseSpan.End()
 			return err
 		}
-		reads, ids, err = parseReads(bytes.NewReader(in.readsRaw))
+		ref, contigs, refName, err = parseReference(refReader)
+		refReader.Close()
+		if err != nil {
+			parseSpan.End()
+			return err
+		}
+		readsReader, err := openPayload(in.readsRaw, in.readsPath)
+		if err != nil {
+			parseSpan.End()
+			return err
+		}
+		reads, ids, err = parseReads(readsReader)
+		readsReader.Close()
 		parseSpan.End()
 		if err != nil {
 			return err
@@ -1235,17 +1395,26 @@ func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 	s.mu.Unlock()
 
 	mapCtx, mapSpan := obs.StartSpan(ctx, "map")
-	var buf bytes.Buffer
+	em, err := s.newEmitter(job)
+	if err != nil {
+		mapSpan.End()
+		return err
+	}
 	var mapped int
 	var mapTime time.Duration
 	if job.Mismatches > 0 {
-		mapped, mapTime, err = s.runApprox(mapCtx, job, entry, reads, ids, &buf)
+		mapped, mapTime, err = s.runApprox(mapCtx, job, entry, reads, ids, em)
 	} else {
-		mapped, mapTime, err = s.runExact(mapCtx, job, entry, reads, ids, &buf)
+		mapped, mapTime, err = s.runExact(mapCtx, job, entry, reads, ids, em)
 	}
 	mapSpan.SetAttr("reads", len(reads))
 	mapSpan.End()
 	if err != nil {
+		em.discard()
+		return err
+	}
+	if err := em.finish(); err != nil {
+		em.discard()
 		return err
 	}
 
@@ -1253,7 +1422,6 @@ func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 	defer s.mu.Unlock()
 	job.MapTime = mapTime
 	job.Mapped = mapped
-	job.results = buf.Bytes()
 	return nil
 }
 
@@ -1294,25 +1462,48 @@ func (s *Server) noteFallback(job *Job, cause error) {
 	s.mu.Unlock()
 }
 
-// runExact is pipeline step 3 for exact matching on either backend. When the
+// runExact is pipeline step 3 for exact matching on either backend, run in
+// StreamBatch-sized slices so results are emitted (TSV + NDJSON stream) as
+// each batch completes instead of accumulating for the whole job. When the
 // FPGA farm fails with a device error and the fallback policy is "cpu", the
-// batch reruns on the CPU baseline — same results (the backends are
-// bit-identical by construction), honest CPU timing.
-func (s *Server) runExact(ctx context.Context, job *Job, entry *cacheEntry, reads []dna.Seq, ids []string, buf *bytes.Buffer) (int, time.Duration, error) {
+// remaining reads rerun on the CPU baseline — same results (the backends are
+// bit-identical by construction), honest CPU timing; batches already emitted
+// by the FPGA stand.
+func (s *Server) runExact(ctx context.Context, job *Job, entry *cacheEntry, reads []dna.Seq, ids []string, em *jobEmitter) (int, time.Duration, error) {
 	ix := entry.ix
-	var (
-		results []core.MapResult
-		mapTime time.Duration
-	)
-	progress := func(done, total int) { s.setJobProgress(job, done) }
-	useCPU := job.Backend != "fpga"
-	if !useCPU {
+	contigs := ix.Contigs()
+	batch := s.cfg.StreamBatch
+	if batch <= 0 {
+		batch = DefaultStreamBatch
+	}
+	cpuFrom := func(off int, elapsed time.Duration) (int, time.Duration, error) {
+		stats, err := ix.MapBatches(reads[off:], batch, core.MapOptions{
+			Context: ctx, Locate: true, Workers: -1,
+			Progress: func(done, total int) { s.setJobProgress(job, off+done) },
+		}, func(start int, results []core.MapResult) error {
+			return em.exactBatch(off+start, ids, reads, results, contigs)
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return em.mapped, elapsed + stats.Elapsed, nil
+	}
+	if job.Backend != "fpga" {
+		return cpuFrom(0, 0)
+	}
+	var mapTime time.Duration
+	for off := 0; off < len(reads); off += batch {
+		end := min(off+batch, len(reads))
+		chunk := reads[off:end]
+		progress := func(done, total int) { s.setJobProgress(job, off+done) }
 		run, ferr := func() (*fpga.RunResult, error) {
+			// farmFor is cheap after the first batch: the cached farm reports
+			// the index already resident on the devices.
 			farm, resident, err := entry.farmFor(s.devices, s.farmOptions())
 			if err != nil {
 				return nil, err
 			}
-			run, err := farm.MapReadsOpts(reads, fpga.MapRunOptions{
+			run, err := farm.MapReadsOpts(chunk, fpga.MapRunOptions{
 				Context: ctx, Progress: progress, IndexResident: resident,
 			})
 			if err != nil {
@@ -1325,97 +1516,101 @@ func (s *Server) runExact(ctx context.Context, job *Job, entry *cacheEntry, read
 		}()
 		switch {
 		case ferr == nil:
-			results = run.Results
-			mapTime = run.Profile.Total()
+			mapTime += run.Profile.Total()
 			addModeledEvents(obs.SpanFrom(ctx), run.Profile.Events)
+			if err := em.exactBatch(off, ids, reads, run.Results, contigs); err != nil {
+				return 0, 0, err
+			}
 		case s.shouldFallback(ctx, ferr):
 			s.noteFallback(job, ferr)
 			obs.SpanFrom(ctx).SetAttr("fallback", ferr.Error())
-			useCPU = true
+			return cpuFrom(off, mapTime)
 		default:
 			return 0, 0, ferr
 		}
 	}
-	if useCPU {
-		var stats core.MapStats
-		var err error
-		results, stats, err = ix.MapReads(reads, core.MapOptions{
-			Context: ctx, Locate: true, Workers: -1, Progress: progress,
-		})
-		if err != nil {
-			return 0, 0, err
-		}
-		mapTime = stats.Elapsed
-	}
-	mapped := writeResultsTSV(buf, ix.Contigs(), ids, reads, results)
-	return mapped, mapTime, nil
+	return em.mapped, mapTime, nil
 }
 
-// runApprox is step 3 with a mismatch budget: the two-pass reconfigurable
-// flow on the FPGA model, the branching search on the CPU.
-func (s *Server) runApprox(ctx context.Context, job *Job, entry *cacheEntry, reads []dna.Seq, ids []string, buf *bytes.Buffer) (int, time.Duration, error) {
+// runApprox is step 3 with a mismatch budget, batched like runExact: the
+// two-pass reconfigurable flow on the FPGA model, the branching search on the
+// CPU.
+func (s *Server) runApprox(ctx context.Context, job *Job, entry *cacheEntry, reads []dna.Seq, ids []string, em *jobEmitter) (int, time.Duration, error) {
 	ix := entry.ix
-	type row struct {
-		mapped      bool
-		bestMM      int
-		occurrences int
+	batch := s.cfg.StreamBatch
+	if batch <= 0 {
+		batch = DefaultStreamBatch
 	}
-	rows := make([]row, len(reads))
+	cpuFrom := func(off int, elapsed time.Duration) (int, time.Duration, error) {
+		start := time.Now()
+		for o := off; o < len(reads); o += batch {
+			end := min(o+batch, len(reads))
+			chunk := reads[o:end]
+			results, err := ix.MapReadsApprox(chunk, job.Mismatches, core.MapOptions{
+				Context: ctx, Workers: -1,
+				Progress: func(done, total int) { s.setJobProgress(job, o+done) },
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			rows := make([]approxRow, len(results))
+			for i, res := range results {
+				rows[i] = approxRow{
+					Read: sanitizeID(ids[o+i]), Mapped: res.Mapped(),
+					BestMismatches: res.BestMismatches(), Occurrences: res.Occurrences(),
+				}
+			}
+			if err := em.approxBatch(o, ids, rows); err != nil {
+				return 0, 0, err
+			}
+		}
+		return em.mapped, elapsed + time.Since(start), nil
+	}
+	if job.Backend != "fpga" {
+		return cpuFrom(0, 0)
+	}
 	var mapTime time.Duration
-	progress := func(done, total int) { s.setJobProgress(job, done) }
-	useCPU := job.Backend != "fpga"
-	if !useCPU {
+	for off := 0; off < len(reads); off += batch {
+		end := min(off+batch, len(reads))
+		chunk := reads[off:end]
+		progress := func(done, total int) { s.setJobProgress(job, off+done) }
 		run, ferr := func() (*fpga.TwoPassResult, error) {
 			farm, resident, err := entry.farmFor(s.devices, s.farmOptions())
 			if err != nil {
 				return nil, err
 			}
-			return farm.MapReadsTwoPassOpts(reads, job.Mismatches, fpga.MapRunOptions{
+			return farm.MapReadsTwoPassOpts(chunk, job.Mismatches, fpga.MapRunOptions{
 				Context: ctx, Progress: progress, IndexResident: resident,
 			})
 		}()
 		switch {
 		case ferr == nil:
-			mapTime = run.Profile.Total()
+			mapTime += run.Profile.Total()
 			addModeledEvents(obs.SpanFrom(ctx), run.Profile.Events)
-			for i, exact := range run.Exact {
-				if exact.Mapped() {
-					rows[i] = row{mapped: true, bestMM: 0, occurrences: exact.Occurrences()}
+			rows := make([]approxRow, len(chunk))
+			for i := range chunk {
+				if exact := run.Exact[i]; exact.Mapped() {
+					rows[i] = approxRow{Read: sanitizeID(ids[off+i]), Mapped: true, Occurrences: exact.Occurrences()}
 					continue
 				}
 				res := run.Approx[i]
-				rows[i] = row{mapped: res.Mapped(), bestMM: res.BestMismatches(), occurrences: res.Occurrences()}
+				rows[i] = approxRow{
+					Read: sanitizeID(ids[off+i]), Mapped: res.Mapped(),
+					BestMismatches: res.BestMismatches(), Occurrences: res.Occurrences(),
+				}
+			}
+			if err := em.approxBatch(off, ids, rows); err != nil {
+				return 0, 0, err
 			}
 		case s.shouldFallback(ctx, ferr):
 			s.noteFallback(job, ferr)
 			obs.SpanFrom(ctx).SetAttr("fallback", ferr.Error())
-			useCPU = true
+			return cpuFrom(off, mapTime)
 		default:
 			return 0, 0, ferr
 		}
 	}
-	if useCPU {
-		start := time.Now()
-		results, err := ix.MapReadsApprox(reads, job.Mismatches, core.MapOptions{
-			Context: ctx, Workers: -1, Progress: progress,
-		})
-		if err != nil {
-			return 0, 0, err
-		}
-		for i, res := range results {
-			rows[i] = row{mapped: res.Mapped(), bestMM: res.BestMismatches(), occurrences: res.Occurrences()}
-		}
-		mapTime = time.Since(start)
-	}
-	fmt.Fprintln(buf, "read\tmapped\tbest_mismatches\toccurrences")
-	mapped := 0
-	for i, r := range rows {
-		if r.mapped {
-			mapped++
-		}
-		fmt.Fprintf(buf, "%s\t%t\t%d\t%d\n", sanitizeID(ids[i]), r.mapped, r.bestMM, r.occurrences)
-	}
-	return mapped, mapTime, nil
+	return em.mapped, mapTime, nil
 }
 
 // idSanitizer strips the TSV structural characters from user-supplied read
@@ -1492,21 +1687,41 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.renderHTML(w, jobTemplate, snapshot)
 }
 
+// handleResults serves the buffered TSV download. Durable jobs stream it
+// from the results file the emitter wrote, so the whole TSV is never held in
+// memory; either way Content-Length is set so clients can show progress.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	job, err := s.jobByRequest(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		httpError(w, r, http.StatusNotFound, err.Error())
 		return
 	}
 	s.mu.Lock()
 	state := job.State
 	results := job.results
+	path := job.resultsPath
+	size := job.resultsSize
 	s.mu.Unlock()
 	if state != StateDone {
-		http.Error(w, fmt.Sprintf("job is %s; results not available", state), http.StatusConflict)
+		httpError(w, r, http.StatusConflict, fmt.Sprintf("job is %s; results not available", state))
+		return
+	}
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			s.log.Error("opening results file failed", "job", job.ID, "path", path, "err", err)
+			httpError(w, r, http.StatusInternalServerError, "results unavailable")
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=bwaver-job-%d.tsv", job.ID))
+		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+		io.Copy(w, f)
 		return
 	}
 	w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=bwaver-job-%d.tsv", job.ID))
+	w.Header().Set("Content-Length", strconv.Itoa(len(results)))
 	w.Write(results)
 }

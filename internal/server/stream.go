@@ -1,0 +1,549 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bwaver/internal/core"
+	"bwaver/internal/dna"
+)
+
+// Streamed results. The two-pass flow already produces mappings batch by
+// batch; this file stops throwing that incrementality away at the HTTP layer.
+// As the mapping loop completes each batch, the job's emitter appends one
+// NDJSON line per read to the job's result stream and the matching TSV rows
+// to the results file (durable mode) or buffer (stateless). GET
+// /api/jobs/{id}/stream serves the stream as Server-Sent Events — one event
+// per read, ids are 1-based line numbers, so a dropped client resumes with
+// Last-Event-ID — or as raw NDJSON when the client asks for
+// application/x-ndjson. A terminal event (done/failed/canceled) always closes
+// the stream.
+//
+// Memory: in durable mode the stream spills to <state-dir>/results/
+// job-N.ndjson as batches complete and subscribers tail the file, so a job
+// holds O(batch) result bytes no matter how many reads it maps; the peak is
+// recorded per job (peak_result_buffer_bytes). Stateless servers keep the
+// stream in memory — the pre-streaming behavior, fine for demo-scale jobs.
+
+// DefaultStreamBatch is the default result-streaming batch size: how many
+// reads are mapped between stream flushes.
+const DefaultStreamBatch = 8192
+
+// streamHeartbeat is how often an idle SSE connection gets a comment line so
+// proxies do not reap it.
+const streamHeartbeat = 15 * time.Second
+
+// resultStream is a job's append-only result log plus its subscriber wakeup.
+// Appends are whole batches of NDJSON lines, so the committed length is
+// always line-aligned; subscribers track their own byte offset and line
+// count, which keeps the stream itself O(1) memory in durable mode.
+type resultStream struct {
+	mu     sync.Mutex
+	notify chan struct{} // closed and replaced on every append/close
+	path   string        // durable spill file; "" = in-memory
+	buf    []byte        // in-memory log when path == ""
+	f      *os.File      // append handle, durable mode
+	bytes  int64         // committed bytes
+	lines  int           // committed NDJSON lines (== last event id)
+	closed bool
+	// terminal is the closing event: kind done/failed/canceled plus a JSON
+	// summary payload.
+	terminalKind string
+	terminalData []byte
+}
+
+func newResultStream(path string) *resultStream {
+	return &resultStream{path: path, notify: make(chan struct{})}
+}
+
+// start truncates any stale spill (a re-run after a crash rewrites the log
+// from scratch, keeping event ids aligned with the deterministic re-mapping).
+func (st *resultStream) start() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.path == "" {
+		return nil
+	}
+	f, err := os.Create(st.path)
+	if err != nil {
+		return err
+	}
+	st.f = f
+	st.bytes, st.lines = 0, 0
+	return nil
+}
+
+// append commits a batch of NDJSON lines and wakes subscribers.
+func (st *resultStream) append(data []byte, lines int) error {
+	if len(data) == 0 {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f != nil {
+		if _, err := st.f.Write(data); err != nil {
+			return err
+		}
+	} else {
+		st.buf = append(st.buf, data...)
+	}
+	st.bytes += int64(len(data))
+	st.lines += lines
+	close(st.notify)
+	st.notify = make(chan struct{})
+	return nil
+}
+
+// close seals the stream with its terminal event. Safe to call once per
+// stream; later calls are ignored.
+func (st *resultStream) close(kind string, data []byte) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.closed = true
+	st.terminalKind, st.terminalData = kind, data
+	if st.f != nil {
+		st.f.Sync()
+		st.f.Close()
+		st.f = nil
+	}
+	close(st.notify)
+	st.notify = make(chan struct{})
+}
+
+// restoreClosed marks a replayed terminal job's stream as already complete,
+// backed by whatever spill survived the restart (line count recovered by one
+// scan; a missing file just means no replayable history, only the terminal
+// event).
+func (st *resultStream) restoreClosed(kind string, data []byte) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.closed = true
+	st.terminalKind, st.terminalData = kind, data
+	if st.path == "" {
+		return
+	}
+	raw, err := os.ReadFile(st.path)
+	if err != nil {
+		return
+	}
+	st.bytes = int64(len(raw))
+	st.lines = bytes.Count(raw, []byte{'\n'})
+}
+
+// snapshot returns the committed extent and terminal state.
+func (st *resultStream) snapshot() (committed int64, lines int, closed bool, kind string, data []byte) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bytes, st.lines, st.closed, st.terminalKind, st.terminalData
+}
+
+// waitCh returns the channel that will be closed on the next append or close.
+func (st *resultStream) waitCh() chan struct{} {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.notify
+}
+
+// readCommitted returns committed bytes in [off, off+max), from the spill
+// file or the in-memory log. The caller owns the returned slice.
+func (st *resultStream) readCommitted(off int64, max int) ([]byte, error) {
+	st.mu.Lock()
+	committed := st.bytes
+	path := st.path
+	var mem []byte
+	if path == "" {
+		mem = st.buf
+	}
+	st.mu.Unlock()
+	if off >= committed {
+		return nil, nil
+	}
+	n := committed - off
+	if int64(max) < n {
+		n = int64(max)
+	}
+	if path == "" {
+		out := make([]byte, n)
+		copy(out, mem[off:off+n])
+		return out, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make([]byte, n)
+	if _, err := f.ReadAt(out, off); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// streamName is the spill file for a job's NDJSON result stream, next to its
+// TSV under the state dir's results/ directory.
+func streamName(id int) string {
+	return filepath.Join(resultsDir, fmt.Sprintf("job-%d.ndjson", id))
+}
+
+// ensureStreamLocked lazily attaches a job's result stream; s.mu must be
+// held. A stream created for an already-terminal job (a replayed one, or a
+// pre-streaming job queried after the fact) comes back closed, serving the
+// surviving spill plus the terminal event.
+func (s *Server) ensureStreamLocked(job *Job) *resultStream {
+	if job.stream == nil {
+		path := ""
+		if s.journal != nil {
+			path = s.journal.abs(streamName(job.ID))
+		}
+		job.stream = newResultStream(path)
+		if job.State.terminal() {
+			kind, data := terminalEventLocked(job)
+			job.stream.restoreClosed(kind, data)
+		}
+	}
+	return job.stream
+}
+
+// terminalEventLocked renders a job's closing stream event; s.mu must be
+// held.
+func terminalEventLocked(job *Job) (kind string, data []byte) {
+	kind = string(job.State)
+	payload := map[string]any{
+		"state":  string(job.State),
+		"reads":  job.Reads,
+		"mapped": job.Mapped,
+	}
+	if job.Error != "" {
+		payload["error"] = job.Error
+	}
+	data, _ = json.Marshal(payload)
+	return kind, data
+}
+
+// closeJobStream seals a terminal job's stream (creating it on the spot if no
+// subscriber ever asked) so every waiting subscriber receives the terminal
+// event instead of hanging.
+func (s *Server) closeJobStream(job *Job) {
+	s.mu.Lock()
+	st := s.ensureStreamLocked(job)
+	kind, data := terminalEventLocked(job)
+	s.mu.Unlock()
+	st.close(kind, data)
+}
+
+// exactRow is the NDJSON wire form of one exact-matching result. Positions
+// are the same joined, contig-resolved strings the TSV carries, so the two
+// representations are field-for-field identical.
+type exactRow struct {
+	Read        string `json:"read"`
+	Mapped      bool   `json:"mapped"`
+	FwCount     int    `json:"fw_count"`
+	FwPositions string `json:"fw_positions"`
+	RcCount     int    `json:"rc_count"`
+	RcPositions string `json:"rc_positions"`
+}
+
+// approxRow is the NDJSON wire form of one mismatch-budget result.
+type approxRow struct {
+	Read           string `json:"read"`
+	Mapped         bool   `json:"mapped"`
+	BestMismatches int    `json:"best_mismatches"`
+	Occurrences    int    `json:"occurrences"`
+}
+
+// jobEmitter receives mapping results batch by batch and fans them out to
+// the job's two result representations: the TSV (file-backed in durable
+// mode, buffered otherwise) and the NDJSON stream. It tracks the peak bytes
+// buffered in memory for one batch, the figure that proves the O(batch)
+// claim.
+type jobEmitter struct {
+	s      *Server
+	job    *Job
+	stream *resultStream
+
+	tsvBuf  *bytes.Buffer // stateless accumulation
+	tsvFile *os.File      // durable incremental TSV
+	tsvPath string
+	tsvSize int64
+
+	scratchTSV bytes.Buffer // per-batch row staging, reused
+	scratchND  bytes.Buffer
+
+	mapped int
+	rows   int
+	peak   int
+}
+
+// newEmitter opens a job's result sinks. In durable mode the TSV lands
+// directly at its journal-contract path (results/job-N.tsv) and is fsync'd by
+// finish before the done record that references it is appended.
+func (s *Server) newEmitter(job *Job) (*jobEmitter, error) {
+	s.mu.Lock()
+	st := s.ensureStreamLocked(job)
+	s.mu.Unlock()
+	if err := st.start(); err != nil {
+		return nil, fmt.Errorf("opening result stream: %w", err)
+	}
+	em := &jobEmitter{s: s, job: job, stream: st}
+	if s.journal != nil {
+		em.tsvPath = s.journal.abs(resultsName(job.ID))
+		f, err := os.Create(em.tsvPath)
+		if err != nil {
+			return nil, fmt.Errorf("opening results file: %w", err)
+		}
+		em.tsvFile = f
+	} else {
+		em.tsvBuf = &bytes.Buffer{}
+	}
+	return em, nil
+}
+
+// flushBatch commits the staged TSV rows and NDJSON lines for one batch.
+func (em *jobEmitter) flushBatch(lines int) error {
+	if staged := em.scratchTSV.Len() + em.scratchND.Len(); staged > em.peak {
+		em.peak = staged
+	}
+	if em.tsvFile != nil {
+		if _, err := em.tsvFile.Write(em.scratchTSV.Bytes()); err != nil {
+			return err
+		}
+	} else {
+		em.tsvBuf.Write(em.scratchTSV.Bytes())
+	}
+	em.tsvSize += int64(em.scratchTSV.Len())
+	if err := em.stream.append(em.scratchND.Bytes(), lines); err != nil {
+		return err
+	}
+	em.rows += lines
+	em.s.mStreamEvents.With().Add(float64(lines))
+	em.scratchTSV.Reset()
+	em.scratchND.Reset()
+	return nil
+}
+
+// exactBatch emits one exact-matching batch: ids and reads are the full job
+// slices, results covers [start, start+len(results)).
+func (em *jobEmitter) exactBatch(start int, ids []string, reads []dna.Seq, results []core.MapResult, contigs *core.ContigSet) error {
+	if start == 0 {
+		fmt.Fprintln(&em.scratchTSV, "read\tmapped\tfw_count\tfw_positions\trc_count\trc_positions")
+	}
+	enc := json.NewEncoder(&em.scratchND)
+	for i, res := range results {
+		g := start + i
+		if res.Mapped() {
+			em.mapped++
+		}
+		row := exactRow{
+			Read:        sanitizeID(ids[g]),
+			Mapped:      res.Mapped(),
+			FwCount:     res.Forward.Count(),
+			FwPositions: joinPositions(contigs, res.ForwardPositions, len(reads[g])),
+			RcCount:     res.Reverse.Count(),
+			RcPositions: joinPositions(contigs, res.ReversePositions, len(reads[g])),
+		}
+		fmt.Fprintf(&em.scratchTSV, "%s\t%t\t%d\t%s\t%d\t%s\n",
+			row.Read, row.Mapped, row.FwCount, row.FwPositions, row.RcCount, row.RcPositions)
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return em.flushBatch(len(results))
+}
+
+// approxBatch emits one mismatch-budget batch.
+func (em *jobEmitter) approxBatch(start int, ids []string, rows []approxRow) error {
+	if start == 0 {
+		fmt.Fprintln(&em.scratchTSV, "read\tmapped\tbest_mismatches\toccurrences")
+	}
+	enc := json.NewEncoder(&em.scratchND)
+	for _, row := range rows {
+		if row.Mapped {
+			em.mapped++
+		}
+		fmt.Fprintf(&em.scratchTSV, "%s\t%t\t%d\t%d\n",
+			row.Read, row.Mapped, row.BestMismatches, row.Occurrences)
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return em.flushBatch(len(rows))
+}
+
+// finish seals the result sinks after a successful mapping run: the durable
+// TSV is fsync'd (the done record that references it follows in finishJob)
+// and the job is pointed at whichever representation it owns. The stream's
+// terminal event is emitted later by finishJob, which knows the final state.
+func (em *jobEmitter) finish() error {
+	em.s.mu.Lock()
+	em.job.PeakResultBuf = em.peak
+	em.s.mu.Unlock()
+	if em.tsvFile != nil {
+		if err := em.tsvFile.Sync(); err != nil {
+			em.tsvFile.Close()
+			return fmt.Errorf("persisting results: %w", err)
+		}
+		if err := em.tsvFile.Close(); err != nil {
+			return fmt.Errorf("persisting results: %w", err)
+		}
+		em.tsvFile = nil
+		em.s.mu.Lock()
+		em.job.resultsPath = em.tsvPath
+		em.job.resultsSize = em.tsvSize
+		em.s.mu.Unlock()
+		return nil
+	}
+	em.s.mu.Lock()
+	em.job.results = em.tsvBuf.Bytes()
+	em.s.mu.Unlock()
+	return nil
+}
+
+// discard abandons the sinks after a failed or canceled run, removing any
+// partial durable files; the journal's non-done record makes a restart re-run
+// the job from its payloads anyway.
+func (em *jobEmitter) discard() {
+	em.s.mu.Lock()
+	em.job.PeakResultBuf = em.peak
+	em.s.mu.Unlock()
+	if em.tsvFile != nil {
+		em.tsvFile.Close()
+		em.tsvFile = nil
+		os.Remove(em.tsvPath)
+	}
+}
+
+// parseLastEventID extracts the resume point: the Last-Event-ID header (SSE
+// reconnects send it automatically) or an explicit ?from=N.
+func parseLastEventID(r *http.Request) int {
+	v := r.Header.Get("Last-Event-ID")
+	if q := r.URL.Query().Get("from"); q != "" {
+		v = q
+	}
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// wantsNDJSON reports whether the client asked for raw NDJSON instead of SSE
+// framing.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// streamReadChunk bounds how many committed bytes one handler iteration pulls.
+const streamReadChunk = 1 << 20
+
+// handleStream serves a job's results as they are produced. SSE framing by
+// default: one `event: result` per read with `id:` the 1-based row number and
+// `data:` its NDJSON line, closed by a terminal done/failed/canceled event
+// whose data is the job summary. `Last-Event-ID: N` (or ?from=N) resumes
+// after row N — after a crash the replayed job re-maps deterministically, so
+// resumed rows are bit-identical to the ones the client already holds. With
+// `Accept: application/x-ndjson` the same lines are sent unframed, terminated
+// by a {"event": ...} summary line.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job, err := s.jobByRequest(r)
+	if err != nil {
+		jsonError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	s.mu.Lock()
+	st := s.ensureStreamLocked(job)
+	s.mu.Unlock()
+	s.mStreamSubscribers.With().Add(1)
+	defer s.mStreamSubscribers.With().Add(-1)
+
+	ndjson := wantsNDJSON(r)
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("X-Accel-Buffering", "no")
+	}
+	w.WriteHeader(http.StatusOK)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	flush()
+
+	skip := parseLastEventID(r)
+	line := 0 // rows scanned so far (event id of the last scanned row)
+	var off int64
+	heartbeat := time.NewTicker(streamHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		committed, _, closed, kind, data := st.snapshot()
+		if off >= committed {
+			if closed {
+				if ndjson {
+					fmt.Fprintf(w, "{\"event\":%q,\"summary\":%s}\n", kind, data)
+				} else {
+					fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", line+1, kind, data)
+				}
+				flush()
+				return
+			}
+			select {
+			case <-st.waitCh():
+			case <-heartbeat.C:
+				if !ndjson {
+					fmt.Fprint(w, ": keepalive\n\n")
+					flush()
+				}
+			case <-r.Context().Done():
+				return
+			}
+			continue
+		}
+		chunk, err := st.readCommitted(off, streamReadChunk)
+		if err != nil {
+			s.log.Error("result stream read failed", "job", job.ID, "err", err)
+			return
+		}
+		// Commits are whole batches of lines, and the chunk is clipped to the
+		// committed extent, so it always ends on a line boundary.
+		for len(chunk) > 0 {
+			nl := bytes.IndexByte(chunk, '\n')
+			if nl < 0 {
+				s.log.Error("result stream holds a torn line", "job", job.ID)
+				return
+			}
+			row := chunk[:nl]
+			off += int64(nl + 1)
+			chunk = chunk[nl+1:]
+			line++
+			if line <= skip {
+				continue
+			}
+			if ndjson {
+				w.Write(row)
+				w.Write([]byte{'\n'})
+			} else {
+				fmt.Fprintf(w, "id: %d\nevent: result\ndata: %s\n\n", line, row)
+			}
+		}
+		flush()
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,495 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bwaver/internal/fmindex"
+	"bwaver/internal/rrr"
+)
+
+// Chunked, resumable job ingest. The multipart POST /jobs path buffers the
+// whole upload before a job exists, which caps job size by RAM and gives a
+// flaky client nothing to resume. The streaming protocol splits submission
+// into three steps:
+//
+//	POST /api/jobs                      -> job shell in state "uploading"
+//	PUT  /api/jobs/{id}/reference?offset=N   (repeat per chunk, both parts)
+//	PUT  /api/jobs/{id}/reads?offset=N
+//	POST /api/jobs/{id}/finalize        -> payload sealed, job queued
+//
+// Chunks append at the committed offset; a client that lost an ACK re-sends
+// and the duplicate is recognized (offset+len inside the committed extent is
+// a no-op ACK), a client that crashed asks GET /api/jobs/{id} for the
+// committed offsets and resumes. In durable mode chunks land directly in the
+// journal's payloads/ layout, so the PR-5 replay semantics extend to partial
+// uploads: a restarted server restores the job in state uploading with the
+// offsets the disk actually holds. An uploading job occupies an admission
+// queue slot (backpressure composes with -max-queue), oversized uploads are
+// shed with the structured admission envelope, and -upload-timeout fails
+// uploads whose client went away so the slot frees.
+//
+// Idempotent retries: an Idempotency-Key header on any submission path is
+// remembered with the job (journaled in its accepted/uploading record), so a
+// retry after a 429/503, a drain, or a crash returns the original job —
+// offsets and all — instead of double-running it.
+
+// uploadState tracks a chunked job's payload progress. Sizes are the
+// committed extent of each part; the stateless server holds the bytes in
+// memory, the durable one appends straight to the journal's payload files.
+type uploadState struct {
+	mu           sync.Mutex
+	refBuf       []byte // stateless accumulation
+	readsBuf     []byte
+	refSize      int64
+	readsSize    int64
+	lastActivity time.Time
+}
+
+// Upload rejection reasons, shaped like the admission envelope.
+const (
+	reasonTooLarge     = "too_large"
+	reasonBadOffset    = "bad_offset"
+	reasonUploadStale  = "upload_stalled"
+	reasonWrongState   = "wrong_state"
+	reasonEmptyPayload = "empty_payload"
+)
+
+// validateJobParams normalizes and validates the submission parameters shared
+// by the multipart and chunked paths.
+func validateJobParams(backend string, b, sf, mismatches int) (string, error) {
+	if backend == "" {
+		backend = "fpga"
+	}
+	if backend != "cpu" && backend != "fpga" {
+		return "", fmt.Errorf("backend must be cpu or fpga")
+	}
+	if mismatches < 0 || mismatches > fmindex.MaxMismatchBudget {
+		return "", fmt.Errorf("mismatch budget must be in [0,%d]", fmindex.MaxMismatchBudget)
+	}
+	if err := (rrr.Params{BlockSize: b, SuperblockFactor: sf}).Validate(); err != nil {
+		return "", err
+	}
+	return backend, nil
+}
+
+// idemLookup returns the job a previously seen Idempotency-Key maps to.
+func (s *Server) idemLookup(key string) *Job {
+	if key == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.idemKeys[key]; ok {
+		return s.jobs[id]
+	}
+	return nil
+}
+
+// respondIdempotentReplay answers a retried submission with the original job.
+func (s *Server) respondIdempotentReplay(w http.ResponseWriter, job *Job) {
+	s.mu.Lock()
+	payload := job.toJSON()
+	s.mu.Unlock()
+	w.Header().Set("Idempotency-Replayed", "true")
+	writeJSON(w, http.StatusOK, payload)
+}
+
+// handleCreateJob opens a streaming job: parameters now, payload later via
+// chunk PUTs. Accepts a JSON body {"backend","b","sf","mismatches"} or form
+// values; an Idempotency-Key header makes the create retryable.
+func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
+	idemKey := strings.TrimSpace(r.Header.Get("Idempotency-Key"))
+	if job := s.idemLookup(idemKey); job != nil {
+		s.respondIdempotentReplay(w, job)
+		return
+	}
+	if ae := s.preAdmit(r); ae != nil {
+		s.rejectAdmission(w, ae)
+		return
+	}
+	b, sf, mismatches := 15, 50, 0
+	backend := ""
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req struct {
+			Backend    string `json:"backend"`
+			B          *int   `json:"b"`
+			SF         *int   `json:"sf"`
+			Mismatches *int   `json:"mismatches"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil && err != io.EOF {
+			jsonError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		backend = req.Backend
+		if req.B != nil {
+			b = *req.B
+		}
+		if req.SF != nil {
+			sf = *req.SF
+		}
+		if req.Mismatches != nil {
+			mismatches = *req.Mismatches
+		}
+	} else {
+		var err error
+		backend = r.FormValue("backend")
+		if b, err = formInt(r, "b", 15); err != nil {
+			jsonError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if sf, err = formInt(r, "sf", 50); err != nil {
+			jsonError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if mismatches, err = formInt(r, "mismatches", 0); err != nil {
+			jsonError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	backend, err := validateJobParams(backend, b, sf, mismatches)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	job, existing, ae := s.admitJob(backend, b, sf, mismatches, "(uploading)", 0, 0, idemKey, StateUploading)
+	if ae != nil {
+		s.rejectAdmission(w, ae)
+		return
+	}
+	if existing {
+		s.respondIdempotentReplay(w, job)
+		return
+	}
+	if s.journal != nil {
+		refRel, readsRel := payloadNames(job.ID)
+		rec := journalRecord{
+			Type:         recUploading,
+			Job:          job.ID,
+			Backend:      job.Backend,
+			B:            job.B,
+			SF:           job.SF,
+			Mismatches:   job.Mismatches,
+			RefPayload:   refRel,
+			ReadsPayload: readsRel,
+			IdemKey:      job.IdemKey,
+			Created:      job.Created,
+		}
+		if err := s.journal.append(rec); err != nil {
+			s.failUploadingJob(job, "journal: "+err.Error())
+			jsonError(w, http.StatusInternalServerError, "could not persist job")
+			return
+		}
+	}
+	s.log.Info("streaming job opened", "job", job.ID, "backend", job.Backend)
+	writeJSON(w, http.StatusCreated, s.uploadStatus(job))
+}
+
+// uploadStatus is the client's resume anchor: the committed offset per part.
+func (s *Server) uploadStatus(job *Job) map[string]any {
+	job.upload.mu.Lock()
+	refN, readsN := job.upload.refSize, job.upload.readsSize
+	job.upload.mu.Unlock()
+	s.mu.Lock()
+	state := job.State
+	s.mu.Unlock()
+	return map[string]any{
+		"id":               job.ID,
+		"state":            string(state),
+		"reference_offset": refN,
+		"reads_offset":     readsN,
+	}
+}
+
+// failUploadingJob aborts a chunked job before launch: terminal failed state,
+// queue slot freed, partial payloads removed, stream closed.
+func (s *Server) failUploadingJob(job *Job, msg string) {
+	s.mu.Lock()
+	if job.State.terminal() {
+		s.mu.Unlock()
+		return
+	}
+	s.setJobStateLocked(job, StateFailed)
+	job.Error = msg
+	job.Finished = time.Now()
+	s.mu.Unlock()
+	if s.journal != nil {
+		s.journal.appendBestEffort(journalRecord{Type: recFailed, Job: job.ID, Error: msg, Finished: job.Finished})
+		refRel, readsRel := payloadNames(job.ID)
+		s.journal.removeFiles(refRel, readsRel)
+	}
+	s.closeJobStream(job)
+}
+
+// handleUploadChunk appends one chunk to a part ("reference" or "reads") at
+// the committed offset. Responses always carry the committed offset, so a
+// client can resynchronize from any reply.
+func (s *Server) handleUploadChunk(part string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		job, err := s.jobByRequest(r)
+		if err != nil {
+			jsonError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		if s.Draining() {
+			// Mid-upload drain: the chunk is refused but the job keeps its
+			// journaled partial payload; the client resumes against the
+			// replacement instance after replay.
+			writeAdmissionError(w, &admissionError{
+				status: http.StatusServiceUnavailable, reason: reasonDraining,
+				msg: "server is draining; resume the upload after restart", retryAfter: drainRetryAfter,
+			})
+			return
+		}
+		s.mu.Lock()
+		state := job.State
+		up := job.upload
+		s.mu.Unlock()
+		if state != StateUploading || up == nil {
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":  fmt.Sprintf("job %d is %s; not accepting chunks", job.ID, state),
+				"reason": reasonWrongState,
+				"state":  string(state),
+			})
+			return
+		}
+
+		up.mu.Lock()
+		defer up.mu.Unlock()
+		committed := up.refSize
+		if part == "reads" {
+			committed = up.readsSize
+		}
+		offset := committed
+		if q := r.URL.Query().Get("offset"); q != "" {
+			n, err := strconv.ParseInt(q, 10, 64)
+			if err != nil || n < 0 {
+				jsonError(w, http.StatusBadRequest, "bad offset: "+q)
+				return
+			}
+			offset = n
+		}
+		if offset > committed {
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":            fmt.Sprintf("offset %d is past the committed extent %d", offset, committed),
+				"reason":           reasonBadOffset,
+				"committed_offset": committed,
+			})
+			return
+		}
+		total := up.refSize + up.readsSize
+		limit := s.MaxUploadBytes - total
+		if limit < 0 {
+			limit = 0
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit+1))
+		if err != nil || int64(len(body)) > limit {
+			// Oversized upload: shed with the admission envelope and fail the
+			// job so its queue slot frees instead of lingering half-fed.
+			up.mu.Unlock()
+			s.failUploadingJob(job, fmt.Sprintf("upload exceeds the %d byte cap", s.MaxUploadBytes))
+			up.mu.Lock()
+			writeAdmissionError(w, &admissionError{
+				status: http.StatusRequestEntityTooLarge, reason: reasonTooLarge,
+				msg: fmt.Sprintf("upload exceeds the %d byte cap", s.MaxUploadBytes), retryAfter: time.Second,
+			})
+			return
+		}
+		up.lastActivity = time.Now()
+		if offset < committed {
+			if offset+int64(len(body)) <= committed {
+				// Retransmit of bytes already committed (the ACK was lost):
+				// acknowledge idempotently.
+				writeJSON(w, http.StatusOK, map[string]any{"id": job.ID, "part": part, "offset": committed})
+				return
+			}
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":            fmt.Sprintf("chunk [%d,%d) straddles the committed extent %d", offset, offset+int64(len(body)), committed),
+				"reason":           reasonBadOffset,
+				"committed_offset": committed,
+			})
+			return
+		}
+		if err := s.appendChunk(job, up, part, body); err != nil {
+			s.log.Error("appending upload chunk failed", "job", job.ID, "part", part, "err", err)
+			jsonError(w, http.StatusInternalServerError, "could not persist chunk")
+			return
+		}
+		newCommitted := up.refSize
+		if part == "reads" {
+			newCommitted = up.readsSize
+		}
+		s.mUploadChunks.With(part).Inc()
+		s.mUploadBytes.With(part).Add(float64(len(body)))
+		writeJSON(w, http.StatusOK, map[string]any{"id": job.ID, "part": part, "offset": newCommitted})
+	}
+}
+
+// appendChunk commits chunk bytes to a part; up.mu is held. Durable mode
+// appends to the journal's payload file (no per-chunk fsync: a crash-torn
+// tail just lowers the committed offset the client resumes from).
+func (s *Server) appendChunk(job *Job, up *uploadState, part string, body []byte) error {
+	if s.journal != nil {
+		refRel, readsRel := payloadNames(job.ID)
+		rel := refRel
+		if part == "reads" {
+			rel = readsRel
+		}
+		f, err := os.OpenFile(s.journal.abs(rel), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(body); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	} else if part == "reads" {
+		up.readsBuf = append(up.readsBuf, body...)
+	} else {
+		up.refBuf = append(up.refBuf, body...)
+	}
+	if part == "reads" {
+		up.readsSize += int64(len(body))
+	} else {
+		up.refSize += int64(len(body))
+	}
+	return nil
+}
+
+// handleFinalize seals a chunked payload and queues the job. Finalize is
+// idempotent: repeating it after the job launched answers 200 with the job's
+// current state instead of erroring a retrying client.
+func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
+	job, err := s.jobByRequest(r)
+	if err != nil {
+		jsonError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	s.mu.Lock()
+	if job.upload == nil {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":  fmt.Sprintf("job %d was not submitted through the chunked protocol", job.ID),
+			"reason": reasonWrongState,
+		})
+		return
+	}
+	if job.State != StateUploading {
+		payload := job.toJSON()
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, payload)
+		return
+	}
+	if s.draining {
+		s.mu.Unlock()
+		writeAdmissionError(w, &admissionError{
+			status: http.StatusServiceUnavailable, reason: reasonDraining,
+			msg: "server is draining; not accepting new jobs", retryAfter: drainRetryAfter,
+		})
+		return
+	}
+	up := job.upload
+	up.mu.Lock()
+	refN, readsN := up.refSize, up.readsSize
+	up.mu.Unlock()
+	if refN == 0 || readsN == 0 {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error":            "finalize before both parts were uploaded",
+			"reason":           reasonEmptyPayload,
+			"reference_offset": refN,
+			"reads_offset":     readsN,
+		})
+		return
+	}
+	s.setJobStateLocked(job, StateQueued)
+	// Cover the finalize->launch window in the drain WaitGroup, exactly like
+	// admitJob does for buffered submissions; acceptAndLaunch drops it.
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	in := jobInput{}
+	if s.journal != nil {
+		refRel, readsRel := payloadNames(job.ID)
+		// fsync the accumulated chunks before the accepted record references
+		// them — the record must never promise bytes a crash could lose.
+		if err := syncFiles(s.journal.abs(refRel), s.journal.abs(readsRel)); err != nil {
+			s.wg.Done()
+			s.failUploadingJob(job, "persisting payload: "+err.Error())
+			jsonError(w, http.StatusInternalServerError, "could not persist job")
+			return
+		}
+		in.refPath, in.readsPath = s.journal.abs(refRel), s.journal.abs(readsRel)
+	} else {
+		up.mu.Lock()
+		in.refRaw, in.readsRaw = up.refBuf, up.readsBuf
+		up.mu.Unlock()
+	}
+	if err := s.acceptAndLaunch(job, in); err != nil {
+		s.log.Error("accepting finalized job failed", "job", job.ID, "err", err)
+		jsonError(w, http.StatusInternalServerError, "could not persist job")
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": job.ID, "state": string(StateQueued)})
+}
+
+// syncFiles fsyncs each named file.
+func syncFiles(paths ...string) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepStalledUploads fails uploading jobs idle past the configured timeout,
+// so an abandoned client cannot hold an admission queue slot forever. Returns
+// how many were failed.
+func (s *Server) sweepStalledUploads(now time.Time) int {
+	timeout := s.cfg.UploadTimeout
+	if timeout <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	var stalled []*Job
+	for _, j := range s.jobs {
+		if j.State != StateUploading || j.upload == nil {
+			continue
+		}
+		j.upload.mu.Lock()
+		last := j.upload.lastActivity
+		j.upload.mu.Unlock()
+		if last.IsZero() {
+			last = j.Created
+		}
+		if now.Sub(last) > timeout {
+			stalled = append(stalled, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range stalled {
+		s.log.Warn("failing stalled upload", "job", j.ID, "timeout", timeout)
+		s.failUploadingJob(j, fmt.Sprintf("upload stalled past the %v timeout", timeout))
+	}
+	return len(stalled)
+}
