@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -123,8 +124,8 @@ func (st *resultStream) close(kind string, data []byte) {
 
 // restoreClosed marks a replayed terminal job's stream as already complete,
 // backed by whatever spill survived the restart (line count recovered by one
-// scan; a missing file just means no replayable history, only the terminal
-// event).
+// fixed-buffer scan, so attaching to a huge replayed job stays O(1) memory; a
+// missing file just means no replayable history, only the terminal event).
 func (st *resultStream) restoreClosed(kind string, data []byte) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -133,12 +134,27 @@ func (st *resultStream) restoreClosed(kind string, data []byte) {
 	if st.path == "" {
 		return
 	}
-	raw, err := os.ReadFile(st.path)
+	f, err := os.Open(st.path)
 	if err != nil {
 		return
 	}
-	st.bytes = int64(len(raw))
-	st.lines = bytes.Count(raw, []byte{'\n'})
+	defer f.Close()
+	var size int64
+	lines := 0
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := f.Read(buf)
+		size += int64(n)
+		lines += bytes.Count(buf[:n], []byte{'\n'})
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return
+		}
+	}
+	st.bytes = size
+	st.lines = lines
 }
 
 // snapshot returns the committed extent and terminal state.
@@ -446,8 +462,10 @@ func wantsNDJSON(r *http.Request) bool {
 	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
 }
 
-// streamReadChunk bounds how many committed bytes one handler iteration pulls.
-const streamReadChunk = 1 << 20
+// streamReadChunk bounds how many committed bytes one handler iteration pulls
+// (a starting point: handleStream grows its window when a single row is
+// wider). A var so tests can shrink it to exercise the clipping paths.
+var streamReadChunk = 1 << 20
 
 // handleStream serves a job's results as they are produced. SSE framing by
 // default: one `event: result` per read with `id:` the 1-based row number and
@@ -488,6 +506,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	skip := parseLastEventID(r)
 	line := 0 // rows scanned so far (event id of the last scanned row)
 	var off int64
+	readMax := streamReadChunk
 	heartbeat := time.NewTicker(streamHeartbeat)
 	defer heartbeat.Stop()
 	for {
@@ -514,19 +533,40 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		chunk, err := st.readCommitted(off, streamReadChunk)
+		chunk, err := st.readCommitted(off, readMax)
 		if err != nil {
 			s.log.Error("result stream read failed", "job", job.ID, "err", err)
 			return
 		}
-		// Commits are whole batches of lines, and the chunk is clipped to the
-		// committed extent, so it always ends on a line boundary.
+		// Commits are whole batches of lines, so the committed extent always
+		// ends on a line boundary — but the read window may clip mid-line
+		// whenever the subscriber is more than readMax bytes behind. A torn
+		// tail is therefore normal: leave it unconsumed (off stays at the line
+		// start) and let the next readCommitted from off pick it up whole.
+		windowClipped := len(chunk) == readMax
+		progressed := false
 		for len(chunk) > 0 {
 			nl := bytes.IndexByte(chunk, '\n')
 			if nl < 0 {
+				if windowClipped {
+					// If the window held no complete line at all, a single
+					// row is wider than it: grow so the re-read makes
+					// progress instead of spinning.
+					if !progressed {
+						readMax *= 2
+					}
+					break
+				}
+				if closed {
+					// A crash-torn tail of a restored spill; no append will
+					// ever complete it, so skip to the terminal event.
+					off = committed
+					break
+				}
 				s.log.Error("result stream holds a torn line", "job", job.ID)
 				return
 			}
+			progressed = true
 			row := chunk[:nl]
 			off += int64(nl + 1)
 			chunk = chunk[nl+1:]

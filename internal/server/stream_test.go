@@ -136,6 +136,40 @@ func TestStreamSSEReplayAndResume(t *testing.T) {
 	}
 }
 
+// A subscriber further behind than one read window is the common case on any
+// finished job bigger than streamReadChunk: the window clips mid-line and the
+// torn tail must be re-read, not treated as corruption. Regression test — the
+// handler used to kill the connection on the first clipped window, so results
+// beyond the window size could never be streamed, and a window narrower than
+// one row must grow instead of spinning.
+func TestStreamBacklogLargerThanReadWindow(t *testing.T) {
+	refFasta, readsFastq, _ := testData(t)
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	submitJob(t, s, ts, map[string]string{"backend": "cpu"},
+		map[string][]byte{"reference": refFasta, "reads": readsFastq})
+	waitForState(t, ts, 1, StateDone)
+	golden := getSSE(t, ts, 1, 0)
+
+	old := streamReadChunk
+	defer func() { streamReadChunk = old }()
+	// 200 bytes: a few rows per window, clipping mid-line on most reads.
+	// 16 bytes: narrower than any row, forcing the window-growth path.
+	for _, window := range []int{200, 16} {
+		streamReadChunk = window
+		events := getSSE(t, ts, 1, 0)
+		if len(events) != len(golden) {
+			t.Fatalf("window %d: %d events, want %d", window, len(events), len(golden))
+		}
+		for i, ev := range events {
+			if ev.id != golden[i].id || ev.data != golden[i].data {
+				t.Fatalf("window %d: event %d differs: %+v vs %+v", window, i, ev, golden[i])
+			}
+		}
+	}
+}
+
 // Accept: application/x-ndjson drops the SSE framing: raw NDJSON rows, one
 // per read, terminated by an {"event": ...} summary line, and the rows carry
 // the same mapping verdicts as the TSV.

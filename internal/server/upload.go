@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -51,6 +52,17 @@ type uploadState struct {
 	refSize      int64
 	readsSize    int64
 	lastActivity time.Time
+	// sealed flips when finalize (or a terminal failure) takes the payload
+	// out of the upload path; chunk appends re-check it under mu so a
+	// straggler cannot write after the extent was fsync'd and launched.
+	sealed bool
+}
+
+// seal marks the payload closed to further chunk appends.
+func (up *uploadState) seal() {
+	up.mu.Lock()
+	up.sealed = true
+	up.mu.Unlock()
 }
 
 // Upload rejection reasons, shaped like the admission envelope.
@@ -220,7 +232,11 @@ func (s *Server) failUploadingJob(job *Job, msg string) {
 	s.setJobStateLocked(job, StateFailed)
 	job.Error = msg
 	job.Finished = time.Now()
+	up := job.upload
 	s.mu.Unlock()
+	if up != nil {
+		up.seal()
+	}
 	if s.journal != nil {
 		s.journal.appendBestEffort(journalRecord{Type: recFailed, Job: job.ID, Error: msg, Finished: job.Finished})
 		refRel, readsRel := payloadNames(job.ID)
@@ -264,6 +280,16 @@ func (s *Server) handleUploadChunk(part string) http.HandlerFunc {
 
 		up.mu.Lock()
 		defer up.mu.Unlock()
+		if up.sealed {
+			// Finalize (or a terminal failure) won the race between our state
+			// check and taking up.mu; the payload may already be fsync'd and
+			// parsing, so a straggler append must be refused.
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":  fmt.Sprintf("job %d payload is sealed; not accepting chunks", job.ID),
+				"reason": reasonWrongState,
+			})
+			return
+		}
 		committed := up.refSize
 		if part == "reads" {
 			committed = up.readsSize
@@ -285,12 +311,24 @@ func (s *Server) handleUploadChunk(part string) http.HandlerFunc {
 			})
 			return
 		}
+		// The size cap charges only bytes that extend the committed extent:
+		// a chunk at offset grows this part by offset+len-committed, so a
+		// retransmit of already-committed bytes (a lost ACK) is free and stays
+		// idempotent even when the upload sits at the cap.
 		total := up.refSize + up.readsSize
-		limit := s.MaxUploadBytes - total
+		limit := s.MaxUploadBytes - total + (committed - offset)
 		if limit < 0 {
 			limit = 0
 		}
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit+1))
+		if err != nil && !errors.As(err, new(*http.MaxBytesError)) && int64(len(body)) <= limit {
+			// A transient body-read failure (client vanished mid-chunk, network
+			// blip) fails only this request; the job stays uploading at its
+			// committed offset so the client can resume — that is the whole
+			// point of the chunked protocol.
+			jsonError(w, http.StatusBadRequest, "reading chunk body: "+err.Error())
+			return
+		}
 		if err != nil || int64(len(body)) > limit {
 			// Oversized upload: shed with the admission envelope and fail the
 			// job so its queue slot frees instead of lingering half-fed.
@@ -414,6 +452,10 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.setJobStateLocked(job, StateQueued)
+	// Seal before the payload is fsync'd and handed to the parser: a chunk
+	// PUT that passed its state check before this transition re-checks the
+	// flag under up.mu and is refused instead of appending to a live payload.
+	up.seal()
 	// Cover the finalize->launch window in the drain WaitGroup, exactly like
 	// admitJob does for buffered submissions; acceptAndLaunch drops it.
 	s.wg.Add(1)

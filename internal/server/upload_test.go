@@ -228,6 +228,40 @@ func TestUploadTooLargeShedsJob(t *testing.T) {
 	}
 }
 
+// A retransmit of already-committed bytes must be ACKed idempotently even
+// when the upload sits at the size cap: the cap charges only bytes that
+// extend the committed extent. Regression test — the cap used to be applied
+// before the duplicate check, so a lost-ACK retry at the cap failed the whole
+// job as too_large.
+func TestRetransmitAtCapIsIdempotent(t *testing.T) {
+	chunk := bytes.Repeat([]byte("A"), 64)
+	s := NewWithConfig(Config{MaxUploadBytes: int64(len(chunk))})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	code, created, _ := doJSON(t, http.MethodPost, ts.URL+"/api/jobs",
+		[]byte(`{"backend":"cpu"}`), map[string]string{"Content-Type": "application/json"})
+	if code != http.StatusCreated {
+		t.Fatalf("create returned %d", code)
+	}
+	id := int(created["id"].(float64))
+
+	if code, payload := putChunk(t, ts, id, "reference", 0, chunk); code != http.StatusOK {
+		t.Fatalf("chunk to the cap: %d %v", code, payload)
+	}
+	// The ACK was "lost"; the client re-sends the same chunk at offset 0.
+	code, payload := putChunk(t, ts, id, "reference", 0, chunk)
+	if code != http.StatusOK || int64(payload["offset"].(float64)) != int64(len(chunk)) {
+		t.Fatalf("retransmit at the cap: %d %v, want idempotent ACK", code, payload)
+	}
+	if j := getJobJSON(t, ts, id); j.State != string(StateUploading) {
+		t.Errorf("job state %q after retransmit, want uploading", j.State)
+	}
+	// A chunk that genuinely extends past the cap still sheds the job.
+	if code, payload := putChunk(t, ts, id, "reference", int64(len(chunk)), []byte("B")); code != http.StatusRequestEntityTooLarge || payload["reason"] != reasonTooLarge {
+		t.Errorf("extending past the cap: %d %v", code, payload)
+	}
+}
+
 // The janitor frees slots held by clients that walked away mid-upload.
 func TestStalledUploadSwept(t *testing.T) {
 	s := NewWithConfig(Config{UploadTimeout: time.Minute})
