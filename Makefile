@@ -8,9 +8,9 @@ GO ?= go
 # `make fuzz-smoke FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet test race bench bench-smoke bench-baseline fuzz-smoke fault-smoke obs-smoke chaos-smoke stream-smoke
+.PHONY: ci build vet test race bench bench-smoke bench-baseline fuzz-smoke fault-smoke obs-smoke chaos-smoke stream-smoke cluster-smoke
 
-ci: vet race fuzz-smoke fault-smoke obs-smoke bench-smoke chaos-smoke stream-smoke
+ci: vet race fuzz-smoke fault-smoke obs-smoke bench-smoke chaos-smoke stream-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,16 @@ chaos-smoke:
 # stream resume whose rows are bit-identical to an undisturbed buffered run.
 stream-smoke:
 	$(GO) test -race -run='StreamChaosKillResume' -count=1 ./cmd/bwaver-server
+
+# cluster-smoke is the fault-tolerance gate for the gateway/worker tier: a
+# real gateway process over two self-registered worker processes, the worker
+# owning a running job SIGKILLed mid-job, the job asserted to complete on the
+# replica with bit-identical results, scatter-gather stats asserted to answer
+# around the corpse, and the gateway asserted to degrade to local serving once
+# every worker is dead. The in-process variants (ring skew, breaker life
+# cycle, deadline propagation, hung-worker scrapes) run in the package tests.
+cluster-smoke:
+	$(GO) test -race -run='ClusterChaosFailover' -count=1 ./cmd/bwaver-server
 
 # obs-smoke covers the observability layer under the race detector: the
 # metrics registry and tracer, concurrent /metrics + trace scrapes against

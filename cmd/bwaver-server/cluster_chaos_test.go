@@ -1,0 +1,263 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestClusterChaosFailover is the cluster smoke (`make cluster-smoke`): a real
+// gateway process routes across two real worker processes; the worker that
+// owns a running job is SIGKILLed and the job must complete on the replica
+// with bit-identical results; then the replica is killed too and the gateway
+// must degrade to serving locally.
+func TestClusterChaosFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real server processes")
+	}
+	bin := filepath.Join(t.TempDir(), "bwaver-server")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building server binary: %v", err)
+	}
+
+	// Gateway first (empty pool), then workers that self-register against it —
+	// the same join path a scaled-up deployment uses.
+	gwProc, gwBase := startServer(t, bin, t.TempDir(),
+		"-mode=gateway", "-heartbeat-interval=100ms", "-worker-timeout=2s",
+		"-worker-misses=2", "-worker-cooldown=5s")
+	defer func() {
+		gwProc.Process.Kill()
+		gwProc.Wait()
+	}()
+	w1Proc, w1Base := startServer(t, bin, t.TempDir(),
+		"-mode=worker", "-gateway-url="+gwBase, "-heartbeat-interval=100ms")
+	defer func() {
+		w1Proc.Process.Kill()
+		w1Proc.Wait()
+	}()
+	w2Proc, w2Base := startServer(t, bin, t.TempDir(),
+		"-mode=worker", "-gateway-url="+gwBase, "-heartbeat-interval=100ms")
+	defer func() {
+		w2Proc.Process.Kill()
+		w2Proc.Wait()
+	}()
+	waitClusterHealthy(t, gwBase, 2)
+
+	refFasta, readsFastq := chaosUpload(t)
+	job := submitClusterJob(t, gwBase, refFasta, readsFastq, "chaos-cluster-1")
+	if int(job["id"].(float64)) != 1 {
+		t.Fatalf("gateway job id = %v, want 1", job["id"])
+	}
+	owner, _ := job["worker"].(string)
+	var victimProc *exec.Cmd
+	var survivorBase string
+	switch owner {
+	case w1Base:
+		victimProc, survivorBase = w1Proc, w2Base
+	case w2Base:
+		victimProc, survivorBase = w2Proc, w1Base
+	default:
+		t.Fatalf("job landed on %q, want one of the workers (%s, %s)", owner, w1Base, w2Base)
+	}
+
+	// SIGKILL the owner mid-job: no drain, no deregister, no goodbye.
+	if err := victimProc.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victimProc.Wait()
+
+	// The heartbeat sweep must evict the corpse and re-run the retained
+	// submission on the replica; the gateway id stays 1 throughout.
+	if st := waitJobState(t, gwBase, 1, func(s string) bool { return s == "done" || s == "failed" }, 120*time.Second); st != "done" {
+		t.Fatalf("failed-over job finished %q, want done", st)
+	}
+	final := fetchJSON(t, gwBase+"/api/jobs/1")
+	if final["worker"] != survivorBase {
+		t.Fatalf("job finished on %v, want the survivor %s", final["worker"], survivorBase)
+	}
+	if fo, _ := final["failovers"].(float64); fo < 1 {
+		t.Fatalf("job reports %v failovers, want >= 1", final["failovers"])
+	}
+	viaGateway := fetchBody(t, gwBase+"/jobs/1/results")
+	if !bytes.HasPrefix(viaGateway, []byte("read\t")) {
+		t.Fatalf("failed-over results look wrong:\n%.200s", viaGateway)
+	}
+
+	// Idempotent replay: retrying the original submission returns job 1, not a
+	// new job.
+	replayed := submitClusterJob(t, gwBase, refFasta, readsFastq, "chaos-cluster-1")
+	if int(replayed["id"].(float64)) != 1 {
+		t.Fatalf("idempotent retry returned job %v, want 1", replayed["id"])
+	}
+
+	// Ground truth: the same upload submitted directly to the survivor maps
+	// bit-identically to what the failover produced.
+	direct := submitClusterJob(t, survivorBase, refFasta, readsFastq, "")
+	directID := int(direct["id"].(float64))
+	if st := waitJobState(t, survivorBase, directID, func(s string) bool { return s == "done" || s == "failed" }, 120*time.Second); st != "done" {
+		t.Fatalf("verification job finished %q, want done", st)
+	}
+	groundTruth := fetchBody(t, fmt.Sprintf("%s/jobs/%d/results", survivorBase, directID))
+	if !bytes.Equal(viaGateway, groundTruth) {
+		t.Error("failed-over results differ from a direct run of the same upload")
+	}
+
+	// No duplicate execution: the survivor ran exactly the failed-over job and
+	// the verification job.
+	var workerJobs []map[string]any
+	if err := json.Unmarshal(fetchBody(t, survivorBase+"/api/jobs"), &workerJobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(workerJobs) != 2 {
+		t.Fatalf("survivor tracks %d jobs, want 2 (failover + verification): %v", len(workerJobs), workerJobs)
+	}
+
+	// Scatter-gather stats answer with the dead worker reported as an error
+	// entry, not a stall.
+	stats := fetchJSON(t, gwBase+"/api/stats")
+	if _, ok := stats["cluster"]; !ok {
+		t.Fatalf("gateway stats lack the cluster block: %v", stats)
+	}
+	workersBlock, _ := stats["workers"].(map[string]any)
+	if len(workersBlock) == 0 {
+		t.Fatal("gateway stats carry no per-worker entries")
+	}
+
+	// Kill the survivor too: the gateway must report degraded and serve new
+	// jobs itself.
+	for _, p := range []*exec.Cmd{w1Proc, w2Proc} {
+		if p != victimProc {
+			p.Process.Kill()
+			p.Wait()
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		health := fetchJSON(t, gwBase+"/api/health")
+		if health["status"] == "degraded" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway never reported degraded: %v", health)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	req, _ := http.NewRequest(http.MethodGet, gwBase+"/demo", nil)
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var demo map[string]any
+	json.NewDecoder(resp.Body).Decode(&demo)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded demo submission returned %d: %v", resp.StatusCode, demo)
+	}
+	if demo["worker"] != "local" {
+		t.Fatalf("degraded demo served by %v, want local", demo["worker"])
+	}
+	demoID := int(demo["id"].(float64))
+	if st := waitJobState(t, gwBase, demoID, func(s string) bool { return s == "done" || s == "failed" }, 120*time.Second); st != "done" {
+		t.Fatalf("degraded local job finished %q, want done", st)
+	}
+}
+
+// waitClusterHealthy polls the gateway's health until it sees the wanted
+// number of healthy workers (self-registration plus one heartbeat round).
+func waitClusterHealthy(t *testing.T, gwBase string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var last map[string]any
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(gwBase + "/api/health")
+		if err == nil {
+			var m map[string]any
+			derr := json.NewDecoder(resp.Body).Decode(&m)
+			resp.Body.Close()
+			if derr == nil {
+				last = m
+				if h, _ := m["workers_healthy"].(float64); int(h) == want {
+					return
+				}
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("gateway never saw %d healthy workers; last health: %v", want, last)
+}
+
+// submitClusterJob posts a multipart cpu job expecting a JSON answer;
+// idemKey, when non-empty, is sent as the Idempotency-Key.
+func submitClusterJob(t *testing.T, base string, refFasta, readsFastq []byte, idemKey string) map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	mw.WriteField("backend", "cpu")
+	for name, data := range map[string][]byte{"reference": refFasta, "reads": readsFastq} {
+		fw, err := mw.CreateFormFile(name, name+".txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mw.Close()
+	req, err := http.NewRequest(http.MethodPost, base+"/jobs", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	req.Header.Set("Accept", "application/json")
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit to %s returned %d: %.300s", base, resp.StatusCode, raw)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("submit response not JSON: %v\n%.300s", err, raw)
+	}
+	return m
+}
+
+func fetchBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s returned %d: %.200s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+func fetchJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(fetchBody(t, url), &m); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return m
+}

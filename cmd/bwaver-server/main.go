@@ -39,6 +39,15 @@
 // traces at /api/jobs/{id}/trace, and -pprof mounts net/http/pprof under
 // /debug/pprof/.
 //
+// Clustering: -mode=gateway runs a stateless front that consistent-hashes
+// submissions across -workers (each a bwaver-server in -mode=worker),
+// heartbeats them via /api/health, fails jobs over to ring replicas when a
+// worker dies, and degrades to serving locally when no worker is healthy.
+// -mode=worker is a normal server that additionally announces itself to
+// -gateway-url (re-registering every -heartbeat-interval, so a restarted
+// gateway relearns the membership). The default -mode=standalone is the
+// single-process behavior described above.
+//
 //	bwaver-server [-addr :8080] [-state-dir ""] [-drain-timeout 30s]
 //	              [-max-jobs 2] [-max-queue 64] [-rate-limit 0] [-rate-burst 0]
 //	              [-trusted-proxies ""] [-stream-batch 0] [-upload-timeout 10m]
@@ -48,6 +57,10 @@
 //	              [-breaker-threshold 5] [-breaker-cooldown 30s]
 //	              [-fallback cpu] [-verify-stride 64]
 //	              [-log-format text] [-log-level info] [-pprof]
+//	              [-mode standalone|worker|gateway] [-workers url,url]
+//	              [-heartbeat-interval 2s] [-worker-timeout 2s]
+//	              [-worker-misses 3] [-worker-cooldown 10s]
+//	              [-forward-retries 3] [-gateway-url ""] [-advertise ""]
 package main
 
 import (
@@ -59,9 +72,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"bwaver/internal/cluster"
 	"bwaver/internal/core"
 	"bwaver/internal/fpga"
 	"bwaver/internal/obs"
@@ -94,7 +109,22 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	mode := flag.String("mode", "standalone", "role: standalone, worker (registers with -gateway-url), or gateway (routes across -workers)")
+	workers := flag.String("workers", "", "gateway mode: comma-separated worker base URLs to route across (workers can also self-register)")
+	heartbeatInterval := flag.Duration("heartbeat-interval", 2*time.Second, "gateway mode: worker health-poll period; worker mode: re-registration period")
+	workerTimeout := flag.Duration("worker-timeout", 2*time.Second, "gateway mode: per-worker deadline for heartbeats, forwards, and scatter-gather fan-out")
+	workerMisses := flag.Int("worker-misses", 3, "gateway mode: consecutive heartbeat/forward failures that evict a worker from routing")
+	workerCooldown := flag.Duration("worker-cooldown", 10*time.Second, "gateway mode: how long an evicted worker must stay up before re-admission")
+	forwardRetries := flag.Int("forward-retries", 3, "gateway mode: forwarding attempts per submission before degrading to local execution")
+	gatewayURL := flag.String("gateway-url", "", "worker mode: gateway base URL to register with (empty = don't self-register)")
+	advertise := flag.String("advertise", "", "worker mode: base URL the gateway should reach this worker at (empty = derive from the bound address)")
 	flag.Parse()
+
+	switch *mode {
+	case "standalone", "worker", "gateway":
+	default:
+		log.Fatalf("bwaver-server: -mode must be standalone, worker, or gateway, got %q", *mode)
+	}
 
 	var plan *fpga.FaultPlan
 	if *faultPlan != "" {
@@ -135,13 +165,51 @@ func main() {
 	if err != nil {
 		log.Fatalf("bwaver-server: %v", err)
 	}
+
+	// In gateway mode the HTTP front is the cluster router; the server opened
+	// above becomes its embedded local fallback for degraded operation.
+	var gw *cluster.Gateway
+	handler := s.Handler()
+	if *mode == "gateway" {
+		gw, err = cluster.New(cluster.Config{
+			Workers:           splitWorkers(*workers),
+			HeartbeatInterval: *heartbeatInterval,
+			WorkerTimeout:     *workerTimeout,
+			Cooldown:          *workerCooldown,
+			JobTimeout:        *jobTimeout,
+			MissThreshold:     *workerMisses,
+			ForwardAttempts:   *forwardRetries,
+			FtabK:             *ftabK,
+			MaxUploadBytes:    *maxUploadMB << 20,
+			Local:             s,
+			Logger:            obs.NewLogger(os.Stderr, *logFormat, *logLevel),
+		})
+		if err != nil {
+			log.Fatalf("bwaver-server: gateway: %v", err)
+		}
+		gw.Start()
+		handler = gw.Handler()
+	}
+
 	httpServer := &http.Server{
-		Handler:           s.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("bwaver-server: listen: %v", err)
+	}
+
+	// Worker mode: announce this node to the gateway, and keep re-announcing
+	// so a restarted (stateless) gateway relearns the membership.
+	regCtx, regCancel := context.WithCancel(context.Background())
+	defer regCancel()
+	selfURL := *advertise
+	if *mode == "worker" && *gatewayURL != "" {
+		if selfURL == "" {
+			selfURL = advertiseURL(ln.Addr())
+		}
+		go cluster.RegisterLoop(regCtx, *gatewayURL, selfURL, *heartbeatInterval, log.Printf)
 	}
 
 	done := make(chan struct{})
@@ -151,6 +219,14 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Println("\nbwaver-server: draining; rejecting new jobs, waiting for running ones")
+		// A draining worker tells its gateway to stop routing to it before
+		// jobs start being refused with 503s.
+		regCancel()
+		if *mode == "worker" && *gatewayURL != "" {
+			if err := cluster.DeregisterWorker(context.Background(), nil, *gatewayURL, selfURL); err != nil {
+				log.Printf("bwaver-server: deregister: %v", err)
+			}
+		}
 		// Drain first, with the API still up: /api/health reports
 		// "draining", status polls keep working, and new submissions get
 		// 503 + Retry-After. Only then stop the listener and close.
@@ -164,6 +240,9 @@ func main() {
 		if err := httpServer.Shutdown(shutCtx); err != nil {
 			log.Printf("bwaver-server: shutdown: %v", err)
 		}
+		if gw != nil {
+			gw.Close()
+		}
 		s.Close()
 	}()
 
@@ -172,4 +251,31 @@ func main() {
 		log.Fatal(err)
 	}
 	<-done
+}
+
+// splitWorkers parses the -workers flag: comma-separated URLs, blanks
+// dropped.
+func splitWorkers(list string) []string {
+	var out []string
+	for _, w := range strings.Split(list, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// advertiseURL derives a worker's self-advertised base URL from its bound
+// listen address, mapping wildcard hosts to loopback (good enough for
+// single-machine clusters; multi-host deployments should pass -advertise).
+func advertiseURL(addr net.Addr) string {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "http://" + addr.String()
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInjectLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`bwaver_jobs 4`, `bwaver_jobs{worker="w1"} 4`},
+		{`bwaver_jobs{} 4`, `bwaver_jobs{worker="w1"} 4`},
+		{`bwaver_jobs{state="done"} 4`, `bwaver_jobs{worker="w1",state="done"} 4`},
+		{`bwaver_seconds_bucket{le="0.5",route="submit"} 9`, `bwaver_seconds_bucket{worker="w1",le="0.5",route="submit"} 9`},
+		{`malformed`, `malformed`},
+	}
+	for _, c := range cases {
+		if got := injectLabel(c.in, `worker="w1"`); got != c.want {
+			t.Errorf("injectLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRelabelPrometheus(t *testing.T) {
+	exposition := []byte(`# HELP bwaver_jobs Jobs by state.
+# TYPE bwaver_jobs gauge
+bwaver_jobs{state="done"} 3
+bwaver_jobs{state="queued"} 1
+# some stray comment
+
+bwaver_up 1
+`)
+	var out bytes.Buffer
+	seen := map[string]bool{}
+	relabelPrometheus(&out, exposition, "http://w1:8080", seen)
+	relabelPrometheus(&out, exposition, "http://w2:8080", seen)
+	got := out.String()
+
+	if n := strings.Count(got, "# HELP bwaver_jobs"); n != 1 {
+		t.Errorf("HELP emitted %d times across two workers, want 1:\n%s", n, got)
+	}
+	if n := strings.Count(got, "# TYPE bwaver_jobs"); n != 1 {
+		t.Errorf("TYPE emitted %d times, want 1", n)
+	}
+	for _, want := range []string{
+		`bwaver_jobs{worker="http://w1:8080",state="done"} 3`,
+		`bwaver_jobs{worker="http://w2:8080",state="done"} 3`,
+		`bwaver_up{worker="http://w1:8080"} 1`,
+		`bwaver_up{worker="http://w2:8080"} 1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("merged exposition lacks %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "stray comment") {
+		t.Error("non-metadata comments must be dropped")
+	}
+	for _, line := range strings.Split(got, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, `worker="`) {
+			t.Errorf("sample line missing worker label: %q", line)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a registry's cooldown deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestRegistryEvictionAndReadmission walks a worker through the breaker's
+// whole life cycle: misses accumulate, the threshold evicts (firing the
+// callback once), an early success does not re-admit inside the cooldown, and
+// a success after the cooldown does.
+func TestRegistryEvictionAndReadmission(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	rg := newRegistry(8, 2, time.Second)
+	rg.now = clock.now
+	var evicted []string
+	rg.onEvict = func(url string) { evicted = append(evicted, url) }
+
+	w1, w2 := "http://w1:8080", "http://w2:8080"
+	if !rg.Register(w1) || !rg.Register(w2) {
+		t.Fatal("fresh registrations reported not-new")
+	}
+	if rg.Register(w1) {
+		t.Fatal("re-registration reported new")
+	}
+
+	boom := errors.New("connection refused")
+	rg.ReportHeartbeat(w1, HealthReport{}, boom)
+	if !rg.Healthy(w1) {
+		t.Fatal("one miss below the threshold must not evict")
+	}
+	rg.ReportHeartbeat(w1, HealthReport{}, boom)
+	if rg.Healthy(w1) {
+		t.Fatal("threshold misses must evict")
+	}
+	if len(evicted) != 1 || evicted[0] != w1 {
+		t.Fatalf("onEvict calls = %v, want exactly [%s]", evicted, w1)
+	}
+	// Further misses on an open breaker do not re-fire the callback.
+	rg.ReportHeartbeat(w1, HealthReport{}, boom)
+	if len(evicted) != 1 {
+		t.Fatalf("onEvict re-fired on an already-open breaker: %v", evicted)
+	}
+	if ev, re := rg.Totals(); ev != 1 || re != 0 {
+		t.Fatalf("Totals = (%d, %d), want (1, 0)", ev, re)
+	}
+
+	// Candidates skips the evicted worker but keeps it on the ring.
+	for i := 0; i < 50; i++ {
+		for _, c := range rg.Candidates(fmt.Sprintf("key-%d", i)) {
+			if c == w1 {
+				t.Fatal("evicted worker returned as a candidate")
+			}
+		}
+	}
+
+	// A success inside the cooldown window resets misses but stays evicted.
+	clock.advance(500 * time.Millisecond)
+	rg.ReportHeartbeat(w1, HealthReport{Status: "ok"}, nil)
+	if rg.Healthy(w1) {
+		t.Fatal("worker re-admitted before the cooldown lapsed")
+	}
+	// After the cooldown, one success re-admits, and its keys come back.
+	clock.advance(time.Second)
+	rg.ReportHeartbeat(w1, HealthReport{Status: "ok"}, nil)
+	if !rg.Healthy(w1) {
+		t.Fatal("worker not re-admitted after cooldown + success")
+	}
+	if _, re := rg.Totals(); re != 1 {
+		t.Fatalf("readmissions = %d, want 1", re)
+	}
+	back := false
+	for i := 0; i < 50 && !back; i++ {
+		for _, c := range rg.Candidates(fmt.Sprintf("key-%d", i)) {
+			back = back || c == w1
+		}
+	}
+	if !back {
+		t.Fatal("re-admitted worker never reappeared among candidates")
+	}
+}
+
+// TestRegistryDrainingSkipped: a draining worker stays registered and on the
+// ring but is withheld from routing until its drain flag clears.
+func TestRegistryDrainingSkipped(t *testing.T) {
+	rg := newRegistry(8, 3, time.Second)
+	w1, w2 := "http://w1:8080", "http://w2:8080"
+	rg.Register(w1)
+	rg.Register(w2)
+	rg.ReportHeartbeat(w1, HealthReport{Status: "draining", Draining: true}, nil)
+	if rg.Healthy(w1) {
+		t.Fatal("draining worker reported healthy")
+	}
+	for i := 0; i < 20; i++ {
+		for _, c := range rg.Candidates(fmt.Sprintf("key-%d", i)) {
+			if c == w1 {
+				t.Fatal("draining worker returned as a candidate")
+			}
+		}
+	}
+	healthy, total := rg.Counts()
+	if healthy != 1 || total != 2 {
+		t.Fatalf("Counts = (%d, %d), want (1, 2)", healthy, total)
+	}
+	rg.ReportHeartbeat(w1, HealthReport{Status: "ok"}, nil)
+	if !rg.Healthy(w1) {
+		t.Fatal("worker still unhealthy after drain cleared")
+	}
+}
+
+// TestRegistryForwardFailuresEvict: failed forwards count toward the same
+// breaker as missed heartbeats, so a dead worker is evicted at request time
+// without waiting out the heartbeat interval.
+func TestRegistryForwardFailuresEvict(t *testing.T) {
+	rg := newRegistry(8, 3, time.Second)
+	w := "http://w1:8080"
+	rg.Register(w)
+	rg.ReportForward(w, false, "connection refused")
+	rg.ReportForward(w, false, "connection refused")
+	if !rg.Healthy(w) {
+		t.Fatal("evicted below the threshold")
+	}
+	rg.ReportForward(w, false, "connection refused")
+	if rg.Healthy(w) {
+		t.Fatal("threshold forward failures must evict")
+	}
+	snap := rg.Snapshot()
+	if len(snap) != 1 || snap[0].Breaker != "open" || snap[0].BreakerTrips != 1 || snap[0].LastError == "" {
+		t.Fatalf("snapshot after eviction: %+v", snap[0])
+	}
+}
+
+// TestRegistryConcurrentChurn hammers registration, heartbeats, forward
+// reports, and reads from many goroutines; meaningful under -race.
+func TestRegistryConcurrentChurn(t *testing.T) {
+	rg := newRegistry(8, 3, 10*time.Millisecond)
+	rg.onEvict = func(string) {}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			url := fmt.Sprintf("http://w%d:8080", g%4)
+			for i := 0; i < 200; i++ {
+				switch i % 6 {
+				case 0:
+					rg.Register(url)
+				case 1:
+					rg.ReportHeartbeat(url, HealthReport{Status: "ok", QueueDepth: i}, nil)
+				case 2:
+					rg.ReportForward(url, false, "boom")
+				case 3:
+					rg.Candidates(fmt.Sprintf("key-%d-%d", g, i))
+				case 4:
+					rg.Snapshot()
+					rg.Counts()
+					rg.Healthy(url)
+				case 5:
+					if i%30 == 5 {
+						rg.Deregister(url)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// Scatter-gather endpoints. Every fan-out fetch is bounded by WorkerTimeout,
+// so one hung worker delays the scrape by at most that much and surfaces as
+// an error entry instead of stalling the whole response.
+
+// handleHealth reports cluster health: worker pool state plus the gateway's
+// own serving posture. Zero healthy workers means every new job is served by
+// the embedded standalone fallback, which is exactly what "degraded" means
+// here. Always HTTP 200 — the status lives in the body, like the workers'
+// own /api/health.
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	healthy, total := g.reg.Counts()
+	evictions, readmissions := g.reg.Totals()
+	status := "ok"
+	if healthy == 0 {
+		status = "degraded"
+	}
+	g.mu.Lock()
+	routed := len(g.routes)
+	g.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role":            "gateway",
+		"status":          status,
+		"workers_healthy": healthy,
+		"workers_total":   total,
+		"evictions":       evictions,
+		"readmissions":    readmissions,
+		"routed_jobs":     routed,
+		"workers":         g.reg.Snapshot(),
+	})
+}
+
+// handleStats scatter-gathers /api/stats from every worker (bounded per
+// worker), merges in the embedded local server's stats, and wraps the lot in
+// the gateway's own routing counters.
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	workers := g.reg.Workers()
+	perWorker := make(map[string]any, len(workers)+1)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, url := range workers {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			body, err := g.fetchWorker(r.Context(), url, "/api/stats")
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				g.mScrapeErrors.With(url).Inc()
+				perWorker[url] = map[string]string{"error": err.Error()}
+				return
+			}
+			var stats any
+			if jerr := json.Unmarshal(body, &stats); jerr != nil {
+				perWorker[url] = map[string]string{"error": "bad stats payload: " + jerr.Error()}
+				return
+			}
+			perWorker[url] = stats
+		}(url)
+	}
+	wg.Wait()
+	var local any
+	if rec, err := g.localRoundTrip(r.Context(), http.MethodGet, "/api/stats", "", nil, nil); err == nil {
+		var stats any
+		if json.Unmarshal(rec.Body.Bytes(), &stats) == nil {
+			local = stats
+		}
+	}
+	healthy, total := g.reg.Counts()
+	evictions, readmissions := g.reg.Totals()
+	g.mu.Lock()
+	routed := len(g.routes)
+	g.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role": "gateway",
+		"cluster": map[string]any{
+			"workers_healthy": healthy,
+			"workers_total":   total,
+			"evictions":       evictions,
+			"readmissions":    readmissions,
+			"routed_jobs":     routed,
+		},
+		"workers": perWorker,
+		"local":   local,
+	})
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Request identity. Every HTTP request entering the system — at the cluster
+// gateway or directly at a worker — is stamped with an X-Request-Id. The
+// gateway forwards the same id on every attempt, including replica failovers,
+// so one logical job stays traceable across processes: the access logs, job
+// logs, and span traces on every node that touched it share the id.
+
+// RequestIDHeader is the HTTP header carrying the request identity.
+const RequestIDHeader = "X-Request-Id"
+
+// ridFallback disambiguates ids minted when the entropy source fails.
+var ridFallback atomic.Uint64
+
+// NewRequestID mints a 16-hex-char random request id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy failure: fall back to a process-unique counter. Ids only
+		// need to be unique enough to correlate logs, not unguessable.
+		return fmt.Sprintf("rid-%d", ridFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type requestIDKey struct{}
+
+// WithRequestID attaches a request id to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request id on the context, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

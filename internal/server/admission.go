@@ -251,20 +251,35 @@ func (s *Server) setJobStateLocked(job *Job, st JobState) {
 	}
 }
 
+// jobSpec is everything admission needs to mint a job: the pipeline
+// parameters plus the cross-process identity (idempotency key, request id)
+// and the effective deadline budget resolved by effectiveTimeout.
+type jobSpec struct {
+	Backend    string
+	B, SF      int
+	Mismatches int
+	RefName    string
+	RefLength  int
+	Reads      int
+	IdemKey    string
+	RequestID  string
+	Timeout    time.Duration
+}
+
 // admitJob creates a job if the server is accepting work and the admission
 // queue has room; the check and the creation share one critical section, so
 // concurrent submits cannot overshoot -max-queue. The queue gate is the O(1)
 // queuedCount counter maintained by setJobStateLocked — admission used to
 // scan the whole retained-jobs map (terminal jobs included) per submit.
 //
-// idemKey, when non-empty, is reserved inside the same critical section: a
-// concurrent duplicate submission gets the already-admitted job back
+// spec.IdemKey, when non-empty, is reserved inside the same critical section:
+// a concurrent duplicate submission gets the already-admitted job back
 // (existing=true) instead of a second run. initial is StateQueued for buffered
 // submissions (payload already in hand) or StateUploading for chunked ones;
 // only queued admissions join the drain WaitGroup — uploading jobs hold a
 // queue slot but must not block Drain, which would otherwise wait on a client
 // that walked away.
-func (s *Server) admitJob(backend string, b, sf, mismatches int, refName string, refLen, reads int, idemKey string, initial JobState) (job *Job, existing bool, ae *admissionError) {
+func (s *Server) admitJob(spec jobSpec, initial JobState) (job *Job, existing bool, ae *admissionError) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -275,8 +290,8 @@ func (s *Server) admitJob(backend string, b, sf, mismatches int, refName string,
 			retryAfter: drainRetryAfter,
 		}
 	}
-	if idemKey != "" {
-		if id, ok := s.idemKeys[idemKey]; ok {
+	if spec.IdemKey != "" {
+		if id, ok := s.idemKeys[spec.IdemKey]; ok {
 			if j := s.jobs[id]; j != nil {
 				return j, true, nil
 			}
@@ -291,15 +306,16 @@ func (s *Server) admitJob(backend string, b, sf, mismatches int, refName string,
 		}
 	}
 	job = &Job{
-		ID: s.nextID, Backend: backend, B: b, SF: sf,
-		Mismatches: mismatches, IdemKey: idemKey,
-		RefName: refName, RefLength: refLen, Reads: reads, Created: time.Now(),
+		ID: s.nextID, Backend: spec.Backend, B: spec.B, SF: spec.SF,
+		Mismatches: spec.Mismatches, IdemKey: spec.IdemKey, RequestID: spec.RequestID,
+		timeout: spec.Timeout,
+		RefName: spec.RefName, RefLength: spec.RefLength, Reads: spec.Reads, Created: time.Now(),
 	}
 	s.setJobStateLocked(job, initial)
 	s.nextID++
 	s.jobs[job.ID] = job
-	if idemKey != "" {
-		s.idemKeys[idemKey] = job.ID
+	if spec.IdemKey != "" {
+		s.idemKeys[spec.IdemKey] = job.ID
 	}
 	if initial == StateUploading {
 		job.upload = &uploadState{lastActivity: job.Created}

@@ -61,8 +61,11 @@ type journalRecord struct {
 	ReadsPayload string `json:"reads_payload,omitempty"`
 	// IdemKey is the client's Idempotency-Key, replayed with the job so
 	// post-restart retries still map to it.
-	IdemKey string    `json:"idem_key,omitempty"`
-	Created time.Time `json:"created"`
+	IdemKey string `json:"idem_key,omitempty"`
+	// RequestID is the X-Request-Id of the originating submission, restored
+	// on replay so cross-process traces survive a worker restart.
+	RequestID string    `json:"request_id,omitempty"`
+	Created   time.Time `json:"created"`
 
 	// Outcome.
 	Error          string    `json:"error,omitempty"`
@@ -323,6 +326,9 @@ func foldRecords(recs []journalRecord) map[int]*foldedJob {
 		if rec.IdemKey != "" {
 			fj.spec.IdemKey = rec.IdemKey
 		}
+		if rec.RequestID != "" {
+			fj.spec.RequestID = rec.RequestID
+		}
 		// Progress records only advance the state (uploading → accepted →
 		// running); terminal records override everything, whatever order the
 		// log holds them in.
@@ -358,6 +364,7 @@ func snapshotRecord(j *Job) journalRecord {
 		SF:         j.SF,
 		Mismatches: j.Mismatches,
 		IdemKey:    j.IdemKey,
+		RequestID:  j.RequestID,
 		Created:    j.Created,
 		RefName:    j.RefName,
 		RefLength:  j.RefLength,
@@ -421,6 +428,7 @@ func (s *Server) journalAccept(job *Job, in jobInput) error {
 		RefPayload:   refRel,
 		ReadsPayload: readsRel,
 		IdemKey:      job.IdemKey,
+		RequestID:    job.RequestID,
 		Created:      job.Created,
 	}
 	if err := s.journal.append(rec); err != nil {
@@ -521,6 +529,7 @@ func (s *Server) recover() error {
 			SF:         fj.spec.SF,
 			Mismatches: fj.spec.Mismatches,
 			IdemKey:    fj.spec.IdemKey,
+			RequestID:  fj.spec.RequestID,
 			Created:    fj.spec.Created,
 			RefName:    fj.last.RefName,
 			RefLength:  fj.last.RefLength,

@@ -214,7 +214,8 @@ func (s *Server) instrument(route string, next http.HandlerFunc) http.Handler {
 			"status", sw.status,
 			"bytes", sw.bytes,
 			"duration_ms", float64(elapsed)/float64(time.Millisecond),
-			"remote", r.RemoteAddr)
+			"remote", r.RemoteAddr,
+			"request_id", obs.RequestIDFrom(r.Context()))
 	})
 }
 

@@ -100,6 +100,13 @@ type Job struct {
 	// IdemKey is the client's Idempotency-Key, journaled with the job so a
 	// retried submission maps back here instead of double-running.
 	IdemKey string
+	// RequestID is the X-Request-Id of the submission that created the job,
+	// journaled with it so a failed-over job is traceable across processes.
+	RequestID string
+	// timeout is the job's effective deadline budget, resolved at admission
+	// from the server's -job-timeout and any gateway-propagated
+	// X-Bwaver-Timeout-Ms remaining budget; 0 = unbounded.
+	timeout time.Duration
 	// PeakResultBuf is the largest number of result bytes the job staged in
 	// memory for one batch — the figure that proves streamed jobs hold
 	// O(batch), not O(job), result memory.
@@ -511,7 +518,9 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	// Request identity wraps the whole mux so every handler — and the access
+	// log inside instrument — sees the X-Request-Id on the context.
+	return s.withRequestID(mux)
 }
 
 // jsonError writes the structured error envelope every /api/* handler uses:
@@ -559,6 +568,7 @@ type jobJSON struct {
 	BuildMs        float64 `json:"build_ms"`
 	MapMs          float64 `json:"map_ms"`
 	PeakResultBuf  int     `json:"peak_result_buffer_bytes"`
+	RequestID      string  `json:"request_id,omitempty"`
 	// Upload resume anchors, present while the job is uploading.
 	ReferenceOffset *int64 `json:"reference_offset,omitempty"`
 	ReadsOffset     *int64 `json:"reads_offset,omitempty"`
@@ -575,6 +585,7 @@ func (j *Job) toJSON() jobJSON {
 		BuildMs:       float64(j.BuildTime) / float64(time.Millisecond),
 		MapMs:         float64(j.MapTime) / float64(time.Millisecond),
 		PeakResultBuf: j.PeakResultBuf,
+		RequestID:     j.RequestID,
 	}
 	if j.State == StateUploading && j.upload != nil {
 		j.upload.mu.Lock()
@@ -761,11 +772,16 @@ type healthJSON struct {
 	// open), "critical" (all open — every FPGA job will fall back or fail,
 	// per the fallback policy), or "draining" (shutdown in progress; new
 	// jobs are rejected while in-flight ones finish).
-	Status     string               `json:"status"`
-	Draining   bool                 `json:"draining"`
-	Devices    []fpga.DeviceHealth  `json:"devices"`
-	Resilience fpga.ResilienceStats `json:"resilience"`
-	Fallback   string               `json:"fallback_policy"`
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	// QueueDepth and JobsInFlight are the load figures cluster gateways and
+	// external balancers read off the heartbeat: admission-slot holders
+	// (queued + uploading) and running pipelines.
+	QueueDepth   int                  `json:"queue_depth"`
+	JobsInFlight int                  `json:"jobs_in_flight"`
+	Devices      []fpga.DeviceHealth  `json:"devices"`
+	Resilience   fpga.ResilienceStats `json:"resilience"`
+	Fallback     string               `json:"fallback_policy"`
 }
 
 // handleHealth reports device health. It always answers 200 — the payload,
@@ -793,11 +809,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, healthJSON{
-		Status:     status,
-		Draining:   draining,
-		Devices:    devices,
-		Resilience: s.rec.Snapshot(),
-		Fallback:   s.cfg.Fallback,
+		Status:       status,
+		Draining:     draining,
+		QueueDepth:   s.QueueDepth(),
+		JobsInFlight: s.JobsInFlight(),
+		Devices:      devices,
+		Resilience:   s.rec.Snapshot(),
+		Fallback:     s.cfg.Fallback,
 	})
 }
 
@@ -914,12 +932,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, r, http.StatusBadRequest, "bad upload: "+err.Error())
 		return
 	}
-	b, err := formInt(r, "b", 15)
+	b, err := formInt(r, "b", DefaultB)
 	if err != nil {
 		httpError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	sf, err := formInt(r, "sf", 50)
+	sf, err := formInt(r, "sf", DefaultSF)
 	if err != nil {
 		httpError(w, r, http.StatusBadRequest, err.Error())
 		return
@@ -945,7 +963,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job, existing, ae := s.admitJob(backend, b, sf, mismatches, "(parsing)", 0, 0, idemKey, StateQueued)
+	job, existing, ae := s.admitJob(jobSpec{
+		Backend: backend, B: b, SF: sf, Mismatches: mismatches,
+		RefName: "(parsing)", IdemKey: idemKey,
+		RequestID: obs.RequestIDFrom(r.Context()),
+		Timeout:   s.effectiveTimeout(r),
+	}, StateQueued)
 	if ae != nil {
 		s.rejectAdmission(w, ae)
 		return
@@ -1050,7 +1073,13 @@ func (s *Server) handleDemo(w http.ResponseWriter, r *http.Request) {
 		httpError(w, r, http.StatusInternalServerError, "internal server error")
 		return
 	}
-	job, existing, ae := s.admitJob("fpga", 15, 50, 0, "synthetic-demo", counts.refLen, counts.reads, idemKey, StateQueued)
+	job, existing, ae := s.admitJob(jobSpec{
+		Backend: "fpga", B: DefaultB, SF: DefaultSF,
+		RefName: "synthetic-demo", RefLength: counts.refLen, Reads: counts.reads,
+		IdemKey:   idemKey,
+		RequestID: obs.RequestIDFrom(r.Context()),
+		Timeout:   s.effectiveTimeout(r),
+	}, StateQueued)
 	if ae != nil {
 		s.rejectAdmission(w, ae)
 		return
@@ -1194,6 +1223,9 @@ func (s *Server) launch(job *Job, in jobInput) {
 	ctx, root := obs.StartSpan(obs.WithTrace(ctx, tr), "job")
 	root.SetAttr("job_id", job.ID)
 	root.SetAttr("backend", job.Backend)
+	if job.RequestID != "" {
+		root.SetAttr("request_id", job.RequestID)
+	}
 	s.mu.Lock()
 	if job.State.terminal() {
 		// Canceled between createJob and launch.
@@ -1211,9 +1243,12 @@ func (s *Server) launch(job *Job, in jobInput) {
 		defer s.wg.Done()
 		defer cancel(nil)
 		runCtx := ctx
-		if s.cfg.JobTimeout > 0 {
+		// The job's own budget (which a gateway may have shrunk below the
+		// server-wide -job-timeout) wins over the config; replayed jobs carry
+		// no budget and fall back to the config.
+		if t := s.jobTimeout(job); t > 0 {
 			var cancelTimeout context.CancelFunc
-			runCtx, cancelTimeout = context.WithTimeout(ctx, s.cfg.JobTimeout)
+			runCtx, cancelTimeout = context.WithTimeout(ctx, t)
 			defer cancelTimeout()
 		}
 		wait := root.StartChild("queue.wait")
@@ -1255,7 +1290,7 @@ func (s *Server) finishJob(job *Job, ctx context.Context, err error) {
 			job.Error = errJobCanceled.Error()
 		case errors.Is(cause, context.DeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
 			s.setJobStateLocked(job, StateFailed)
-			job.Error = fmt.Sprintf("job exceeded the %v timeout", s.cfg.JobTimeout)
+			job.Error = fmt.Sprintf("job exceeded the %v timeout", s.jobTimeout(job))
 		default:
 			s.setJobStateLocked(job, StateFailed)
 			job.Error = err.Error()
@@ -1280,6 +1315,9 @@ func (s *Server) finishJob(job *Job, ctx context.Context, err error) {
 	s.mJobsTotal.With(string(state)).Inc()
 	attrs := append(obs.JobAttrs(job.ID, job.Backend),
 		"state", string(state), "elapsed_ms", float64(elapsed)/float64(time.Millisecond))
+	if job.RequestID != "" {
+		attrs = append(attrs, "request_id", job.RequestID)
+	}
 	if jobErr != "" {
 		attrs = append(attrs, "err", jobErr)
 	}

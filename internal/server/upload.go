@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"bwaver/internal/fmindex"
+	"bwaver/internal/obs"
 	"bwaver/internal/rrr"
 )
 
@@ -127,7 +128,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		s.rejectAdmission(w, ae)
 		return
 	}
-	b, sf, mismatches := 15, 50, 0
+	b, sf, mismatches := DefaultB, DefaultSF, 0
 	backend := ""
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
 		var req struct {
@@ -153,11 +154,11 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	} else {
 		var err error
 		backend = r.FormValue("backend")
-		if b, err = formInt(r, "b", 15); err != nil {
+		if b, err = formInt(r, "b", DefaultB); err != nil {
 			jsonError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		if sf, err = formInt(r, "sf", 50); err != nil {
+		if sf, err = formInt(r, "sf", DefaultSF); err != nil {
 			jsonError(w, http.StatusBadRequest, err.Error())
 			return
 		}
@@ -172,7 +173,12 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job, existing, ae := s.admitJob(backend, b, sf, mismatches, "(uploading)", 0, 0, idemKey, StateUploading)
+	job, existing, ae := s.admitJob(jobSpec{
+		Backend: backend, B: b, SF: sf, Mismatches: mismatches,
+		RefName: "(uploading)", IdemKey: idemKey,
+		RequestID: obs.RequestIDFrom(r.Context()),
+		Timeout:   s.effectiveTimeout(r),
+	}, StateUploading)
 	if ae != nil {
 		s.rejectAdmission(w, ae)
 		return
@@ -193,6 +199,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 			RefPayload:   refRel,
 			ReadsPayload: readsRel,
 			IdemKey:      job.IdemKey,
+			RequestID:    job.RequestID,
 			Created:      job.Created,
 		}
 		if err := s.journal.append(rec); err != nil {
