@@ -8,9 +8,9 @@ GO ?= go
 # `make fuzz-smoke FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet test race bench bench-smoke bench-baseline fuzz-smoke fault-smoke obs-smoke chaos-smoke stream-smoke cluster-smoke
+.PHONY: ci build vet test race bench bench-smoke bench-baseline fuzz-smoke fault-smoke obs-smoke chaos-smoke stream-smoke cluster-smoke mem-smoke
 
-ci: vet race fuzz-smoke fault-smoke obs-smoke bench-smoke chaos-smoke stream-smoke cluster-smoke
+ci: vet race fuzz-smoke fault-smoke obs-smoke bench-smoke chaos-smoke stream-smoke cluster-smoke mem-smoke
 
 build:
 	$(GO) build ./...
@@ -35,9 +35,12 @@ bench-smoke:
 
 # bench-baseline records the PR's performance numbers: the reduced-scale
 # prefix-table sweep (reads/sec, allocs/read, modeled FPGA ms, structure
-# bytes) written to BENCH_pr4.json.
+# bytes) written to BENCH_pr4.json, and the seed-and-extend sweep (host
+# reads/sec, per-read pipeline intensity, modeled two-pass cycles) written
+# to BENCH_pr8.json.
 bench-baseline:
 	$(GO) run ./cmd/bwaver-bench -quiet -json BENCH_pr4.json ftab
+	$(GO) run ./cmd/bwaver-bench -quiet -json BENCH_pr8.json mem
 
 # fuzz-smoke gives every fuzz target a short budget; `go test` allows one
 # -fuzz target per invocation, hence the per-target lines.
@@ -48,6 +51,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzSerialization$$' -fuzztime=$(FUZZTIME) ./internal/rrr
 	$(GO) test -run='^$$' -fuzz='^FuzzReadIndex$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzSearchWithFtab$$' -fuzztime=$(FUZZTIME) ./internal/fmindex
+	$(GO) test -run='^$$' -fuzz='^FuzzSMEMs$$' -fuzztime=$(FUZZTIME) ./internal/fmindex
 
 # fault-smoke runs the fault-injection and resilience tests, including the
 # end-to-end server scenarios, under the race detector.
@@ -77,6 +81,13 @@ stream-smoke:
 # cycle, deadline propagation, hung-worker scrapes) run in the package tests.
 cluster-smoke:
 	$(GO) test -race -run='ClusterChaosFailover' -count=1 ./cmd/bwaver-server
+
+# mem-smoke is the seed-and-extend gate: the SMEM/chain/extend pipeline units,
+# the two-pass kernel vs. host bit-identity (under fault plans), the served
+# mode=mem/mem-pe jobs end-to-end, the gateway passthrough, and the mem CLI —
+# all under the race detector.
+mem-smoke:
+	$(GO) test -race -run='SMEM|Chain|Extend|Mem|CIGAR' ./internal/align ./internal/fmindex ./internal/core ./internal/fpga ./internal/server ./internal/cluster ./internal/bench ./cmd/bwaver
 
 # obs-smoke covers the observability layer under the race detector: the
 # metrics registry and tracer, concurrent /metrics + trace scrapes against

@@ -2,7 +2,7 @@
 // evaluation (§IV).
 //
 //	bwaver-bench [-ref-scale 0.01] [-read-scale 0.001] [-sample 20000] [-seed 1] [-quiet]
-//	             [-csv DIR] [-json FILE] [-ftab-ks 0,8,10,12] <fig5|fig6|fig7|table1|table2|ablate|ftab|all>
+//	             [-csv DIR] [-json FILE] [-ftab-ks 0,8,10,12] <fig5|fig6|fig7|table1|table2|ablate|ftab|mem|all>
 //
 // Default scales shrink the paper's workloads roughly 100-1000x so a full
 // run finishes in minutes; pass -ref-scale 1 -read-scale 1 for the paper's
@@ -36,13 +36,13 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	quiet := fs.Bool("quiet", false, "suppress progress lines")
 	csvDir := fs.String("csv", "", "also export machine-readable CSV files into this directory")
-	jsonPath := fs.String("json", "", "write the ftab sweep as JSON to this file (with the ftab target)")
+	jsonPath := fs.String("json", "", "write the sweep as JSON to this file (with the ftab and mem targets)")
 	ftabKs := fs.String("ftab-ks", "", "comma-separated prefix-table orders for the ftab target (default 0,8,10,12)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: bwaver-bench [flags] <ablate|fig5|fig6|fig7|ftab|table1|table2|all>")
+		return fmt.Errorf("usage: bwaver-bench [flags] <ablate|fig5|fig6|fig7|ftab|mem|table1|table2|all>")
 	}
 	scale := bench.Scale{Ref: *refScale, Reads: *readScale, SampleReads: *sample, Seed: *seed}
 	var progress io.Writer = os.Stderr
@@ -57,7 +57,8 @@ func run(args []string, out io.Writer) error {
 	runT2 := target == "table2" || target == "all"
 	runAblate := target == "ablate" || target == "all"
 	runFtab := target == "ftab" || target == "all"
-	if !runFig56 && !runFig7 && !runT1 && !runT2 && !runAblate && !runFtab {
+	runMem := target == "mem" || target == "all"
+	if !runFig56 && !runFig7 && !runT1 && !runT2 && !runAblate && !runFtab && !runMem {
 		return fmt.Errorf("unknown experiment %q", target)
 	}
 
@@ -147,6 +148,27 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			if err := bench.WriteFtabJSON(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *jsonPath)
+		}
+	}
+	if runMem {
+		res, err := bench.MemBench(scale, progress)
+		if err != nil {
+			return err
+		}
+		bench.PrintMemBench(out, res)
+		if *jsonPath != "" && target == "mem" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteMemJSON(f, res); err != nil {
 				f.Close()
 				return err
 			}

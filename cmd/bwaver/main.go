@@ -5,6 +5,8 @@
 //	bwaver map         -index ref.bwx -reads reads.fq[.gz] [-backend cpu|fpga] [-workers N]
 //	                   [-format tsv|sam] [-mismatches K] [-reads2 mate2.fq -min-insert N -max-insert N]
 //	                   [-stream] [-out results]
+//	bwaver mem         -index ref.bwx -reads reads.fq[.gz] [-backend cpu|fpga] [-paired]
+//	                   [-min-seed 19] [-band 16] [-min-score 30] [-min-insert N -max-insert N] [-out out.sam]
 //	bwaver stats       -index ref.bwx [-verbose]
 //	bwaver extract     -index ref.bwx [-out ref.fa] [-gzip]
 //	bwaver verify      -index ref.bwx -ref ref.fa
@@ -53,6 +55,8 @@ func run(args []string, out io.Writer) error {
 		return cmdIndex(args[1:], out)
 	case "map":
 		return cmdMap(args[1:], out)
+	case "mem":
+		return cmdMem(args[1:], out)
 	case "stats":
 		return cmdStats(args[1:], out)
 	case "extract":
@@ -62,7 +66,7 @@ func run(args []string, out io.Writer) error {
 	case "fpga-report":
 		return cmdFPGAReport(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want index, map, stats, extract, verify or fpga-report)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want index, map, mem, stats, extract, verify or fpga-report)", args[0])
 	}
 }
 
@@ -462,6 +466,114 @@ func cmdMap(args []string, out io.Writer) error {
 	}
 	writeTSV(w, ix.Contigs(), ids, reads, results)
 	return nil
+}
+
+// cmdMem runs the seed-and-extend pipeline (SMEM seeding, chaining, banded
+// extension) and writes scored SAM. With -paired the reads file is treated as
+// interleaved mate pairs (R1, R2, ...), enabling proper-pair calls and mate
+// rescue.
+func cmdMem(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mem", flag.ContinueOnError)
+	indexPath := fs.String("index", "", "index file from `bwaver index`")
+	readsPath := fs.String("reads", "", "reads FASTQ/FASTA file (.gz ok)")
+	backend := fs.String("backend", "cpu", "mapping backend: cpu or fpga")
+	paired := fs.Bool("paired", false, "treat the reads file as interleaved mate pairs")
+	minSeed := fs.Int("min-seed", 0, "minimum SMEM seed length (0 = default 19)")
+	band := fs.Int("band", 0, "extension band half-width (0 = default 16)")
+	minScore := fs.Int("min-score", 0, "minimum alignment score to report (0 = default 30)")
+	minInsert := fs.Int("min-insert", 0, "minimum fragment length for proper pairs (with -paired)")
+	maxInsert := fs.Int("max-insert", 0, "maximum fragment length for proper pairs (0 = default 1000, with -paired)")
+	outPath := fs.String("out", "", "output SAM file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *indexPath == "" || *readsPath == "" {
+		return fmt.Errorf("mem: -index and -reads are required")
+	}
+	ix, err := core.LoadFile(*indexPath)
+	if err != nil {
+		return err
+	}
+	reads, ids, err := loadReads(*readsPath)
+	if err != nil {
+		return err
+	}
+	opts := core.MemOptions{
+		MinSeedLen: *minSeed, Band: *band, MinScore: *minScore,
+		Paired: *paired, MinInsert: *minInsert, MaxInsert: *maxInsert,
+	}
+
+	var results []core.MemResult
+	var stats core.MemStats
+	switch *backend {
+	case "cpu":
+		results, stats, err = ix.MapReadsMem(reads, opts)
+		if err != nil {
+			return err
+		}
+	case "fpga":
+		dev, err := fpga.NewDevice(fpga.Config{})
+		if err != nil {
+			return err
+		}
+		kernel, err := dev.Program(ix)
+		if err != nil {
+			return err
+		}
+		run, err := kernel.MapReadsMem(reads, opts)
+		if err != nil {
+			return err
+		}
+		results, stats = run.Results, run.Stats
+		p := run.Profile
+		fmt.Fprintf(os.Stderr, "bwaver: fpga mem model: total %v (reconfig %v, kernel %v / %d cycles)\n",
+			p.Total().Round(time.Microsecond), p.Reconfig,
+			p.KernelTime.Round(time.Microsecond), p.KernelCycles)
+	default:
+		return fmt.Errorf("mem: unknown backend %q", *backend)
+	}
+	fmt.Fprintf(os.Stderr, "bwaver: mem mapped %d/%d reads (%d seeds, %d extensions, %d rescues) in %v\n",
+		stats.MappedReads, stats.Reads, stats.Seeds, stats.Extensions, stats.Rescues,
+		stats.Elapsed.Round(time.Millisecond))
+
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	sw, err := sam.NewWriter(w, ix.SAMRefSeqs())
+	if err != nil {
+		return err
+	}
+	if opts.Paired {
+		i := 0
+		for ; i+1 < len(results); i += 2 {
+			pr := core.MemPairFromResults(results[i], results[i+1], opts)
+			rec1, rec2 := ix.MemPairRecords(ids[i], ids[i+1], reads[i], reads[i+1], pr)
+			if err := sw.Write(rec1); err != nil {
+				return err
+			}
+			if err := sw.Write(rec2); err != nil {
+				return err
+			}
+		}
+		if i < len(results) { // odd trailing read maps single-end
+			if err := sw.Write(ix.MemRecord(ids[i], reads[i], results[i])); err != nil {
+				return err
+			}
+		}
+	} else {
+		for i, res := range results {
+			if err := sw.Write(ix.MemRecord(ids[i], reads[i], res)); err != nil {
+				return err
+			}
+		}
+	}
+	return sw.Flush()
 }
 
 func writeTSV(w io.Writer, contigs *core.ContigSet, ids []string, reads []dna.Seq, results []core.MapResult) {

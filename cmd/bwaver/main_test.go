@@ -106,6 +106,91 @@ func TestIndexMapStatsEndToEnd(t *testing.T) {
 	}
 }
 
+func TestMemSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	refPath, _, _ := writeTestFiles(t, dir)
+	indexPath := filepath.Join(dir, "ref.bwx")
+	var out bytes.Buffer
+	if err := run([]string{"index", "-ref", refPath, "-out", indexPath}, &out); err != nil {
+		t.Fatalf("index: %v", err)
+	}
+
+	// Interleaved paired reads with substitution errors — the workload the
+	// seed-and-extend pipeline exists for.
+	ref, err := readsim.Genome(readsim.GenomeConfig{Length: 8000, Seed: 4, RepeatFraction: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := readsim.SimulatePairs(ref, readsim.PairConfig{
+		Count: 20, ReadLength: 70, InsertMean: 250, InsertStdDev: 25,
+		MappingRatio: 0.9, ErrorRate: 0.02, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readsPath := filepath.Join(dir, "pairs.fq")
+	qf, err := os.Create(readsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qw := fastx.NewWriter(qf, fastx.FASTQ, false)
+	for _, p := range pairs {
+		for m, seq := range []string{p.R1.String(), p.R2.String()} {
+			if err := qw.Write(&fastx.Record{ID: fmt.Sprintf("%s/%d", p.ID, m+1), Seq: []byte(seq)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	qw.Close()
+	qf.Close()
+
+	var samByBackend [2]string
+	for bi, backend := range []string{"cpu", "fpga"} {
+		samPath := filepath.Join(dir, backend+".sam")
+		out.Reset()
+		if err := run([]string{"mem", "-index", indexPath, "-reads", readsPath,
+			"-backend", backend, "-paired", "-out", samPath}, &out); err != nil {
+			t.Fatalf("mem %s: %v", backend, err)
+		}
+		data, err := os.ReadFile(samPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samByBackend[bi] = string(data)
+	}
+	if samByBackend[0] != samByBackend[1] {
+		t.Error("cpu and fpga backends produced different SAM")
+	}
+	text := samByBackend[0]
+	if !strings.HasPrefix(text, "@HD\t") {
+		t.Fatalf("mem output is not SAM:\n%.200s", text)
+	}
+	var records, mapped int
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "@") {
+			continue
+		}
+		records++
+		f := strings.Split(line, "\t")
+		if len(f) < 11 {
+			t.Fatalf("short SAM record: %q", line)
+		}
+		if f[2] != "*" {
+			mapped++
+		}
+	}
+	if records != 2*len(pairs) {
+		t.Fatalf("%d SAM records, want %d", records, 2*len(pairs))
+	}
+	if mapped < records*8/10 {
+		t.Errorf("only %d/%d reads mapped", mapped, records)
+	}
+
+	if err := run([]string{"mem", "-index", indexPath, "-reads", readsPath, "-backend", "gpu"}, &out); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
 func TestIndexLocateModes(t *testing.T) {
 	dir := t.TempDir()
 	refPath, readsPath, _ := writeTestFiles(t, dir)

@@ -3,7 +3,12 @@
 // controlled mapping ratio.
 //
 //	readsim genome -out ref.fa [-length N | -preset ecoli|chr21 [-scale F]] [-gc 0.5] [-repeats 0.25] [-seed 1] [-gzip]
-//	readsim reads  -ref ref.fa -out reads.fq [-count N] [-length 100] [-ratio 0.5] [-revcomp 0.5] [-seed 1] [-gzip]
+//	readsim reads  -ref ref.fa -out reads.fq [-count N] [-length 100] [-ratio 0.5] [-revcomp 0.5] [-error 0]
+//	               [-pairs -insert-mean 300 -insert-sd 30] [-seed 1] [-gzip]
+//
+// With -pairs the output is interleaved FR mate pairs (R1, R2, R1, R2, ...),
+// the wire form the server's mode=mem-pe jobs and `bwaver mem -paired`
+// consume; -count then counts pairs, so the file holds 2×count reads.
 package main
 
 import (
@@ -104,6 +109,10 @@ func cmdReads(args []string, out io.Writer) error {
 	length := fs.Int("length", 100, "read length")
 	ratio := fs.Float64("ratio", 0.5, "mapping ratio in [0,1]")
 	revcomp := fs.Float64("revcomp", 0.5, "reverse-strand fraction of mapped reads")
+	errRate := fs.Float64("error", 0, "per-base substitution probability on sampled reads")
+	pairs := fs.Bool("pairs", false, "emit interleaved FR mate pairs (-count counts pairs)")
+	insertMean := fs.Int("insert-mean", 300, "mean fragment length (with -pairs)")
+	insertSD := fs.Int("insert-sd", 30, "fragment length standard deviation (with -pairs)")
 	seed := fs.Int64("seed", 1, "random seed")
 	gz := fs.Bool("gzip", false, "gzip the output")
 	if err := fs.Parse(args); err != nil {
@@ -129,9 +138,13 @@ func cmdReads(args []string, out io.Writer) error {
 		raw = append(raw, rec.Seq...)
 	}
 	ref, _ := dna.Sanitize(raw, dna.A)
+	if *pairs {
+		return writePairs(out, ref, *outPath, *count, *length, *ratio, *errRate,
+			*insertMean, *insertSD, *seed, *gz)
+	}
 	sim, err := readsim.Simulate(ref, readsim.ReadsConfig{
 		Count: *count, Length: *length, MappingRatio: *ratio,
-		RevCompFraction: *revcomp, Seed: *seed,
+		RevCompFraction: *revcomp, ErrorRate: *errRate, Seed: *seed,
 	})
 	if err != nil {
 		return err
@@ -159,5 +172,36 @@ func cmdReads(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %d reads of %d bp to %s\n", len(sim), *length, *outPath)
+	return nil
+}
+
+// writePairs emits interleaved FR mate pairs with /1 and /2 name suffixes.
+func writePairs(out io.Writer, ref dna.Seq, outPath string, count, length int, ratio, errRate float64, insertMean, insertSD int, seed int64, gz bool) error {
+	sim, err := readsim.SimulatePairs(ref, readsim.PairConfig{
+		Count: count, ReadLength: length, MappingRatio: ratio, ErrorRate: errRate,
+		InsertMean: insertMean, InsertStdDev: insertSD, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := fastx.NewWriter(f, fastx.FASTQ, gz)
+	for _, p := range sim {
+		mates := [2]dna.Seq{p.R1, p.R2}
+		for m, seq := range mates {
+			rec := &fastx.Record{ID: fmt.Sprintf("%s/%d", p.ID, m+1), Seq: []byte(seq.String())}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %d pairs (%d reads) of %d bp to %s\n", len(sim), 2*len(sim), length, outPath)
 	return nil
 }

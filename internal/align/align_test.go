@@ -192,4 +192,129 @@ func TestExtendSeedValidation(t *testing.T) {
 			t.Errorf("ExtendSeed(%+v) accepted invalid input", c)
 		}
 	}
+	// band == 0 is a valid degenerate band (substitutions only).
+	res, err := ExtendSeed(q, r, 0, 0, 4, 0, DefaultScoring)
+	if err != nil {
+		t.Fatalf("band 0 rejected: %v", err)
+	}
+	if res.Score != 8*DefaultScoring.Match || res.CIGAR() != "8M" {
+		t.Errorf("band-0 extension = %+v", res)
+	}
+	// Empty inputs are an error, not a silent zero result.
+	if _, err := ExtendSeed(nil, r, 0, 0, 4, 2, DefaultScoring); err == nil {
+		t.Error("accepted empty query")
+	}
+	if _, err := ExtendSeed(q, nil, 0, 0, 4, 2, DefaultScoring); err == nil {
+		t.Error("accepted empty reference")
+	}
+}
+
+// TestExtendSeedMatchesFullDP: when the band is wide enough to contain the
+// optimal alignment, the banded extension must reproduce full Smith-Waterman
+// on the same window while evaluating strictly fewer DP cells.
+func TestExtendSeedMatchesFullDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ref := make(dna.Seq, 3000)
+	for i := range ref {
+		ref[i] = dna.Base(rng.Intn(4))
+	}
+	const band = 12
+	for trial := 0; trial < 50; trial++ {
+		n := 60 + rng.Intn(60)
+		at := rng.Intn(len(ref) - n)
+		query := ref[at : at+n].Clone()
+		// A few substitutions plus at most one short indel, within the band.
+		for m := 0; m < 3; m++ {
+			p := rng.Intn(len(query))
+			query[p] = dna.Base(rng.Intn(4))
+		}
+		if trial%2 == 0 {
+			p := 5 + rng.Intn(len(query)-10)
+			del := 1 + rng.Intn(3)
+			query = append(query[:p:p], query[p+del:]...)
+		}
+		// Anchor on an exact seed: scan for a 16-mer of the query present at
+		// the expected diagonal.
+		seedLen := 16
+		qPos := -1
+		for s := 0; s+seedLen <= len(query); s++ {
+			eq := true
+			for i := 0; i < seedLen; i++ {
+				if query[s+i] != ref[at+s+i] {
+					eq = false
+					break
+				}
+			}
+			if eq {
+				qPos = s
+				break
+			}
+		}
+		if qPos < 0 {
+			continue
+		}
+		got, err := ExtendSeed(query, ref, qPos, at+qPos, seedLen, band, DefaultScoring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wStart := max(0, at+qPos-qPos-band)
+		wEnd := min(len(ref), at+qPos+(len(query)-qPos)+band)
+		want, err := SmithWaterman(query, ref[wStart:wEnd], DefaultScoring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Score != want.Score {
+			t.Fatalf("trial %d: banded score %d, full %d", trial, got.Score, want.Score)
+		}
+		if got.QueryStart != want.QueryStart || got.QueryEnd != want.QueryEnd ||
+			got.RefStart != want.RefStart+wStart || got.RefEnd != want.RefEnd+wStart {
+			t.Fatalf("trial %d: banded coords %+v, full %+v (wStart %d)", trial, got, want, wStart)
+		}
+		if got.Cells >= want.Cells {
+			t.Fatalf("trial %d: banded evaluated %d cells, full DP %d", trial, got.Cells, want.Cells)
+		}
+	}
+}
+
+// The banded DP must never pair bases further than band diagonals from the
+// seed diagonal, whatever the inputs.
+func TestExtendSeedStaysInBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 40; trial++ {
+		ref := make(dna.Seq, 200)
+		for i := range ref {
+			ref[i] = dna.Base(rng.Intn(4))
+		}
+		query := make(dna.Seq, 40+rng.Intn(40))
+		for i := range query {
+			query[i] = dna.Base(rng.Intn(4))
+		}
+		seedLen := 8
+		qPos := rng.Intn(len(query) - seedLen)
+		rPos := qPos + rng.Intn(len(ref)-len(query))
+		copy(query[qPos:qPos+seedLen], ref[rPos:rPos+seedLen])
+		band := rng.Intn(6)
+		res, err := ExtendSeed(query, ref, qPos, rPos, seedLen, band, DefaultScoring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qi, ri := res.QueryStart, res.RefStart
+		for _, op := range res.Ops {
+			if op == OpMatch {
+				diag := ri - qi - (rPos - qPos)
+				if diag < -band || diag > band {
+					t.Fatalf("trial %d: pairing q%d:r%d is %d diagonals off a band of %d", trial, qi, ri, diag, band)
+				}
+			}
+			switch op {
+			case OpMatch:
+				qi++
+				ri++
+			case OpInsert:
+				qi++
+			case OpDelete:
+				ri++
+			}
+		}
+	}
 }

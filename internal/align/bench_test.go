@@ -1,0 +1,50 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwaver/internal/dna"
+)
+
+// BenchmarkCIGARLongTraceback pins the CIGAR rendering cost for long
+// tracebacks: the strings.Builder rewrite allocates a constant handful of
+// times per call instead of once per run-length segment (the previous
+// `out += fmt.Sprintf` version re-copied the whole string each segment,
+// quadratic in traceback length).
+func BenchmarkCIGARLongTraceback(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ops := make([]Op, 10000)
+	kinds := []Op{OpMatch, OpInsert, OpDelete}
+	for i := range ops {
+		// Short runs so the encoder emits many segments.
+		ops[i] = kinds[rng.Intn(3)]
+	}
+	res := Result{Ops: ops}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res.CIGAR() == "*" {
+			b.Fatal("unexpected empty CIGAR")
+		}
+	}
+}
+
+func BenchmarkExtendSeedBanded(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	ref := make(dna.Seq, 100000)
+	for i := range ref {
+		ref[i] = dna.Base(rng.Intn(4))
+	}
+	query := ref[40000:40150].Clone()
+	for m := 0; m < 4; m++ {
+		query[rng.Intn(len(query))] = dna.Base(rng.Intn(4))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExtendSeed(query, ref, 60, 40060, 20, 12, DefaultScoring); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -284,6 +284,48 @@ func TestFtabAblation(t *testing.T) {
 	}
 }
 
+func TestMemBench(t *testing.T) {
+	res, err := MemBench(tiny, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(memArms) {
+		t.Fatalf("%d rows, want %d", len(res.Rows), len(memArms))
+	}
+	for _, r := range res.Rows {
+		if r.Reads == 0 || r.ReadsPerSec <= 0 {
+			t.Errorf("%dbp paired=%v: empty measurement: %+v", r.ReadLength, r.Paired, r)
+		}
+		if r.MappedPct < 50 {
+			t.Errorf("%dbp paired=%v: only %.1f%% mapped at 2%% error rate",
+				r.ReadLength, r.Paired, r.MappedPct)
+		}
+		if r.SeedsPerRead <= 0 || r.CellsPerRead <= 0 || r.KernelCycles == 0 {
+			t.Errorf("%dbp paired=%v: pipeline counters empty: %+v", r.ReadLength, r.Paired, r)
+		}
+		if r.ReconfigMs <= 0 {
+			t.Errorf("%dbp paired=%v: no reconfiguration charge", r.ReadLength, r.Paired)
+		}
+	}
+	for _, r := range res.Rows {
+		if !r.Paired && r.Rescues != 0 {
+			t.Errorf("single-end arm reports %d rescues", r.Rescues)
+		}
+	}
+	var sb strings.Builder
+	PrintMemBench(&sb, res)
+	if !strings.Contains(sb.String(), "Seed-and-extend") {
+		t.Error("mem bench output incomplete")
+	}
+	sb.Reset()
+	if err := WriteMemJSON(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "\"dp_cells_per_read\"") {
+		t.Error("mem JSON missing fields")
+	}
+}
+
 func TestCSVWriters(t *testing.T) {
 	fig5, err := Fig5And6(tiny, io.Discard)
 	if err != nil {

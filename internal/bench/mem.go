@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"bwaver/internal/core"
+	"bwaver/internal/dna"
+	"bwaver/internal/fpga"
+	"bwaver/internal/readsim"
+)
+
+// Seed-and-extend ("mem") benchmark: the full SMEM → chain → extend → MAPQ
+// pipeline over an E.Coli-scale reference at several read lengths, single-end
+// and paired. The host column is the serving path's CPU fallback; the kernel
+// column is the modeled two-pass device (seeding pass, reconfiguration,
+// systolic extension pass), so the reconfiguration charge and the DP-cell
+// cycle volume are visible next to the host rate they amortize against.
+
+// memArm is one workload shape of the sweep.
+type memArm struct {
+	readLen int
+	paired  bool
+}
+
+// memArms is the default sweep: the paper's short-read regime plus the
+// longer-read shapes where extension (pass 2) dominates seeding (pass 1).
+var memArms = []memArm{
+	{70, false},
+	{70, true},
+	{100, true},
+	{150, true},
+}
+
+// memErrorRate is the per-base substitution rate of the simulated reads —
+// high enough that exact matching would miss most of them, which is the
+// regime the seed-and-extend pipeline exists for.
+const memErrorRate = 0.02
+
+// MemRow is one arm of the mem sweep.
+type MemRow struct {
+	ReadLength int     `json:"read_length"`
+	Paired     bool    `json:"paired"`
+	Reads      int     `json:"reads"`
+	MappedPct  float64 `json:"mapped_pct"`
+	// ReadsPerSec is the host (CPU fallback) rate.
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	// Per-read pipeline intensity, the quantities that size the two passes.
+	SeedsPerRead      float64 `json:"seeds_per_read"`
+	ChainsPerRead     float64 `json:"chains_per_read"`
+	ExtensionsPerRead float64 `json:"extensions_per_read"`
+	CellsPerRead      float64 `json:"dp_cells_per_read"`
+	Rescues           int     `json:"rescues"`
+	// Modeled device figures: total kernel cycles across both passes, the
+	// fabric reconfiguration charge between them, and the end-to-end device
+	// time including transfers.
+	KernelCycles uint64  `json:"kernel_cycles"`
+	ReconfigMs   float64 `json:"reconfig_ms"`
+	FPGAMs       float64 `json:"fpga_ms"`
+}
+
+// MemBenchResult bundles the sweep with its workload parameters.
+type MemBenchResult struct {
+	Reference string   `json:"reference"`
+	RefBases  int      `json:"ref_bases"`
+	ErrorRate float64  `json:"error_rate"`
+	Rows      []MemRow `json:"rows"`
+}
+
+// MemBench runs the seed-and-extend sweep. The index is built once and
+// shared across arms; each arm simulates its own read set (90% drawn from
+// the reference with memErrorRate substitutions), measures the host pipeline
+// rate, and replays the same batch through the modeled kernel.
+func MemBench(s Scale, progress io.Writer) (*MemBenchResult, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	genome, err := EColi.generate(s)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.BuildIndex(genome, core.IndexConfig{})
+	if err != nil {
+		return nil, err
+	}
+	res := &MemBenchResult{
+		Reference: EColi.String(),
+		RefBases:  len(genome),
+		ErrorRate: memErrorRate,
+	}
+	for ai, arm := range memArms {
+		seqs, err := memReads(genome, arm, s, int64(ai))
+		if err != nil {
+			return nil, err
+		}
+		opts := core.MemOptions{Paired: arm.paired}
+
+		// Host rate: accumulate passes until the measurement is long
+		// enough to trust. The first pass also warms the lazily-built
+		// bidirectional index so the timing covers only mapping.
+		if _, _, err := ix.MapReadsMem(seqs[:2], opts); err != nil {
+			return nil, err
+		}
+		var elapsed time.Duration
+		var stats core.MemStats
+		mapped := 0
+		for pass := 0; pass < 50 && elapsed < 200*time.Millisecond; pass++ {
+			_, st, err := ix.MapReadsMem(seqs, opts)
+			if err != nil {
+				return nil, err
+			}
+			elapsed += st.Elapsed
+			mapped += len(seqs)
+			if pass == 0 {
+				stats = st
+			}
+		}
+
+		dev, err := fpga.NewDevice(s.deviceConfig())
+		if err != nil {
+			return nil, err
+		}
+		kernel, err := dev.Program(ix)
+		if err != nil {
+			return nil, err
+		}
+		run, err := kernel.MapReadsMem(seqs, opts)
+		if err != nil {
+			return nil, err
+		}
+
+		n := float64(stats.Reads)
+		row := MemRow{
+			ReadLength:        arm.readLen,
+			Paired:            arm.paired,
+			Reads:             stats.Reads,
+			MappedPct:         100 * float64(stats.MappedReads) / n,
+			ReadsPerSec:       float64(mapped) / elapsed.Seconds(),
+			SeedsPerRead:      float64(stats.Seeds) / n,
+			ChainsPerRead:     float64(stats.Chains) / n,
+			ExtensionsPerRead: float64(stats.Extensions) / n,
+			CellsPerRead:      float64(stats.Cells) / n,
+			Rescues:           stats.Rescues,
+			KernelCycles:      run.Profile.KernelCycles,
+			ReconfigMs:        float64(run.Profile.Reconfig) / float64(time.Millisecond),
+			FPGAMs:            float64(run.Profile.Total()) / float64(time.Millisecond),
+		}
+		res.Rows = append(res.Rows, row)
+		if progress != nil {
+			fmt.Fprintf(progress, "mem %3dbp %-6s %8.0f reads/s  %5.1f%% mapped  %8.0f cells/read  %12d cycles\n",
+				arm.readLen, pairedLabel(arm.paired), row.ReadsPerSec, row.MappedPct,
+				row.CellsPerRead, row.KernelCycles)
+		}
+	}
+	return res, nil
+}
+
+// memReads simulates one arm's read batch: paired arms interleave mates
+// (R1, R2, ...) exactly as the serving path streams them.
+func memReads(genome dna.Seq, arm memArm, s Scale, salt int64) ([]dna.Seq, error) {
+	if arm.paired {
+		pairs, err := readsim.SimulatePairs(genome, readsim.PairConfig{
+			Count: s.SampleReads / 2, ReadLength: arm.readLen,
+			InsertMean: 3 * arm.readLen, InsertStdDev: arm.readLen / 4,
+			MappingRatio: 0.9, ErrorRate: memErrorRate, Seed: s.Seed + 61 + salt,
+		})
+		if err != nil {
+			return nil, err
+		}
+		seqs := make([]dna.Seq, 0, 2*len(pairs))
+		for _, p := range pairs {
+			seqs = append(seqs, p.R1, p.R2)
+		}
+		return seqs, nil
+	}
+	reads, err := readsim.Simulate(genome, readsim.ReadsConfig{
+		Count: s.SampleReads, Length: arm.readLen, MappingRatio: 0.9,
+		RevCompFraction: 0.5, ErrorRate: memErrorRate, Seed: s.Seed + 61 + salt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return readsim.Seqs(reads), nil
+}
+
+func pairedLabel(p bool) string {
+	if p {
+		return "paired"
+	}
+	return "single"
+}
+
+// PrintMemBench renders the sweep.
+func PrintMemBench(w io.Writer, res *MemBenchResult) {
+	fmt.Fprintf(w, "\nSeed-and-extend (mem) — %s (%d bases), %.0f%% substitution reads\n",
+		res.Reference, res.RefBases, res.ErrorRate*100)
+	fmt.Fprintf(w, "%-6s %-7s %7s %8s %12s %8s %8s %11s %14s %10s %10s\n",
+		"len", "mode", "reads", "mapped", "reads/s", "seeds/r", "ext/r", "cells/r", "cycles", "reconfig", "fpga")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-6d %-7s %7d %7.1f%% %12.0f %8.2f %8.2f %11.0f %14d %9.1fms %9.1fms\n",
+			r.ReadLength, pairedLabel(r.Paired), r.Reads, r.MappedPct, r.ReadsPerSec,
+			r.SeedsPerRead, r.ExtensionsPerRead, r.CellsPerRead,
+			r.KernelCycles, r.ReconfigMs, r.FPGAMs)
+	}
+}
+
+// WriteMemJSON serializes the sweep (the BENCH_pr8.json payload).
+func WriteMemJSON(w io.Writer, res *MemBenchResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"bytes"
+	"mime/multipart"
+	"testing"
+	"time"
+)
+
+// TestGatewayMemModePassthrough: the gateway forwards multipart bodies
+// opaquely, so a mode=mem submission must reach the worker intact and the
+// proxied results must come back as SAM, not TSV.
+func TestGatewayMemModePassthrough(t *testing.T) {
+	w := newWorker(t)
+	g, ts := newGateway(t, nil, w.URL)
+	waitHealthy(t, g, 1)
+
+	ref, reads := testUpload(t, 5000, 99)
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	mw.WriteField("backend", "cpu")
+	mw.WriteField("mode", "mem")
+	for name, data := range map[string][]byte{"reference": ref, "reads": reads} {
+		fw, err := mw.CreateFormFile(name, name+".txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw.Write(data)
+	}
+	mw.Close()
+
+	job, _ := submitJSON(t, ts.URL, bytes.NewReader(buf.Bytes()), mw.FormDataContentType(), nil)
+	if got, _ := job["mode"].(string); got != "mem" {
+		t.Fatalf("worker job record carries mode %q, want \"mem\"", got)
+	}
+	id := int(job["id"].(float64))
+
+	final := waitGatewayJob(t, ts.URL, id, func(s string) bool { return s == "done" || s == "failed" }, 60*time.Second)
+	if final["state"] != "done" {
+		t.Fatalf("job finished %v: %v", final["state"], final["error"])
+	}
+
+	sam := fetchResults(t, ts.URL, id)
+	if !bytes.HasPrefix(sam, []byte("@HD\t")) {
+		t.Fatalf("gateway-proxied results are not SAM:\n%.200s", sam)
+	}
+	if !bytes.Contains(sam, []byte("@SQ\tSN:clusterref")) {
+		t.Error("SAM header is missing the reference sequence line")
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import "sort"
+
+// Seed chaining, the host-side stage between SMEM seeding and banded
+// extension (GateSeeder's decomposition: seeding and extension run as
+// separate device passes with chaining in between). Seeds that agree on a
+// reference diagonal describe the same candidate placement of the read;
+// grouping them collapses the per-occurrence seed hits into a short list of
+// loci worth extending.
+
+// Seed is one located seed hit: the read slice [QStart, QEnd) matched the
+// reference exactly at RPos.
+type Seed struct {
+	QStart, QEnd int
+	RPos         int32
+}
+
+// Len returns the seed's match length.
+func (s Seed) Len() int { return s.QEnd - s.QStart }
+
+// diagonal returns the implied read-start locus: where the read would begin
+// on the reference if the seed's placement were gap-free.
+func (s Seed) diagonal() int { return int(s.RPos) - s.QStart }
+
+// Chain is a group of collinear seeds supporting one candidate placement.
+type Chain struct {
+	// Seeds in read order.
+	Seeds []Seed
+	// Score is the number of distinct read bases the chain's seeds cover —
+	// the chaining heuristic's ranking key: long unique SMEMs dominate short
+	// repetitive ones.
+	Score int
+	// Anchor indexes the longest seed in Seeds, the extension's anchor.
+	Anchor int
+}
+
+// Diagonal returns the chain's implied read-start locus (the anchor seed's).
+func (c Chain) Diagonal() int { return c.Seeds[c.Anchor].diagonal() }
+
+// chainSeeds groups seeds into collinear chains: seeds whose diagonals agree
+// within slop (the extension band, the indel budget the downstream DP can
+// absorb) and whose read spans advance monotonically join one chain. Chains
+// come back sorted by score, best first; at most maxChains survive.
+func chainSeeds(seeds []Seed, slop, maxChains int) []Chain {
+	if len(seeds) == 0 {
+		return nil
+	}
+	sorted := append([]Seed(nil), seeds...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].diagonal() != sorted[j].diagonal() {
+			return sorted[i].diagonal() < sorted[j].diagonal()
+		}
+		return sorted[i].QStart < sorted[j].QStart
+	})
+	var chains []Chain
+	start := 0
+	for i := 1; i <= len(sorted); i++ {
+		// A diagonal gap wider than the slop starts a new chain: the banded
+		// extension could not bridge the implied indel anyway.
+		if i < len(sorted) && sorted[i].diagonal()-sorted[i-1].diagonal() <= slop {
+			continue
+		}
+		chains = append(chains, buildChain(sorted[start:i]))
+		start = i
+	}
+	sort.SliceStable(chains, func(i, j int) bool { return chains[i].Score > chains[j].Score })
+	if maxChains > 0 && len(chains) > maxChains {
+		chains = chains[:maxChains]
+	}
+	return chains
+}
+
+// buildChain assembles one chain from diagonal-grouped seeds: read order,
+// coverage score over the union of read spans, and the longest seed as the
+// extension anchor.
+func buildChain(group []Seed) Chain {
+	c := Chain{Seeds: append([]Seed(nil), group...)}
+	sort.Slice(c.Seeds, func(i, j int) bool {
+		if c.Seeds[i].QStart != c.Seeds[j].QStart {
+			return c.Seeds[i].QStart < c.Seeds[j].QStart
+		}
+		return c.Seeds[i].QEnd > c.Seeds[j].QEnd
+	})
+	covered, end := 0, -1
+	for i, s := range c.Seeds {
+		if s.QStart > end {
+			covered += s.Len()
+			end = s.QEnd
+		} else if s.QEnd > end {
+			covered += s.QEnd - end
+			end = s.QEnd
+		}
+		if s.Len() > c.Seeds[c.Anchor].Len() {
+			c.Anchor = i
+		}
+	}
+	c.Score = covered
+	return c
+}

@@ -163,6 +163,12 @@ type Index struct {
 	config  IndexConfig
 	stats   BuildStats
 	contigs *ContigSet // nil for a single anonymous reference
+
+	// memMu guards the lazily-built seed-and-extend state (bidirectional
+	// index plus extracted reference text); see EnsureMem. Concurrent mem
+	// jobs over one cached index share a single build.
+	memMu sync.Mutex
+	mem   *memState
 }
 
 // BuildIndex runs the first two pipeline steps over the reference: suffix

@@ -1,0 +1,605 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"bwaver/internal/align"
+	"bwaver/internal/dna"
+	"bwaver/internal/fmindex"
+)
+
+// Seed-and-extend approximate mapping (the "mem" workload, after BWA-MEM):
+// SMEM seeding on the bidirectional index, collinear chaining of the located
+// seed hits, banded extension of the best chains, and MAPQ scoring — the
+// full pipeline the paper's introduction motivates when it frames exact
+// short-fragment matching as "candidate loci in the genome (seeds) to be
+// extended by the actual alignment algorithm".
+
+// MemOptions configure the seed-and-extend pipeline. The zero value takes
+// the listed defaults.
+type MemOptions struct {
+	// MinSeedLen is the minimum SMEM length used as a seed; default 19
+	// (BWA-MEM's default).
+	MinSeedLen int
+	// MaxSeedHits caps the occurrences one seed may contribute; seeds more
+	// repetitive than this are skipped rather than exploding the chain set —
+	// the same ambiguity guard PairOptions.MaxHitsPerMate applies to exact
+	// pairing. Default 256.
+	MaxSeedHits int
+	// Band is the extension half-band: the largest diagonal drift (net
+	// indel length) an alignment may accumulate. Default 16.
+	Band int
+	// MaxChains bounds how many chains are extended per orientation;
+	// default 4.
+	MaxChains int
+	// MinScore is the minimum alignment score to report a mapping;
+	// default 30.
+	MinScore int
+	// Scoring is the extension scoring scheme; the zero value takes
+	// align.DefaultScoring.
+	Scoring align.Scoring
+	// Paired treats the read stream as interleaved mate pairs (R1, R2,
+	// R1, R2, ...) with FR orientation, enabling proper-pair calls and mate
+	// rescue.
+	Paired bool
+	// MinInsert and MaxInsert bound the accepted fragment length for
+	// proper-pair calls and the mate-rescue search window. MaxInsert
+	// defaults to 1000 when Paired.
+	MinInsert, MaxInsert int
+}
+
+func (o MemOptions) withDefaults() MemOptions {
+	if o.MinSeedLen == 0 {
+		o.MinSeedLen = 19
+	}
+	if o.MaxSeedHits == 0 {
+		o.MaxSeedHits = 256
+	}
+	if o.Band == 0 {
+		o.Band = 16
+	}
+	if o.MaxChains == 0 {
+		o.MaxChains = 4
+	}
+	if o.MinScore == 0 {
+		o.MinScore = 30
+	}
+	if o.Scoring == (align.Scoring{}) {
+		o.Scoring = align.DefaultScoring
+	}
+	if o.Paired && o.MaxInsert == 0 {
+		o.MaxInsert = 1000
+	}
+	return o
+}
+
+func (o MemOptions) validate() error {
+	if o.MinSeedLen < 1 {
+		return fmt.Errorf("core: MinSeedLen %d must be >= 1", o.MinSeedLen)
+	}
+	if o.MaxSeedHits < 1 {
+		return fmt.Errorf("core: MaxSeedHits %d must be >= 1", o.MaxSeedHits)
+	}
+	if o.Band < 0 {
+		return fmt.Errorf("core: Band %d must be >= 0", o.Band)
+	}
+	if o.MaxChains < 1 {
+		return fmt.Errorf("core: MaxChains %d must be >= 1", o.MaxChains)
+	}
+	if o.MinScore < 1 {
+		return fmt.Errorf("core: MinScore %d must be >= 1", o.MinScore)
+	}
+	if err := o.Scoring.Validate(); err != nil {
+		return err
+	}
+	if o.MinInsert < 0 || o.MaxInsert < o.MinInsert {
+		return fmt.Errorf("core: insert window [%d,%d] invalid", o.MinInsert, o.MaxInsert)
+	}
+	return nil
+}
+
+// MemAlignment is one reported placement of a read.
+type MemAlignment struct {
+	// Pos is the 0-based leftmost reference position in concatenated
+	// coordinates; RefSpan the number of reference bases consumed.
+	Pos     int32
+	RefSpan int
+	// Score is the extension score; MapQ the mapping quality (see MemMapQ).
+	Score int
+	MapQ  uint8
+	// CIGAR is in SAM orientation (reverse-strand alignments describe the
+	// reverse-complemented read), including terminal soft clips.
+	CIGAR string
+	// Forward reports the strand.
+	Forward bool
+	// NM is the edit distance of the aligned region (SAM NM tag).
+	NM int
+}
+
+// Mapped reports whether the alignment places the read.
+func (a MemAlignment) Mapped() bool { return a.CIGAR != "" }
+
+// MemResult is the outcome of seed-and-extend mapping one read.
+type MemResult struct {
+	// Best is the reported alignment; zero when the read is unmapped.
+	Best MemAlignment
+	// SubScore is the best competing score at a distinct locus, 0 if none —
+	// the quantity MAPQ discounts for.
+	SubScore int
+	// Seeds, Chains, and Extensions count pipeline work for this read
+	// (after the ambiguity guard).
+	Seeds, Chains, Extensions int
+	// SeedSteps is the larger per-orientation count of bidirectional
+	// extension operations (the two orientations search in parallel
+	// pipelines, like the exact kernel) — the pass-1 cycle driver.
+	SeedSteps int
+	// Cells is the total count of DP cells the extensions evaluated — the
+	// pass-2 systolic-array cycle driver.
+	Cells int
+	// Rescued marks a mate placed by the paired rescue search rather than
+	// its own seeds.
+	Rescued bool
+}
+
+// Mapped reports whether the read was placed.
+func (r MemResult) Mapped() bool { return r.Best.Mapped() }
+
+// MemStats aggregates a mem batch.
+type MemStats struct {
+	Reads       int           `json:"reads"`
+	MappedReads int           `json:"mapped_reads"`
+	Seeds       int           `json:"seeds"`
+	Chains      int           `json:"chains"`
+	Extensions  int           `json:"extensions"`
+	Rescues     int           `json:"rescues"`
+	SeedSteps   int           `json:"seed_steps"`
+	Cells       int           `json:"dp_cells"`
+	Elapsed     time.Duration `json:"-"`
+}
+
+// Merge folds another batch's stats into s.
+func (s *MemStats) Merge(o MemStats) {
+	s.Reads += o.Reads
+	s.MappedReads += o.MappedReads
+	s.Seeds += o.Seeds
+	s.Chains += o.Chains
+	s.Extensions += o.Extensions
+	s.Rescues += o.Rescues
+	s.SeedSteps += o.SeedSteps
+	s.Cells += o.Cells
+	s.Elapsed += o.Elapsed
+}
+
+// Add folds one read's result into the stats.
+func (s *MemStats) Add(r MemResult) {
+	s.Reads++
+	if r.Mapped() {
+		s.MappedReads++
+	}
+	s.Seeds += r.Seeds
+	s.Chains += r.Chains
+	s.Extensions += r.Extensions
+	if r.Rescued {
+		s.Rescues++
+	}
+	s.SeedSteps += r.SeedSteps
+	s.Cells += r.Cells
+}
+
+// memState is the lazily-built seed-and-extend substrate: the bidirectional
+// index for SMEM seeding and the reference text for extension. The text is
+// reconstructed from the index itself (ExtractReference), so a cache-restored
+// index needs no access to the original FASTA.
+type memState struct {
+	bi  *fmindex.BiIndex
+	ref dna.Seq
+}
+
+// EnsureMem builds the seed-and-extend state if the index does not hold one
+// yet. Safe for concurrent use; parallel callers share one build.
+func (ix *Index) EnsureMem() error {
+	ix.memMu.Lock()
+	defer ix.memMu.Unlock()
+	if ix.mem != nil {
+		return nil
+	}
+	ref, err := ix.ExtractReference()
+	if err != nil {
+		return fmt.Errorf("core: mem state: %w", err)
+	}
+	text := make([]uint8, len(ref))
+	for i, b := range ref {
+		text[i] = uint8(b)
+	}
+	bi, err := fmindex.NewBiIndex(text, dna.AlphabetSize, ix.config.RRR)
+	if err != nil {
+		return fmt.Errorf("core: mem state: %w", err)
+	}
+	ix.mem = &memState{bi: bi, ref: ref}
+	return nil
+}
+
+// MemReady reports whether the seed-and-extend state is built.
+func (ix *Index) MemReady() bool {
+	ix.memMu.Lock()
+	defer ix.memMu.Unlock()
+	return ix.mem != nil
+}
+
+// MemBytes returns the footprint of the seed-and-extend state (both
+// directions' structures plus the retained text), 0 when not built.
+func (ix *Index) MemBytes() int {
+	ix.memMu.Lock()
+	defer ix.memMu.Unlock()
+	if ix.mem == nil {
+		return 0
+	}
+	return ix.mem.bi.Forward().SizeBytes() + len(ix.mem.ref)
+}
+
+func (ix *Index) memState() (*memState, error) {
+	if err := ix.EnsureMem(); err != nil {
+		return nil, err
+	}
+	ix.memMu.Lock()
+	defer ix.memMu.Unlock()
+	return ix.mem, nil
+}
+
+// memCandidate is one extended chain before best-selection.
+type memCandidate struct {
+	res     align.Result
+	forward bool
+	query   dna.Seq // the orientation's query (read or its RC)
+}
+
+// MapReadMem runs the full seed → chain → extend pipeline for one read:
+// SMEM seeds on both orientations, collinear chaining with the repetitive
+// seed guard, banded extension of the surviving chains, and MAPQ from the
+// best/second-best score gap.
+func (ix *Index) MapReadMem(read dna.Seq, opts MemOptions) (MemResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return MemResult{}, err
+	}
+	mem, err := ix.memState()
+	if err != nil {
+		return MemResult{}, err
+	}
+	return mem.mapRead(read, opts)
+}
+
+func (st *memState) mapRead(read dna.Seq, opts MemOptions) (MemResult, error) {
+	var out MemResult
+	if len(read) == 0 {
+		return out, nil
+	}
+	rc := read.ReverseComplement()
+	var cands []memCandidate
+	for _, orient := range []struct {
+		query   dna.Seq
+		forward bool
+	}{{read, true}, {rc, false}} {
+		pattern := make([]uint8, len(orient.query))
+		for i, b := range orient.query {
+			pattern[i] = uint8(b)
+		}
+		var seeds []Seed
+		smems, steps, err := st.bi.SMEMsSteps(pattern, opts.MinSeedLen)
+		if err != nil {
+			return out, err
+		}
+		// The two orientations search in parallel pipelines, so the slower
+		// one bounds the seeding latency (like MapResult.Steps).
+		out.SeedSteps = max(out.SeedSteps, steps)
+		for _, s := range smems {
+			if s.Rows.Count() > opts.MaxSeedHits {
+				continue // hyper-repetitive seed: ambiguity guard
+			}
+			positions, err := st.bi.Forward().Locate(s.Rows.Fwd)
+			if err != nil {
+				return out, err
+			}
+			for _, p := range positions {
+				seeds = append(seeds, Seed{QStart: s.Start, QEnd: s.End, RPos: p})
+			}
+		}
+		out.Seeds += len(seeds)
+		chains := chainSeeds(seeds, opts.Band, opts.MaxChains)
+		out.Chains += len(chains)
+		for _, c := range chains {
+			anchor := c.Seeds[c.Anchor]
+			res, err := align.ExtendSeed(orient.query, st.ref, anchor.QStart, int(anchor.RPos), anchor.Len(), opts.Band, opts.Scoring)
+			if err != nil {
+				return out, err
+			}
+			out.Extensions++
+			out.Cells += res.Cells
+			if res.Score > 0 {
+				cands = append(cands, memCandidate{res: res, forward: orient.forward, query: orient.query})
+			}
+		}
+	}
+	best, sub := pickBest(cands, opts.Band)
+	out.SubScore = sub
+	if best == nil || best.res.Score < opts.MinScore {
+		return out, nil
+	}
+	out.Best = best.alignment(sub, st.ref)
+	return out, nil
+}
+
+// pickBest selects the top-scoring candidate (deterministic tie-breaks:
+// lower reference position, then forward strand) and the best competing
+// score at a locus more than slop away from the winner's.
+func pickBest(cands []memCandidate, slop int) (*memCandidate, int) {
+	var best *memCandidate
+	for i := range cands {
+		c := &cands[i]
+		if best == nil {
+			best = c
+			continue
+		}
+		switch {
+		case c.res.Score > best.res.Score:
+			best = c
+		case c.res.Score == best.res.Score && c.res.RefStart < best.res.RefStart:
+			best = c
+		case c.res.Score == best.res.Score && c.res.RefStart == best.res.RefStart && c.forward && !best.forward:
+			best = c
+		}
+	}
+	if best == nil {
+		return nil, 0
+	}
+	sub := 0
+	for i := range cands {
+		c := &cands[i]
+		if c == best {
+			continue
+		}
+		dist := c.res.RefStart - best.res.RefStart
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist <= slop && c.forward == best.forward {
+			continue // same locus reached through another chain
+		}
+		if c.res.Score > sub {
+			sub = c.res.Score
+		}
+	}
+	return best, sub
+}
+
+// alignment renders a winning candidate as a MemAlignment.
+func (c *memCandidate) alignment(sub int, ref dna.Seq) MemAlignment {
+	r := c.res
+	return MemAlignment{
+		Pos:     int32(r.RefStart),
+		RefSpan: r.RefEnd - r.RefStart,
+		Score:   r.Score,
+		MapQ:    MemMapQ(r.Score, sub),
+		CIGAR:   clippedCIGAR(r, len(c.query)),
+		Forward: c.forward,
+		NM:      editDistance(r, c.query, ref),
+	}
+}
+
+// MemMapQ is the mapping quality of a best score against its runner-up at a
+// distinct locus: 60·(best−sub)/best, the linear discount of the
+// second-best evidence, clamped to [0, 60]. A read whose best placement is
+// tied elsewhere gets 0; a read with no competitor gets 60.
+func MemMapQ(best, sub int) uint8 {
+	if best <= 0 || sub >= best {
+		return 0
+	}
+	if sub < 0 {
+		sub = 0
+	}
+	return uint8(60 * (best - sub) / best)
+}
+
+// clippedCIGAR wraps an extension traceback with the terminal soft clips
+// implied by the unaligned query prefix/suffix.
+func clippedCIGAR(r align.Result, queryLen int) string {
+	var out strings.Builder
+	if r.QueryStart > 0 {
+		out.WriteString(strconv.Itoa(r.QueryStart))
+		out.WriteByte('S')
+	}
+	out.WriteString(r.CIGAR())
+	if tail := queryLen - r.QueryEnd; tail > 0 {
+		out.WriteString(strconv.Itoa(tail))
+		out.WriteByte('S')
+	}
+	return out.String()
+}
+
+// editDistance counts the NM tag over an extension traceback: mismatched
+// aligned bases plus inserted and deleted bases.
+func editDistance(r align.Result, query, ref dna.Seq) int {
+	nm := 0
+	qi, ri := r.QueryStart, r.RefStart
+	for _, op := range r.Ops {
+		switch op {
+		case align.OpMatch:
+			if query[qi] != ref[ri] {
+				nm++
+			}
+			qi++
+			ri++
+		case align.OpInsert:
+			nm++
+			qi++
+		case align.OpDelete:
+			nm++
+			ri++
+		}
+	}
+	return nm
+}
+
+// MemPairResult is the outcome of mapping one mate pair.
+type MemPairResult struct {
+	R1, R2 MemResult
+	// Proper reports FR orientation with the fragment length inside the
+	// insert window.
+	Proper bool
+	// Insert is the observed fragment length when Proper (R1's signed TLen
+	// is +Insert or −Insert by position).
+	Insert int
+}
+
+// MemPairFromResults reassembles a pair-level result from two per-read
+// results — the shape batch APIs return — re-deriving the proper-pair call.
+// opts must be the options the reads were mapped with.
+func MemPairFromResults(r1, r2 MemResult, opts MemOptions) MemPairResult {
+	opts = opts.withDefaults()
+	out := MemPairResult{R1: r1, R2: r2}
+	out.Proper, out.Insert = properPair(r1, r2, opts)
+	return out
+}
+
+// MapPairMem maps a mate pair: both mates through the single-end pipeline,
+// then a mate-rescue search for a mate the seeds missed (a banded scan of
+// the insert window implied by its mapped partner), then the proper-pair
+// call against the insert window.
+func (ix *Index) MapPairMem(r1, r2 dna.Seq, opts MemOptions) (MemPairResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return MemPairResult{}, err
+	}
+	mem, err := ix.memState()
+	if err != nil {
+		return MemPairResult{}, err
+	}
+	var out MemPairResult
+	if out.R1, err = mem.mapRead(r1, opts); err != nil {
+		return out, err
+	}
+	if out.R2, err = mem.mapRead(r2, opts); err != nil {
+		return out, err
+	}
+	// Rescue: one mapped mate defines the window the other must fall in.
+	if out.R1.Mapped() && !out.R2.Mapped() {
+		mem.rescueMate(&out.R2, r2, out.R1.Best, opts)
+	} else if out.R2.Mapped() && !out.R1.Mapped() {
+		mem.rescueMate(&out.R1, r1, out.R2.Best, opts)
+	}
+	out.Proper, out.Insert = properPair(out.R1, out.R2, opts)
+	return out, nil
+}
+
+// rescueMate searches the insert window implied by the mapped anchor mate
+// for the missing mate in the FR-expected orientation, charging the scan's
+// DP cells to the rescued read. A hit must still clear MinScore.
+func (st *memState) rescueMate(dst *MemResult, read dna.Seq, anchor MemAlignment, opts MemOptions) {
+	if opts.MaxInsert <= 0 || len(read) == 0 {
+		return
+	}
+	var wStart, wEnd int
+	var query dna.Seq
+	var forward bool
+	if anchor.Forward {
+		// Anchor is the left mate: the missing mate lies downstream on the
+		// reverse strand.
+		wStart = int(anchor.Pos)
+		wEnd = min(len(st.ref), wStart+opts.MaxInsert)
+		query = read.ReverseComplement()
+		forward = false
+	} else {
+		// Anchor is the right mate: the missing mate lies upstream, forward.
+		wEnd = int(anchor.Pos) + anchor.RefSpan
+		wStart = max(0, wEnd-opts.MaxInsert)
+		query = read.Clone()
+		forward = true
+	}
+	if wEnd-wStart < opts.MinSeedLen {
+		return
+	}
+	res, err := align.SmithWaterman(query, st.ref[wStart:wEnd], opts.Scoring)
+	if err != nil {
+		return
+	}
+	dst.Cells += res.Cells
+	if res.Score < opts.MinScore {
+		return
+	}
+	res.RefStart += wStart
+	res.RefEnd += wStart
+	cand := memCandidate{res: res, forward: forward, query: query}
+	dst.Best = cand.alignment(0, st.ref)
+	// A rescued placement is evidence from the pair, not the read alone:
+	// cap its quality below a confident unique single-end hit.
+	if dst.Best.MapQ > 30 {
+		dst.Best.MapQ = 30
+	}
+	dst.Rescued = true
+}
+
+// properPair applies the FR concordance test of core/pairs.go to two mem
+// placements: opposite strands, forward mate leftmost, fragment length
+// inside the insert window.
+func properPair(r1, r2 MemResult, opts MemOptions) (bool, int) {
+	if !r1.Mapped() || !r2.Mapped() || r1.Best.Forward == r2.Best.Forward {
+		return false, 0
+	}
+	fwd, rev := r1.Best, r2.Best
+	if !fwd.Forward {
+		fwd, rev = rev, fwd
+	}
+	insert := int(rev.Pos) + rev.RefSpan - int(fwd.Pos)
+	if int(fwd.Pos) > int(rev.Pos) || insert < opts.MinInsert || insert > opts.MaxInsert {
+		return false, 0
+	}
+	return true, insert
+}
+
+// MapReadsMem maps a batch through the seed-and-extend pipeline, pairing
+// consecutive reads when opts.Paired (an odd batch maps its last read
+// single-end). The loop is deliberately sequential and deterministic: the
+// FPGA kernel runs the identical per-read calls, so both backends are
+// bit-identical by construction.
+func (ix *Index) MapReadsMem(reads []dna.Seq, opts MemOptions) ([]MemResult, MemStats, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, MemStats{}, err
+	}
+	mem, err := ix.memState()
+	if err != nil {
+		return nil, MemStats{}, err
+	}
+	start := time.Now()
+	results := make([]MemResult, len(reads))
+	var stats MemStats
+	if opts.Paired {
+		for i := 0; i+1 < len(reads); i += 2 {
+			pr, err := ix.MapPairMem(reads[i], reads[i+1], opts)
+			if err != nil {
+				return nil, MemStats{}, err
+			}
+			results[i], results[i+1] = pr.R1, pr.R2
+		}
+		if len(reads)%2 == 1 {
+			last := len(reads) - 1
+			if results[last], err = mem.mapRead(reads[last], opts); err != nil {
+				return nil, MemStats{}, err
+			}
+		}
+	} else {
+		for i, read := range reads {
+			if results[i], err = mem.mapRead(read, opts); err != nil {
+				return nil, MemStats{}, err
+			}
+		}
+	}
+	for _, r := range results {
+		stats.Add(r)
+	}
+	stats.Elapsed = time.Since(start)
+	return results, stats, nil
+}

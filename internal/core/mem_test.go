@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bwaver/internal/dna"
+	"bwaver/internal/readsim"
+	"bwaver/internal/sam"
+)
+
+func buildMemIndex(t *testing.T, n int, seed int64) (*Index, dna.Seq) {
+	t.Helper()
+	// No simulated repeats: tests asserting on MAPQ need unique loci.
+	ref, err := readsim.Genome(readsim.GenomeConfig{Length: n, GC: 0.45, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndex(ref, IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, ref
+}
+
+func TestChainSeeds(t *testing.T) {
+	// Two seeds on one diagonal, one far away: two chains, collinear first.
+	seeds := []Seed{
+		{QStart: 0, QEnd: 20, RPos: 100},
+		{QStart: 30, QEnd: 55, RPos: 130},
+		{QStart: 10, QEnd: 28, RPos: 5000},
+	}
+	chains := chainSeeds(seeds, 10, 0)
+	if len(chains) != 2 {
+		t.Fatalf("%d chains, want 2", len(chains))
+	}
+	if chains[0].Score != 45 || len(chains[0].Seeds) != 2 {
+		t.Errorf("best chain = %+v", chains[0])
+	}
+	if chains[0].Seeds[chains[0].Anchor].Len() != 25 {
+		t.Errorf("anchor should be the longest seed, got %+v", chains[0].Seeds[chains[0].Anchor])
+	}
+	// Overlapping seeds count covered bases once.
+	over := chainSeeds([]Seed{{0, 30, 50}, {20, 40, 70}}, 10, 0)
+	if over[0].Score != 40 {
+		t.Errorf("overlap-union score = %d, want 40", over[0].Score)
+	}
+	// maxChains truncates after score-sorting.
+	if got := chainSeeds(seeds, 10, 1); len(got) != 1 || got[0].Score != 45 {
+		t.Errorf("maxChains kept %+v", got)
+	}
+	if chainSeeds(nil, 10, 4) != nil {
+		t.Error("empty seed set must chain to nil")
+	}
+}
+
+func TestMapReadMemExact(t *testing.T) {
+	ix, ref := buildMemIndex(t, 20000, 7)
+	read := ref[5000:5100].Clone()
+	res, err := ix.MapReadMem(read, MemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapped() {
+		t.Fatal("exact read unmapped")
+	}
+	if res.Best.Pos != 5000 || !res.Best.Forward {
+		t.Errorf("placement %+v, want forward 5000", res.Best)
+	}
+	if res.Best.CIGAR != "100M" {
+		t.Errorf("CIGAR %q, want 100M", res.Best.CIGAR)
+	}
+	if res.Best.NM != 0 {
+		t.Errorf("NM %d, want 0", res.Best.NM)
+	}
+	if res.Best.MapQ == 0 {
+		t.Error("unique exact hit has MAPQ 0")
+	}
+	if res.Seeds == 0 || res.Chains == 0 || res.Extensions == 0 || res.SeedSteps == 0 || res.Cells == 0 {
+		t.Errorf("pipeline counters empty: %+v", res)
+	}
+}
+
+func TestMapReadMemReverseAndErrors(t *testing.T) {
+	ix, ref := buildMemIndex(t, 20000, 8)
+	rng := rand.New(rand.NewSource(1))
+	read := ref[9000:9120].Clone()
+	// Substitutions and a small deletion: the banded extension must absorb
+	// both.
+	for i := 0; i < 3; i++ {
+		p := rng.Intn(len(read))
+		read[p] = read[p].Complement()
+	}
+	read = append(read[:40:40], read[42:]...)
+	rc := read.ReverseComplement()
+	res, err := ix.MapReadMem(rc, MemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mapped() {
+		t.Fatal("reverse-strand read unmapped")
+	}
+	if res.Best.Forward {
+		t.Errorf("strand wrong: %+v", res.Best)
+	}
+	if res.Best.Pos < 8995 || res.Best.Pos > 9005 {
+		t.Errorf("position %d, want ~9000", res.Best.Pos)
+	}
+	if res.Best.NM == 0 {
+		t.Error("mutated read reports NM 0")
+	}
+}
+
+func TestMapReadMemUnmappedAndGuards(t *testing.T) {
+	ix, _ := buildMemIndex(t, 20000, 9)
+	rng := rand.New(rand.NewSource(2))
+	junk := make(dna.Seq, 100)
+	for i := range junk {
+		junk[i] = dna.Base(rng.Intn(4))
+	}
+	res, err := ix.MapReadMem(junk, MemOptions{MinSeedLen: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapped() {
+		t.Errorf("random read mapped: %+v", res.Best)
+	}
+	if _, err := ix.MapReadMem(junk, MemOptions{MinSeedLen: -1}); err == nil {
+		t.Error("accepted negative MinSeedLen")
+	}
+	if _, err := ix.MapReadMem(junk, MemOptions{MaxInsert: -5, Paired: true}); err == nil {
+		t.Error("accepted negative MaxInsert")
+	}
+	empty, err := ix.MapReadMem(nil, MemOptions{})
+	if err != nil || empty.Mapped() {
+		t.Errorf("empty read: %+v %v", empty, err)
+	}
+}
+
+// A hyper-repetitive reference must trip the seed-hit guard rather than
+// exploding the chain set.
+func TestMapReadMemAmbiguityGuard(t *testing.T) {
+	unit := dna.MustParseSeq("ACGTACGGTTACGTACCA")
+	var ref dna.Seq
+	for i := 0; i < 400; i++ {
+		ref = append(ref, unit...)
+	}
+	ix, err := BuildIndex(ref, IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := ref[100:160].Clone()
+	res, err := ix.MapReadMem(read, MemOptions{MaxSeedHits: 8, MinSeedLen: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds != 0 {
+		// Every seed occurs ~400 times; all must be guarded away.
+		t.Errorf("%d seeds survived a cap of 8 on a 400-copy repeat", res.Seeds)
+	}
+	if res.Mapped() {
+		t.Errorf("guarded read still mapped: %+v", res.Best)
+	}
+}
+
+func TestMapPairMemRescue(t *testing.T) {
+	ix, ref := buildMemIndex(t, 30000, 10)
+	r1 := ref[12000:12100].Clone()
+	// R2 is the reverse-strand mate ~300 bases downstream, mutated heavily
+	// enough that seeding fails (no SMEM above MinSeedLen) but the rescue
+	// scan still finds it.
+	mate := ref[12300:12400].Clone()
+	for i := 10; i < len(mate); i += 12 {
+		mate[i] = mate[i].Complement()
+	}
+	r2 := mate.ReverseComplement()
+	opts := MemOptions{Paired: true, MinInsert: 100, MaxInsert: 600, MinSeedLen: 31}
+	solo, err := ix.MapReadMem(r2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Mapped() {
+		t.Skip("mate mapped without rescue; mutation pattern too mild for this seed")
+	}
+	pr, err := ix.MapPairMem(r1, r2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.R1.Mapped() {
+		t.Fatal("anchor mate unmapped")
+	}
+	if !pr.R2.Mapped() || !pr.R2.Rescued {
+		t.Fatalf("mate not rescued: %+v", pr.R2)
+	}
+	if pr.R2.Best.Forward {
+		t.Error("rescued mate should be reverse strand")
+	}
+	if pr.R2.Best.Pos < 12290 || pr.R2.Best.Pos > 12310 {
+		t.Errorf("rescued position %d, want ~12300", pr.R2.Best.Pos)
+	}
+	if !pr.Proper {
+		t.Errorf("pair not proper: insert %d", pr.Insert)
+	}
+	if pr.R2.Best.MapQ > 30 {
+		t.Errorf("rescued MAPQ %d above cap", pr.R2.Best.MapQ)
+	}
+}
+
+func TestMapReadsMemBatchAndStats(t *testing.T) {
+	ix, ref := buildMemIndex(t, 30000, 11)
+	pairs, err := readsim.SimulatePairs(ref, readsim.PairConfig{
+		Count: 20, ReadLength: 80, InsertMean: 300, InsertStdDev: 30,
+		MappingRatio: 1, ErrorRate: 0.01, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads []dna.Seq
+	for _, p := range pairs {
+		reads = append(reads, p.R1, p.R2)
+	}
+	results, stats, err := ix.MapReadsMem(reads, MemOptions{Paired: true, MinInsert: 100, MaxInsert: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(reads) {
+		t.Fatalf("%d results for %d reads", len(results), len(reads))
+	}
+	if stats.Reads != len(reads) {
+		t.Errorf("stats.Reads = %d", stats.Reads)
+	}
+	if stats.MappedReads < len(reads)*8/10 {
+		t.Errorf("only %d/%d simulated reads mapped", stats.MappedReads, len(reads))
+	}
+	if stats.Seeds == 0 || stats.Extensions == 0 || stats.Cells == 0 || stats.SeedSteps == 0 {
+		t.Errorf("stats counters empty: %+v", stats)
+	}
+}
+
+func TestMemRecordsValidSAM(t *testing.T) {
+	ix, ref := buildMemIndex(t, 30000, 12)
+	refs := ix.SAMRefSeqs()
+	if len(refs) != 1 || refs[0].Name != "ref" || refs[0].Length != 30000 {
+		t.Fatalf("SAMRefSeqs = %+v", refs)
+	}
+	var sb strings.Builder
+	w, err := sam.NewWriter(&sb, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := ref[4000:4100].Clone()
+	r2 := ref[4250:4350].Clone().ReverseComplement()
+	pr, err := ix.MapPairMem(r1, r2, MemOptions{Paired: true, MinInsert: 100, MaxInsert: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec1, rec2 := ix.MemPairRecords("p1/1", "p1/2", r1, r2, pr)
+	if rec1.Flag&sam.FlagPaired == 0 || rec1.Flag&sam.FlagFirstInPair == 0 {
+		t.Errorf("rec1 flags %#x", rec1.Flag)
+	}
+	if rec2.Flag&sam.FlagSecondInPair == 0 {
+		t.Errorf("rec2 flags %#x", rec2.Flag)
+	}
+	if !pr.Proper {
+		t.Fatalf("expected proper pair, insert %d", pr.Insert)
+	}
+	if rec1.Flag&sam.FlagProperPair == 0 || rec2.Flag&sam.FlagProperPair == 0 {
+		t.Error("proper flag missing")
+	}
+	if rec1.TLen != -rec2.TLen || rec1.TLen == 0 {
+		t.Errorf("TLen %d / %d", rec1.TLen, rec2.TLen)
+	}
+	if rec1.RNext != "=" || rec2.RNext != "=" {
+		t.Errorf("RNext %q / %q", rec1.RNext, rec2.RNext)
+	}
+	if err := w.Write(rec1); err != nil {
+		t.Errorf("rec1 invalid: %v", err)
+	}
+	if err := w.Write(rec2); err != nil {
+		t.Errorf("rec2 invalid: %v", err)
+	}
+	// Unmapped single-end record is also valid.
+	junk := dna.MustParseSeq("ACGTACGTACGTACGTACGTACGTACGTACGT")
+	res, err := ix.MapReadMem(junk, MemOptions{MinSeedLen: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(ix.MemRecord("junk", junk, res)); err != nil {
+		t.Errorf("unmapped record invalid: %v", err)
+	}
+	w.Flush()
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2+1+3 { // @HD, @SQ, @PG + three records
+		t.Errorf("%d SAM lines: %q", len(lines), sb.String())
+	}
+}

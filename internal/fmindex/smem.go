@@ -28,13 +28,24 @@ type biCandidate struct {
 // SMEMs returns every SMEM of pattern with length >= minLen, in pattern
 // order.
 func (bi *BiIndex) SMEMs(pattern []uint8, minLen int) ([]SMEM, error) {
+	out, _, err := bi.SMEMsSteps(pattern, minLen)
+	return out, err
+}
+
+// SMEMsSteps is SMEMs also reporting the number of bidirectional extension
+// operations the search executed — the per-pattern work measure a pipelined
+// seeding kernel retires one per cycle, so it drives the FPGA simulator's
+// pass-1 cycle model.
+func (bi *BiIndex) SMEMsSteps(pattern []uint8, minLen int) ([]SMEM, int, error) {
 	if minLen < 1 {
-		return nil, fmt.Errorf("fmindex: minimum SMEM length %d must be >= 1", minLen)
+		return nil, 0, fmt.Errorf("fmindex: minimum SMEM length %d must be >= 1", minLen)
 	}
 	var out []SMEM
+	steps := 0
 	x := 0
 	for x < len(pattern) {
-		mems, next := bi.smemsFromPivot(pattern, x)
+		mems, next, n := bi.smemsFromPivot(pattern, x)
+		steps += n
 		for _, m := range mems {
 			if m.Len() >= minLen {
 				out = append(out, m)
@@ -44,19 +55,22 @@ func (bi *BiIndex) SMEMs(pattern []uint8, minLen int) ([]SMEM, error) {
 	}
 	// Pivot-order emission is per-pivot sorted by start already; across
 	// pivots starts strictly increase, so out is in pattern order.
-	return out, nil
+	return out, steps, nil
 }
 
-// smemsFromPivot returns all SMEMs containing position x (unfiltered), plus
-// the next pivot (the end of the longest match through x).
-func (bi *BiIndex) smemsFromPivot(pattern []uint8, x int) ([]SMEM, int) {
+// smemsFromPivot returns all SMEMs containing position x (unfiltered), the
+// next pivot (the end of the longest match through x), and the number of
+// extension operations performed.
+func (bi *BiIndex) smemsFromPivot(pattern []uint8, x int) ([]SMEM, int, int) {
+	steps := 0
 	sym := pattern[x]
 	if int(sym) >= bi.sigma {
-		return nil, x + 1
+		return nil, x + 1, steps
 	}
+	steps++
 	ik := bi.ExtendLeft(bi.All(), sym)
 	if ik.Empty() {
-		return nil, x + 1
+		return nil, x + 1, steps
 	}
 
 	// Forward pass: extend right from the pivot, recording the interval
@@ -68,6 +82,7 @@ func (bi *BiIndex) smemsFromPivot(pattern []uint8, x int) ([]SMEM, int) {
 			curr = append(curr, biCandidate{rows: ik, end: i})
 			break
 		}
+		steps++
 		ik1 := bi.ExtendRight(ik, pattern[i])
 		if ik1.Count() != ik.Count() {
 			curr = append(curr, biCandidate{rows: ik, end: i})
@@ -94,6 +109,7 @@ func (bi *BiIndex) smemsFromPivot(pattern []uint8, x int) ([]SMEM, int) {
 		for _, cand := range curr {
 			var ext BiRange
 			if j >= 0 {
+				steps++
 				ext = bi.ExtendLeft(cand.rows, pattern[j])
 			}
 			if j < 0 || ext.Empty() {
@@ -121,5 +137,5 @@ func (bi *BiIndex) smemsFromPivot(pattern []uint8, x int) ([]SMEM, int) {
 	for a, b := 0, len(out)-1; a < b; a, b = a+1, b-1 {
 		out[a], out[b] = out[b], out[a]
 	}
-	return out, nextPivot
+	return out, nextPivot, steps
 }

@@ -3,6 +3,8 @@ package fmindex
 import (
 	"math/rand"
 	"testing"
+
+	"bwaver/internal/rrr"
 )
 
 // bruteSMEMs computes SMEMs by definition: exact matches of pattern slices
@@ -138,6 +140,62 @@ func TestSMEMsExactReadSingle(t *testing.T) {
 	if len(smems) != 1 || smems[0].Start != 0 || smems[0].End != 60 {
 		t.Fatalf("exact read SMEMs = %v", smemIntervals(smems))
 	}
+}
+
+// FuzzSMEMs drives the bidirectional SMEM search with arbitrary text/pattern
+// splits and checks it against the O(n²) brute-force definition. Short
+// repetitive texts push many same-sized candidates through the backward pass
+// of smemsFromPivot, exercising the size-dedup (`ext.Count() != sizeLast`)
+// and the emitted-at-this-edge dedup that the unit tests only reach
+// probabilistically.
+func FuzzSMEMs(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0, 1, 2, 3, 0, 1}, []byte{0, 1, 2}, uint8(1))
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 0, 0, 0}, []byte{0, 0, 1, 0, 0}, uint8(2))
+	f.Add([]byte{1, 2, 1, 2, 1, 2, 1, 2, 3}, []byte{2, 1, 2, 9, 1, 2}, uint8(1))
+	f.Fuzz(func(t *testing.T, textB, patB []byte, minLenB uint8) {
+		if len(textB) == 0 || len(textB) > 300 || len(patB) == 0 || len(patB) > 80 {
+			t.Skip()
+		}
+		text := make([]uint8, len(textB))
+		for i, b := range textB {
+			text[i] = uint8(b) % 4
+		}
+		// Keep out-of-alphabet symbols in the pattern: the search must skip
+		// them, and the brute-force reference finds no occurrence through
+		// them either.
+		pattern := make([]uint8, len(patB))
+		for i, b := range patB {
+			pattern[i] = uint8(b) % 6
+		}
+		minLen := 1 + int(minLenB)%4
+		bi, err := NewBiIndex(text, 4, rrr.Params{BlockSize: 15, SuperblockFactor: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteSMEMs(text, pattern, minLen)
+		got, steps, err := bi.SMEMsSteps(pattern, minLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%d SMEMs, want %d\ngot:  %v\nwant: %v\ntext: %v\npattern: %v minLen %d",
+				len(got), len(want), smemIntervals(got), want, text, pattern, minLen)
+		}
+		for i := range want {
+			if got[i].Start != want[i][0] || got[i].End != want[i][1] {
+				t.Fatalf("SMEM %d = [%d,%d), want [%d,%d)", i, got[i].Start, got[i].End, want[i][0], want[i][1])
+			}
+			if got[i].Rows.Count() != len(naiveOccurrences(text, pattern[got[i].Start:got[i].End])) {
+				t.Fatalf("SMEM %d interval size %d, text has %d occurrences",
+					i, got[i].Rows.Count(), len(naiveOccurrences(text, pattern[got[i].Start:got[i].End])))
+			}
+		}
+		// The step count is the kernel cycle driver: it must be positive for
+		// any in-alphabet pattern and bounded by the quadratic worst case.
+		if steps > 2*len(pattern)*len(pattern)+len(pattern) {
+			t.Fatalf("%d extension steps for a %d-base pattern", steps, len(pattern))
+		}
+	})
 }
 
 func TestSMEMsInvalidSymbolSkipped(t *testing.T) {

@@ -1,0 +1,384 @@
+package fpga
+
+import (
+	"fmt"
+	"time"
+
+	"bwaver/internal/core"
+	"bwaver/internal/dna"
+)
+
+// Seed-and-extend ("mem") mapping on the modeled device: a two-pass design
+// in the spirit of the runtime-reconfigurable architecture twopass.go models.
+// Pass 1 runs SMEM seeding on the bidirectional FM-index pipelines (the same
+// rank-step cost model as the exact kernel — an SMEM extension op is one
+// backward-search step). The fabric then reconfigures from the search
+// pipelines to a banded systolic alignment array, and pass 2 executes the
+// chain extensions: the array retires one DP cell per PE per cycle, so the
+// pass-2 charge is the pipeline fill plus total cells over PEs. Chaining and
+// best-selection are host-side (cheap, irregular control flow), mirroring
+// the host/device split the paper's hybrid pipeline uses for locate.
+//
+// The searches and extensions execute bit-for-bit through the same core
+// entry points the CPU path calls, so both backends agree by construction;
+// the kernel adds only the cycle charges, the fault surface, and the batch
+// checksum.
+
+// MemRunResult is a completed seed-and-extend run.
+type MemRunResult struct {
+	// Results holds one entry per input read, by input position.
+	Results []core.MemResult
+	// Stats aggregates the batch's pipeline counters.
+	Stats core.MemStats
+	// Profile covers both passes plus the reconfiguration.
+	Profile Profile
+	// Checksum is the batch checksum the device computed before the result
+	// transfer (see ChecksumMemResults).
+	Checksum uint64
+}
+
+// VerifyChecksum recomputes the batch checksum over the received results and
+// returns ErrResultCorrupt on mismatch.
+func (r *MemRunResult) VerifyChecksum() error {
+	if ChecksumMemResults(r.Results) != r.Checksum {
+		return ErrResultCorrupt
+	}
+	return nil
+}
+
+// ChecksumMemResults folds the deterministic fields of a mem batch into the
+// same FNV-1a construction ChecksumResults uses for exact batches. CIGAR
+// bytes participate so a corrupted traceback is as detectable as a corrupted
+// position.
+func ChecksumMemResults(results []core.MemResult) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	for _, r := range results {
+		mix(uint64(int64(r.Best.Pos)))
+		mix(uint64(int64(r.Best.RefSpan)))
+		mix(uint64(int64(r.Best.Score)))
+		mix(uint64(r.Best.MapQ))
+		mix(uint64(int64(r.Best.NM)))
+		mix(uint64(int64(r.SubScore)))
+		var bits uint64
+		if r.Best.Forward {
+			bits |= 1
+		}
+		if r.Rescued {
+			bits |= 2
+		}
+		mix(bits)
+		for _, b := range []byte(r.Best.CIGAR) {
+			h ^= uint64(b)
+			h *= prime
+		}
+	}
+	return h
+}
+
+// MapReadsMem runs the seed-and-extend pipeline on the device; see
+// MapReadsMemOpts.
+func (k *Kernel) MapReadsMem(reads []dna.Seq, memOpts core.MemOptions) (*MemRunResult, error) {
+	return k.MapReadsMemOpts(reads, memOpts, MapRunOptions{})
+}
+
+// MapReadsMemOpts maps a batch through seed → chain → extend with per-run
+// cancellation, progress reporting, and index-residency control. When
+// memOpts.Paired is set, consecutive reads are mate pairs (an odd batch maps
+// its last read single-end), exactly as core.MapReadsMem pairs them.
+func (k *Kernel) MapReadsMemOpts(reads []dna.Seq, memOpts core.MemOptions, opts MapRunOptions) (*MemRunResult, error) {
+	wallStart := time.Now()
+	cfg := k.dev.cfg
+	for i, r := range reads {
+		if len(r) == 0 {
+			return nil, fmt.Errorf("fpga: read %d is empty", i)
+		}
+		if len(r) > MaxQueryBases {
+			return nil, fmt.Errorf("fpga: read %d has %d bases; the 512-bit query record holds at most %d",
+				i, len(r), MaxQueryBases)
+		}
+	}
+
+	// The seeding pass needs both directions' structures resident; gate on
+	// BRAM like Program gates the exact index.
+	if err := k.ix.EnsureMem(); err != nil {
+		return nil, err
+	}
+	memBytes := k.ix.MemBytes()
+	if memBytes > cfg.BRAMBytes {
+		return nil, fmt.Errorf("fpga: bidirectional index (%d bytes) exceeds device BRAM (%d bytes)",
+			memBytes, cfg.BRAMBytes)
+	}
+
+	// Pass-1 fault surface: bidirectional index load (unless resident),
+	// query streaming, seeding kernel.
+	if inj := k.dev.inj; inj != nil {
+		if !opts.IndexResident {
+			if err := inj.at(StageIndexLoad); err != nil {
+				return nil, err
+			}
+		}
+		if err := inj.at(StageQueryTransfer); err != nil {
+			return nil, err
+		}
+		if err := inj.at(StageKernel); err != nil {
+			return nil, err
+		}
+	}
+
+	every := opts.ProgressEvery
+	if every <= 0 {
+		every = 256
+	}
+	out := &MemRunResult{Results: make([]core.MemResult, len(reads))}
+	mapOne := func(i int) error {
+		res, err := k.ix.MapReadMem(reads[i], memOpts)
+		if err != nil {
+			return err
+		}
+		out.Results[i] = res
+		return nil
+	}
+	checkCtx := func(n int) error {
+		if opts.Context != nil && n%64 == 0 {
+			return opts.Context.Err()
+		}
+		return nil
+	}
+	done := 0
+	report := func(n int) {
+		done = n
+		if opts.Progress != nil && done%every == 0 {
+			opts.Progress(done, len(reads))
+		}
+	}
+	if memOpts.Paired {
+		for i := 0; i+1 < len(reads); i += 2 {
+			if err := checkCtx(i); err != nil {
+				return nil, err
+			}
+			pr, err := k.ix.MapPairMem(reads[i], reads[i+1], memOpts)
+			if err != nil {
+				return nil, err
+			}
+			out.Results[i], out.Results[i+1] = pr.R1, pr.R2
+			report(i + 2)
+		}
+		if len(reads)%2 == 1 {
+			if err := mapOne(len(reads) - 1); err != nil {
+				return nil, err
+			}
+			report(len(reads))
+		}
+	} else {
+		for i := range reads {
+			if err := checkCtx(i); err != nil {
+				return nil, err
+			}
+			if err := mapOne(i); err != nil {
+				return nil, err
+			}
+			report(i + 1)
+		}
+	}
+	if opts.Progress != nil && done%every != 0 {
+		opts.Progress(len(reads), len(reads))
+	}
+	for _, r := range out.Results {
+		out.Stats.Add(r)
+	}
+
+	// Pass-1 cycles: SMEM extension ops through the rank pipelines, same
+	// per-step model as the exact kernel.
+	perStep := k.stepCycles()
+	var seedCycles uint64
+	for _, r := range out.Results {
+		seedCycles += uint64(r.SeedSteps)*perStep + uint64(cfg.QueryOverheadCycles)
+	}
+	pass1Cycles := uint64(cfg.PipelineFillCycles) + seedCycles/uint64(cfg.PEs)
+
+	// Reconfiguration swaps the search pipelines for the systolic alignment
+	// array; pass 2 re-rolls the stream/kernel fault stages like a fresh run.
+	if inj := k.dev.inj; inj != nil {
+		if err := inj.at(StageQueryTransfer); err != nil {
+			return nil, err
+		}
+		if err := inj.at(StageKernel); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pass-2 cycles: the array retires one DP cell per PE per cycle.
+	var cellCycles uint64
+	for _, r := range out.Results {
+		cellCycles += uint64(r.Cells)
+	}
+	cellCycles += uint64(out.Stats.Extensions) * uint64(cfg.QueryOverheadCycles)
+	pass2Cycles := uint64(cfg.PipelineFillCycles) + cellCycles/uint64(cfg.PEs)
+
+	out.Checksum = ChecksumMemResults(out.Results)
+	if inj := k.dev.inj; inj != nil {
+		if err := inj.at(StageResultTransfer); err != nil {
+			return nil, err
+		}
+	}
+
+	indexTransfer := k.dev.transfer(memBytes)
+	if opts.IndexResident {
+		indexTransfer = 0
+	}
+	kernelCycles := pass1Cycles + pass2Cycles
+	profile := Profile{
+		Setup:         cfg.SetupTime,
+		IndexTransfer: indexTransfer,
+		// Pass 1 streams the reads; pass 2 streams one extension-job record
+		// per surviving chain.
+		QueryTransfer:  k.dev.transfer(len(reads)*QueryRecordBytes + out.Stats.Extensions*QueryRecordBytes),
+		KernelTime:     k.dev.cyclesToTime(kernelCycles),
+		ResultTransfer: k.dev.transfer(len(reads) * ResultRecordBytes),
+		Reconfig:       DefaultReconfigTime,
+		KernelCycles:   kernelCycles,
+	}
+	if cfg.DoubleBuffer {
+		profile.Overlap = min(profile.QueryTransfer, profile.KernelTime)
+	}
+	profile.Events = tagEvents(buildEvents(profile), k.dev.id, 1, 0)
+	profile.HostWallTime = time.Since(wallStart)
+	out.Profile = profile
+	out.Stats.Elapsed = profile.HostWallTime
+	return out, nil
+}
+
+// verifySampledMem recomputes every stride-th result on the host and compares
+// it to the device's, the mem counterpart of core.VerifySampled. Paired
+// batches verify whole pairs so rescue and proper-pair context match.
+func verifySampledMem(ix *core.Index, reads []dna.Seq, results []core.MemResult, memOpts core.MemOptions, stride int) error {
+	if stride <= 0 {
+		return nil
+	}
+	for i := 0; i < len(reads); i += stride {
+		if memOpts.Paired && i+1 < len(reads) {
+			j := i &^ 1 // verify the pair the read belongs to
+			pr, err := ix.MapPairMem(reads[j], reads[j+1], memOpts)
+			if err != nil {
+				return err
+			}
+			if pr.R1 != results[j] || pr.R2 != results[j+1] {
+				return fmt.Errorf("fpga: mem cross-check mismatch at pair %d", j/2)
+			}
+			continue
+		}
+		res, err := ix.MapReadMem(reads[i], memOpts)
+		if err != nil {
+			return err
+		}
+		if res != results[i] {
+			return fmt.Errorf("fpga: mem cross-check mismatch at read %d", i)
+		}
+	}
+	return nil
+}
+
+// MapReadsMem stripes a mem batch across the farm; see MapReadsMemOpts.
+func (f *Farm) MapReadsMem(reads []dna.Seq, memOpts core.MemOptions) (*MemRunResult, error) {
+	return f.MapReadsMemOpts(reads, memOpts, MapRunOptions{})
+}
+
+// MapReadsMemOpts stripes a seed-and-extend batch across the healthy cards
+// with the farm's usual retry, checksum verification, and redistribution.
+// Paired batches stripe on pair boundaries so no mate pair splits across
+// cards (pairing context — rescue, proper-pair calls — is shard-local).
+func (f *Farm) MapReadsMemOpts(reads []dna.Seq, memOpts core.MemOptions, opts MapRunOptions) (*MemRunResult, error) {
+	wallStart := time.Now()
+	healthy := f.healthyDevices()
+	if len(healthy) == 0 {
+		f.rec.exhausted()
+		return nil, ErrNoHealthyDevices
+	}
+	n := len(healthy)
+	boundary := func(si int) int {
+		if si >= n {
+			return len(reads)
+		}
+		b := len(reads) * si / n
+		if memOpts.Paired {
+			b &^= 1
+		}
+		return b
+	}
+	out := &MemRunResult{Results: make([]core.MemResult, len(reads))}
+	agg := Profile{Setup: f.kernels[0].dev.cfg.SetupTime}
+	var maxKernel, maxReconfig time.Duration
+	var maxCycles uint64
+	var events []Event
+	for si, di := range healthy {
+		lo, hi := boundary(si), boundary(si+1)
+		if lo == hi {
+			continue
+		}
+		shard := reads[lo:hi]
+		runOpts := MapRunOptions{
+			Context:       opts.Context,
+			Progress:      shardProgress(opts, lo, len(reads)),
+			ProgressEvery: opts.ProgressEvery,
+			IndexResident: opts.IndexResident,
+		}
+		run, backoff, winner, err := execShard(f, opts.Context, di, healthy, func(k *Kernel) (*MemRunResult, error) {
+			r, err := k.MapReadsMemOpts(shard, memOpts, runOpts)
+			if err != nil {
+				return nil, err
+			}
+			if err := r.VerifyChecksum(); err != nil {
+				return nil, err
+			}
+			if s := f.opts.VerifyStride; s > 0 {
+				if err := verifySampledMem(k.ix, shard, r.Results, memOpts, s); err != nil {
+					return nil, fmt.Errorf("%w: %v", errCrossCheckFailed, err)
+				}
+			}
+			return r, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.observeRun(run.Profile, backoff)
+		events = append(events, tagEvents(run.Profile.Events, winner.Device, winner.Attempt, si)...)
+		copy(out.Results[lo:hi], run.Results)
+		agg.IndexTransfer += run.Profile.IndexTransfer
+		agg.QueryTransfer += run.Profile.QueryTransfer
+		agg.ResultTransfer += run.Profile.ResultTransfer
+		agg.RetryBackoff += backoff
+		if run.Profile.Reconfig > maxReconfig {
+			maxReconfig = run.Profile.Reconfig
+		}
+		if run.Profile.KernelTime > maxKernel {
+			maxKernel = run.Profile.KernelTime
+		}
+		if run.Profile.KernelCycles > maxCycles {
+			maxCycles = run.Profile.KernelCycles
+		}
+	}
+	agg.KernelTime = maxKernel
+	agg.KernelCycles = maxCycles
+	agg.Reconfig = maxReconfig
+	sortEvents(events)
+	agg.Events = events
+	agg.HostWallTime = time.Since(wallStart)
+	out.Profile = agg
+	out.Checksum = ChecksumMemResults(out.Results)
+	for _, r := range out.Results {
+		out.Stats.Add(r)
+	}
+	out.Stats.Elapsed = agg.HostWallTime
+	return out, nil
+}

@@ -14,15 +14,18 @@ import (
 
 // Flag bits (SAM spec §1.4).
 const (
-	FlagPaired       uint16 = 0x1
-	FlagProperPair   uint16 = 0x2
-	FlagUnmapped     uint16 = 0x4
-	FlagMateUnmapped uint16 = 0x8
-	FlagReverse      uint16 = 0x10
-	FlagMateReverse  uint16 = 0x20
-	FlagFirstInPair  uint16 = 0x40
-	FlagSecondInPair uint16 = 0x80
-	FlagSecondary    uint16 = 0x100
+	FlagPaired        uint16 = 0x1
+	FlagProperPair    uint16 = 0x2
+	FlagUnmapped      uint16 = 0x4
+	FlagMateUnmapped  uint16 = 0x8
+	FlagReverse       uint16 = 0x10
+	FlagMateReverse   uint16 = 0x20
+	FlagFirstInPair   uint16 = 0x40
+	FlagSecondInPair  uint16 = 0x80
+	FlagSecondary     uint16 = 0x100
+	FlagQCFail        uint16 = 0x200
+	FlagDuplicate     uint16 = 0x400
+	FlagSupplementary uint16 = 0x800
 )
 
 // RefSeq describes one @SQ header line.
@@ -95,6 +98,12 @@ func (w *Writer) Write(rec Record) error {
 	if rec.QName == "" || strings.ContainsAny(rec.QName, " \t\n") {
 		return fmt.Errorf("sam: invalid query name %q", rec.QName)
 	}
+	if rec.Pos < 0 {
+		return fmt.Errorf("sam: record %q has negative position %d", rec.QName, rec.Pos)
+	}
+	if rec.PNext < 0 {
+		return fmt.Errorf("sam: record %q has negative mate position %d", rec.QName, rec.PNext)
+	}
 	rname, pos, cigar := rec.RName, rec.Pos, rec.CIGAR
 	if rec.Unmapped() {
 		rname, pos, cigar = "*", 0, "*"
@@ -120,6 +129,9 @@ func (w *Writer) Write(rec Record) error {
 	}
 	if seq != "*" && qual != "*" && len(seq) != len(qual) {
 		return fmt.Errorf("sam: record %q: %d quality bytes for %d bases", rec.QName, len(qual), len(seq))
+	}
+	if seq == "*" && qual != "*" {
+		return fmt.Errorf("sam: record %q has qualities but no sequence", rec.QName)
 	}
 	rnext := rec.RNext
 	if rnext == "" {

@@ -100,10 +100,31 @@ func TestWriteValidation(t *testing.T) {
 		{QName: "r", RName: "chr1", Pos: 1001, CIGAR: "1M"},
 		{QName: "r", RName: "chr1", Pos: 5, CIGAR: ""},
 		{QName: "r", RName: "chr1", Pos: 5, CIGAR: "4M", Seq: "ACGT", Qual: "II"},
+		{QName: "r", RName: "chr1", Pos: -3, CIGAR: "1M"},
+		{QName: "r", Flag: FlagUnmapped, Pos: -3}, // negative Pos is invalid even when masked by the unmapped substitution
+		{QName: "r", RName: "chr1", Pos: 5, CIGAR: "1M", RNext: "=", PNext: -1},
+		{QName: "r", RName: "chr1", Pos: 5, CIGAR: "1M", Qual: "III"}, // qualities without a sequence
 	}
 	for i, rec := range cases {
 		if err := w.Write(rec); err == nil {
 			t.Errorf("case %d: Write(%+v) accepted invalid record", i, rec)
+		}
+	}
+}
+
+func TestFlagConstants(t *testing.T) {
+	// Spec §1.4 bit values; FlagSupplementary in particular was missing.
+	for _, c := range []struct {
+		flag uint16
+		want uint16
+	}{
+		{FlagSecondary, 0x100},
+		{FlagQCFail, 0x200},
+		{FlagDuplicate, 0x400},
+		{FlagSupplementary, 0x800},
+	} {
+		if c.flag != c.want {
+			t.Errorf("flag = %#x, want %#x", c.flag, c.want)
 		}
 	}
 }

@@ -256,6 +256,7 @@ func (s *Server) setJobStateLocked(job *Job, st JobState) {
 // and the effective deadline budget resolved by effectiveTimeout.
 type jobSpec struct {
 	Backend    string
+	Mode       string
 	B, SF      int
 	Mismatches int
 	RefName    string
@@ -306,7 +307,7 @@ func (s *Server) admitJob(spec jobSpec, initial JobState) (job *Job, existing bo
 		}
 	}
 	job = &Job{
-		ID: s.nextID, Backend: spec.Backend, B: spec.B, SF: spec.SF,
+		ID: s.nextID, Backend: spec.Backend, Mode: spec.Mode, B: spec.B, SF: spec.SF,
 		Mismatches: spec.Mismatches, IdemKey: spec.IdemKey, RequestID: spec.RequestID,
 		timeout: spec.Timeout,
 		RefName: spec.RefName, RefLength: spec.RefLength, Reads: spec.Reads, Created: time.Now(),

@@ -54,6 +54,7 @@ type journalRecord struct {
 
 	// Spec (accepted records and compacted terminal snapshots).
 	Backend      string `json:"backend,omitempty"`
+	Mode         string `json:"mode,omitempty"`
 	B            int    `json:"b,omitempty"`
 	SF           int    `json:"sf,omitempty"`
 	Mismatches   int    `json:"mismatches,omitempty"`
@@ -319,6 +320,7 @@ func foldRecords(recs []journalRecord) map[int]*foldedJob {
 		}
 		if rec.Backend != "" {
 			fj.spec.Backend = rec.Backend
+			fj.spec.Mode = rec.Mode
 			fj.spec.B, fj.spec.SF, fj.spec.Mismatches = rec.B, rec.SF, rec.Mismatches
 			fj.spec.RefPayload, fj.spec.ReadsPayload = rec.RefPayload, rec.ReadsPayload
 			fj.spec.Created = rec.Created
@@ -360,6 +362,7 @@ func snapshotRecord(j *Job) journalRecord {
 		Job:        j.ID,
 		Time:       time.Now(),
 		Backend:    j.Backend,
+		Mode:       j.Mode,
 		B:          j.B,
 		SF:         j.SF,
 		Mismatches: j.Mismatches,
@@ -422,6 +425,7 @@ func (s *Server) journalAccept(job *Job, in jobInput) error {
 		Type:         recAccepted,
 		Job:          job.ID,
 		Backend:      job.Backend,
+		Mode:         job.Mode,
 		B:            job.B,
 		SF:           job.SF,
 		Mismatches:   job.Mismatches,
@@ -525,6 +529,7 @@ func (s *Server) recover() error {
 		job := &Job{
 			ID:         id,
 			Backend:    fj.spec.Backend,
+			Mode:       fj.spec.Mode,
 			B:          fj.spec.B,
 			SF:         fj.spec.SF,
 			Mismatches: fj.spec.Mismatches,

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"bwaver/internal/core"
 	"bwaver/internal/fpga"
 	"bwaver/internal/obs"
 )
@@ -130,6 +131,37 @@ func (s *Server) initObs() {
 	reg.GaugeFunc("bwaver_ftab_bytes",
 		"Total prefix-table bytes across cached indexes.",
 		func() float64 { return float64(s.cache.ftabStats(s.cfg.FtabK).SizeBytes) })
+
+	// Seed-and-extend (mode=mem) pipeline totals, read at scrape time from
+	// the aggregate the mapping loop maintains under s.mu.
+	memStat := func(get func(core.MemStats) int) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(get(s.memStats))
+		}
+	}
+	reg.CounterFunc("bwaver_mem_reads_total",
+		"Reads mapped through the seed-and-extend (mode=mem) pipeline.",
+		memStat(func(m core.MemStats) int { return m.Reads }))
+	reg.CounterFunc("bwaver_mem_mapped_reads_total",
+		"mode=mem reads that produced an alignment.",
+		memStat(func(m core.MemStats) int { return m.MappedReads }))
+	reg.CounterFunc("bwaver_mem_seeds_total",
+		"SMEM seeds surviving the ambiguity guard.",
+		memStat(func(m core.MemStats) int { return m.Seeds }))
+	reg.CounterFunc("bwaver_mem_chains_total",
+		"Collinear seed chains formed.",
+		memStat(func(m core.MemStats) int { return m.Chains }))
+	reg.CounterFunc("bwaver_mem_extensions_total",
+		"Banded extensions executed.",
+		memStat(func(m core.MemStats) int { return m.Extensions }))
+	reg.CounterFunc("bwaver_mem_rescues_total",
+		"Mates placed by the paired rescue scan instead of their own seeds.",
+		memStat(func(m core.MemStats) int { return m.Rescues }))
+	reg.CounterFunc("bwaver_mem_dp_cells_total",
+		"Dynamic-programming cells evaluated by mode=mem extensions.",
+		memStat(func(m core.MemStats) int { return m.Cells }))
 
 	for _, stage := range []string{"index", "query", "kernel", "result", "corrupt"} {
 		stage := stage

@@ -40,6 +40,7 @@ import (
 	"bwaver/internal/obs"
 	"bwaver/internal/readsim"
 	"bwaver/internal/rrr"
+	"bwaver/internal/sam"
 )
 
 // JobState tracks a pipeline run.
@@ -66,6 +67,20 @@ func (s JobState) terminal() bool {
 // job over the API, distinguishing it from a timeout.
 var errJobCanceled = errors.New("canceled by user")
 
+// Job.Mode values. The empty mode keeps the historical dispatch: exact
+// matching, or the mismatch-budget search when one is set.
+const (
+	// ModeMem maps reads with the seed-and-extend pipeline (SMEM seeding,
+	// collinear chaining, banded extension) and streams SAM records.
+	ModeMem = "mem"
+	// ModeMemPE is ModeMem over interleaved mate pairs (R1, R2, R1, R2, ...)
+	// with mate rescue and proper-pair calls.
+	ModeMemPE = "mem-pe"
+)
+
+// memMode reports whether the job runs the seed-and-extend pipeline.
+func (j *Job) memMode() bool { return j.Mode == ModeMem || j.Mode == ModeMemPE }
+
 // Job is one mapping request moving through the pipeline.
 type Job struct {
 	ID      int
@@ -75,6 +90,11 @@ type Job struct {
 	B, SF   int
 	// Mismatches is the substitution budget; 0 = exact matching.
 	Mismatches int
+	// Mode selects the mapping pipeline: "" (exact matching, or the
+	// branching approximate search when Mismatches > 0), ModeMem
+	// (seed-and-extend, single-end), or ModeMemPE (seed-and-extend on
+	// interleaved mate pairs with rescue and proper-pair calls).
+	Mode string
 
 	RefName   string
 	RefLength int
@@ -311,6 +331,10 @@ type Server struct {
 	totalMap      time.Duration
 	completedJobs int
 	jobsEvicted   uint64
+	// memStats aggregates the seed-and-extend pipeline counters (seeds,
+	// chains, extensions, rescues, DP cells) over every mode=mem batch the
+	// server has mapped, whichever backend ran it. Guarded by mu.
+	memStats core.MemStats
 
 	// Observability (see obs.go): structured logger, metric registry, and
 	// the event-time instruments; scrape-time collectors read server state
@@ -556,6 +580,7 @@ type jobJSON struct {
 	B              int     `json:"b"`
 	SF             int     `json:"sf"`
 	Mismatches     int     `json:"mismatches"`
+	Mode           string  `json:"mode,omitempty"`
 	RefName        string  `json:"ref_name"`
 	RefLength      int     `json:"ref_length"`
 	Reads          int     `json:"reads"`
@@ -577,7 +602,7 @@ type jobJSON struct {
 func (j *Job) toJSON() jobJSON {
 	out := jobJSON{
 		ID: j.ID, State: string(j.State), Error: j.Error, Backend: j.Backend,
-		B: j.B, SF: j.SF, Mismatches: j.Mismatches,
+		B: j.B, SF: j.SF, Mismatches: j.Mismatches, Mode: j.Mode,
 		RefName: j.RefName, RefLength: j.RefLength,
 		Reads: j.Reads, Mapped: j.Mapped, Done: j.Done, CacheHit: j.CacheHit,
 		Fallback: j.FallbackUsed, FallbackReason: j.FallbackReason,
@@ -683,6 +708,7 @@ type statsJSON struct {
 	Running    int                  `json:"running"`
 	Evicted    uint64               `json:"jobs_evicted"`
 	Stage      stageJSON            `json:"stage_totals"`
+	Mem        core.MemStats        `json:"mem"`
 	Resilience fpga.ResilienceStats `json:"resilience"`
 	Devices    []fpga.DeviceHealth  `json:"devices"`
 	Fallback   string               `json:"fallback_policy"`
@@ -733,6 +759,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BuildMsTotal:  float64(s.totalBuild) / float64(time.Millisecond),
 		MapMsTotal:    float64(s.totalMap) / float64(time.Millisecond),
 	}
+	payload.Mem = s.memStats
 	rejected := make(map[string]uint64, len(s.admissionRejected))
 	for reason, n := range s.admissionRejected {
 		rejected[reason] = n
@@ -856,6 +883,7 @@ var jobTemplate = template.Must(template.New("job").Parse(`<!doctype html>
 <table>
 <tr><td>Backend</td><td>{{.Backend}}{{if .FallbackUsed}} (fell back to CPU: {{.FallbackReason}}){{end}}</td></tr>
 <tr><td>RRR parameters</td><td>b={{.B}} sf={{.SF}}</td></tr>
+<tr><td>Mode</td><td>{{if .Mode}}{{.Mode}}{{else}}exact{{end}}</td></tr>
 <tr><td>Mismatch budget</td><td>{{.Mismatches}}</td></tr>
 <tr><td>Reference</td><td>{{.RefName}} ({{.RefLength}} bp)</td></tr>
 <tr><td>Reads</td><td>{{.Reads}}</td></tr>
@@ -947,7 +975,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	backend, err := validateJobParams(r.FormValue("backend"), b, sf, mismatches)
+	backend, mode, err := validateJobParams(r.FormValue("backend"), r.FormValue("mode"), b, sf, mismatches)
 	if err != nil {
 		httpError(w, r, http.StatusBadRequest, err.Error())
 		return
@@ -964,7 +992,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	job, existing, ae := s.admitJob(jobSpec{
-		Backend: backend, B: b, SF: sf, Mismatches: mismatches,
+		Backend: backend, Mode: mode, B: b, SF: sf, Mismatches: mismatches,
 		RefName: "(parsing)", IdemKey: idemKey,
 		RequestID: obs.RequestIDFrom(r.Context()),
 		Timeout:   s.effectiveTimeout(r),
@@ -1440,9 +1468,12 @@ func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 	}
 	var mapped int
 	var mapTime time.Duration
-	if job.Mismatches > 0 {
+	switch {
+	case job.memMode():
+		mapped, mapTime, err = s.runMem(mapCtx, job, entry, reads, ids, em)
+	case job.Mismatches > 0:
 		mapped, mapTime, err = s.runApprox(mapCtx, job, entry, reads, ids, em)
-	} else {
+	default:
 		mapped, mapTime, err = s.runExact(mapCtx, job, entry, reads, ids, em)
 	}
 	mapSpan.SetAttr("reads", len(reads))
@@ -1651,6 +1682,148 @@ func (s *Server) runApprox(ctx context.Context, job *Job, entry *cacheEntry, rea
 	return em.mapped, mapTime, nil
 }
 
+// runMem is step 3 for mode=mem jobs: the seed-and-extend pipeline (SMEM
+// seeding, collinear chaining, banded extension, MAPQ) on either backend,
+// streamed as SAM text — the job's results file is a valid SAM file — plus
+// one NDJSON row per read. On the FPGA the farm runs the two-pass
+// reconfigurable flow (seeding pass on the FM pipelines, reconfiguration,
+// extension pass on the systolic array) with pair-aligned shard boundaries;
+// the CPU fallback reruns the identical pipeline, so batches already emitted
+// by the FPGA stand — the backends are bit-identical by construction.
+func (s *Server) runMem(ctx context.Context, job *Job, entry *cacheEntry, reads []dna.Seq, ids []string, em *jobEmitter) (int, time.Duration, error) {
+	ix := entry.ix
+	memOpts := core.MemOptions{Paired: job.Mode == ModeMemPE}
+	batch := s.cfg.StreamBatch
+	if batch <= 0 {
+		batch = DefaultStreamBatch
+	}
+	if memOpts.Paired && batch%2 == 1 {
+		// Pair-aligned batches: a mate pair split across batches would lose
+		// its rescue and proper-pair context.
+		batch++
+	}
+	// One SAM writer spans the whole job, so the header lands in the first
+	// batch and every later batch drains as bare records.
+	var samBuf bytes.Buffer
+	sw, err := sam.NewWriter(&samBuf, ix.SAMRefSeqs())
+	if err != nil {
+		return 0, 0, err
+	}
+	var total core.MemStats
+	defer func() {
+		s.mu.Lock()
+		s.memStats.Merge(total)
+		s.mu.Unlock()
+	}()
+	emit := func(off int, results []core.MemResult) error {
+		rows := make([]memRow, 0, len(results))
+		write := func(rec sam.Record, res core.MemResult) error {
+			if err := sw.Write(rec); err != nil {
+				return err
+			}
+			rows = append(rows, memRowFrom(rec, res))
+			return nil
+		}
+		for i := 0; i < len(results); {
+			g := off + i
+			if memOpts.Paired && i+1 < len(results) {
+				pr := core.MemPairFromResults(results[i], results[i+1], memOpts)
+				rec1, rec2 := ix.MemPairRecords(samQName(ids[g], g), samQName(ids[g+1], g+1),
+					reads[g], reads[g+1], pr)
+				if err := write(rec1, results[i]); err != nil {
+					return err
+				}
+				if err := write(rec2, results[i+1]); err != nil {
+					return err
+				}
+				i += 2
+				continue
+			}
+			if err := write(ix.MemRecord(samQName(ids[g], g), reads[g], results[i]), results[i]); err != nil {
+				return err
+			}
+			i++
+		}
+		if err := sw.Flush(); err != nil {
+			return err
+		}
+		if err := em.memBatch(samBuf.Bytes(), rows); err != nil {
+			return err
+		}
+		samBuf.Reset()
+		return nil
+	}
+	cpuFrom := func(off int, elapsed time.Duration) (int, time.Duration, error) {
+		start := time.Now()
+		for o := off; o < len(reads); o += batch {
+			end := min(o+batch, len(reads))
+			results, stats, err := ix.MapReadsMem(reads[o:end], memOpts)
+			if err != nil {
+				return 0, 0, err
+			}
+			total.Merge(stats)
+			if err := emit(o, results); err != nil {
+				return 0, 0, err
+			}
+			s.setJobProgress(job, end)
+			if err := ctx.Err(); err != nil {
+				return 0, 0, err
+			}
+		}
+		return em.mapped, elapsed + time.Since(start), nil
+	}
+	if job.Backend != "fpga" {
+		return cpuFrom(0, 0)
+	}
+	var mapTime time.Duration
+	for off := 0; off < len(reads); off += batch {
+		end := min(off+batch, len(reads))
+		chunk := reads[off:end]
+		progress := func(done, total int) { s.setJobProgress(job, off+done) }
+		run, ferr := func() (*fpga.MemRunResult, error) {
+			farm, resident, err := entry.farmFor(s.devices, s.farmOptions())
+			if err != nil {
+				return nil, err
+			}
+			return farm.MapReadsMemOpts(chunk, memOpts, fpga.MapRunOptions{
+				Context: ctx, Progress: progress, IndexResident: resident,
+			})
+		}()
+		switch {
+		case ferr == nil:
+			mapTime += run.Profile.Total()
+			addModeledEvents(obs.SpanFrom(ctx), run.Profile.Events)
+			total.Merge(run.Stats)
+			if err := emit(off, run.Results); err != nil {
+				return 0, 0, err
+			}
+		case s.shouldFallback(ctx, ferr):
+			s.noteFallback(job, ferr)
+			obs.SpanFrom(ctx).SetAttr("fallback", ferr.Error())
+			return cpuFrom(off, mapTime)
+		default:
+			return 0, 0, ferr
+		}
+	}
+	return em.mapped, mapTime, nil
+}
+
+// samQName makes a read ID usable as a SAM QNAME: the writer rejects
+// whitespace, and an anonymous read still needs a name.
+func samQName(id string, i int) string {
+	id = strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t', '\n', '\r':
+			return '_'
+		}
+		return r
+	}, id)
+	if id == "" {
+		return fmt.Sprintf("read-%d", i+1)
+	}
+	return id
+}
+
 // idSanitizer strips the TSV structural characters from user-supplied read
 // IDs: an embedded tab or newline would otherwise corrupt the results file.
 var idSanitizer = strings.NewReplacer("\t", " ", "\n", " ", "\r", " ")
@@ -1739,10 +1912,18 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	results := job.results
 	path := job.resultsPath
 	size := job.resultsSize
+	memJob := job.memMode()
 	s.mu.Unlock()
 	if state != StateDone {
 		httpError(w, r, http.StatusConflict, fmt.Sprintf("job is %s; results not available", state))
 		return
+	}
+	// mode=mem jobs produce SAM text, the others TSV.
+	ctype := "text/tab-separated-values; charset=utf-8"
+	filename := fmt.Sprintf("bwaver-job-%d.tsv", job.ID)
+	if memJob {
+		ctype = "text/x-sam; charset=utf-8"
+		filename = fmt.Sprintf("bwaver-job-%d.sam", job.ID)
 	}
 	if path != "" {
 		f, err := os.Open(path)
@@ -1752,14 +1933,14 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer f.Close()
-		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
-		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=bwaver-job-%d.tsv", job.ID))
+		w.Header().Set("Content-Type", ctype)
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s", filename))
 		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 		io.Copy(w, f)
 		return
 	}
-	w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
-	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=bwaver-job-%d.tsv", job.ID))
+	w.Header().Set("Content-Type", ctype)
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s", filename))
 	w.Header().Set("Content-Length", strconv.Itoa(len(results)))
 	w.Write(results)
 }

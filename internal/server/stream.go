@@ -15,6 +15,7 @@ import (
 
 	"bwaver/internal/core"
 	"bwaver/internal/dna"
+	"bwaver/internal/sam"
 )
 
 // Streamed results. The two-pass flow already produces mappings batch by
@@ -278,6 +279,44 @@ type approxRow struct {
 	Occurrences    int    `json:"occurrences"`
 }
 
+// memRow is the NDJSON wire form of one seed-and-extend (mode=mem) result.
+// The TSV representation of a mem job is the SAM text itself, so the row
+// carries the record's placement fields plus the scoring the SAM tags hold.
+type memRow struct {
+	Read    string `json:"read"`
+	Mapped  bool   `json:"mapped"`
+	Flag    int    `json:"flag"`
+	RName   string `json:"rname,omitempty"`
+	Pos     int    `json:"pos,omitempty"` // 1-based SAM POS
+	MapQ    int    `json:"mapq"`
+	CIGAR   string `json:"cigar,omitempty"`
+	TLen    int    `json:"tlen,omitempty"`
+	Score   int    `json:"score"`
+	NM      int    `json:"nm"`
+	Rescued bool   `json:"rescued,omitempty"`
+}
+
+// memRowFrom renders one mapped read's stream row from its SAM record and
+// pipeline result.
+func memRowFrom(rec sam.Record, res core.MemResult) memRow {
+	row := memRow{
+		Read:   rec.QName,
+		Mapped: !rec.Unmapped(),
+		Flag:   int(rec.Flag),
+	}
+	if row.Mapped {
+		row.RName = rec.RName
+		row.Pos = rec.Pos
+		row.MapQ = int(rec.MapQ)
+		row.CIGAR = rec.CIGAR
+		row.TLen = rec.TLen
+		row.Score = res.Best.Score
+		row.NM = res.Best.NM
+		row.Rescued = res.Rescued
+	}
+	return row
+}
+
 // jobEmitter receives mapping results batch by batch and fans them out to
 // the job's two result representations: the TSV (file-backed in durable
 // mode, buffered otherwise) and the NDJSON stream. It tracks the peak bytes
@@ -389,6 +428,24 @@ func (em *jobEmitter) approxBatch(start int, ids []string, rows []approxRow) err
 		}
 		fmt.Fprintf(&em.scratchTSV, "%s\t%t\t%d\t%d\n",
 			row.Read, row.Mapped, row.BestMismatches, row.Occurrences)
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return em.flushBatch(len(rows))
+}
+
+// memBatch emits one seed-and-extend batch: samText is the batch's rendered
+// SAM lines (the first batch includes the header, straight from the job's
+// one sam.Writer), rows the matching stream rows — one per read, so stream
+// event ids still count reads even though the SAM text holds header lines.
+func (em *jobEmitter) memBatch(samText []byte, rows []memRow) error {
+	em.scratchTSV.Write(samText)
+	enc := json.NewEncoder(&em.scratchND)
+	for _, row := range rows {
+		if row.Mapped {
+			em.mapped++
+		}
 		if err := enc.Encode(row); err != nil {
 			return err
 		}

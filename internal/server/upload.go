@@ -77,20 +77,28 @@ const (
 
 // validateJobParams normalizes and validates the submission parameters shared
 // by the multipart and chunked paths.
-func validateJobParams(backend string, b, sf, mismatches int) (string, error) {
+func validateJobParams(backend, mode string, b, sf, mismatches int) (string, string, error) {
 	if backend == "" {
 		backend = "fpga"
 	}
 	if backend != "cpu" && backend != "fpga" {
-		return "", fmt.Errorf("backend must be cpu or fpga")
+		return "", "", fmt.Errorf("backend must be cpu or fpga")
+	}
+	switch mode {
+	case "", ModeMem, ModeMemPE:
+	default:
+		return "", "", fmt.Errorf("mode must be %s or %s", ModeMem, ModeMemPE)
+	}
+	if mode != "" && mismatches != 0 {
+		return "", "", fmt.Errorf("mode=%s scores alignments; the mismatch budget applies only to the default mode", mode)
 	}
 	if mismatches < 0 || mismatches > fmindex.MaxMismatchBudget {
-		return "", fmt.Errorf("mismatch budget must be in [0,%d]", fmindex.MaxMismatchBudget)
+		return "", "", fmt.Errorf("mismatch budget must be in [0,%d]", fmindex.MaxMismatchBudget)
 	}
 	if err := (rrr.Params{BlockSize: b, SuperblockFactor: sf}).Validate(); err != nil {
-		return "", err
+		return "", "", err
 	}
-	return backend, nil
+	return backend, mode, nil
 }
 
 // idemLookup returns the job a previously seen Idempotency-Key maps to.
@@ -129,10 +137,11 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	b, sf, mismatches := DefaultB, DefaultSF, 0
-	backend := ""
+	backend, mode := "", ""
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
 		var req struct {
 			Backend    string `json:"backend"`
+			Mode       string `json:"mode"`
 			B          *int   `json:"b"`
 			SF         *int   `json:"sf"`
 			Mismatches *int   `json:"mismatches"`
@@ -142,6 +151,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		backend = req.Backend
+		mode = req.Mode
 		if req.B != nil {
 			b = *req.B
 		}
@@ -154,6 +164,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	} else {
 		var err error
 		backend = r.FormValue("backend")
+		mode = r.FormValue("mode")
 		if b, err = formInt(r, "b", DefaultB); err != nil {
 			jsonError(w, http.StatusBadRequest, err.Error())
 			return
@@ -167,14 +178,14 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	backend, err := validateJobParams(backend, b, sf, mismatches)
+	backend, mode, err := validateJobParams(backend, mode, b, sf, mismatches)
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
 	job, existing, ae := s.admitJob(jobSpec{
-		Backend: backend, B: b, SF: sf, Mismatches: mismatches,
+		Backend: backend, Mode: mode, B: b, SF: sf, Mismatches: mismatches,
 		RefName: "(uploading)", IdemKey: idemKey,
 		RequestID: obs.RequestIDFrom(r.Context()),
 		Timeout:   s.effectiveTimeout(r),
@@ -193,6 +204,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 			Type:         recUploading,
 			Job:          job.ID,
 			Backend:      job.Backend,
+			Mode:         job.Mode,
 			B:            job.B,
 			SF:           job.SF,
 			Mismatches:   job.Mismatches,
