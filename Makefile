@@ -8,9 +8,9 @@ GO ?= go
 # `make fuzz-smoke FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet test race bench bench-smoke bench-baseline fuzz-smoke fault-smoke obs-smoke chaos-smoke stream-smoke cluster-smoke mem-smoke
+.PHONY: ci build vet test race bench bench-smoke bench-baseline fuzz-smoke fault-smoke obs-smoke chaos-smoke stream-smoke cluster-smoke mem-smoke mem-bench-smoke
 
-ci: vet race fuzz-smoke fault-smoke obs-smoke bench-smoke chaos-smoke stream-smoke cluster-smoke mem-smoke
+ci: vet race fuzz-smoke fault-smoke obs-smoke bench-smoke chaos-smoke stream-smoke cluster-smoke mem-smoke mem-bench-smoke
 
 build:
 	$(GO) build ./...
@@ -35,12 +35,22 @@ bench-smoke:
 
 # bench-baseline records the PR's performance numbers: the reduced-scale
 # prefix-table sweep (reads/sec, allocs/read, modeled FPGA ms, structure
-# bytes) written to BENCH_pr4.json, and the seed-and-extend sweep (host
+# bytes) written to BENCH_pr4.json, the seed-and-extend sweep (host
 # reads/sec, per-read pipeline intensity, modeled two-pass cycles) written
-# to BENCH_pr8.json.
+# to BENCH_pr8.json, and the batched zero-allocation rerun of that sweep —
+# with allocs/read and the speedup-vs-pr8 column — written to BENCH_pr9.json.
 bench-baseline:
 	$(GO) run ./cmd/bwaver-bench -quiet -json BENCH_pr4.json ftab
 	$(GO) run ./cmd/bwaver-bench -quiet -json BENCH_pr8.json mem
+	$(GO) run ./cmd/bwaver-bench -quiet -json BENCH_pr9.json -mem-baseline BENCH_pr8.json mem
+
+# mem-bench-smoke is the allocation gate for the batched mem pipeline: the
+# steady-state zero-allocs test (fails on any alloc per read), the z-drop /
+# adaptive-band bit-transparency check, and the alloc-reporting benchmarks
+# of the extension kernels the gate rests on.
+mem-bench-smoke:
+	$(GO) test -run='MemBatchSteadyStateZeroAlloc|MemZDropMatchesFullBand' -count=1 ./internal/core
+	$(GO) test -run='^$$' -bench='MapReadsMemInto|Extender' -benchtime=50x ./internal/core ./internal/align
 
 # fuzz-smoke gives every fuzz target a short budget; `go test` allows one
 # -fuzz target per invocation, hence the per-target lines.

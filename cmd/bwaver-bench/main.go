@@ -38,6 +38,7 @@ func run(args []string, out io.Writer) error {
 	csvDir := fs.String("csv", "", "also export machine-readable CSV files into this directory")
 	jsonPath := fs.String("json", "", "write the sweep as JSON to this file (with the ftab and mem targets)")
 	ftabKs := fs.String("ftab-ks", "", "comma-separated prefix-table orders for the ftab target (default 0,8,10,12)")
+	memBaseline := fs.String("mem-baseline", "", "earlier mem sweep JSON to compute the speedup column against")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -158,7 +159,15 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if runMem {
-		res, err := bench.MemBench(scale, progress)
+		var baseline *bench.MemBenchResult
+		if *memBaseline != "" {
+			b, err := bench.LoadMemJSON(*memBaseline)
+			if err != nil {
+				return err
+			}
+			baseline = b
+		}
+		res, err := bench.MemBench(scale, baseline, progress)
 		if err != nil {
 			return err
 		}

@@ -48,3 +48,55 @@ func BenchmarkExtendSeedBanded(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkExtenderExtendSeed pins the reusable Extender's steady state:
+// after a warm call its grid and ops buffers are sized, so every subsequent
+// extension — z-drop and adaptive band included — is allocation-free. The
+// mem batch engine's zero-alloc gate rests on this.
+func BenchmarkExtenderExtendSeed(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	ref := make(dna.Seq, 100000)
+	for i := range ref {
+		ref[i] = dna.Base(rng.Intn(4))
+	}
+	query := ref[40000:40150].Clone()
+	for m := 0; m < 4; m++ {
+		query[rng.Intn(len(query))] = dna.Base(rng.Intn(4))
+	}
+	var e Extender
+	if _, err := e.ExtendSeed(query, ref, 60, 40060, 20, 12, DefaultScoring); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ExtendSeed(query, ref, 60, 40060, 20, 12, DefaultScoring); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtenderSmithWaterman pins the pooled full-matrix fallback the
+// mate-rescue path uses: steady state must not allocate either.
+func BenchmarkExtenderSmithWaterman(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	ref := make(dna.Seq, 600)
+	for i := range ref {
+		ref[i] = dna.Base(rng.Intn(4))
+	}
+	query := ref[200:300].Clone()
+	for m := 0; m < 3; m++ {
+		query[rng.Intn(len(query))] = dna.Base(rng.Intn(4))
+	}
+	var e Extender
+	if _, err := e.SmithWaterman(query, ref, DefaultScoring); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.SmithWaterman(query, ref, DefaultScoring); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -285,9 +285,18 @@ func TestFtabAblation(t *testing.T) {
 }
 
 func TestMemBench(t *testing.T) {
-	res, err := MemBench(tiny, io.Discard)
+	baseline := &MemBenchResult{Rows: []MemRow{{ReadLength: 70, Paired: false, ReadsPerSec: 100}}}
+	res, err := MemBench(tiny, baseline, io.Discard)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if res.Rows[0].Speedup <= 0 {
+		t.Errorf("baseline row matched but speedup is %v", res.Rows[0].Speedup)
+	}
+	for _, r := range res.Rows[1:] {
+		if r.Speedup != 0 {
+			t.Errorf("%dbp paired=%v: speedup %v without a baseline row", r.ReadLength, r.Paired, r.Speedup)
+		}
 	}
 	if len(res.Rows) != len(memArms) {
 		t.Fatalf("%d rows, want %d", len(res.Rows), len(memArms))

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
 	"time"
 
 	"bwaver/internal/core"
@@ -47,6 +49,13 @@ type MemRow struct {
 	MappedPct  float64 `json:"mapped_pct"`
 	// ReadsPerSec is the host (CPU fallback) rate.
 	ReadsPerSec float64 `json:"reads_per_sec"`
+	// AllocsPerRead is the heap allocations per read of the steady-state
+	// batch path (pools warm, result buffer reused) — the zero-allocation
+	// pipeline's regression gauge.
+	AllocsPerRead float64 `json:"allocs_per_read"`
+	// Speedup is ReadsPerSec over the same arm's rate in the baseline sweep
+	// the caller supplied (0 when no baseline row matches).
+	Speedup float64 `json:"speedup,omitempty"`
 	// Per-read pipeline intensity, the quantities that size the two passes.
 	SeedsPerRead      float64 `json:"seeds_per_read"`
 	ChainsPerRead     float64 `json:"chains_per_read"`
@@ -72,8 +81,10 @@ type MemBenchResult struct {
 // MemBench runs the seed-and-extend sweep. The index is built once and
 // shared across arms; each arm simulates its own read set (90% drawn from
 // the reference with memErrorRate substitutions), measures the host pipeline
-// rate, and replays the same batch through the modeled kernel.
-func MemBench(s Scale, progress io.Writer) (*MemBenchResult, error) {
+// rate and its steady-state allocations, and replays the same batch through
+// the modeled kernel. A non-nil baseline (an earlier sweep's JSON, see
+// LoadMemJSON) fills each row's Speedup against the matching arm.
+func MemBench(s Scale, baseline *MemBenchResult, progress io.Writer) (*MemBenchResult, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -99,15 +110,17 @@ func MemBench(s Scale, progress io.Writer) (*MemBenchResult, error) {
 
 		// Host rate: accumulate passes until the measurement is long
 		// enough to trust. The first pass also warms the lazily-built
-		// bidirectional index so the timing covers only mapping.
-		if _, _, err := ix.MapReadsMem(seqs[:2], opts); err != nil {
+		// bidirectional index and the batch engine's scratch pools so the
+		// timing covers only steady-state mapping into a reused buffer.
+		results := make([]core.MemResult, len(seqs))
+		if _, err := ix.MapReadsMemInto(results, seqs, opts, core.MapOptions{}); err != nil {
 			return nil, err
 		}
 		var elapsed time.Duration
 		var stats core.MemStats
 		mapped := 0
 		for pass := 0; pass < 50 && elapsed < 200*time.Millisecond; pass++ {
-			_, st, err := ix.MapReadsMem(seqs, opts)
+			st, err := ix.MapReadsMemInto(results, seqs, opts, core.MapOptions{})
 			if err != nil {
 				return nil, err
 			}
@@ -117,6 +130,17 @@ func MemBench(s Scale, progress io.Writer) (*MemBenchResult, error) {
 				stats = st
 			}
 		}
+
+		// Steady-state allocation rate: one more pass bracketed by the
+		// runtime's cumulative malloc counter, after the passes above warmed
+		// every pool.
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		if _, err := ix.MapReadsMemInto(results, seqs, opts, core.MapOptions{}); err != nil {
+			return nil, err
+		}
+		runtime.ReadMemStats(&m1)
+		allocsPerRead := float64(m1.Mallocs-m0.Mallocs) / float64(len(seqs))
 
 		dev, err := fpga.NewDevice(s.deviceConfig())
 		if err != nil {
@@ -138,6 +162,7 @@ func MemBench(s Scale, progress io.Writer) (*MemBenchResult, error) {
 			Reads:             stats.Reads,
 			MappedPct:         100 * float64(stats.MappedReads) / n,
 			ReadsPerSec:       float64(mapped) / elapsed.Seconds(),
+			AllocsPerRead:     allocsPerRead,
 			SeedsPerRead:      float64(stats.Seeds) / n,
 			ChainsPerRead:     float64(stats.Chains) / n,
 			ExtensionsPerRead: float64(stats.Extensions) / n,
@@ -146,6 +171,9 @@ func MemBench(s Scale, progress io.Writer) (*MemBenchResult, error) {
 			KernelCycles:      run.Profile.KernelCycles,
 			ReconfigMs:        float64(run.Profile.Reconfig) / float64(time.Millisecond),
 			FPGAMs:            float64(run.Profile.Total()) / float64(time.Millisecond),
+		}
+		if base := baselineRow(baseline, arm); base != nil && base.ReadsPerSec > 0 {
+			row.Speedup = row.ReadsPerSec / base.ReadsPerSec
 		}
 		res.Rows = append(res.Rows, row)
 		if progress != nil {
@@ -192,16 +220,48 @@ func pairedLabel(p bool) string {
 	return "single"
 }
 
+// baselineRow finds the baseline sweep's row for the same workload shape.
+func baselineRow(baseline *MemBenchResult, arm memArm) *MemRow {
+	if baseline == nil {
+		return nil
+	}
+	for i := range baseline.Rows {
+		if baseline.Rows[i].ReadLength == arm.readLen && baseline.Rows[i].Paired == arm.paired {
+			return &baseline.Rows[i]
+		}
+	}
+	return nil
+}
+
+// LoadMemJSON reads an earlier sweep's JSON (a recorded BENCH_*.json) for
+// use as a speedup baseline.
+func LoadMemJSON(path string) (*MemBenchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var res MemBenchResult
+	if err := json.NewDecoder(f).Decode(&res); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &res, nil
+}
+
 // PrintMemBench renders the sweep.
 func PrintMemBench(w io.Writer, res *MemBenchResult) {
 	fmt.Fprintf(w, "\nSeed-and-extend (mem) — %s (%d bases), %.0f%% substitution reads\n",
 		res.Reference, res.RefBases, res.ErrorRate*100)
-	fmt.Fprintf(w, "%-6s %-7s %7s %8s %12s %8s %8s %11s %14s %10s %10s\n",
-		"len", "mode", "reads", "mapped", "reads/s", "seeds/r", "ext/r", "cells/r", "cycles", "reconfig", "fpga")
+	fmt.Fprintf(w, "%-6s %-7s %7s %8s %12s %8s %8s %8s %11s %14s %10s %10s\n",
+		"len", "mode", "reads", "mapped", "reads/s", "allocs/r", "speedup", "seeds/r", "cells/r", "cycles", "reconfig", "fpga")
 	for _, r := range res.Rows {
-		fmt.Fprintf(w, "%-6d %-7s %7d %7.1f%% %12.0f %8.2f %8.2f %11.0f %14d %9.1fms %9.1fms\n",
+		speedup := "-"
+		if r.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		fmt.Fprintf(w, "%-6d %-7s %7d %7.1f%% %12.0f %8.2f %8s %8.2f %11.0f %14d %9.1fms %9.1fms\n",
 			r.ReadLength, pairedLabel(r.Paired), r.Reads, r.MappedPct, r.ReadsPerSec,
-			r.SeedsPerRead, r.ExtensionsPerRead, r.CellsPerRead,
+			r.AllocsPerRead, speedup, r.SeedsPerRead, r.CellsPerRead,
 			r.KernelCycles, r.ReconfigMs, r.FPGAMs)
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
-import "sort"
+import (
+	"slices"
+)
 
 // Seed chaining, the host-side stage between SMEM seeding and banded
 // extension (GateSeeder's decomposition: seeding and extension run as
@@ -38,22 +40,41 @@ type Chain struct {
 // Diagonal returns the chain's implied read-start locus (the anchor seed's).
 func (c Chain) Diagonal() int { return c.Seeds[c.Anchor].diagonal() }
 
-// chainSeeds groups seeds into collinear chains: seeds whose diagonals agree
+// chainScratch holds the chaining stage's working memory so the per-read
+// batch path allocates nothing in steady state: the diagonal-sorted seed
+// copy (whose subranges become the chains' seed slices) and the chain list.
+type chainScratch struct {
+	sorted []Seed
+	chains []Chain
+}
+
+// chainSeeds groups seeds into collinear chains; see chainScratch.chain.
+// This entry allocates a throwaway scratch per call — tests and one-shot
+// callers use it; the batch path holds a scratch per worker.
+func chainSeeds(seeds []Seed, slop, maxChains int) []Chain {
+	var cs chainScratch
+	return cs.chain(seeds, slop, maxChains)
+}
+
+// chain groups seeds into collinear chains: seeds whose diagonals agree
 // within slop (the extension band, the indel budget the downstream DP can
 // absorb) and whose read spans advance monotonically join one chain. Chains
-// come back sorted by score, best first; at most maxChains survive.
-func chainSeeds(seeds []Seed, slop, maxChains int) []Chain {
+// come back sorted by score, best first; at most maxChains survive. The
+// returned chains and their seed slices alias the scratch and are valid
+// until the next call.
+func (cs *chainScratch) chain(seeds []Seed, slop, maxChains int) []Chain {
 	if len(seeds) == 0 {
 		return nil
 	}
-	sorted := append([]Seed(nil), seeds...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].diagonal() != sorted[j].diagonal() {
-			return sorted[i].diagonal() < sorted[j].diagonal()
+	cs.sorted = append(cs.sorted[:0], seeds...)
+	sorted := cs.sorted
+	slices.SortFunc(sorted, func(a, b Seed) int {
+		if d := a.diagonal() - b.diagonal(); d != 0 {
+			return d
 		}
-		return sorted[i].QStart < sorted[j].QStart
+		return a.QStart - b.QStart
 	})
-	var chains []Chain
+	chains := cs.chains[:0]
 	start := 0
 	for i := 1; i <= len(sorted); i++ {
 		// A diagonal gap wider than the slop starts a new chain: the banded
@@ -61,10 +82,11 @@ func chainSeeds(seeds []Seed, slop, maxChains int) []Chain {
 		if i < len(sorted) && sorted[i].diagonal()-sorted[i-1].diagonal() <= slop {
 			continue
 		}
-		chains = append(chains, buildChain(sorted[start:i]))
+		chains = append(chains, buildChain(sorted[start:i:i]))
 		start = i
 	}
-	sort.SliceStable(chains, func(i, j int) bool { return chains[i].Score > chains[j].Score })
+	slices.SortStableFunc(chains, func(a, b Chain) int { return b.Score - a.Score })
+	cs.chains = chains
 	if maxChains > 0 && len(chains) > maxChains {
 		chains = chains[:maxChains]
 	}
@@ -73,14 +95,14 @@ func chainSeeds(seeds []Seed, slop, maxChains int) []Chain {
 
 // buildChain assembles one chain from diagonal-grouped seeds: read order,
 // coverage score over the union of read spans, and the longest seed as the
-// extension anchor.
+// extension anchor. The group is re-sorted in place (it is scratch memory).
 func buildChain(group []Seed) Chain {
-	c := Chain{Seeds: append([]Seed(nil), group...)}
-	sort.Slice(c.Seeds, func(i, j int) bool {
-		if c.Seeds[i].QStart != c.Seeds[j].QStart {
-			return c.Seeds[i].QStart < c.Seeds[j].QStart
+	c := Chain{Seeds: group}
+	slices.SortFunc(c.Seeds, func(a, b Seed) int {
+		if a.QStart != b.QStart {
+			return a.QStart - b.QStart
 		}
-		return c.Seeds[i].QEnd > c.Seeds[j].QEnd
+		return b.QEnd - a.QEnd
 	})
 	covered, end := 0, -1
 	for i, s := range c.Seeds {

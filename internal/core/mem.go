@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"strconv"
-	"strings"
 	"time"
 
 	"bwaver/internal/align"
@@ -49,7 +48,24 @@ type MemOptions struct {
 	// proper-pair calls and the mate-rescue search window. MaxInsert
 	// defaults to 1000 when Paired.
 	MinInsert, MaxInsert int
+	// ZDrop is the extension early-termination threshold (see
+	// align.Extender): DP rows stop once the row maximum has fallen ZDrop
+	// below the best score. 0 takes align.DefaultZDrop; a negative value
+	// disables early termination (every band row is evaluated).
+	ZDrop int
+	// BandStart is the initial half-band of adaptive band growth:
+	// extensions start at this band and double — re-running — whenever the
+	// banded optimum looks band-limited, up to Band. 0 takes
+	// DefaultBandStart; a negative value disables growth (extensions run
+	// the full Band immediately, the pre-adaptive behaviour).
+	BandStart int
 }
+
+// DefaultBandStart is the initial adaptive-extension half-band: wide enough
+// for the small indel counts short reads carry, an eighth of the full-band
+// DP cell volume. Extensions whose optimum touches the band edge re-run
+// wider, so the full Band remains the correctness envelope.
+const DefaultBandStart = 4
 
 func (o MemOptions) withDefaults() MemOptions {
 	if o.MinSeedLen == 0 {
@@ -73,7 +89,22 @@ func (o MemOptions) withDefaults() MemOptions {
 	if o.Paired && o.MaxInsert == 0 {
 		o.MaxInsert = 1000
 	}
+	if o.ZDrop == 0 {
+		o.ZDrop = align.DefaultZDrop
+	}
+	if o.BandStart == 0 {
+		o.BandStart = DefaultBandStart
+	}
 	return o
+}
+
+// extenderBandStart maps the option encoding (negative disables) onto the
+// align.Extender encoding (zero disables).
+func (o MemOptions) extenderBandStart() int {
+	if o.BandStart < 0 {
+		return 0
+	}
+	return o.BandStart
 }
 
 func (o MemOptions) validate() error {
@@ -256,6 +287,47 @@ type memCandidate struct {
 	query   dna.Seq // the orientation's query (read or its RC)
 }
 
+// memScratch is one batch worker's reusable working memory: every buffer
+// the per-read pipeline touches, so the steady-state batch path performs no
+// heap allocation per read. Pooled via memScratchPool; not safe for
+// concurrent use.
+type memScratch struct {
+	pattern []uint8     // orientation pattern (symbol codes)
+	rc      dna.Seq     // reverse-complement buffer
+	smems   []fmindex.SMEM
+	seeds   []Seed
+	posSlab []int32 // located seed positions (per SMEM)
+	chains  chainScratch
+	cands   []memCandidate
+	ext     align.Extender
+	cigar   []byte            // CIGAR render buffer
+	interns map[string]string // CIGAR intern table, bounded
+	rescueQ dna.Seq           // rescue-query RC buffer
+}
+
+// memInternCap bounds the CIGAR intern table; real batches repeat a small
+// set of CIGAR shapes, but a pathological input must not grow the table
+// unboundedly.
+const memInternCap = 1 << 15
+
+// internCIGAR returns the rendered bytes as a string, reusing a previously
+// interned copy when the same CIGAR was seen before — the final allocation
+// on the per-read path (the compiler elides the []byte→string conversion in
+// the map lookup).
+func (sc *memScratch) internCIGAR(b []byte) string {
+	if s, ok := sc.interns[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if sc.interns == nil {
+		sc.interns = make(map[string]string)
+	}
+	if len(sc.interns) < memInternCap {
+		sc.interns[s] = s
+	}
+	return s
+}
+
 // MapReadMem runs the full seed → chain → extend pipeline for one read:
 // SMEM seeds on both orientations, collinear chaining with the repetitive
 // seed guard, banded extension of the surviving chains, and MAPQ from the
@@ -269,26 +341,36 @@ func (ix *Index) MapReadMem(read dna.Seq, opts MemOptions) (MemResult, error) {
 	if err != nil {
 		return MemResult{}, err
 	}
-	return mem.mapRead(read, opts)
+	sc := memScratchPool.Get().(*memScratch)
+	res, err := mem.mapRead(sc, read, opts)
+	memScratchPool.Put(sc)
+	return res, err
 }
 
-func (st *memState) mapRead(read dna.Seq, opts MemOptions) (MemResult, error) {
+func (st *memState) mapRead(sc *memScratch, read dna.Seq, opts MemOptions) (MemResult, error) {
 	var out MemResult
 	if len(read) == 0 {
 		return out, nil
 	}
-	rc := read.ReverseComplement()
-	var cands []memCandidate
-	for _, orient := range []struct {
-		query   dna.Seq
-		forward bool
-	}{{read, true}, {rc, false}} {
-		pattern := make([]uint8, len(orient.query))
-		for i, b := range orient.query {
+	sc.rc = read.ReverseComplementInto(sc.rc)
+	sc.cands = sc.cands[:0]
+	sc.ext.ZDrop = opts.ZDrop
+	sc.ext.BandStart = opts.extenderBandStart()
+	for orient := 0; orient < 2; orient++ {
+		query, forward := read, true
+		if orient == 1 {
+			query, forward = sc.rc, false
+		}
+		if cap(sc.pattern) < len(query) {
+			sc.pattern = make([]uint8, len(query))
+		}
+		pattern := sc.pattern[:len(query)]
+		for i, b := range query {
 			pattern[i] = uint8(b)
 		}
-		var seeds []Seed
-		smems, steps, err := st.bi.SMEMsSteps(pattern, opts.MinSeedLen)
+		seeds := sc.seeds[:0]
+		smems, steps, err := st.bi.SMEMsAppend(sc.smems[:0], pattern, opts.MinSeedLen)
+		sc.smems = smems[:0]
 		if err != nil {
 			return out, err
 		}
@@ -299,7 +381,8 @@ func (st *memState) mapRead(read dna.Seq, opts MemOptions) (MemResult, error) {
 			if s.Rows.Count() > opts.MaxSeedHits {
 				continue // hyper-repetitive seed: ambiguity guard
 			}
-			positions, err := st.bi.Forward().Locate(s.Rows.Fwd)
+			positions, err := st.bi.Forward().LocateAppend(sc.posSlab[:0], s.Rows.Fwd)
+			sc.posSlab = positions[:0]
 			if err != nil {
 				return out, err
 			}
@@ -307,28 +390,31 @@ func (st *memState) mapRead(read dna.Seq, opts MemOptions) (MemResult, error) {
 				seeds = append(seeds, Seed{QStart: s.Start, QEnd: s.End, RPos: p})
 			}
 		}
+		sc.seeds = seeds[:0]
 		out.Seeds += len(seeds)
-		chains := chainSeeds(seeds, opts.Band, opts.MaxChains)
+		chains := sc.chains.chain(seeds, opts.Band, opts.MaxChains)
 		out.Chains += len(chains)
 		for _, c := range chains {
 			anchor := c.Seeds[c.Anchor]
-			res, err := align.ExtendSeed(orient.query, st.ref, anchor.QStart, int(anchor.RPos), anchor.Len(), opts.Band, opts.Scoring)
+			res, err := sc.ext.ExtendSeed(query, st.ref, anchor.QStart, int(anchor.RPos), anchor.Len(), opts.Band, opts.Scoring)
 			if err != nil {
 				return out, err
 			}
 			out.Extensions++
 			out.Cells += res.Cells
 			if res.Score > 0 {
-				cands = append(cands, memCandidate{res: res, forward: orient.forward, query: orient.query})
+				sc.cands = append(sc.cands, memCandidate{res: res, forward: forward, query: query})
 			}
 		}
 	}
-	best, sub := pickBest(cands, opts.Band)
+	best, sub := pickBest(sc.cands, opts.Band)
 	out.SubScore = sub
 	if best == nil || best.res.Score < opts.MinScore {
+		sc.ext.Reset()
 		return out, nil
 	}
-	out.Best = best.alignment(sub, st.ref)
+	out.Best = best.alignmentBuf(sc, sub, st.ref)
+	sc.ext.Reset()
 	return out, nil
 }
 
@@ -375,15 +461,18 @@ func pickBest(cands []memCandidate, slop int) (*memCandidate, int) {
 	return best, sub
 }
 
-// alignment renders a winning candidate as a MemAlignment.
-func (c *memCandidate) alignment(sub int, ref dna.Seq) MemAlignment {
+// alignmentBuf renders a winning candidate as a MemAlignment using the
+// scratch's CIGAR buffer and intern table, so a repeated CIGAR shape costs
+// no allocation.
+func (c *memCandidate) alignmentBuf(sc *memScratch, sub int, ref dna.Seq) MemAlignment {
 	r := c.res
+	sc.cigar = appendClippedCIGAR(sc.cigar[:0], r, len(c.query))
 	return MemAlignment{
 		Pos:     int32(r.RefStart),
 		RefSpan: r.RefEnd - r.RefStart,
 		Score:   r.Score,
 		MapQ:    MemMapQ(r.Score, sub),
-		CIGAR:   clippedCIGAR(r, len(c.query)),
+		CIGAR:   sc.internCIGAR(sc.cigar),
 		Forward: c.forward,
 		NM:      editDistance(r, c.query, ref),
 	}
@@ -406,17 +495,41 @@ func MemMapQ(best, sub int) uint8 {
 // clippedCIGAR wraps an extension traceback with the terminal soft clips
 // implied by the unaligned query prefix/suffix.
 func clippedCIGAR(r align.Result, queryLen int) string {
-	var out strings.Builder
+	return string(appendClippedCIGAR(nil, r, queryLen))
+}
+
+// appendClippedCIGAR is clippedCIGAR appending rendered bytes to dst — the
+// allocation-free form the batch path feeds through the intern table.
+func appendClippedCIGAR(dst []byte, r align.Result, queryLen int) []byte {
 	if r.QueryStart > 0 {
-		out.WriteString(strconv.Itoa(r.QueryStart))
-		out.WriteByte('S')
+		dst = strconv.AppendInt(dst, int64(r.QueryStart), 10)
+		dst = append(dst, 'S')
 	}
-	out.WriteString(r.CIGAR())
+	dst = appendCIGAROps(dst, r.Ops)
 	if tail := queryLen - r.QueryEnd; tail > 0 {
-		out.WriteString(strconv.Itoa(tail))
-		out.WriteByte('S')
+		dst = strconv.AppendInt(dst, int64(tail), 10)
+		dst = append(dst, 'S')
 	}
-	return out.String()
+	return dst
+}
+
+// appendCIGAROps run-length encodes a traceback, matching Result.CIGAR
+// byte for byte ("*" for an empty traceback).
+func appendCIGAROps(dst []byte, ops []align.Op) []byte {
+	if len(ops) == 0 {
+		return append(dst, '*')
+	}
+	count := 1
+	for i := 1; i <= len(ops); i++ {
+		if i < len(ops) && ops[i] == ops[i-1] {
+			count++
+			continue
+		}
+		dst = strconv.AppendInt(dst, int64(count), 10)
+		dst = append(dst, byte(ops[i-1]))
+		count = 1
+	}
+	return dst
 }
 
 // editDistance counts the NM tag over an extension traceback: mismatched
@@ -477,18 +590,29 @@ func (ix *Index) MapPairMem(r1, r2 dna.Seq, opts MemOptions) (MemPairResult, err
 	if err != nil {
 		return MemPairResult{}, err
 	}
+	sc := memScratchPool.Get().(*memScratch)
+	out, err := mem.mapPair(sc, r1, r2, opts)
+	memScratchPool.Put(sc)
+	return out, err
+}
+
+// mapPair is the pair pipeline with the state and option plumbing hoisted:
+// batch loops resolve memState and validate options once and call this per
+// pair (the former per-pair re-resolution was pure overhead).
+func (st *memState) mapPair(sc *memScratch, r1, r2 dna.Seq, opts MemOptions) (MemPairResult, error) {
 	var out MemPairResult
-	if out.R1, err = mem.mapRead(r1, opts); err != nil {
+	var err error
+	if out.R1, err = st.mapRead(sc, r1, opts); err != nil {
 		return out, err
 	}
-	if out.R2, err = mem.mapRead(r2, opts); err != nil {
+	if out.R2, err = st.mapRead(sc, r2, opts); err != nil {
 		return out, err
 	}
 	// Rescue: one mapped mate defines the window the other must fall in.
 	if out.R1.Mapped() && !out.R2.Mapped() {
-		mem.rescueMate(&out.R2, r2, out.R1.Best, opts)
+		st.rescueMate(sc, &out.R2, r2, out.R1.Best, opts)
 	} else if out.R2.Mapped() && !out.R1.Mapped() {
-		mem.rescueMate(&out.R1, r1, out.R2.Best, opts)
+		st.rescueMate(sc, &out.R1, r1, out.R2.Best, opts)
 	}
 	out.Proper, out.Insert = properPair(out.R1, out.R2, opts)
 	return out, nil
@@ -496,8 +620,10 @@ func (ix *Index) MapPairMem(r1, r2 dna.Seq, opts MemOptions) (MemPairResult, err
 
 // rescueMate searches the insert window implied by the mapped anchor mate
 // for the missing mate in the FR-expected orientation, charging the scan's
-// DP cells to the rescued read. A hit must still clear MinScore.
-func (st *memState) rescueMate(dst *MemResult, read dna.Seq, anchor MemAlignment, opts MemOptions) {
+// DP cells to the rescued read. A hit must still clear MinScore. The full
+// Smith-Waterman over the window runs in the scratch's extender, so rescue
+// stays allocation-free too.
+func (st *memState) rescueMate(sc *memScratch, dst *MemResult, read dna.Seq, anchor MemAlignment, opts MemOptions) {
 	if opts.MaxInsert <= 0 || len(read) == 0 {
 		return
 	}
@@ -509,30 +635,34 @@ func (st *memState) rescueMate(dst *MemResult, read dna.Seq, anchor MemAlignment
 		// reverse strand.
 		wStart = int(anchor.Pos)
 		wEnd = min(len(st.ref), wStart+opts.MaxInsert)
-		query = read.ReverseComplement()
+		sc.rescueQ = read.ReverseComplementInto(sc.rescueQ)
+		query = sc.rescueQ
 		forward = false
 	} else {
 		// Anchor is the right mate: the missing mate lies upstream, forward.
 		wEnd = int(anchor.Pos) + anchor.RefSpan
 		wStart = max(0, wEnd-opts.MaxInsert)
-		query = read.Clone()
+		query = read
 		forward = true
 	}
 	if wEnd-wStart < opts.MinSeedLen {
 		return
 	}
-	res, err := align.SmithWaterman(query, st.ref[wStart:wEnd], opts.Scoring)
+	res, err := sc.ext.SmithWaterman(query, st.ref[wStart:wEnd], opts.Scoring)
 	if err != nil {
+		sc.ext.Reset()
 		return
 	}
 	dst.Cells += res.Cells
 	if res.Score < opts.MinScore {
+		sc.ext.Reset()
 		return
 	}
 	res.RefStart += wStart
 	res.RefEnd += wStart
 	cand := memCandidate{res: res, forward: forward, query: query}
-	dst.Best = cand.alignment(0, st.ref)
+	dst.Best = cand.alignmentBuf(sc, 0, st.ref)
+	sc.ext.Reset()
 	// A rescued placement is evidence from the pair, not the read alone:
 	// cap its quality below a confident unique single-end hit.
 	if dst.Best.MapQ > 30 {
@@ -561,45 +691,15 @@ func properPair(r1, r2 MemResult, opts MemOptions) (bool, int) {
 
 // MapReadsMem maps a batch through the seed-and-extend pipeline, pairing
 // consecutive reads when opts.Paired (an odd batch maps its last read
-// single-end). The loop is deliberately sequential and deterministic: the
-// FPGA kernel runs the identical per-read calls, so both backends are
-// bit-identical by construction.
+// single-end). It delegates to the batch engine with a single worker, the
+// deterministic sequential schedule; MapReadsMemInto with any worker count
+// produces bit-identical results, and the FPGA kernel runs the identical
+// per-read calls, so all backends agree by construction.
 func (ix *Index) MapReadsMem(reads []dna.Seq, opts MemOptions) ([]MemResult, MemStats, error) {
-	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
-		return nil, MemStats{}, err
-	}
-	mem, err := ix.memState()
+	results := make([]MemResult, len(reads))
+	stats, err := ix.MapReadsMemInto(results, reads, opts, MapOptions{})
 	if err != nil {
 		return nil, MemStats{}, err
 	}
-	start := time.Now()
-	results := make([]MemResult, len(reads))
-	var stats MemStats
-	if opts.Paired {
-		for i := 0; i+1 < len(reads); i += 2 {
-			pr, err := ix.MapPairMem(reads[i], reads[i+1], opts)
-			if err != nil {
-				return nil, MemStats{}, err
-			}
-			results[i], results[i+1] = pr.R1, pr.R2
-		}
-		if len(reads)%2 == 1 {
-			last := len(reads) - 1
-			if results[last], err = mem.mapRead(reads[last], opts); err != nil {
-				return nil, MemStats{}, err
-			}
-		}
-	} else {
-		for i, read := range reads {
-			if results[i], err = mem.mapRead(read, opts); err != nil {
-				return nil, MemStats{}, err
-			}
-		}
-	}
-	for _, r := range results {
-		stats.Add(r)
-	}
-	stats.Elapsed = time.Since(start)
 	return results, stats, nil
 }

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bwaver/internal/dna"
+)
+
+// Batched seed-and-extend mapping, the mem mirror of the exact path's
+// MapReadsInto engine (index.go): workers claim fixed-size chunks off an
+// atomic cursor — work-stealing without channels — and map them with pooled
+// per-worker scratch, so the steady state allocates nothing per read.
+// Paired batches chunk on pair boundaries: a mate pair is always mapped by
+// one worker, in order, which keeps rescue and the proper-pair call
+// identical to the sequential schedule.
+
+// memScratchPool recycles per-worker mem pipeline scratch across batches
+// and workers.
+var memScratchPool = sync.Pool{New: func() any { return new(memScratch) }}
+
+// memBatchState is the shared state of one MapReadsMemInto call. It lives
+// in a pool — and workers run as a method on it rather than a closure — so
+// a sequential batch call performs zero heap allocations: an escaping
+// closure would drag its captured cursor and counters to the heap on every
+// call.
+type memBatchState struct {
+	mem   *memState
+	dst   []MemResult
+	reads []dna.Seq
+	opts  MemOptions
+	run   MapOptions
+	units int
+	every int
+
+	cursor atomic.Int64
+	done   atomic.Int64
+}
+
+var memBatchPool = sync.Pool{New: func() any { return new(memBatchState) }}
+
+// worker claims chunks of work units off the shared cursor until the batch
+// is drained, the context is cancelled, or a read fails.
+func (bs *memBatchState) worker() error {
+	sc := memScratchPool.Get().(*memScratch)
+	defer memScratchPool.Put(sc)
+	for {
+		end := int(bs.cursor.Add(memChunk))
+		begin := end - memChunk
+		if begin >= bs.units {
+			return nil
+		}
+		end = min(end, bs.units)
+		if bs.run.Context != nil {
+			if err := bs.run.Context.Err(); err != nil {
+				return err
+			}
+		}
+		nReads := 0
+		for u := begin; u < end; u++ {
+			if bs.opts.Paired {
+				i := 2 * u
+				if i+1 < len(bs.reads) {
+					pr, err := bs.mem.mapPair(sc, bs.reads[i], bs.reads[i+1], bs.opts)
+					if err != nil {
+						return err
+					}
+					bs.dst[i], bs.dst[i+1] = pr.R1, pr.R2
+					nReads += 2
+				} else {
+					res, err := bs.mem.mapRead(sc, bs.reads[i], bs.opts)
+					if err != nil {
+						return err
+					}
+					bs.dst[i] = res
+					nReads++
+				}
+			} else {
+				res, err := bs.mem.mapRead(sc, bs.reads[u], bs.opts)
+				if err != nil {
+					return err
+				}
+				bs.dst[u] = res
+				nReads++
+			}
+		}
+		if bs.run.Progress != nil {
+			d := bs.done.Add(int64(nReads))
+			if d/int64(bs.every) != (d-int64(nReads))/int64(bs.every) {
+				bs.run.Progress(int(d), len(bs.reads))
+			}
+		}
+	}
+}
+
+// runParallel drains the batch with n concurrent workers and returns the
+// first error any of them hit.
+func (bs *memBatchState) runParallel(n int) error {
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := bs.worker(); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// memChunk is how many work units (reads, or pairs when Paired) a worker
+// claims per cursor fetch. Mem reads are ~100x more expensive than exact
+// lookups, so a smaller chunk than the exact path's keeps cancellation and
+// progress responsive without measurable cursor contention.
+const memChunk = 16
+
+// MapReadsMemInto is MapReadsMem writing into a caller-provided result
+// slice (len(dst) must equal len(reads)) — the allocation-free batch hot
+// path. run.Workers controls parallelism (0 or 1 sequential, -1 all CPUs);
+// results are written by index, so any worker count yields bit-identical
+// output in the same order as the sequential schedule. run.Context is
+// polled between chunks; cancellation abandons the batch mid-flight.
+// run.Locate is ignored (mem results always carry positions).
+func (ix *Index) MapReadsMemInto(dst []MemResult, reads []dna.Seq, opts MemOptions, run MapOptions) (MemStats, error) {
+	if len(dst) != len(reads) {
+		return MemStats{}, fmt.Errorf("core: result slice holds %d entries for %d reads", len(dst), len(reads))
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return MemStats{}, err
+	}
+	mem, err := ix.memState()
+	if err != nil {
+		return MemStats{}, err
+	}
+	workers := run.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	start := time.Now()
+	bs := memBatchPool.Get().(*memBatchState)
+	// A work unit is one read, or one pair slot when Paired (the final slot
+	// of an odd paired batch holds a lone read, mapped single-end exactly as
+	// the sequential loop does).
+	units := len(reads)
+	if opts.Paired {
+		units = (len(reads) + 1) / 2
+	}
+	every := run.ProgressEvery
+	if every <= 0 {
+		every = 1024
+	}
+	*bs = memBatchState{mem: mem, dst: dst, reads: reads, opts: opts, run: run, units: units, every: every}
+
+	// The parallel fan-out lives in its own method: its goroutine closure
+	// captures the error slot, and were it inline, that slot would escape —
+	// and heap-allocate — on the sequential path too (escape is a property of
+	// the variable, not the branch).
+	var firstErr error
+	if workers == 1 {
+		firstErr = bs.worker()
+	} else {
+		firstErr = bs.runParallel(workers)
+	}
+	*bs = memBatchState{} // drop the borrowed slices before pooling
+	memBatchPool.Put(bs)
+	if firstErr != nil {
+		return MemStats{}, firstErr
+	}
+	if run.Progress != nil {
+		run.Progress(len(reads), len(reads))
+	}
+
+	var stats MemStats
+	for i := range dst {
+		stats.Add(dst[i])
+	}
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}

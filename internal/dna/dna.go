@@ -134,6 +134,21 @@ func (s Seq) ReverseComplement() Seq {
 	return out
 }
 
+// ReverseComplementInto is ReverseComplement writing into dst's backing
+// array (grown only when its capacity is short) — the allocation-free
+// variant batch mappers use with per-worker reusable buffers.
+func (s Seq) ReverseComplementInto(dst Seq) Seq {
+	if cap(dst) < len(s) {
+		dst = make(Seq, len(s))
+	} else {
+		dst = dst[:len(s)]
+	}
+	for i, b := range s {
+		dst[len(s)-1-i] = b.Complement()
+	}
+	return dst
+}
+
 // Equal reports whether two sequences have identical bases.
 func (s Seq) Equal(t Seq) bool {
 	if len(s) != len(t) {

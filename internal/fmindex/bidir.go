@@ -109,19 +109,28 @@ func extendLeftOn(stepIx *Index, sigma int, r BiRange, a uint8) BiRange {
 	if int(a) >= sigma || r.Empty() {
 		return emptyBiRange
 	}
-	// counts per prepended symbol b = occurrences of bP.
+	// counts per prepended symbol b = occurrences of bP, resolved for the
+	// whole alphabet at once: StepAll shares the endpoint rank traversals
+	// across symbols, the dominant saving of the seeding hot loop.
+	var stepped [maxStepAllSigma]Range
+	var steppedSlice []Range
+	if sigma <= maxStepAllSigma {
+		steppedSlice = stepped[:sigma]
+	} else {
+		steppedSlice = make([]Range, sigma)
+	}
+	stepIx.StepAll(r.Fwd, steppedSlice)
 	var smaller, total, cA int
 	var newFwd Range
 	for b := 0; b < sigma; b++ {
-		stepped := stepIx.Step(r.Fwd, uint8(b))
-		c := stepped.Count()
+		c := steppedSlice[b].Count()
 		total += c
 		if b < int(a) {
 			smaller += c
 		}
 		if b == int(a) {
 			cA = c
-			newFwd = stepped
+			newFwd = steppedSlice[b]
 		}
 	}
 	if cA == 0 {

@@ -35,7 +35,12 @@ func (r Range) Count() int {
 // the full Burrows-Wheeler matrix; row 0 always corresponds to the sentinel
 // suffix.
 type Index struct {
-	occ     OccProvider
+	occ OccProvider
+	// wocc is occ's concrete form when it is the wavelet provider. StepAll
+	// calls through it directly: the devirtualized call lets escape analysis
+	// keep the whole-alphabet count buffers on the stack, where the interface
+	// call would force a heap allocation per step.
+	wocc    *WaveletOcc
 	sigma   int
 	primary int
 	n       int
@@ -98,6 +103,7 @@ func NewFromParts(occ OccProvider, sigma, primary int, counts []int, opts Option
 		cFull[s+1] = cFull[s] + counts[s]
 	}
 	ix := &Index{occ: occ, sigma: sigma, primary: primary, n: n, cFull: cFull}
+	ix.wocc, _ = occ.(*WaveletOcc)
 	if opts.SA != nil {
 		if len(opts.SA) != n+1 {
 			return nil, fmt.Errorf("fmindex: suffix array length %d, want %d", len(opts.SA), n+1)
@@ -160,6 +166,70 @@ func (ix *Index) Step(r Range, sym uint8) Range {
 	return Range{
 		Start: ix.cFull[sym] + ix.occFull(sym, r.Start),
 		End:   ix.cFull[sym] + ix.occFull(sym, r.End+1) - 1,
+	}
+}
+
+// maxStepAllSigma bounds the stack scratch StepAll uses for its
+// whole-alphabet Occ queries; alphabets larger than this fall back to
+// per-symbol stepping.
+const maxStepAllSigma = 8
+
+// StepAll computes Step(r, b) for every symbol b in [0, sigma) into
+// dst[0:sigma]. When the Occ provider supports whole-alphabet queries
+// (OccAller — the wavelet structure does) it resolves all sigma steps with
+// two OccAll traversals, one per interval endpoint: for DNA that is 6
+// bit-vector ranks instead of the 16 that four separate Step calls issue.
+// The bidirectional extension step — the seeding hot loop, which needs every
+// symbol's interval to maintain the mirror range — is built on it.
+func (ix *Index) StepAll(r Range, dst []Range) {
+	if ix.wocc == nil || ix.sigma > maxStepAllSigma {
+		ix.stepAllGeneric(r, dst)
+		return
+	}
+	// Direct wavelet calls: devirtualized, so escape analysis keeps the
+	// count buffers on the stack (a per-variable property — which is why the
+	// interface-based fallback lives in a separate function, so its escaping
+	// buffers cannot taint this path).
+	var lo, hi [maxStepAllSigma]int
+	i := r.Start
+	if i > ix.primary {
+		i--
+	}
+	j := r.End + 1
+	if j > ix.primary {
+		j--
+	}
+	ix.wocc.Tree.RankAll(i, lo[:ix.sigma])
+	ix.wocc.Tree.RankAll(j, hi[:ix.sigma])
+	for b := 0; b < ix.sigma; b++ {
+		dst[b] = Range{Start: ix.cFull[b] + lo[b], End: ix.cFull[b] + hi[b] - 1}
+	}
+}
+
+// stepAllGeneric is StepAll over an arbitrary provider: whole-alphabet
+// queries through the OccAller interface when available, per-symbol Step
+// otherwise.
+func (ix *Index) stepAllGeneric(r Range, dst []Range) {
+	oa, ok := ix.occ.(OccAller)
+	if !ok || ix.sigma > maxStepAllSigma {
+		for b := 0; b < ix.sigma; b++ {
+			dst[b] = ix.Step(r, uint8(b))
+		}
+		return
+	}
+	var lo, hi [maxStepAllSigma]int
+	i := r.Start
+	if i > ix.primary {
+		i--
+	}
+	oa.OccAll(i, lo[:ix.sigma])
+	j := r.End + 1
+	if j > ix.primary {
+		j--
+	}
+	oa.OccAll(j, hi[:ix.sigma])
+	for b := 0; b < ix.sigma; b++ {
+		dst[b] = Range{Start: ix.cFull[b] + lo[b], End: ix.cFull[b] + hi[b] - 1}
 	}
 }
 

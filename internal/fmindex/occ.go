@@ -25,6 +25,15 @@ type OccProvider interface {
 	Name() string
 }
 
+// OccAller is the optional fast path for whole-alphabet queries:
+// OccAll(i, counts) fills counts[0:sigma] with Occ(sym, i) for every symbol
+// in one pass. The wavelet provider answers it with a single tree traversal
+// (sigma-1 bit-vector ranks instead of ~2·(sigma-1) via per-symbol Rank),
+// which the bidirectional extension step — the seeding hot loop — exploits.
+type OccAller interface {
+	OccAll(i int, counts []int)
+}
+
 // WaveletOcc adapts a wavelet tree (the paper's structure) to OccProvider.
 type WaveletOcc struct {
 	Tree *wavelet.Tree
@@ -47,6 +56,9 @@ func NewWaveletOccBackend(data []uint8, sigma int, backend wavelet.Backend) (*Wa
 }
 
 func (w *WaveletOcc) Occ(sym uint8, i int) int { return w.Tree.Rank(sym, i) }
+
+// OccAll answers the whole-alphabet query with one tree traversal.
+func (w *WaveletOcc) OccAll(i int, counts []int) { w.Tree.RankAll(i, counts) }
 func (w *WaveletOcc) Len() int                 { return w.Tree.Len() }
 func (w *WaveletOcc) Sigma() int               { return w.Tree.Sigma() }
 func (w *WaveletOcc) SizeBytes() int           { return w.Tree.SizeBytes() + w.Tree.SharedSizeBytes() }

@@ -1,6 +1,9 @@
 package fmindex
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Super-maximal exact matches (Li 2012, the seeding algorithm of BWA-MEM):
 // an SMEM is an exact match between a pattern slice and the text that is
@@ -25,6 +28,17 @@ type biCandidate struct {
 	end  int
 }
 
+// smemScratch holds the per-pivot working state of the SMEM search so a
+// steady-state caller allocates nothing: the two candidate generations of
+// the backward pass and the per-pivot emission buffer. Pooled because SMEM
+// search runs concurrently on batch workers.
+type smemScratch struct {
+	curr, prev []biCandidate
+	pivot      []SMEM
+}
+
+var smemScratchPool = sync.Pool{New: func() any { return new(smemScratch) }}
+
 // SMEMs returns every SMEM of pattern with length >= minLen, in pattern
 // order.
 func (bi *BiIndex) SMEMs(pattern []uint8, minLen int) ([]SMEM, error) {
@@ -37,31 +51,42 @@ func (bi *BiIndex) SMEMs(pattern []uint8, minLen int) ([]SMEM, error) {
 // seeding kernel retires one per cycle, so it drives the FPGA simulator's
 // pass-1 cycle model.
 func (bi *BiIndex) SMEMsSteps(pattern []uint8, minLen int) ([]SMEM, int, error) {
+	return bi.SMEMsAppend(nil, pattern, minLen)
+}
+
+// SMEMsAppend is SMEMsSteps appending into dst instead of allocating a
+// fresh result slice: with a caller-reused dst of sufficient capacity the
+// whole search is allocation-free in steady state (the per-pivot working
+// state lives in a pooled scratch). Results, ordering, and the step count
+// are identical to SMEMsSteps.
+func (bi *BiIndex) SMEMsAppend(dst []SMEM, pattern []uint8, minLen int) ([]SMEM, int, error) {
 	if minLen < 1 {
-		return nil, 0, fmt.Errorf("fmindex: minimum SMEM length %d must be >= 1", minLen)
+		return dst, 0, fmt.Errorf("fmindex: minimum SMEM length %d must be >= 1", minLen)
 	}
-	var out []SMEM
+	sc := smemScratchPool.Get().(*smemScratch)
 	steps := 0
 	x := 0
 	for x < len(pattern) {
-		mems, next, n := bi.smemsFromPivot(pattern, x)
+		mems, next, n := bi.smemsFromPivot(sc, pattern, x)
 		steps += n
 		for _, m := range mems {
 			if m.Len() >= minLen {
-				out = append(out, m)
+				dst = append(dst, m)
 			}
 		}
 		x = next
 	}
+	smemScratchPool.Put(sc)
 	// Pivot-order emission is per-pivot sorted by start already; across
-	// pivots starts strictly increase, so out is in pattern order.
-	return out, steps, nil
+	// pivots starts strictly increase, so dst stays in pattern order.
+	return dst, steps, nil
 }
 
 // smemsFromPivot returns all SMEMs containing position x (unfiltered), the
 // next pivot (the end of the longest match through x), and the number of
-// extension operations performed.
-func (bi *BiIndex) smemsFromPivot(pattern []uint8, x int) ([]SMEM, int, int) {
+// extension operations performed. The returned slice aliases sc.pivot and
+// is valid until the next call with the same scratch.
+func (bi *BiIndex) smemsFromPivot(sc *smemScratch, pattern []uint8, x int) ([]SMEM, int, int) {
 	steps := 0
 	sym := pattern[x]
 	if int(sym) >= bi.sigma {
@@ -76,7 +101,7 @@ func (bi *BiIndex) smemsFromPivot(pattern []uint8, x int) ([]SMEM, int, int) {
 	// Forward pass: extend right from the pivot, recording the interval
 	// before every size drop. curr ends up holding the match [x, end) for
 	// each distinct right-maximality level.
-	var curr []biCandidate
+	curr := sc.curr[:0]
 	for i := x + 1; ; i++ {
 		if i == len(pattern) {
 			curr = append(curr, biCandidate{rows: ik, end: i})
@@ -100,10 +125,12 @@ func (bi *BiIndex) smemsFromPivot(pattern []uint8, x int) ([]SMEM, int, int) {
 
 	// Backward pass: march the left edge from x-1 downwards. An element
 	// that can no longer extend left while nothing longer survived this
-	// round is a super-maximal match.
-	var out []SMEM
+	// round is a super-maximal match. The two generations ping-pong between
+	// the scratch's slices.
+	out := sc.pivot[:0]
+	prevBuf := sc.prev[:0]
 	for j := x - 1; ; j-- {
-		var prev []biCandidate
+		prev := prevBuf[:0]
 		sizeLast := -1
 		emitted := false
 		for _, cand := range curr {
@@ -130,12 +157,16 @@ func (bi *BiIndex) smemsFromPivot(pattern []uint8, x int) ([]SMEM, int, int) {
 		if len(prev) == 0 {
 			break
 		}
-		curr = prev
+		curr, prevBuf = prev, curr[:0]
 	}
 	// out was emitted with decreasing end / decreasing start; reverse to
 	// pattern order.
 	for a, b := 0, len(out)-1; a < b; a, b = a+1, b-1 {
 		out[a], out[b] = out[b], out[a]
 	}
+	// Persist the (possibly regrown) buffers for the next pivot. curr and
+	// prevBuf may be either of sc.curr/sc.prev after the ping-pong; keep
+	// both by capacity so growth is retained.
+	sc.curr, sc.prev, sc.pivot = curr[:0], prevBuf[:0], out
 	return out, nextPivot, steps
 }

@@ -160,6 +160,11 @@ type MapRunOptions struct {
 	// index transfer — the amortization the paper's fixed-overhead
 	// argument relies on when a service reuses a programmed device.
 	IndexResident bool
+
+	// memReconfigured marks the fabric as already holding the pass-2
+	// alignment array from an earlier mem batch of the same session, so the
+	// run charges no reconfiguration. Set only by MemSession.
+	memReconfigured bool
 }
 
 // MapReads maps a batch of reads on the device. Every read must fit the

@@ -32,6 +32,12 @@ type MemRunResult struct {
 	Stats core.MemStats
 	// Profile covers both passes plus the reconfiguration.
 	Profile Profile
+	// SeedCycles and ExtendCycles split Profile.KernelCycles into the two
+	// passes; SeedTime and ExtendTime are their modeled durations. The
+	// session scheduler's overlap model needs the split: host-side seeding
+	// of the next batch hides behind the device extension of this one.
+	SeedCycles, ExtendCycles uint64
+	SeedTime, ExtendTime     time.Duration
 	// Checksum is the batch checksum the device computed before the result
 	// transfer (see ChecksumMemResults).
 	Checksum uint64
@@ -136,67 +142,21 @@ func (k *Kernel) MapReadsMemOpts(reads []dna.Seq, memOpts core.MemOptions, opts 
 		}
 	}
 
-	every := opts.ProgressEvery
-	if every <= 0 {
-		every = 256
-	}
+	// The mapping itself runs through the core batch engine — pooled
+	// per-worker scratch, pair-boundary chunking — so the simulated device
+	// path is as allocation-free as the CPU path and bit-identical to it by
+	// construction.
 	out := &MemRunResult{Results: make([]core.MemResult, len(reads))}
-	mapOne := func(i int) error {
-		res, err := k.ix.MapReadMem(reads[i], memOpts)
-		if err != nil {
-			return err
-		}
-		out.Results[i] = res
-		return nil
+	stats, err := k.ix.MapReadsMemInto(out.Results, reads, memOpts, core.MapOptions{
+		Context:       opts.Context,
+		Workers:       1,
+		Progress:      opts.Progress,
+		ProgressEvery: opts.ProgressEvery,
+	})
+	if err != nil {
+		return nil, err
 	}
-	checkCtx := func(n int) error {
-		if opts.Context != nil && n%64 == 0 {
-			return opts.Context.Err()
-		}
-		return nil
-	}
-	done := 0
-	report := func(n int) {
-		done = n
-		if opts.Progress != nil && done%every == 0 {
-			opts.Progress(done, len(reads))
-		}
-	}
-	if memOpts.Paired {
-		for i := 0; i+1 < len(reads); i += 2 {
-			if err := checkCtx(i); err != nil {
-				return nil, err
-			}
-			pr, err := k.ix.MapPairMem(reads[i], reads[i+1], memOpts)
-			if err != nil {
-				return nil, err
-			}
-			out.Results[i], out.Results[i+1] = pr.R1, pr.R2
-			report(i + 2)
-		}
-		if len(reads)%2 == 1 {
-			if err := mapOne(len(reads) - 1); err != nil {
-				return nil, err
-			}
-			report(len(reads))
-		}
-	} else {
-		for i := range reads {
-			if err := checkCtx(i); err != nil {
-				return nil, err
-			}
-			if err := mapOne(i); err != nil {
-				return nil, err
-			}
-			report(i + 1)
-		}
-	}
-	if opts.Progress != nil && done%every != 0 {
-		opts.Progress(len(reads), len(reads))
-	}
-	for _, r := range out.Results {
-		out.Stats.Add(r)
-	}
+	out.Stats = stats
 
 	// Pass-1 cycles: SMEM extension ops through the rank pipelines, same
 	// per-step model as the exact kernel.
@@ -237,7 +197,17 @@ func (k *Kernel) MapReadsMemOpts(reads []dna.Seq, memOpts core.MemOptions, opts 
 	if opts.IndexResident {
 		indexTransfer = 0
 	}
+	// A session run on an already-reconfigured fabric (batch two onward of
+	// the two-pass schedule) charges no reconfiguration: the alignment array
+	// stays programmed and the host takes over seeding.
+	reconfig := DefaultReconfigTime
+	if opts.memReconfigured {
+		reconfig = 0
+	}
 	kernelCycles := pass1Cycles + pass2Cycles
+	out.SeedCycles, out.ExtendCycles = pass1Cycles, pass2Cycles
+	out.SeedTime = k.dev.cyclesToTime(pass1Cycles)
+	out.ExtendTime = k.dev.cyclesToTime(pass2Cycles)
 	profile := Profile{
 		Setup:         cfg.SetupTime,
 		IndexTransfer: indexTransfer,
@@ -246,7 +216,7 @@ func (k *Kernel) MapReadsMemOpts(reads []dna.Seq, memOpts core.MemOptions, opts 
 		QueryTransfer:  k.dev.transfer(len(reads)*QueryRecordBytes + out.Stats.Extensions*QueryRecordBytes),
 		KernelTime:     k.dev.cyclesToTime(kernelCycles),
 		ResultTransfer: k.dev.transfer(len(reads) * ResultRecordBytes),
-		Reconfig:       DefaultReconfigTime,
+		Reconfig:       reconfig,
 		KernelCycles:   kernelCycles,
 	}
 	if cfg.DoubleBuffer {
@@ -328,10 +298,11 @@ func (f *Farm) MapReadsMemOpts(reads []dna.Seq, memOpts core.MemOptions, opts Ma
 		}
 		shard := reads[lo:hi]
 		runOpts := MapRunOptions{
-			Context:       opts.Context,
-			Progress:      shardProgress(opts, lo, len(reads)),
-			ProgressEvery: opts.ProgressEvery,
-			IndexResident: opts.IndexResident,
+			Context:         opts.Context,
+			Progress:        shardProgress(opts, lo, len(reads)),
+			ProgressEvery:   opts.ProgressEvery,
+			IndexResident:   opts.IndexResident,
+			memReconfigured: opts.memReconfigured,
 		}
 		run, backoff, winner, err := execShard(f, opts.Context, di, healthy, func(k *Kernel) (*MemRunResult, error) {
 			r, err := k.MapReadsMemOpts(shard, memOpts, runOpts)
@@ -367,6 +338,12 @@ func (f *Farm) MapReadsMemOpts(reads []dna.Seq, memOpts core.MemOptions, opts Ma
 		if run.Profile.KernelCycles > maxCycles {
 			maxCycles = run.Profile.KernelCycles
 		}
+		// The per-pass split aggregates like KernelTime: shards run in
+		// parallel across cards, so the slowest shard's pass bounds the batch.
+		out.SeedCycles = max(out.SeedCycles, run.SeedCycles)
+		out.ExtendCycles = max(out.ExtendCycles, run.ExtendCycles)
+		out.SeedTime = max(out.SeedTime, run.SeedTime)
+		out.ExtendTime = max(out.ExtendTime, run.ExtendTime)
 	}
 	agg.KernelTime = maxKernel
 	agg.KernelCycles = maxCycles

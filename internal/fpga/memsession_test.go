@@ -1,0 +1,137 @@
+package fpga
+
+import (
+	"testing"
+
+	"bwaver/internal/core"
+	"bwaver/internal/dna"
+)
+
+// batchesOf splits reads into pair-aligned batches of size n.
+func batchesOf(reads []dna.Seq, n int) [][]dna.Seq {
+	var out [][]dna.Seq
+	for off := 0; off < len(reads); off += n {
+		out = append(out, reads[off:min(off+n, len(reads))])
+	}
+	return out
+}
+
+func TestMemSessionSingleReconfig(t *testing.T) {
+	ix, reads := memBatch(t, 30000, 30)
+	devices := make([]*Device, 2)
+	for i := range devices {
+		devices[i], _ = NewDevice(Config{})
+	}
+	farm, err := NewFarmOpts(devices, ix, FarmOptions{VerifyStride: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.MemOptions{Paired: true, MinInsert: 100, MaxInsert: 500}
+	session := farm.NewMemSession(opts, MapRunOptions{})
+
+	host, _, err := ix.MapReadsMem(reads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 0
+	for bi, batch := range batchesOf(reads, 20) {
+		run, err := session.Map(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run.VerifyChecksum(); err != nil {
+			t.Fatal(err)
+		}
+		// Session results are bit-identical to the sequential host pipeline.
+		for i := range run.Results {
+			if run.Results[i] != host[off+i] {
+				t.Fatalf("batch %d read %d diverges", bi, i)
+			}
+		}
+		off += len(batch)
+		if bi == 0 {
+			if run.Profile.Reconfig != DefaultReconfigTime {
+				t.Errorf("batch 0 reconfig charge %v, want %v", run.Profile.Reconfig, DefaultReconfigTime)
+			}
+			if run.Profile.Overlap != 0 {
+				t.Errorf("batch 0 charged overlap %v before any extension to hide behind", run.Profile.Overlap)
+			}
+		} else {
+			if run.Profile.Reconfig != 0 {
+				t.Errorf("batch %d charged reconfig %v under the session schedule", bi, run.Profile.Reconfig)
+			}
+			// Host seeding of this batch hides behind the previous batch's
+			// modeled extension.
+			if run.Profile.Overlap <= 0 {
+				t.Errorf("batch %d credits no seeding overlap", bi)
+			}
+			if run.Profile.Overlap > run.SeedTime {
+				t.Errorf("batch %d overlap %v exceeds its seed time %v", bi, run.Profile.Overlap, run.SeedTime)
+			}
+		}
+		if run.SeedCycles == 0 || run.ExtendCycles == 0 {
+			t.Errorf("batch %d per-pass split empty: seed %d extend %d", bi, run.SeedCycles, run.ExtendCycles)
+		}
+		// Per-pass maxima are taken shard-wise (the slowest card bounds each
+		// pass), so the split brackets the aggregate kernel charge rather
+		// than summing to it exactly.
+		if run.SeedCycles > run.Profile.KernelCycles || run.ExtendCycles > run.Profile.KernelCycles ||
+			run.SeedCycles+run.ExtendCycles < run.Profile.KernelCycles {
+			t.Errorf("batch %d pass split %d+%d inconsistent with kernel cycles %d",
+				bi, run.SeedCycles, run.ExtendCycles, run.Profile.KernelCycles)
+		}
+	}
+	if session.Reconfigs() != 1 {
+		t.Errorf("session charged %d reconfigs over %d batches, want 1", session.Reconfigs(), session.Batches())
+	}
+	if session.Batches() != 3 {
+		t.Errorf("session mapped %d batches, want 3", session.Batches())
+	}
+}
+
+func TestMemSessionUnderFaults(t *testing.T) {
+	ix, reads := memBatch(t, 20000, 24)
+	plan, err := ParseFaultPlan("seed=17,query=0.15,kernel=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	devices := make([]*Device, 3)
+	for i := range devices {
+		devices[i], _ = NewDevice(Config{})
+		devices[i].EnableFaults(plan, i)
+	}
+	// A generous breaker keeps cards available across the session's many
+	// batches — this test is about the schedule, not the breaker.
+	farm, err := NewFarmOpts(devices, ix, FarmOptions{VerifyStride: 4, BreakerThreshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.MemOptions{Paired: true, MinInsert: 100, MaxInsert: 500}
+	session := farm.NewMemSession(opts, MapRunOptions{})
+	host, _, err := ix.MapReadsMem(reads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retries and shard redistribution must not disturb the schedule's
+	// correctness: every batch still checksums and matches the host bit for
+	// bit, and the session still charges a single reconfiguration.
+	off := 0
+	for _, batch := range batchesOf(reads, 16) {
+		run, err := session.Map(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run.VerifyChecksum(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range run.Results {
+			if run.Results[i] != host[off+i] {
+				t.Fatalf("read %d diverges after faults", off+i)
+			}
+		}
+		off += len(batch)
+	}
+	if session.Reconfigs() != 1 {
+		t.Errorf("session charged %d reconfigs, want 1", session.Reconfigs())
+	}
+}

@@ -219,16 +219,39 @@ func (s *Sequence) Rank1(i int) int {
 	count := int(s.partialSum[super])
 	blk := i / s.b
 	if i%s.b == 0 {
-		for j := super * s.sf; j < blk; j++ {
-			count += s.class(j)
+		j := super * s.sf
+		if j&1 == 1 && j < blk {
+			count += int(s.classes[j/2] >> 4)
+			j++
+		}
+		for ; j+2 <= blk; j += 2 {
+			count += int(s.table.classSum[s.classes[j/2]])
+		}
+		if j < blk {
+			count += int(s.classes[j/2] & 0xF)
 		}
 		return count
 	}
+	// Scan the preceding blocks' classes two at a time through the packed
+	// byte LUTs; superblocks start on even block indexes only when sf is
+	// even, so handle a stray nibble at either end.
 	offPos := int(s.offsetSum[super])
-	for j := super * s.sf; j < blk; j++ {
-		c := s.class(j)
+	j := super * s.sf
+	if j&1 == 1 && j < blk {
+		c := int(s.classes[j/2] >> 4)
 		count += c
-		offPos += s.table.Width(c)
+		offPos += int(s.table.width[c])
+		j++
+	}
+	for ; j+2 <= blk; j += 2 {
+		v := s.classes[j/2]
+		count += int(s.table.classSum[v])
+		offPos += int(s.table.widthSum[v])
+	}
+	if j < blk {
+		c := int(s.classes[j/2] & 0xF)
+		count += c
+		offPos += int(s.table.width[c])
 	}
 	c := s.class(blk)
 	var v uint16

@@ -29,6 +29,14 @@ type GlobalRankTable struct {
 	// width[c] is ceil(log2(binomial(b, c))), the number of offset bits a
 	// block of class c occupies.
 	width []uint8
+
+	// classSum and widthSum are derived lookup tables over one packed
+	// classes byte (two 4-bit classes, low nibble first): the popcount sum
+	// and offset-width sum of both blocks. They let Rank1's superblock scan
+	// consume two blocks per iteration instead of one. Derived at build
+	// time, they are not part of the structure's accounted size.
+	classSum [256]uint8
+	widthSum [256]uint16
 }
 
 // MinBlockSize and MaxBlockSize bound the supported block sizes. The upper
@@ -95,13 +103,23 @@ func buildTable(b int) *GlobalRankTable {
 		count := classOffset[c+1] - classOffset[c] // == binomial(b, c)
 		width[c] = uint8(bits.Len32(count - 1))    // ceil(log2(count)); 0 when count==1
 	}
-	return &GlobalRankTable{
+	t := &GlobalRankTable{
 		B:            b,
 		Permutations: perms,
 		ClassOffset:  classOffset,
 		offsetOf:     offsetOf,
 		width:        width,
 	}
+	for v := 0; v < 256; v++ {
+		lo, hi := v&0xF, v>>4
+		t.classSum[v] = uint8(lo + hi)
+		// Nibbles above b never occur for this block size; leave their
+		// width sums zero rather than index past width.
+		if lo <= b && hi <= b {
+			t.widthSum[v] = uint16(width[lo]) + uint16(width[hi])
+		}
+	}
+	return t
 }
 
 // Width returns the offset-field width in bits for a block of class c.

@@ -162,6 +162,14 @@ func (s *Server) initObs() {
 	reg.CounterFunc("bwaver_mem_dp_cells_total",
 		"Dynamic-programming cells evaluated by mode=mem extensions.",
 		memStat(func(m core.MemStats) int { return m.Cells }))
+	reg.CounterFunc("bwaver_mem_reconfigs_total",
+		"Fabric reconfigurations charged by mode=mem FPGA jobs (one per "+
+			"session under the batched two-pass schedule).",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.memReconfigs)
+		})
 
 	for _, stage := range []string{"index", "query", "kernel", "result", "corrupt"} {
 		stage := stage

@@ -335,6 +335,10 @@ type Server struct {
 	// chains, extensions, rescues, DP cells) over every mode=mem batch the
 	// server has mapped, whichever backend ran it. Guarded by mu.
 	memStats core.MemStats
+	// memReconfigs counts fabric reconfigurations charged by mode=mem FPGA
+	// jobs — one per session under the batched two-pass schedule, however
+	// many batches the job streamed. Guarded by mu.
+	memReconfigs uint64
 
 	// Observability (see obs.go): structured logger, metric registry, and
 	// the event-time instruments; scrape-time collectors read server state
@@ -708,11 +712,18 @@ type statsJSON struct {
 	Running    int                  `json:"running"`
 	Evicted    uint64               `json:"jobs_evicted"`
 	Stage      stageJSON            `json:"stage_totals"`
-	Mem        core.MemStats        `json:"mem"`
+	Mem        memStatsJSON         `json:"mem"`
 	Resilience fpga.ResilienceStats `json:"resilience"`
 	Devices    []fpga.DeviceHealth  `json:"devices"`
 	Fallback   string               `json:"fallback_policy"`
 	Admission  admissionJSON        `json:"admission"`
+}
+
+// memStatsJSON is the mem block of /api/stats: the pipeline counters plus
+// the fabric-reconfiguration count the batched two-pass schedule charges.
+type memStatsJSON struct {
+	core.MemStats
+	Reconfigs uint64 `json:"reconfigs"`
 }
 
 // admissionJSON is the overload-protection block of /api/stats.
@@ -759,7 +770,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BuildMsTotal:  float64(s.totalBuild) / float64(time.Millisecond),
 		MapMsTotal:    float64(s.totalMap) / float64(time.Millisecond),
 	}
-	payload.Mem = s.memStats
+	payload.Mem = memStatsJSON{MemStats: s.memStats, Reconfigs: s.memReconfigs}
 	rejected := make(map[string]uint64, len(s.admissionRejected))
 	for reason, n := range s.admissionRejected {
 		rejected[reason] = n
@@ -1710,9 +1721,11 @@ func (s *Server) runMem(ctx context.Context, job *Job, entry *cacheEntry, reads 
 		return 0, 0, err
 	}
 	var total core.MemStats
+	var reconfigs uint64
 	defer func() {
 		s.mu.Lock()
 		s.memStats.Merge(total)
+		s.memReconfigs += reconfigs
 		s.mu.Unlock()
 	}()
 	emit := func(off int, results []core.MemResult) error {
@@ -1755,9 +1768,14 @@ func (s *Server) runMem(ctx context.Context, job *Job, entry *cacheEntry, reads 
 	}
 	cpuFrom := func(off int, elapsed time.Duration) (int, time.Duration, error) {
 		start := time.Now()
+		// One result buffer serves every batch: with the zero-allocation
+		// batch engine writing into it, the steady-state loop allocates only
+		// what SAM rendering needs.
+		results := make([]core.MemResult, 0, batch)
 		for o := off; o < len(reads); o += batch {
 			end := min(o+batch, len(reads))
-			results, stats, err := ix.MapReadsMem(reads[o:end], memOpts)
+			results = results[:end-o]
+			stats, err := ix.MapReadsMemInto(results, reads[o:end], memOpts, core.MapOptions{Context: ctx})
 			if err != nil {
 				return 0, 0, err
 			}
@@ -1775,23 +1793,36 @@ func (s *Server) runMem(ctx context.Context, job *Job, entry *cacheEntry, reads 
 	if job.Backend != "fpga" {
 		return cpuFrom(0, 0)
 	}
+	// The whole job runs as one two-pass session: the first batch pays the
+	// single fabric reconfiguration, later batches keep the alignment array
+	// programmed and overlap host seeding with modeled device extension.
+	var session *fpga.MemSession
 	var mapTime time.Duration
+	progressBase := 0 // start of the batch the session is currently mapping
 	for off := 0; off < len(reads); off += batch {
 		end := min(off+batch, len(reads))
 		chunk := reads[off:end]
-		progress := func(done, total int) { s.setJobProgress(job, off+done) }
+		progressBase = off
 		run, ferr := func() (*fpga.MemRunResult, error) {
 			farm, resident, err := entry.farmFor(s.devices, s.farmOptions())
 			if err != nil {
 				return nil, err
 			}
-			return farm.MapReadsMemOpts(chunk, memOpts, fpga.MapRunOptions{
-				Context: ctx, Progress: progress, IndexResident: resident,
-			})
+			if session == nil {
+				session = farm.NewMemSession(memOpts, fpga.MapRunOptions{
+					Context:       ctx,
+					Progress:      func(done, total int) { s.setJobProgress(job, progressBase+done) },
+					IndexResident: resident,
+				})
+			}
+			return session.Map(chunk)
 		}()
 		switch {
 		case ferr == nil:
 			mapTime += run.Profile.Total()
+			if run.Profile.Reconfig > 0 {
+				reconfigs++
+			}
 			addModeledEvents(obs.SpanFrom(ctx), run.Profile.Events)
 			total.Merge(run.Stats)
 			if err := emit(off, run.Results); err != nil {

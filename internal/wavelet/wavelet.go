@@ -183,6 +183,41 @@ func (t *Tree) Rank(sym uint8, i int) int {
 	return i
 }
 
+// RankAll computes Rank(sym, i) for every symbol in one traversal, writing
+// the counts into counts[0:sigma]. A single walk resolves all sigma ranks
+// with one binary rank per node (Rank1; the zero-side count is its
+// complement), so for sigma=4 the whole-alphabet query costs 3 bit-vector
+// ranks instead of the 8 that sigma separate Rank calls would issue. This is
+// the workhorse of the bidirectional index's extension step, which needs
+// occurrence counts for all symbols at the same position.
+func (t *Tree) RankAll(i int, counts []int) {
+	if i < 0 || i > t.n {
+		panic(fmt.Sprintf("wavelet: rank position %d out of range [0,%d]", i, t.n))
+	}
+	if len(counts) < t.sigma {
+		panic(fmt.Sprintf("wavelet: RankAll counts slice too short: %d < %d", len(counts), t.sigma))
+	}
+	rankAllRec(t.root, i, counts)
+}
+
+func rankAllRec(nd *node, i int, counts []int) {
+	if nd == nil {
+		return
+	}
+	ones := nd.vec.Rank1(i)
+	mid := (nd.lo + nd.hi + 1) / 2
+	if nd.zero == nil {
+		counts[nd.lo] = i - ones
+	} else {
+		rankAllRec(nd.zero, i-ones, counts)
+	}
+	if nd.on == nil {
+		counts[mid] = ones
+	} else {
+		rankAllRec(nd.on, ones, counts)
+	}
+}
+
 // Access returns the symbol at position i.
 func (t *Tree) Access(i int) uint8 {
 	if i < 0 || i >= t.n {
