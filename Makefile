@@ -8,9 +8,9 @@ GO ?= go
 # `make fuzz-smoke FUZZTIME=5m`.
 FUZZTIME ?= 10s
 
-.PHONY: ci build vet test race bench bench-smoke bench-baseline fuzz-smoke fault-smoke obs-smoke chaos-smoke stream-smoke cluster-smoke mem-smoke mem-bench-smoke
+.PHONY: ci build vet test race bench bench-smoke bench-baseline fuzz-smoke fault-smoke obs-smoke chaos-smoke stream-smoke cluster-smoke mem-smoke mem-bench-smoke qc-smoke
 
-ci: vet race fuzz-smoke fault-smoke obs-smoke bench-smoke chaos-smoke stream-smoke cluster-smoke mem-smoke mem-bench-smoke
+ci: vet race fuzz-smoke fault-smoke obs-smoke bench-smoke chaos-smoke stream-smoke cluster-smoke mem-smoke mem-bench-smoke qc-smoke
 
 build:
 	$(GO) build ./...
@@ -37,12 +37,15 @@ bench-smoke:
 # prefix-table sweep (reads/sec, allocs/read, modeled FPGA ms, structure
 # bytes) written to BENCH_pr4.json, the seed-and-extend sweep (host
 # reads/sec, per-read pipeline intensity, modeled two-pass cycles) written
-# to BENCH_pr8.json, and the batched zero-allocation rerun of that sweep —
-# with allocs/read and the speedup-vs-pr8 column — written to BENCH_pr9.json.
+# to BENCH_pr8.json, the batched zero-allocation rerun of that sweep —
+# with allocs/read and the speedup-vs-pr8 column — written to BENCH_pr9.json,
+# and the QC ingest sweep (dirty-corpus ingest rate, quality-sort's effect on
+# modeled wave cycles) written to BENCH_pr10.json.
 bench-baseline:
 	$(GO) run ./cmd/bwaver-bench -quiet -json BENCH_pr4.json ftab
 	$(GO) run ./cmd/bwaver-bench -quiet -json BENCH_pr8.json mem
 	$(GO) run ./cmd/bwaver-bench -quiet -json BENCH_pr9.json -mem-baseline BENCH_pr8.json mem
+	$(GO) run ./cmd/bwaver-bench -quiet -json BENCH_pr10.json qc
 
 # mem-bench-smoke is the allocation gate for the batched mem pipeline: the
 # steady-state zero-allocs test (fails on any alloc per read), the z-drop /
@@ -52,9 +55,20 @@ mem-bench-smoke:
 	$(GO) test -run='MemBatchSteadyStateZeroAlloc|MemZDropMatchesFullBand' -count=1 ./internal/core
 	$(GO) test -run='^$$' -bench='MapReadsMemInto|Extender' -benchtime=50x ./internal/core ./internal/align
 
+# qc-smoke is the ingest-hardening gate: the tolerant decoder's resync and
+# accounting, the QC gate units (trim, gates, paired dooming, quality-sort
+# stability), the gated stream, and the served dirty-corpus chaos drill —
+# journal-replay accounting identity, CPU/FPGA bit-identity, and the
+# pre-cleaned control — all under the race detector.
+# zero-alloc gate rerun proves QC stays out of the warm mapping path.
+qc-smoke:
+	$(GO) test -race -run='Tolerant|QC|Dirty|Gate|Ingest|Wave' ./internal/fastx ./internal/qc ./internal/readsim ./internal/core ./internal/fpga ./internal/server
+	$(GO) test -run='MemBatchSteadyStateZeroAlloc' -count=1 ./internal/core
+
 # fuzz-smoke gives every fuzz target a short budget; `go test` allows one
 # -fuzz target per invocation, hence the per-target lines.
 fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzTolerantFastq$$' -fuzztime=$(FUZZTIME) ./internal/fastx
 	$(GO) test -run='^$$' -fuzz='^FuzzReader$$' -fuzztime=$(FUZZTIME) ./internal/fastx
 	$(GO) test -run='^$$' -fuzz='^FuzzReaderGzip$$' -fuzztime=$(FUZZTIME) ./internal/fastx
 	$(GO) test -run='^$$' -fuzz='^FuzzRank$$' -fuzztime=$(FUZZTIME) ./internal/rrr

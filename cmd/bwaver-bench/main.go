@@ -2,7 +2,7 @@
 // evaluation (§IV).
 //
 //	bwaver-bench [-ref-scale 0.01] [-read-scale 0.001] [-sample 20000] [-seed 1] [-quiet]
-//	             [-csv DIR] [-json FILE] [-ftab-ks 0,8,10,12] <fig5|fig6|fig7|table1|table2|ablate|ftab|mem|all>
+//	             [-csv DIR] [-json FILE] [-ftab-ks 0,8,10,12] <fig5|fig6|fig7|table1|table2|ablate|ftab|mem|qc|all>
 //
 // Default scales shrink the paper's workloads roughly 100-1000x so a full
 // run finishes in minutes; pass -ref-scale 1 -read-scale 1 for the paper's
@@ -43,7 +43,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: bwaver-bench [flags] <ablate|fig5|fig6|fig7|ftab|mem|table1|table2|all>")
+		return fmt.Errorf("usage: bwaver-bench [flags] <ablate|fig5|fig6|fig7|ftab|mem|qc|table1|table2|all>")
 	}
 	scale := bench.Scale{Ref: *refScale, Reads: *readScale, SampleReads: *sample, Seed: *seed}
 	var progress io.Writer = os.Stderr
@@ -59,7 +59,8 @@ func run(args []string, out io.Writer) error {
 	runAblate := target == "ablate" || target == "all"
 	runFtab := target == "ftab" || target == "all"
 	runMem := target == "mem" || target == "all"
-	if !runFig56 && !runFig7 && !runT1 && !runT2 && !runAblate && !runFtab && !runMem {
+	runQC := target == "qc" || target == "all"
+	if !runFig56 && !runFig7 && !runT1 && !runT2 && !runAblate && !runFtab && !runMem && !runQC {
 		return fmt.Errorf("unknown experiment %q", target)
 	}
 
@@ -178,6 +179,27 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			if err := bench.WriteMemJSON(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", *jsonPath)
+		}
+	}
+	if runQC {
+		res, err := bench.QCBench(scale, progress)
+		if err != nil {
+			return err
+		}
+		bench.PrintQCBench(out, res)
+		if *jsonPath != "" && target == "qc" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteQCJSON(f, res); err != nil {
 				f.Close()
 				return err
 			}

@@ -4,9 +4,10 @@
 //	                   [-trace spans.json]
 //	bwaver map         -index ref.bwx -reads reads.fq[.gz] [-backend cpu|fpga] [-workers N]
 //	                   [-format tsv|sam] [-mismatches K] [-reads2 mate2.fq -min-insert N -max-insert N]
-//	                   [-stream] [-out results]
+//	                   [-stream] [-tolerant] [-min-len N -max-ee F -max-n N -trim-qual Q -qc-sort] [-out results]
 //	bwaver mem         -index ref.bwx -reads reads.fq[.gz] [-backend cpu|fpga] [-paired]
-//	                   [-min-seed 19] [-band 16] [-min-score 30] [-min-insert N -max-insert N] [-out out.sam]
+//	                   [-min-seed 19] [-band 16] [-min-score 30] [-min-insert N -max-insert N]
+//	                   [-tolerant] [-min-len N -max-ee F -max-n N -trim-qual Q -qc-sort] [-out out.sam]
 //	bwaver stats       -index ref.bwx [-verbose]
 //	bwaver extract     -index ref.bwx [-out ref.fa] [-gzip]
 //	bwaver verify      -index ref.bwx -ref ref.fa
@@ -35,6 +36,7 @@ import (
 	"bwaver/internal/fmindex"
 	"bwaver/internal/fpga"
 	"bwaver/internal/obs"
+	"bwaver/internal/qc"
 	"bwaver/internal/rrr"
 	"bwaver/internal/sam"
 )
@@ -226,12 +228,57 @@ func loadReference(path string) (dna.Seq, *core.ContigSet, error) {
 	return seq, contigs, nil
 }
 
-func loadReads(path string) ([]dna.Seq, []string, error) {
+// qcFlagSet registers the QC gate flags shared by the read-mapping
+// subcommands; policy() resolves them after Parse.
+type qcFlagSet struct {
+	minLen, maxN, trimQual, phred *int
+	maxEE                         *float64
+	sort, tolerant                *bool
+}
+
+func addQCFlags(fs *flag.FlagSet) *qcFlagSet {
+	return &qcFlagSet{
+		minLen:   fs.Int("min-len", 0, "QC: reject reads shorter than this after trimming (0 = off)"),
+		maxEE:    fs.Float64("max-ee", 0, "QC: reject reads with more expected errors than this (0 = off)"),
+		maxN:     fs.Int("max-n", 0, "QC: reject reads with more than this many ambiguous bases (0 = off)"),
+		trimQual: fs.Int("trim-qual", 0, "QC: trim 3' bases below this phred score (0 = off)"),
+		sort:     fs.Bool("qc-sort", false, "QC: stably sort surviving reads by ascending expected errors"),
+		phred:    fs.Int("phred", 0, "QC: phred offset 33 or 64 (0 = auto-detect)"),
+		tolerant: fs.Bool("tolerant", false, "skip malformed FASTQ records instead of aborting"),
+	}
+}
+
+func (q *qcFlagSet) policy(paired bool) (qc.Policy, error) {
+	pol := qc.Policy{
+		MinLen: *q.minLen, MaxEE: *q.maxEE, MaxN: *q.maxN, TrimQual: *q.trimQual,
+		QualitySort: *q.sort, PhredOffset: *q.phred, Tolerant: *q.tolerant,
+		Paired: paired,
+	}
+	if err := pol.Validate(); err != nil {
+		return qc.Policy{}, err
+	}
+	return pol, nil
+}
+
+func loadReads(path string, pol qc.Policy) ([]dna.Seq, []string, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer f.Close()
+	if pol.Active() {
+		res, err := qc.Ingest(f, pol)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep := res.Report
+		fmt.Fprintf(os.Stderr, "bwaver: qc: %d/%d reads passed (%d malformed, %d rejected, %d bases trimmed, phred+%d)\n",
+			rep.Passed, rep.Attempted, rep.Malformed, rep.RejectedTotal(), rep.TrimmedBases, rep.PhredOffset)
+		if len(res.Seqs) == 0 {
+			return nil, nil, fmt.Errorf("no reads survived QC in %s", path)
+		}
+		return res.Seqs, res.IDs, nil
+	}
 	recs, err := fastx.ReadAll(f)
 	if err != nil {
 		return nil, nil, err
@@ -366,8 +413,16 @@ func cmdMap(args []string, out io.Writer) error {
 	stream := fs.Bool("stream", false, "stream the reads in bounded memory (cpu backend, tsv output)")
 	profilePath := fs.String("profile", "", "write the fpga run's event profile as JSON (fpga backend)")
 	outPath := fs.String("out", "", "results file (default stdout)")
+	qcf := addQCFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	qcPol, err := qcf.policy(false)
+	if err != nil {
+		return fmt.Errorf("map: %w", err)
+	}
+	if qcPol.Active() && *reads2Path != "" {
+		return fmt.Errorf("map: QC gating with two-file pairs would desynchronize mates; use `bwaver mem -paired` with interleaved input")
 	}
 	if *format != "tsv" && *format != "sam" {
 		return fmt.Errorf("map: unknown format %q (want tsv or sam)", *format)
@@ -392,9 +447,9 @@ func cmdMap(args []string, out io.Writer) error {
 		if *backend != "cpu" || *format != "tsv" || *reads2Path != "" || *mismatches > 0 {
 			return fmt.Errorf("map: -stream supports the cpu backend with tsv output, unpaired, exact")
 		}
-		return mapStreaming(out, ix, *readsPath, *doLocate, *workers, *outPath)
+		return mapStreaming(out, ix, *readsPath, qcPol, *doLocate, *workers, *outPath)
 	}
-	reads, ids, err := loadReads(*readsPath)
+	reads, ids, err := loadReads(*readsPath, qcPol)
 	if err != nil {
 		return err
 	}
@@ -484,17 +539,22 @@ func cmdMem(args []string, out io.Writer) error {
 	minInsert := fs.Int("min-insert", 0, "minimum fragment length for proper pairs (with -paired)")
 	maxInsert := fs.Int("max-insert", 0, "maximum fragment length for proper pairs (0 = default 1000, with -paired)")
 	outPath := fs.String("out", "", "output SAM file (default stdout)")
+	qcf := addQCFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *indexPath == "" || *readsPath == "" {
 		return fmt.Errorf("mem: -index and -reads are required")
 	}
+	qcPol, err := qcf.policy(*paired)
+	if err != nil {
+		return fmt.Errorf("mem: %w", err)
+	}
 	ix, err := core.LoadFile(*indexPath)
 	if err != nil {
 		return err
 	}
-	reads, ids, err := loadReads(*readsPath)
+	reads, ids, err := loadReads(*readsPath, qcPol)
 	if err != nil {
 		return err
 	}
@@ -633,7 +693,7 @@ func writeProfileJSON(path string, p fpga.Profile, powerWatts float64) error {
 
 // mapStreaming maps an arbitrarily large FASTQ in bounded memory, writing
 // TSV rows as batches complete.
-func mapStreaming(out io.Writer, ix *core.Index, readsPath string, doLocate bool, workers int, outPath string) error {
+func mapStreaming(out io.Writer, ix *core.Index, readsPath string, qcPol qc.Policy, doLocate bool, workers int, outPath string) error {
 	f, err := os.Open(readsPath)
 	if err != nil {
 		return err
@@ -651,7 +711,7 @@ func mapStreaming(out io.Writer, ix *core.Index, readsPath string, doLocate bool
 	bw := bufio.NewWriterSize(w, 1<<16)
 	fmt.Fprintln(bw, "read\tmapped\tfw_count\tfw_positions\trc_count\trc_positions")
 	contigs := ix.Contigs()
-	stats, err := ix.MapStream(f, core.MapOptions{Locate: doLocate, Workers: workers}, 0,
+	stats, rep, err := ix.MapStreamQC(f, qcPol, core.MapOptions{Locate: doLocate, Workers: workers}, 0,
 		func(r core.StreamResult) error {
 			_, err := fmt.Fprintf(bw, "%s\t%t\t%d\t%s\t%d\t%s\n",
 				r.ID, r.Res.Mapped(),
@@ -665,6 +725,10 @@ func mapStreaming(out io.Writer, ix *core.Index, readsPath string, doLocate bool
 	if err := bw.Flush(); err != nil {
 		return err
 	}
+	if qcPol.Active() {
+		fmt.Fprintf(os.Stderr, "bwaver: qc: %d/%d reads passed (%d malformed, %d rejected, %d bases trimmed)\n",
+			rep.Passed, rep.Attempted, rep.Malformed, rep.RejectedTotal(), rep.TrimmedBases)
+	}
 	fmt.Fprintf(os.Stderr, "bwaver: streamed %d reads, %d mapped, in %v\n",
 		stats.Reads, stats.MappedReads, stats.Elapsed.Round(time.Millisecond))
 	return nil
@@ -673,7 +737,7 @@ func mapStreaming(out io.Writer, ix *core.Index, readsPath string, doLocate bool
 // mapPaired maps mate pairs and reports proper (concordant) placements
 // within the insert window, as TSV or paired SAM.
 func mapPaired(out io.Writer, ix *core.Index, r1s []dna.Seq, ids []string, reads2Path string, minInsert, maxInsert int, format, outPath string) error {
-	r2s, _, err := loadReads(reads2Path)
+	r2s, _, err := loadReads(reads2Path, qc.Policy{})
 	if err != nil {
 		return err
 	}

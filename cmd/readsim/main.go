@@ -4,14 +4,21 @@
 //
 //	readsim genome -out ref.fa [-length N | -preset ecoli|chr21 [-scale F]] [-gc 0.5] [-repeats 0.25] [-seed 1] [-gzip]
 //	readsim reads  -ref ref.fa -out reads.fq [-count N] [-length 100] [-ratio 0.5] [-revcomp 0.5] [-error 0]
-//	               [-pairs -insert-mean 300 -insert-sd 30] [-seed 1] [-gzip]
+//	               [-pairs -insert-mean 300 -insert-sd 30] [-dirty 0 -n-frac 0 -qual-drop 0] [-seed 1] [-gzip]
 //
 // With -pairs the output is interleaved FR mate pairs (R1, R2, R1, R2, ...),
 // the wire form the server's mode=mem-pe jobs and `bwaver mem -paired`
 // consume; -count then counts pairs, so the file holds 2×count reads.
+//
+// The -dirty/-n-frac/-qual-drop flags corrupt the corpus for robustness
+// testing: -dirty emits that fraction of records malformed (short quality
+// line, missing separator, broken header), -n-frac splices N runs into that
+// fraction of reads, and -qual-drop collapses the 3' quality tail of that
+// fraction. The result exercises the tolerant decoder and QC gate.
 package main
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
 	"io"
@@ -113,11 +120,19 @@ func cmdReads(args []string, out io.Writer) error {
 	pairs := fs.Bool("pairs", false, "emit interleaved FR mate pairs (-count counts pairs)")
 	insertMean := fs.Int("insert-mean", 300, "mean fragment length (with -pairs)")
 	insertSD := fs.Int("insert-sd", 30, "fragment length standard deviation (with -pairs)")
+	dirty := fs.Float64("dirty", 0, "fraction of records emitted malformed")
+	nFrac := fs.Float64("n-frac", 0, "fraction of reads with an N run spliced in")
+	qualDrop := fs.Float64("qual-drop", 0, "fraction of reads with a collapsed 3' quality tail")
 	seed := fs.Int64("seed", 1, "random seed")
 	gz := fs.Bool("gzip", false, "gzip the output")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	dirtyCfg := readsim.DirtyConfig{MalformedFrac: *dirty, NFrac: *nFrac, QualDrop: *qualDrop, Seed: *seed}
+	if err := dirtyCfg.Validate(); err != nil {
+		return err
+	}
+	useDirty := *dirty > 0 || *nFrac > 0 || *qualDrop > 0
 	if *refPath == "" || *outPath == "" {
 		return fmt.Errorf("reads: -ref and -out are required")
 	}
@@ -140,7 +155,7 @@ func cmdReads(args []string, out io.Writer) error {
 	ref, _ := dna.Sanitize(raw, dna.A)
 	if *pairs {
 		return writePairs(out, ref, *outPath, *count, *length, *ratio, *errRate,
-			*insertMean, *insertSD, *seed, *gz)
+			*insertMean, *insertSD, *seed, *gz, useDirty, dirtyCfg)
 	}
 	sim, err := readsim.Simulate(ref, readsim.ReadsConfig{
 		Count: *count, Length: *length, MappingRatio: *ratio,
@@ -154,6 +169,19 @@ func cmdReads(args []string, out io.Writer) error {
 		return err
 	}
 	defer f.Close()
+	if useDirty {
+		dirtyReads := make([]readsim.FastqRead, len(sim))
+		for i, r := range sim {
+			dirtyReads[i] = readsim.FastqRead{ID: r.ID, Seq: []byte(r.Seq.String())}
+		}
+		st, err := writeDirty(f, dirtyReads, dirtyCfg, *gz)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d reads of %d bp to %s (%d malformed, %d with Ns, %d quality-dropped)\n",
+			st.Records, *length, *outPath, st.Malformed, st.NInjected, st.QualDropped)
+		return nil
+	}
 	w := fastx.NewWriter(f, fastx.FASTQ, *gz)
 	for _, r := range sim {
 		desc := "origin=random"
@@ -175,8 +203,22 @@ func cmdReads(args []string, out io.Writer) error {
 	return nil
 }
 
+// writeDirty routes the corrupted corpus through an optional gzip layer.
+func writeDirty(f *os.File, reads []readsim.FastqRead, cfg readsim.DirtyConfig, gz bool) (readsim.DirtyStats, error) {
+	if !gz {
+		return readsim.WriteDirtyFastq(f, reads, cfg)
+	}
+	zw := gzip.NewWriter(f)
+	st, err := readsim.WriteDirtyFastq(zw, reads, cfg)
+	if err != nil {
+		zw.Close()
+		return st, err
+	}
+	return st, zw.Close()
+}
+
 // writePairs emits interleaved FR mate pairs with /1 and /2 name suffixes.
-func writePairs(out io.Writer, ref dna.Seq, outPath string, count, length int, ratio, errRate float64, insertMean, insertSD int, seed int64, gz bool) error {
+func writePairs(out io.Writer, ref dna.Seq, outPath string, count, length int, ratio, errRate float64, insertMean, insertSD int, seed int64, gz bool, useDirty bool, dirtyCfg readsim.DirtyConfig) error {
 	sim, err := readsim.SimulatePairs(ref, readsim.PairConfig{
 		Count: count, ReadLength: length, MappingRatio: ratio, ErrorRate: errRate,
 		InsertMean: insertMean, InsertStdDev: insertSD, Seed: seed,
@@ -189,6 +231,23 @@ func writePairs(out io.Writer, ref dna.Seq, outPath string, count, length int, r
 		return err
 	}
 	defer f.Close()
+	if useDirty {
+		var dirtyReads []readsim.FastqRead
+		for _, p := range sim {
+			for m, seq := range [2]dna.Seq{p.R1, p.R2} {
+				dirtyReads = append(dirtyReads, readsim.FastqRead{
+					ID: fmt.Sprintf("%s/%d", p.ID, m+1), Seq: []byte(seq.String()),
+				})
+			}
+		}
+		st, err := writeDirty(f, dirtyReads, dirtyCfg, gz)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d pairs (%d reads) of %d bp to %s (%d malformed, %d with Ns, %d quality-dropped)\n",
+			len(sim), st.Records, length, outPath, st.Malformed, st.NInjected, st.QualDropped)
+		return nil
+	}
 	w := fastx.NewWriter(f, fastx.FASTQ, gz)
 	for _, p := range sim {
 		mates := [2]dna.Seq{p.R1, p.R2}

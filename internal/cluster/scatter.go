@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"sync"
+
+	"bwaver/internal/qc"
 )
 
 // Scatter-gather endpoints. Every fan-out fetch is bounded by WorkerTimeout,
@@ -43,6 +45,15 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	workers := g.reg.Workers()
 	perWorker := make(map[string]any, len(workers)+1)
+	var qcRollup qc.Report
+	mergeQC := func(body []byte) {
+		var probe struct {
+			QC qc.Report `json:"qc"`
+		}
+		if json.Unmarshal(body, &probe) == nil {
+			qcRollup.Merge(probe.QC)
+		}
+	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, url := range workers {
@@ -63,6 +74,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			perWorker[url] = stats
+			mergeQC(body)
 		}(url)
 	}
 	wg.Wait()
@@ -71,6 +83,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		var stats any
 		if json.Unmarshal(rec.Body.Bytes(), &stats) == nil {
 			local = stats
+			mergeQC(rec.Body.Bytes())
 		}
 	}
 	healthy, total := g.reg.Counts()
@@ -86,6 +99,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			"evictions":       evictions,
 			"readmissions":    readmissions,
 			"routed_jobs":     routed,
+			"qc":              qcRollup,
 		},
 		"workers": perWorker,
 		"local":   local,

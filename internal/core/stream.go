@@ -7,6 +7,7 @@ import (
 
 	"bwaver/internal/dna"
 	"bwaver/internal/fastx"
+	"bwaver/internal/qc"
 )
 
 // Streaming batch mapping. The paper's kernel "iteratively fetches query
@@ -70,41 +71,75 @@ func (ix *Index) MapBatches(reads []dna.Seq, batchSize int, opts MapOptions, emi
 // delivering results to emit in input order. batchSize <= 0 selects
 // DefaultStreamBatch. emit returning an error aborts the run.
 func (ix *Index) MapStream(r io.Reader, opts MapOptions, batchSize int, emit func(StreamResult) error) (MapStats, error) {
+	stats, _, err := ix.MapStreamQC(r, qc.Policy{}, opts, batchSize, emit)
+	return stats, err
+}
+
+// MapStreamQC is MapStream with a quality-control policy applied at ingest:
+// the parser goroutine decodes (tolerantly when the policy asks), trims,
+// gates, and — with QualitySort — stably reorders each batch before it is
+// mapped, so only surviving reads reach the mapping path. Order within a
+// batch is the gate's post-sort order, identical on every backend. The
+// returned report carries the per-reason reject accounting; the zero policy
+// degrades to exactly MapStream.
+func (ix *Index) MapStreamQC(r io.Reader, pol qc.Policy, opts MapOptions, batchSize int, emit func(StreamResult) error) (MapStats, qc.Report, error) {
 	if batchSize <= 0 {
 		batchSize = DefaultStreamBatch
 	}
+	gate, err := qc.NewGate(pol)
+	if err != nil {
+		return MapStats{}, qc.Report{}, err
+	}
 	reader, err := fastx.NewReader(r)
 	if err != nil {
-		return MapStats{}, err
+		return MapStats{}, qc.Report{}, err
 	}
 	defer reader.Close()
+	reader.SetTolerant(pol.Tolerant)
 
 	type batch struct {
 		ids   []string
 		reads []dna.Seq
 		err   error
 	}
-	// The parser goroutine stays one batch ahead of the mapper.
+	// The parser goroutine stays one batch ahead of the mapper. It owns the
+	// gate, so trimming, gating, and the stable quality-sort overlap mapping;
+	// the final report is handed over once the stream is fully decoded.
 	batches := make(chan batch, 1)
+	reportCh := make(chan qc.Report, 1)
 	go func() {
 		defer close(batches)
-		for {
+		defer func() { reportCh <- gate.Report() }()
+		eof := false
+		for !eof {
 			b := batch{}
-			for len(b.reads) < batchSize {
+			// Feed one batch of decoder events; the gate may hold back a
+			// trailing odd mate for the next drain.
+			for fed := 0; fed < batchSize; fed++ {
 				rec, err := reader.Read()
 				if err == io.EOF {
+					eof = true
 					break
 				}
 				if err != nil {
+					if re, ok := err.(*fastx.RecordError); ok && pol.Tolerant {
+						gate.Malformed(re)
+						continue
+					}
 					b.err = err
 					break
 				}
-				seq, _ := dna.Sanitize(rec.Seq, dna.A)
-				b.ids = append(b.ids, rec.ID)
-				b.reads = append(b.reads, seq)
+				gate.Record(rec)
+			}
+			for _, rd := range gate.Drain(eof && b.err == nil) {
+				b.ids = append(b.ids, rd.ID)
+				b.reads = append(b.reads, rd.Seq)
 			}
 			if len(b.reads) == 0 && b.err == nil {
-				return
+				if eof {
+					return
+				}
+				continue // every record in this batch was rejected; keep going
 			}
 			batches <- b
 			if b.err != nil {
@@ -113,16 +148,20 @@ func (ix *Index) MapStream(r io.Reader, opts MapOptions, batchSize int, emit fun
 		}
 	}()
 
+	// fail drains the parser goroutine before returning, so its gate report
+	// is complete and the goroutine never blocks on an abandoned channel.
+	fail := func(err error) (MapStats, qc.Report, error) {
+		for range batches {
+		}
+		return MapStats{}, <-reportCh, err
+	}
 	var stats MapStats
 	start := time.Now()
 	for b := range batches {
 		if len(b.reads) > 0 {
 			results, batchStats, err := ix.MapReads(b.reads, opts)
 			if err != nil {
-				// Drain the parser goroutine before returning.
-				for range batches {
-				}
-				return MapStats{}, err
+				return fail(err)
 			}
 			stats.Reads += batchStats.Reads
 			stats.MappedReads += batchStats.MappedReads
@@ -130,16 +169,14 @@ func (ix *Index) MapStream(r io.Reader, opts MapOptions, batchSize int, emit fun
 			stats.TotalSteps += batchStats.TotalSteps
 			for i := range results {
 				if err := emit(StreamResult{ID: b.ids[i], Read: b.reads[i], Res: results[i]}); err != nil {
-					for range batches {
-					}
-					return MapStats{}, fmt.Errorf("core: emit: %w", err)
+					return fail(fmt.Errorf("core: emit: %w", err))
 				}
 			}
 		}
 		if b.err != nil {
-			return MapStats{}, b.err
+			return fail(b.err)
 		}
 	}
 	stats.Elapsed = time.Since(start)
-	return stats, nil
+	return stats, <-reportCh, nil
 }

@@ -3,10 +3,13 @@ package core
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
 	"bwaver/internal/fastx"
+	"bwaver/internal/qc"
 	"bwaver/internal/readsim"
 )
 
@@ -103,6 +106,55 @@ func TestMapStreamMalformedMidStream(t *testing.T) {
 	}
 	if emitted != 2 {
 		t.Errorf("emitted %d results before the error, want 2", emitted)
+	}
+}
+
+// TestMapStreamQCTolerant runs the gated stream over a corpus with malformed
+// records and low-quality tails: the emitted results must be exactly the
+// offline-ingested survivors, in order, and the report must balance.
+func TestMapStreamQCTolerant(t *testing.T) {
+	ref := testGenome(t, 5000)
+	sim, _ := readsim.Simulate(ref, readsim.ReadsConfig{Count: 40, Length: 40, MappingRatio: 1, Seed: 15})
+	var dirty bytes.Buffer
+	for i, r := range sim {
+		switch {
+		case i%7 == 3: // quality line shorter than the sequence
+			fmt.Fprintf(&dirty, "@%s\n%s\n+\n%s\n", r.ID, r.Seq.String(), strings.Repeat("I", 10))
+		case i%7 == 5: // collapsed 3' tail, trimmed below MinLen
+			half := strings.Repeat("I", 20) + strings.Repeat("#", 20)
+			fmt.Fprintf(&dirty, "@%s\n%s\n+\n%s\n", r.ID, r.Seq.String(), half)
+		default:
+			fmt.Fprintf(&dirty, "@%s\n%s\n+\n%s\n", r.ID, r.Seq.String(), strings.Repeat("I", 40))
+		}
+	}
+	pol := qc.Policy{Tolerant: true, TrimQual: 10, MinLen: 30}
+	want, err := qc.Ingest(bytes.NewReader(dirty.Bytes()), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Report.Malformed == 0 || want.Report.RejectedTotal() == 0 {
+		t.Fatalf("corpus too tame: %+v", want.Report)
+	}
+	ix := mustBuild(t, ref, IndexConfig{})
+	var got []StreamResult
+	stats, rep, err := ix.MapStreamQC(bytes.NewReader(dirty.Bytes()), pol, MapOptions{}, 8,
+		func(r StreamResult) error {
+			got = append(got, r)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, want.Report) {
+		t.Errorf("stream report %+v, want %+v", rep, want.Report)
+	}
+	if stats.Reads != want.Report.Passed || len(got) != len(want.Seqs) {
+		t.Fatalf("stream mapped %d reads, want %d survivors", stats.Reads, want.Report.Passed)
+	}
+	for i := range got {
+		if got[i].ID != want.IDs[i] || got[i].Read.String() != want.Seqs[i].String() {
+			t.Fatalf("survivor %d is %s, want %s", i, got[i].ID, want.IDs[i])
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"bytes"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -35,6 +36,47 @@ func (f Format) String() string {
 	return "FASTA"
 }
 
+// Reason codes carried by RecordError. They are a fixed enum so downstream
+// accounting (journal counters, /metrics labels) has bounded cardinality no
+// matter what bytes arrive on the wire.
+const (
+	// ReasonBadHeader: the line where a record header was expected does not
+	// start with the format's header byte.
+	ReasonBadHeader = "bad_header"
+	// ReasonEmptyID: a header line with no ID token.
+	ReasonEmptyID = "empty_id"
+	// ReasonTruncated: the stream ended inside a record.
+	ReasonTruncated = "truncated"
+	// ReasonBadSeparator: a FASTQ record without a '+' separator line.
+	ReasonBadSeparator = "bad_separator"
+	// ReasonQualMismatch: quality and sequence lengths differ.
+	ReasonQualMismatch = "qual_mismatch"
+	// ReasonBlankLine: a blank line where a FASTQ header was expected
+	// (other than a trailing run of blank lines at EOF, which is legal).
+	ReasonBlankLine = "blank_line"
+	// ReasonBadSequence: malformed FASTA sequence data ('>' mid-line, or a
+	// record with no sequence at all).
+	ReasonBadSequence = "bad_sequence"
+)
+
+// RecordError describes one malformed record. In strict mode it aborts the
+// parse; in tolerant mode (SetTolerant) the reader resynchronizes to the
+// next plausible record header and returns the RecordError so the caller
+// can account for the loss and keep reading.
+type RecordError struct {
+	// Line is the 1-based line number of the offending line.
+	Line int
+	// RecordID is the record's ID when the header parsed, "" otherwise.
+	RecordID string
+	// Reason is one of the Reason* codes.
+	Reason string
+	// Detail is the human-readable description.
+	Detail string
+}
+
+// Error implements error.
+func (e *RecordError) Error() string { return "fastx: " + e.Detail }
+
 // Record is one sequence record.
 type Record struct {
 	// ID is the first whitespace-delimited token of the header.
@@ -56,7 +98,22 @@ type Reader struct {
 	line   int
 	// pending holds the next FASTA header once the previous record ends.
 	pending string
-	done    bool
+	// pendingLine is the line number pending was read on.
+	pendingLine int
+	// peeked is the FASTQ lookahead window: lines read ahead of the parse
+	// position (for candidate-header validation during resync) but not yet
+	// consumed.
+	peeked []numberedLine
+	// tolerant degrades malformed records to RecordErrors instead of
+	// aborting the whole parse.
+	tolerant bool
+	done     bool
+}
+
+// numberedLine pairs a line's text with its 1-based position in the stream.
+type numberedLine struct {
+	text string
+	num  int
 }
 
 // NewReader wraps r, transparently decompressing gzip input and detecting
@@ -96,6 +153,14 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Format returns the detected format; meaningless for empty input.
 func (r *Reader) Format() Format { return r.format }
 
+// SetTolerant switches the reader between strict mode (any malformed record
+// aborts the parse; the default, and what reference uploads use) and
+// tolerant mode, where a malformed record is skipped: the reader
+// resynchronizes to the next plausible record header and Read returns a
+// *RecordError describing what was lost. On well-formed input the two modes
+// produce identical records.
+func (r *Reader) SetTolerant(t bool) { r.tolerant = t }
+
 // Close releases the gzip decompressor if one is active.
 func (r *Reader) Close() error {
 	if r.gz != nil {
@@ -116,6 +181,24 @@ func (r *Reader) readLine() (string, error) {
 	return strings.TrimRight(line, "\r\n"), nil
 }
 
+// peekLine returns the i-th line (0-based) ahead of the parse position
+// without consuming it, reading further into the stream as needed.
+func (r *Reader) peekLine(i int) (numberedLine, error) {
+	for len(r.peeked) <= i {
+		text, err := r.readLine()
+		if err != nil {
+			return numberedLine{}, err
+		}
+		r.peeked = append(r.peeked, numberedLine{text: text, num: r.line})
+	}
+	return r.peeked[i], nil
+}
+
+// dropPeeked consumes the first n lines of the lookahead window.
+func (r *Reader) dropPeeked(n int) {
+	r.peeked = r.peeked[:copy(r.peeked, r.peeked[n:])]
+}
+
 // Read returns the next record, or io.EOF when the stream ends.
 func (r *Reader) Read() (*Record, error) {
 	if r.done {
@@ -134,8 +217,38 @@ func splitHeader(h string) (id, desc string) {
 	return h, ""
 }
 
+// fastaFail reports a malformed FASTA record: strict mode aborts, tolerant
+// mode resynchronizes to the next '>' header and returns the RecordError.
+func (r *Reader) fastaFail(re *RecordError) (*Record, error) {
+	if !r.tolerant {
+		return nil, re
+	}
+	r.resyncFasta()
+	return nil, re
+}
+
+// resyncFasta scans forward to the next line starting with '>' and parks it
+// in r.pending so the next Read starts a fresh record there.
+func (r *Reader) resyncFasta() {
+	if r.pending != "" {
+		return // already positioned at the next header
+	}
+	for {
+		line, err := r.readLine()
+		if err != nil {
+			return // EOF (or a sticky stream error the next Read reports)
+		}
+		if strings.HasPrefix(line, ">") {
+			r.pending = line
+			r.pendingLine = r.line
+			return
+		}
+	}
+}
+
 func (r *Reader) readFasta() (*Record, error) {
 	header := r.pending
+	headerLine := r.pendingLine
 	r.pending = ""
 	if header == "" {
 		line, err := r.readLine()
@@ -147,14 +260,17 @@ func (r *Reader) readFasta() (*Record, error) {
 			return nil, err
 		}
 		header = line
+		headerLine = r.line
 	}
 	if !strings.HasPrefix(header, ">") {
-		return nil, fmt.Errorf("fastx: line %d: FASTA header must start with '>', got %q", r.line, header)
+		return r.fastaFail(&RecordError{Line: headerLine, Reason: ReasonBadHeader,
+			Detail: fmt.Sprintf("line %d: FASTA header must start with '>', got %q", headerLine, header)})
 	}
 	rec := &Record{}
 	rec.ID, rec.Desc = splitHeader(strings.TrimPrefix(header, ">"))
 	if rec.ID == "" {
-		return nil, fmt.Errorf("fastx: line %d: empty FASTA header", r.line)
+		return r.fastaFail(&RecordError{Line: headerLine, Reason: ReasonEmptyID,
+			Detail: fmt.Sprintf("line %d: empty FASTA header", headerLine)})
 	}
 	var seq bytes.Buffer
 	for {
@@ -168,22 +284,60 @@ func (r *Reader) readFasta() (*Record, error) {
 		}
 		if strings.HasPrefix(line, ">") {
 			r.pending = line
+			r.pendingLine = r.line
 			break
 		}
 		if strings.ContainsRune(line, '>') {
-			return nil, fmt.Errorf("fastx: line %d: '>' inside sequence data of record %q", r.line, rec.ID)
+			return r.fastaFail(&RecordError{Line: r.line, RecordID: rec.ID, Reason: ReasonBadSequence,
+				Detail: fmt.Sprintf("line %d: '>' inside sequence data of record %q", r.line, rec.ID)})
 		}
 		seq.WriteString(strings.TrimSpace(line))
 	}
 	if seq.Len() == 0 {
-		return nil, fmt.Errorf("fastx: record %q has no sequence data", rec.ID)
+		return r.fastaFail(&RecordError{Line: headerLine, RecordID: rec.ID, Reason: ReasonBadSequence,
+			Detail: fmt.Sprintf("record %q has no sequence data", rec.ID)})
 	}
 	rec.Seq = seq.Bytes()
 	return rec, nil
 }
 
+// fastqFail reports a malformed FASTQ record: strict mode aborts the parse,
+// tolerant mode resynchronizes to the next plausible record header and
+// returns the RecordError for per-record accounting. Every failure path has
+// consumed at least one line before calling this, so tolerant parsing always
+// makes progress.
+func (r *Reader) fastqFail(re *RecordError) (*Record, error) {
+	if !r.tolerant {
+		return nil, re
+	}
+	r.resyncFastq()
+	return nil, re
+}
+
+// resyncFastq scans forward for the next line that can start a FASTQ record:
+// an '@' line whose line+2 starts with '+'. An '@' alone is not enough —
+// quality strings may legitimately begin with '@', so the separator two
+// lines ahead is the disambiguator. A candidate too close to EOF for the
+// check is accepted as-is and left for the next Read to judge. Everything
+// before the candidate is discarded.
+func (r *Reader) resyncFastq() {
+	for {
+		nl, err := r.peekLine(0)
+		if err != nil {
+			return // EOF (or a sticky stream error the next Read reports)
+		}
+		if strings.HasPrefix(nl.text, "@") {
+			sep, err := r.peekLine(2)
+			if err != nil || strings.HasPrefix(sep.text, "+") {
+				return
+			}
+		}
+		r.dropPeeked(1)
+	}
+}
+
 func (r *Reader) readFastq() (*Record, error) {
-	header, err := r.readLine()
+	header, err := r.peekLine(0)
 	if err == io.EOF {
 		r.done = true
 		return nil, io.EOF
@@ -191,39 +345,83 @@ func (r *Reader) readFastq() (*Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	if header == "" {
-		// Tolerate a trailing blank line.
-		if _, err := r.br.Peek(1); err == io.EOF {
-			r.done = true
-			return nil, io.EOF
+	if header.text == "" {
+		// A run of blank lines is legal at EOF (trailing newlines are
+		// common); anywhere else it is a malformed region.
+		n := 1
+		for {
+			nl, err := r.peekLine(n)
+			if err == io.EOF {
+				r.dropPeeked(n)
+				r.done = true
+				return nil, io.EOF
+			}
+			if err != nil {
+				return nil, err
+			}
+			if nl.text != "" {
+				break
+			}
+			n++
 		}
-		return nil, fmt.Errorf("fastx: line %d: blank line inside FASTQ", r.line)
+		r.dropPeeked(n)
+		return r.fastqFail(&RecordError{Line: header.num, Reason: ReasonBlankLine,
+			Detail: fmt.Sprintf("line %d: blank line inside FASTQ", header.num)})
 	}
-	if !strings.HasPrefix(header, "@") {
-		return nil, fmt.Errorf("fastx: line %d: FASTQ header must start with '@', got %q", r.line, header)
+	if !strings.HasPrefix(header.text, "@") {
+		r.dropPeeked(1)
+		return r.fastqFail(&RecordError{Line: header.num, Reason: ReasonBadHeader,
+			Detail: fmt.Sprintf("line %d: FASTQ header must start with '@', got %q", header.num, header.text)})
 	}
 	rec := &Record{}
-	rec.ID, rec.Desc = splitHeader(strings.TrimPrefix(header, "@"))
+	rec.ID, rec.Desc = splitHeader(strings.TrimPrefix(header.text, "@"))
 	if rec.ID == "" {
-		return nil, fmt.Errorf("fastx: line %d: empty FASTQ header", r.line)
+		r.dropPeeked(1)
+		return r.fastqFail(&RecordError{Line: header.num, Reason: ReasonEmptyID,
+			Detail: fmt.Sprintf("line %d: empty FASTQ header", header.num)})
 	}
-	seq, err := r.readLine()
+	seq, err := r.peekLine(1)
+	if err == io.EOF {
+		r.dropPeeked(1)
+		return r.fastqFail(&RecordError{Line: header.num, RecordID: rec.ID, Reason: ReasonTruncated,
+			Detail: fmt.Sprintf("record %q: truncated after header", rec.ID)})
+	}
 	if err != nil {
-		return nil, fmt.Errorf("fastx: record %q: truncated after header", rec.ID)
+		return nil, err
 	}
-	sep, err := r.readLine()
-	if err != nil || !strings.HasPrefix(sep, "+") {
-		return nil, fmt.Errorf("fastx: record %q: missing '+' separator line", rec.ID)
+	sep, err := r.peekLine(2)
+	if err == io.EOF {
+		r.dropPeeked(2)
+		return r.fastqFail(&RecordError{Line: header.num, RecordID: rec.ID, Reason: ReasonBadSeparator,
+			Detail: fmt.Sprintf("record %q: missing '+' separator line", rec.ID)})
 	}
-	qual, err := r.readLine()
 	if err != nil {
-		return nil, fmt.Errorf("fastx: record %q: truncated before quality line", rec.ID)
+		return nil, err
 	}
-	if len(qual) != len(seq) {
-		return nil, fmt.Errorf("fastx: record %q: %d quality bytes for %d bases", rec.ID, len(qual), len(seq))
+	if !strings.HasPrefix(sep.text, "+") {
+		// Drop only the header: the "separator" may in fact be the next
+		// record's header (a truncated record), which resync can recover.
+		r.dropPeeked(1)
+		return r.fastqFail(&RecordError{Line: sep.num, RecordID: rec.ID, Reason: ReasonBadSeparator,
+			Detail: fmt.Sprintf("record %q: missing '+' separator line", rec.ID)})
 	}
-	rec.Seq = []byte(seq)
-	rec.Qual = []byte(qual)
+	qual, err := r.peekLine(3)
+	if err == io.EOF {
+		r.dropPeeked(3)
+		return r.fastqFail(&RecordError{Line: header.num, RecordID: rec.ID, Reason: ReasonTruncated,
+			Detail: fmt.Sprintf("record %q: truncated before quality line", rec.ID)})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(qual.text) != len(seq.text) {
+		r.dropPeeked(1)
+		return r.fastqFail(&RecordError{Line: qual.num, RecordID: rec.ID, Reason: ReasonQualMismatch,
+			Detail: fmt.Sprintf("record %q: %d quality bytes for %d bases", rec.ID, len(qual.text), len(seq.text))})
+	}
+	r.dropPeeked(4)
+	rec.Seq = []byte(seq.text)
+	rec.Qual = []byte(qual.text)
 	return rec, nil
 }
 
@@ -242,6 +440,35 @@ func ReadAll(r io.Reader) ([]*Record, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// ReadAllTolerant parses every record in r in tolerant mode: malformed
+// records are returned as RecordErrors alongside the records that survived,
+// and only stream-level failures (I/O, corrupt gzip) abort.
+func ReadAllTolerant(r io.Reader) ([]*Record, []*RecordError, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rd.Close()
+	rd.SetTolerant(true)
+	var out []*Record
+	var recErrs []*RecordError
+	for {
+		rec, err := rd.Read()
+		if err == io.EOF {
+			return out, recErrs, nil
+		}
+		var re *RecordError
+		if errors.As(err, &re) {
+			recErrs = append(recErrs, re)
+			continue
+		}
+		if err != nil {
+			return out, recErrs, err
 		}
 		out = append(out, rec)
 	}

@@ -3,6 +3,8 @@ package fastx
 import (
 	"bytes"
 	"compress/gzip"
+	"errors"
+	"io"
 	"reflect"
 	"testing"
 )
@@ -55,6 +57,78 @@ func FuzzReader(f *testing.F) {
 		}
 		if len(back) != len(recs) {
 			t.Fatalf("round trip produced %d records, want %d", len(back), len(recs))
+		}
+	})
+}
+
+// FuzzTolerantFastq feeds arbitrary bytes through the tolerant decoder: it
+// must never panic, never loop (each Read consumes at least one line, so the
+// iteration count is bounded by the input size), and its accounting must
+// balance — every Read before EOF yields exactly one valid record or one
+// RecordError. On input the strict parser accepts, tolerant mode must return
+// the identical records and no errors.
+func FuzzTolerantFastq(f *testing.F) {
+	f.Add([]byte("@r\nACGT\n+\nIIII\n"))
+	f.Add([]byte("@good\nACGT\n+\nIIII\n@bad\nACGT\n+\nII\n@good2\nTT\n+\nJJ\n"))
+	f.Add([]byte("@a\nACGT\n@b\nACGT\n+\nIIII\n"))
+	f.Add([]byte("@\n\n+\n\n"))
+	f.Add([]byte("@r\nACGT\n+\n@@II\n@r2\nAC\n+\nII\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("@x\nAC\n+\nII"))
+	f.Add([]byte(">a\nACGT\n>\n>b\nTT\n"))
+	f.Add([]byte("@r\r\nACGT\r\n+\r\nIIII\r\n\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		defer rd.Close()
+		rd.SetTolerant(true)
+		// Each Read consumes >= 1 line on any path that is not EOF, so the
+		// number of iterations can never exceed the line count.
+		maxReads := bytes.Count(data, []byte{'\n'}) + 2
+		valid, malformed, attempted := 0, 0, 0
+		var recs []*Record
+		for i := 0; ; i++ {
+			if i > maxReads {
+				t.Fatalf("tolerant reader looped: %d reads for %d bytes", i, len(data))
+			}
+			rec, err := rd.Read()
+			if err == io.EOF {
+				break
+			}
+			attempted++
+			var re *RecordError
+			if errors.As(err, &re) {
+				if re.Reason == "" || re.Line <= 0 {
+					t.Fatalf("RecordError missing reason/line: %+v", re)
+				}
+				malformed++
+				continue
+			}
+			if err != nil {
+				return // stream-level error (e.g. corrupt gzip) aborts; fine
+			}
+			if rec.ID == "" {
+				t.Fatal("tolerant mode accepted record with empty ID")
+			}
+			if rec.Qual != nil && len(rec.Qual) != len(rec.Seq) {
+				t.Fatal("tolerant mode accepted mismatched qualities")
+			}
+			valid++
+			recs = append(recs, rec)
+		}
+		if valid+malformed != attempted {
+			t.Fatalf("accounting broken: valid %d + malformed %d != attempted %d", valid, malformed, attempted)
+		}
+		// Strict/tolerant equivalence on clean input.
+		if strictRecs, err := ReadAll(bytes.NewReader(data)); err == nil {
+			if malformed != 0 {
+				t.Fatalf("strict accepted the input but tolerant reported %d malformed records", malformed)
+			}
+			if !reflect.DeepEqual(recs, strictRecs) {
+				t.Fatalf("tolerant parse diverged from strict on clean input:\n%v\n%v", recs, strictRecs)
+			}
 		}
 	})
 }

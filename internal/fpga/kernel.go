@@ -104,6 +104,15 @@ type Profile struct {
 	Overlap time.Duration
 	// KernelCycles is the raw cycle count behind KernelTime.
 	KernelCycles uint64
+	// WaveCycles is the batch-homogeneity accounting: the cycle count of a
+	// lockstep dispatcher that issues reads to the PEs in waves and holds
+	// every lane until the wave's slowest read finishes. Early-exiting
+	// reads (dirty or unmappable ones) idle their lane for the remainder
+	// of the wave, so WaveCycles - KernelCycles measures the divergence a
+	// quality-sorted batch removes. Accounting only: KernelTime always
+	// derives from KernelCycles, the work-balanced model, so enabling the
+	// wave metric changes no result or modeled time.
+	WaveCycles uint64
 	// Events is the OpenCL-style event log of the run.
 	Events []Event
 	// HostWallTime is how long the simulator actually took, for sanity
@@ -223,6 +232,10 @@ func (k *Kernel) MapReadsOpts(reads []dna.Seq, opts MapRunOptions) (*RunResult, 
 	results := make([]core.MapResult, len(reads))
 	var stepCycles uint64
 	perStep := k.stepCycles()
+	// Wave accounting: reads issue in waves of cfg.PEs lanes; each wave is
+	// charged for its slowest lane.
+	var waveCycles, waveMax uint64
+	lane := 0
 	for i, rec := range records {
 		if opts.Context != nil && i%64 == 0 {
 			if err := opts.Context.Err(); err != nil {
@@ -236,14 +249,25 @@ func (k *Kernel) MapReadsOpts(reads []dna.Seq, opts MapRunOptions) (*RunResult, 
 		res := k.ix.MapReadMode(rec.Unpack(), k.useFtab)
 		results[i] = res
 		stepCycles += uint64(res.Steps)*perStep + uint64(cfg.QueryOverheadCycles)
+		if s := uint64(res.Steps); s > waveMax {
+			waveMax = s
+		}
+		if lane++; lane == cfg.PEs {
+			waveCycles += waveMax*perStep + uint64(cfg.QueryOverheadCycles)
+			lane, waveMax = 0, 0
+		}
 		if opts.Progress != nil && (i+1)%every == 0 {
 			opts.Progress(i+1, len(reads))
 		}
+	}
+	if lane > 0 {
+		waveCycles += waveMax*perStep + uint64(cfg.QueryOverheadCycles)
 	}
 	if opts.Progress != nil {
 		opts.Progress(len(reads), len(reads))
 	}
 	kernelCycles := uint64(cfg.PipelineFillCycles) + stepCycles/uint64(cfg.PEs)
+	waveCycles += uint64(cfg.PipelineFillCycles)
 
 	// The device checksums the batch before the result transfer; a result
 	// transfer fault drops the batch, a corruption fault silently flips
@@ -267,6 +291,7 @@ func (k *Kernel) MapReadsOpts(reads []dna.Seq, opts MapRunOptions) (*RunResult, 
 		KernelTime:     k.dev.cyclesToTime(kernelCycles),
 		ResultTransfer: k.dev.transfer(len(reads) * ResultRecordBytes),
 		KernelCycles:   kernelCycles,
+		WaveCycles:     waveCycles,
 	}
 	if cfg.DoubleBuffer {
 		profile.Overlap = min(profile.QueryTransfer, profile.KernelTime)

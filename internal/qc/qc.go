@@ -1,0 +1,517 @@
+// Package qc is the quality-aware ingest stage: per-read quality metrics
+// (average phred, expected errors, meep — the metrics phredsort computes),
+// a filtering policy with fixed reject-reason codes, 3'-quality trimming,
+// and an optional stable quality-sort that improves batch homogeneity on
+// the modeled device without changing any individual read's mapping.
+//
+// QC runs at ingest, on the parse side of the pipeline, so the warm mapping
+// path (the pooled batch engine) sees only the surviving reads and keeps
+// its zero-allocation guarantee.
+package qc
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"bwaver/internal/dna"
+	"bwaver/internal/fastx"
+)
+
+// Reject-reason codes. This is a fixed enum — attacker-controlled input can
+// never mint a new reason — so journal counters and /metrics labels have
+// bounded cardinality.
+const (
+	// ReasonMalformed: the record did not parse (tolerant decode skipped it).
+	ReasonMalformed = "malformed"
+	// ReasonTooShort: shorter than Policy.MinLen after trimming.
+	ReasonTooShort = "too_short"
+	// ReasonTooManyN: more ambiguous bases than Policy.MaxN.
+	ReasonTooManyN = "too_many_n"
+	// ReasonMaxEE: expected errors above Policy.MaxEE.
+	ReasonMaxEE = "max_ee"
+	// ReasonMateRejected: the read was fine but its mate was not; paired
+	// policies reject mates together so pairing never phase-shifts.
+	ReasonMateRejected = "mate_rejected"
+)
+
+// Reasons returns every reject-reason code, for metric pre-registration.
+func Reasons() []string {
+	return []string{ReasonMalformed, ReasonTooShort, ReasonTooManyN, ReasonMaxEE, ReasonMateRejected}
+}
+
+// ValidReason reports whether s is one of the fixed reason codes.
+func ValidReason(s string) bool {
+	for _, r := range Reasons() {
+		if s == r {
+			return true
+		}
+	}
+	return false
+}
+
+// Policy is a per-job quality-control configuration. The zero value is a
+// no-op (strict parse, no gates, no trimming, no sorting).
+type Policy struct {
+	// MinLen rejects reads shorter than this after trimming; 0 disables.
+	MinLen int `json:"min_len,omitempty"`
+	// MaxEE rejects reads whose expected-error count (sum of per-base error
+	// probabilities) exceeds this; 0 disables.
+	MaxEE float64 `json:"max_ee,omitempty"`
+	// MaxN rejects reads with more than this many ambiguous bases; 0
+	// disables.
+	MaxN int `json:"max_n,omitempty"`
+	// TrimQual trims 3' bases whose phred score is below this; 0 disables.
+	TrimQual int `json:"trim_qual,omitempty"`
+	// QualitySort stably sorts each ingested batch by ascending expected
+	// errors (cleanest reads first). Stable, so CPU and FPGA backends map
+	// the identical post-sort order and stay bit-identical.
+	QualitySort bool `json:"quality_sort,omitempty"`
+	// PhredOffset is the quality encoding base: 33, 64, or 0 to auto-detect.
+	PhredOffset int `json:"phred_offset,omitempty"`
+	// Paired treats the input as interleaved mates (R1,R2,R1,R2,...):
+	// rejecting either mate rejects both, and QualitySort moves pairs as
+	// units.
+	Paired bool `json:"paired,omitempty"`
+	// Tolerant decodes FASTQ tolerantly: malformed records are skipped and
+	// counted instead of failing the job.
+	Tolerant bool `json:"tolerant,omitempty"`
+}
+
+// Active reports whether the policy does anything beyond a strict parse.
+func (p Policy) Active() bool {
+	return p.MinLen > 0 || p.MaxEE > 0 || p.MaxN > 0 || p.TrimQual > 0 ||
+		p.QualitySort || p.Tolerant
+}
+
+// Validate rejects nonsensical configurations.
+func (p Policy) Validate() error {
+	if p.PhredOffset != 0 && p.PhredOffset != 33 && p.PhredOffset != 64 {
+		return fmt.Errorf("qc: phred offset must be 0 (auto), 33 or 64, got %d", p.PhredOffset)
+	}
+	if p.MinLen < 0 || p.MaxN < 0 || p.TrimQual < 0 || p.MaxEE < 0 {
+		return fmt.Errorf("qc: thresholds must be non-negative")
+	}
+	return nil
+}
+
+// Metrics are the per-read quality figures, computed after trimming.
+type Metrics struct {
+	// Length is the read length in bases.
+	Length int
+	// NCount is the number of ambiguous (non-ACGT) bases.
+	NCount int
+	// AvgPhred is the error-probability-averaged quality: the phred score
+	// of the mean per-base error probability (not the arithmetic mean of
+	// scores, which overstates quality).
+	AvgPhred float64
+	// MaxEE is the expected number of errors: the sum of per-base error
+	// probabilities.
+	MaxEE float64
+	// Meep is the maximum expected error percentage: MaxEE * 100 / Length.
+	Meep float64
+}
+
+// Measure computes the metrics of one read. qual may be nil (FASTA input),
+// in which case the quality-derived figures are zero.
+func Measure(seq, qual []byte, offset int) Metrics {
+	m := Metrics{Length: len(seq)}
+	for _, b := range seq {
+		if _, ok := dna.FromByte(b); !ok {
+			m.NCount++
+		}
+	}
+	if len(qual) == 0 || offset == 0 {
+		return m
+	}
+	var sumP float64
+	for _, q := range qual {
+		sumP += phredErrProb(int(q) - offset)
+	}
+	m.MaxEE = sumP
+	if m.Length > 0 {
+		m.Meep = m.MaxEE * 100 / float64(m.Length)
+		m.AvgPhred = -10 * math.Log10(sumP/float64(len(qual)))
+	}
+	return m
+}
+
+// phredErrProb converts a phred score to an error probability, clamping
+// garbage scores (a wrongly-detected offset) into [0,1].
+func phredErrProb(q int) float64 {
+	if q < 0 {
+		return 1
+	}
+	return math.Pow(10, -float64(q)/10)
+}
+
+// DetectOffset inspects quality strings and picks the phred encoding base:
+// any byte below 59 proves phred+33, a byte above 74 with none below 59
+// indicates phred+64. Ambiguous input (all bytes in the overlap) defaults
+// to the modern phred+33.
+func DetectOffset(quals ...[]byte) int {
+	sawHigh := false
+	for _, qual := range quals {
+		for _, b := range qual {
+			if b < 59 {
+				return 33
+			}
+			if b > 74 {
+				sawHigh = true
+			}
+		}
+	}
+	if sawHigh {
+		return 64
+	}
+	return 33
+}
+
+// trim3 returns the length seq keeps after 3'-quality trimming: trailing
+// bases with phred < threshold are dropped, stopping at the first base at
+// or above the threshold.
+func trim3(qual []byte, offset, threshold int) int {
+	n := len(qual)
+	for n > 0 && int(qual[n-1])-offset < threshold {
+		n--
+	}
+	return n
+}
+
+// Reject is one dropped read, for streaming clients and per-reason
+// accounting. Index is the read's ordinal in the attempted input stream
+// (malformed records included), so clients can correlate gaps.
+type Reject struct {
+	Index  int    `json:"index"`
+	ID     string `json:"id,omitempty"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is the ingest accounting block: journaled with the job so replay
+// is accounting-identical, and surfaced in /api/stats.
+type Report struct {
+	// Attempted counts every record the decoder tried, valid or not.
+	Attempted int `json:"attempted"`
+	// Passed counts reads that survived every gate.
+	Passed int `json:"passed"`
+	// Malformed counts records the tolerant decoder skipped.
+	Malformed int `json:"malformed"`
+	// Rejected counts QC-gate drops per reason code.
+	Rejected map[string]int `json:"rejected,omitempty"`
+	// TrimmedBases counts 3'-trimmed bases across all reads.
+	TrimmedBases int `json:"trimmed_bases,omitempty"`
+	// PhredOffset is the encoding the gate used (33/64), 0 when no
+	// qualities were seen.
+	PhredOffset int `json:"phred_offset,omitempty"`
+}
+
+// RejectedTotal sums the per-reason reject counts (malformed excluded).
+func (r Report) RejectedTotal() int {
+	n := 0
+	for _, c := range r.Rejected {
+		n += c
+	}
+	return n
+}
+
+// Merge accumulates other into r (gateway scatter-gather rollup).
+func (r *Report) Merge(other Report) {
+	r.Attempted += other.Attempted
+	r.Passed += other.Passed
+	r.Malformed += other.Malformed
+	r.TrimmedBases += other.TrimmedBases
+	if r.PhredOffset == 0 {
+		r.PhredOffset = other.PhredOffset
+	}
+	for reason, c := range other.Rejected {
+		if r.Rejected == nil {
+			r.Rejected = make(map[string]int)
+		}
+		r.Rejected[reason] += c
+	}
+}
+
+// Read is one surviving read.
+type Read struct {
+	ID  string
+	Seq dna.Seq
+	// ee is the sort key for QualitySort (expected errors, trimmed).
+	ee float64
+}
+
+// event is one decoder outcome in stream order: a parsed record or a
+// malformed-record error. Keeping both in one ordered stream is what makes
+// paired-mate accounting exact — pairing is positional, so a malformed R1
+// must still consume its slot and doom its R2.
+type event struct {
+	rec   *fastx.Record
+	err   *fastx.RecordError
+	index int
+}
+
+// Gate applies a Policy to a stream of decoder events. Feed events with
+// Record/Malformed, take surviving reads out with Drain (batch-wise, so
+// streaming callers stay memory-bounded), and collect the accounting from
+// Report/TakeRejects.
+type Gate struct {
+	policy  Policy
+	events  []event
+	next    int // index of the next attempted record
+	offset  int // resolved phred offset; 0 until known
+	report  Report
+	rejects []Reject
+}
+
+// NewGate validates the policy and builds a gate for it.
+func NewGate(p Policy) (*Gate, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Gate{policy: p, offset: p.PhredOffset}
+	g.report.Rejected = make(map[string]int)
+	return g, nil
+}
+
+// Record feeds one parsed record.
+func (g *Gate) Record(rec *fastx.Record) {
+	g.events = append(g.events, event{rec: rec, index: g.next})
+	g.next++
+	g.report.Attempted++
+}
+
+// Malformed feeds one malformed-record error from the tolerant decoder.
+func (g *Gate) Malformed(re *fastx.RecordError) {
+	g.events = append(g.events, event{err: re, index: g.next})
+	g.next++
+	g.report.Attempted++
+	g.report.Malformed++
+	g.rejects = append(g.rejects, Reject{
+		Index: g.next - 1, ID: re.RecordID, Reason: ReasonMalformed, Detail: re.Detail,
+	})
+}
+
+// Drain gates the buffered events and returns the survivors, quality-sorted
+// when the policy asks for it. With a paired policy a trailing odd event is
+// held back for its mate unless final is true (EOF), where it is rejected
+// as an orphan.
+func (g *Gate) Drain(final bool) []Read {
+	events := g.events
+	if g.policy.Paired && !final && len(events)%2 == 1 {
+		events = events[:len(events)-1]
+	}
+	g.events = g.events[len(events):]
+
+	g.resolveOffset(events)
+	var out []Read
+	if g.policy.Paired {
+		for i := 0; i+1 < len(events); i += 2 {
+			out = g.gatePair(out, events[i], events[i+1])
+		}
+		if len(events)%2 == 1 {
+			// Orphan at EOF: positional pairing has no mate for it.
+			last := events[len(events)-1]
+			if last.rec != nil {
+				g.rejectRead(last, ReasonMateRejected, "no mate: odd trailing read")
+			}
+		}
+	} else {
+		for _, ev := range events {
+			if ev.rec == nil {
+				continue // already accounted by Malformed
+			}
+			if rd, reason, detail := g.gateRead(ev.rec); reason == "" {
+				out = append(out, rd)
+			} else {
+				g.rejectRead(ev, reason, detail)
+			}
+		}
+	}
+	if g.policy.QualitySort {
+		g.sortBatch(out)
+	}
+	g.report.Passed += len(out)
+	return out
+}
+
+// gatePair evaluates an interleaved mate pair: both survive or both are
+// rejected (the clean mate as mate_rejected), so downstream pairing never
+// phase-shifts.
+func (g *Gate) gatePair(out []Read, e1, e2 event) []Read {
+	type side struct {
+		ev     event
+		rd     Read
+		reason string
+		detail string
+	}
+	sides := [2]side{{ev: e1}, {ev: e2}}
+	for i := range sides {
+		if sides[i].ev.rec == nil {
+			sides[i].reason = ReasonMalformed // already accounted
+			continue
+		}
+		sides[i].rd, sides[i].reason, sides[i].detail = g.gateRead(sides[i].ev.rec)
+	}
+	if sides[0].reason == "" && sides[1].reason == "" {
+		return append(out, sides[0].rd, sides[1].rd)
+	}
+	for i := range sides {
+		if sides[i].ev.rec == nil {
+			continue // malformed side: Reject row already emitted
+		}
+		if sides[i].reason == "" {
+			g.rejectRead(sides[i].ev, ReasonMateRejected, "mate failed QC")
+		} else {
+			g.rejectRead(sides[i].ev, sides[i].reason, sides[i].detail)
+		}
+	}
+	return out
+}
+
+// gateRead trims and measures one record; reason is "" when it passes.
+func (g *Gate) gateRead(rec *fastx.Record) (Read, string, string) {
+	seq, qual := rec.Seq, rec.Qual
+	if g.policy.TrimQual > 0 && len(qual) == len(seq) && g.offset > 0 {
+		keep := trim3(qual, g.offset, g.policy.TrimQual)
+		g.report.TrimmedBases += len(seq) - keep
+		seq, qual = seq[:keep], qual[:keep]
+	}
+	m := Measure(seq, qual, g.offset)
+	if g.policy.MinLen > 0 && m.Length < g.policy.MinLen {
+		return Read{}, ReasonTooShort, fmt.Sprintf("%d bases after trim, need %d", m.Length, g.policy.MinLen)
+	}
+	if g.policy.MaxN > 0 && m.NCount > g.policy.MaxN {
+		return Read{}, ReasonTooManyN, fmt.Sprintf("%d ambiguous bases, max %d", m.NCount, g.policy.MaxN)
+	}
+	if g.policy.MaxEE > 0 && len(qual) > 0 && m.MaxEE > g.policy.MaxEE {
+		return Read{}, ReasonMaxEE, fmt.Sprintf("%.2f expected errors, max %.2f", m.MaxEE, g.policy.MaxEE)
+	}
+	s, _ := dna.Sanitize(seq, dna.A)
+	return Read{ID: rec.ID, Seq: s, ee: m.MaxEE}, "", ""
+}
+
+func (g *Gate) rejectRead(ev event, reason, detail string) {
+	g.report.Rejected[reason]++
+	id := ""
+	if ev.rec != nil {
+		id = ev.rec.ID
+	}
+	g.rejects = append(g.rejects, Reject{Index: ev.index, ID: id, Reason: reason, Detail: detail})
+}
+
+// resolveOffset fixes the phred encoding on first use. Detection scans the
+// buffered batch; once resolved the offset never changes, so every read in
+// the job is measured against the same encoding.
+func (g *Gate) resolveOffset(events []event) {
+	if g.offset != 0 {
+		return
+	}
+	quals := make([][]byte, 0, len(events))
+	for _, ev := range events {
+		if ev.rec != nil && len(ev.rec.Qual) > 0 {
+			quals = append(quals, ev.rec.Qual)
+		}
+	}
+	if len(quals) == 0 {
+		return // FASTA so far; stay undetected
+	}
+	g.offset = DetectOffset(quals...)
+}
+
+// sortBatch stably sorts one drained batch by ascending expected errors,
+// keeping interleaved mates adjacent by sorting pair-blocks as units. The
+// sort is stable and happens before the backend split, so CPU and FPGA map
+// the same order and remain bit-identical.
+func (g *Gate) sortBatch(reads []Read) {
+	stride := 1
+	if g.policy.Paired {
+		stride = 2
+	}
+	blocks := len(reads) / stride
+	if blocks*stride != len(reads) {
+		return // defensive: never split a pair
+	}
+	order := make([]int, blocks)
+	for i := range order {
+		order[i] = i
+	}
+	key := func(b int) float64 {
+		ee := 0.0
+		for k := 0; k < stride; k++ {
+			ee += reads[b*stride+k].ee
+		}
+		return ee
+	}
+	sort.SliceStable(order, func(a, b int) bool { return key(order[a]) < key(order[b]) })
+	sorted := make([]Read, 0, len(reads))
+	for _, b := range order {
+		sorted = append(sorted, reads[b*stride:(b+1)*stride]...)
+	}
+	copy(reads, sorted)
+}
+
+// Report returns the accounting so far.
+func (g *Gate) Report() Report {
+	r := g.report
+	r.PhredOffset = g.offset
+	return r
+}
+
+// TakeRejects returns and clears the reject rows accumulated since the last
+// call, in stream order.
+func (g *Gate) TakeRejects() []Reject {
+	r := g.rejects
+	g.rejects = nil
+	return r
+}
+
+// Result is the outcome of a one-shot Ingest.
+type Result struct {
+	Seqs    []dna.Seq
+	IDs     []string
+	Rejects []Reject
+	Report  Report
+}
+
+// Ingest parses a whole FASTA/FASTQ stream (plain or gzipped) through the
+// policy: tolerant or strict decode, trim, gate, and — when QualitySort is
+// set — one stable quality-sort over the surviving set.
+func Ingest(r io.Reader, p Policy) (*Result, error) {
+	g, err := NewGate(p)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := fastx.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	rd.SetTolerant(p.Tolerant)
+	for {
+		rec, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if re, ok := err.(*fastx.RecordError); ok && p.Tolerant {
+				g.Malformed(re)
+				continue
+			}
+			return nil, err
+		}
+		g.Record(rec)
+	}
+	reads := g.Drain(true)
+	res := &Result{
+		Seqs:    make([]dna.Seq, len(reads)),
+		IDs:     make([]string, len(reads)),
+		Rejects: g.TakeRejects(),
+		Report:  g.Report(),
+	}
+	for i, read := range reads {
+		res.Seqs[i] = read.Seq
+		res.IDs[i] = read.ID
+	}
+	return res, nil
+}

@@ -1,0 +1,163 @@
+package readsim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Dirty-corpus generation: real FASTQ traffic carries malformed records,
+// ambiguous-base runs, and collapsed 3' quality tails. This writer injects
+// all three at controlled rates so the tolerant decoder and the QC gate can
+// be exercised against corpora with known ground truth.
+
+// FastqRead is one record to emit: the raw sequence plus an optional
+// quality string (generated when empty).
+type FastqRead struct {
+	ID  string
+	Seq []byte
+	// Qual overrides the generated quality string when non-empty; it must
+	// match len(Seq).
+	Qual []byte
+}
+
+// DirtyConfig controls corruption injection for WriteDirtyFastq. The zero
+// value writes a clean phred+33 FASTQ file.
+type DirtyConfig struct {
+	// MalformedFrac is the fraction of records emitted malformed (short
+	// quality line, missing '+' separator, corrupted header, stray blank
+	// garbage). The first record is always emitted clean so the format
+	// stays detectable.
+	MalformedFrac float64
+	// NFrac is the fraction of reads that get a run of 'N's spliced into
+	// their sequence (quality bytes are kept consistent).
+	NFrac float64
+	// QualDrop is the fraction of reads whose 3' tail quality collapses to
+	// TailQual over the last third of the read.
+	QualDrop float64
+	// BaseQual is the phred score of clean bases; 0 defaults to 35.
+	BaseQual int
+	// TailQual is the phred score of collapsed tails; 0 defaults to 2.
+	TailQual int
+	// Seed makes injection reproducible.
+	Seed int64
+}
+
+func (c DirtyConfig) withDefaults() DirtyConfig {
+	if c.BaseQual == 0 {
+		c.BaseQual = 35
+	}
+	if c.TailQual == 0 {
+		c.TailQual = 2
+	}
+	return c
+}
+
+// Validate bounds the fractions.
+func (c DirtyConfig) Validate() error {
+	for _, f := range []float64{c.MalformedFrac, c.NFrac, c.QualDrop} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("readsim: dirty fraction %v outside [0,1]", f)
+		}
+	}
+	return nil
+}
+
+// DirtyStats reports what the writer actually injected.
+type DirtyStats struct {
+	// Records is the number of records emitted (clean + malformed).
+	Records int
+	// Malformed counts records emitted in a broken form.
+	Malformed int
+	// NInjected counts reads that received an N run.
+	NInjected int
+	// QualDropped counts reads whose 3' tail was collapsed.
+	QualDropped int
+}
+
+// WriteDirtyFastq emits reads as phred+33 FASTQ with corruption injected at
+// the configured rates. Records are written raw (not through fastx.Writer,
+// which refuses inconsistent records by design). Injection is positional
+// and seeded, so the same config over the same reads always corrupts the
+// same records — tests can predict exactly which reads survive.
+func WriteDirtyFastq(w io.Writer, reads []FastqRead, cfg DirtyConfig) (DirtyStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return DirtyStats{}, err
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var st DirtyStats
+	for i, rd := range reads {
+		seq := append([]byte(nil), rd.Seq...)
+		qual := rd.Qual
+		if len(qual) != len(seq) {
+			qual = flatQual(len(seq), cfg.BaseQual)
+		} else {
+			qual = append([]byte(nil), qual...)
+		}
+		if rng.Float64() < cfg.NFrac && len(seq) > 0 {
+			injectNs(rng, seq)
+			st.NInjected++
+		}
+		if rng.Float64() < cfg.QualDrop && len(seq) >= 3 {
+			tail := len(seq) / 3
+			for j := len(qual) - tail; j < len(qual); j++ {
+				qual[j] = byte(33 + cfg.TailQual)
+			}
+			st.QualDropped++
+		}
+		st.Records++
+		if i > 0 && rng.Float64() < cfg.MalformedFrac {
+			st.Malformed++
+			if err := writeMalformed(w, rng, rd.ID, seq, qual); err != nil {
+				return st, err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "@%s\n%s\n+\n%s\n", rd.ID, seq, qual); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// flatQual builds a quality string at one phred score.
+func flatQual(n, q int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(33 + q)
+	}
+	return out
+}
+
+// injectNs splices a short run of 'N's at a random position.
+func injectNs(rng *rand.Rand, seq []byte) {
+	run := 3 + rng.Intn(8)
+	if run > len(seq) {
+		run = len(seq)
+	}
+	at := rng.Intn(len(seq) - run + 1)
+	for j := at; j < at+run; j++ {
+		seq[j] = 'N'
+	}
+}
+
+// writeMalformed emits one record in a randomly-chosen broken form. Every
+// form keeps later records recoverable by the tolerant decoder's resync.
+func writeMalformed(w io.Writer, rng *rand.Rand, id string, seq, qual []byte) error {
+	switch rng.Intn(4) {
+	case 0: // quality line shorter than the sequence
+		cut := len(qual) / 2
+		_, err := fmt.Fprintf(w, "@%s\n%s\n+\n%s\n", id, seq, qual[:cut])
+		return err
+	case 1: // missing '+' separator
+		_, err := fmt.Fprintf(w, "@%s\n%s\n%s\n", id, seq, qual)
+		return err
+	case 2: // header lost its '@'
+		_, err := fmt.Fprintf(w, "%s\n%s\n+\n%s\n", id, seq, qual)
+		return err
+	default: // record torn mid-way, stray blank line behind it
+		_, err := fmt.Fprintf(w, "@%s\n%s\n\n", id, seq)
+		return err
+	}
+}

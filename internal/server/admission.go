@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"bwaver/internal/qc"
 )
 
 // Admission control and graceful drain. Job creation (POST /jobs, GET /demo)
@@ -259,6 +261,7 @@ type jobSpec struct {
 	Mode       string
 	B, SF      int
 	Mismatches int
+	QC         qc.Policy
 	RefName    string
 	RefLength  int
 	Reads      int
@@ -308,7 +311,7 @@ func (s *Server) admitJob(spec jobSpec, initial JobState) (job *Job, existing bo
 	}
 	job = &Job{
 		ID: s.nextID, Backend: spec.Backend, Mode: spec.Mode, B: spec.B, SF: spec.SF,
-		Mismatches: spec.Mismatches, IdemKey: spec.IdemKey, RequestID: spec.RequestID,
+		Mismatches: spec.Mismatches, QC: spec.QC, IdemKey: spec.IdemKey, RequestID: spec.RequestID,
 		timeout: spec.Timeout,
 		RefName: spec.RefName, RefLength: spec.RefLength, Reads: spec.Reads, Created: time.Now(),
 	}

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"bwaver/internal/qc"
 )
 
 // Durable job journal. A bwaver-server restart used to lose every queued and
@@ -60,6 +62,9 @@ type journalRecord struct {
 	Mismatches   int    `json:"mismatches,omitempty"`
 	RefPayload   string `json:"ref_payload,omitempty"`
 	ReadsPayload string `json:"reads_payload,omitempty"`
+	// QC is the job's quality-control policy, journaled with the spec so a
+	// replayed job re-ingests under the same gates.
+	QC *qc.Policy `json:"qc,omitempty"`
 	// IdemKey is the client's Idempotency-Key, replayed with the job so
 	// post-restart retries still map to it.
 	IdemKey string `json:"idem_key,omitempty"`
@@ -69,19 +74,23 @@ type journalRecord struct {
 	Created   time.Time `json:"created"`
 
 	// Outcome.
-	Error          string    `json:"error,omitempty"`
-	RefName        string    `json:"ref_name,omitempty"`
-	RefLength      int       `json:"ref_length,omitempty"`
-	Reads          int       `json:"reads,omitempty"`
-	Mapped         int       `json:"mapped,omitempty"`
-	CacheHit       bool      `json:"cache_hit,omitempty"`
-	Fallback       bool      `json:"fallback,omitempty"`
-	FallbackReason string    `json:"fallback_reason,omitempty"`
-	ParseMs        float64   `json:"parse_ms,omitempty"`
-	BuildMs        float64   `json:"build_ms,omitempty"`
-	MapMs          float64   `json:"map_ms,omitempty"`
-	Results        string    `json:"results,omitempty"`
-	Finished       time.Time `json:"finished"`
+	Error          string  `json:"error,omitempty"`
+	RefName        string  `json:"ref_name,omitempty"`
+	RefLength      int     `json:"ref_length,omitempty"`
+	Reads          int     `json:"reads,omitempty"`
+	Mapped         int     `json:"mapped,omitempty"`
+	CacheHit       bool    `json:"cache_hit,omitempty"`
+	Fallback       bool    `json:"fallback,omitempty"`
+	FallbackReason string  `json:"fallback_reason,omitempty"`
+	ParseMs        float64 `json:"parse_ms,omitempty"`
+	BuildMs        float64 `json:"build_ms,omitempty"`
+	MapMs          float64 `json:"map_ms,omitempty"`
+	Results        string  `json:"results,omitempty"`
+	// QCReport is the job's ingest accounting (attempted / malformed /
+	// per-reason rejects / trimmed bases), persisted with the terminal
+	// record so a restarted server's totals replay accounting-identically.
+	QCReport *qc.Report `json:"qc_report,omitempty"`
+	Finished time.Time  `json:"finished"`
 }
 
 // journal owns the state directory: the append-only log plus the payload and
@@ -96,9 +105,9 @@ type journal struct {
 
 // Well-known names inside the state directory.
 const (
-	journalFile  = "journal.jsonl"
-	payloadsDir  = "payloads"
-	resultsDir   = "results"
+	journalFile   = "journal.jsonl"
+	payloadsDir   = "payloads"
+	resultsDir    = "results"
 	indexSpillDir = "indexes"
 )
 
@@ -325,6 +334,9 @@ func foldRecords(recs []journalRecord) map[int]*foldedJob {
 			fj.spec.RefPayload, fj.spec.ReadsPayload = rec.RefPayload, rec.ReadsPayload
 			fj.spec.Created = rec.Created
 		}
+		if rec.QC != nil {
+			fj.spec.QC = rec.QC
+		}
 		if rec.IdemKey != "" {
 			fj.spec.IdemKey = rec.IdemKey
 		}
@@ -359,28 +371,33 @@ func foldRecords(recs []journalRecord) map[int]*foldedJob {
 // the unit of journal compaction.
 func snapshotRecord(j *Job) journalRecord {
 	rec := journalRecord{
-		Job:        j.ID,
-		Time:       time.Now(),
-		Backend:    j.Backend,
-		Mode:       j.Mode,
-		B:          j.B,
-		SF:         j.SF,
-		Mismatches: j.Mismatches,
-		IdemKey:    j.IdemKey,
-		RequestID:  j.RequestID,
-		Created:    j.Created,
-		RefName:    j.RefName,
-		RefLength:  j.RefLength,
-		Reads:      j.Reads,
-		Mapped:     j.Mapped,
-		CacheHit:   j.CacheHit,
-		Fallback:   j.FallbackUsed,
+		Job:            j.ID,
+		Time:           time.Now(),
+		Backend:        j.Backend,
+		Mode:           j.Mode,
+		B:              j.B,
+		SF:             j.SF,
+		Mismatches:     j.Mismatches,
+		IdemKey:        j.IdemKey,
+		RequestID:      j.RequestID,
+		Created:        j.Created,
+		RefName:        j.RefName,
+		RefLength:      j.RefLength,
+		Reads:          j.Reads,
+		Mapped:         j.Mapped,
+		CacheHit:       j.CacheHit,
+		Fallback:       j.FallbackUsed,
 		FallbackReason: j.FallbackReason,
-		Error:      j.Error,
-		ParseMs:    float64(j.ParseTime) / float64(time.Millisecond),
-		BuildMs:    float64(j.BuildTime) / float64(time.Millisecond),
-		MapMs:      float64(j.MapTime) / float64(time.Millisecond),
-		Finished:   j.Finished,
+		Error:          j.Error,
+		ParseMs:        float64(j.ParseTime) / float64(time.Millisecond),
+		BuildMs:        float64(j.BuildTime) / float64(time.Millisecond),
+		MapMs:          float64(j.MapTime) / float64(time.Millisecond),
+		QCReport:       j.QCReport,
+		Finished:       j.Finished,
+	}
+	if j.QC.Active() {
+		pol := j.QC
+		rec.QC = &pol
 	}
 	switch j.State {
 	case StateDone:
@@ -435,6 +452,10 @@ func (s *Server) journalAccept(job *Job, in jobInput) error {
 		RequestID:    job.RequestID,
 		Created:      job.Created,
 	}
+	if job.QC.Active() {
+		pol := job.QC
+		rec.QC = &pol
+	}
 	if err := s.journal.append(rec); err != nil {
 		s.journal.removeFiles(refRel, readsRel)
 		return err
@@ -484,6 +505,7 @@ func (s *Server) journalFinish(job *Job, state JobState, results []byte, results
 	rec.ParseMs = float64(job.ParseTime) / float64(time.Millisecond)
 	rec.BuildMs = float64(job.BuildTime) / float64(time.Millisecond)
 	rec.MapMs = float64(job.MapTime) / float64(time.Millisecond)
+	rec.QCReport = job.QCReport
 	s.mu.Unlock()
 	s.journal.appendBestEffort(rec)
 	refRel, readsRel := payloadNames(job.ID)
@@ -544,6 +566,9 @@ func (s *Server) recover() error {
 		}
 		if job.Created.IsZero() {
 			job.Created = fj.last.Time
+		}
+		if fj.spec.QC != nil {
+			job.QC = *fj.spec.QC
 		}
 		refRel, readsRel := fj.spec.RefPayload, fj.spec.ReadsPayload
 		if refRel == "" || readsRel == "" {
@@ -611,6 +636,15 @@ func (s *Server) recover() error {
 		}
 		if job.Finished.IsZero() && job.State.terminal() {
 			job.Finished = time.Now()
+		}
+		// Terminal jobs re-merge their journaled ingest accounting, so the
+		// server-wide QC totals (stats + metrics) replay identically; the
+		// report is clamped to the fixed reason enum first — the journal is
+		// the one input an operator could have hand-edited.
+		if rep := fj.last.QCReport; rep != nil && job.State.terminal() {
+			sanitizeQCReport(rep)
+			job.QCReport = rep
+			s.qcTotals.Merge(*rep)
 		}
 		if job.IdemKey != "" {
 			// Terminal jobs keep their reservation too: a post-restart retry

@@ -9,6 +9,7 @@ import (
 	"bwaver/internal/core"
 	"bwaver/internal/fpga"
 	"bwaver/internal/obs"
+	"bwaver/internal/qc"
 )
 
 // Observability wiring: the Prometheus-style registry behind GET /metrics,
@@ -170,6 +171,36 @@ func (s *Server) initObs() {
 			defer s.mu.Unlock()
 			return float64(s.memReconfigs)
 		})
+
+	// QC gate totals. Reject reasons are a fixed enum pre-registered here so
+	// journal tampering or future drift cannot mint new label values.
+	qcStat := func(get func(qc.Report) int) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(get(s.qcTotals))
+		}
+	}
+	for _, reason := range qc.Reasons() {
+		if reason == qc.ReasonMalformed {
+			continue // malformed records are counted separately below
+		}
+		reason := reason
+		reg.CounterFunc("bwaver_qc_rejected_total",
+			"Reads rejected by the QC gate, by reason.",
+			qcStat(func(rep qc.Report) int { return rep.Rejected[reason] }),
+			"reason", reason)
+	}
+	reg.CounterFunc("bwaver_qc_rejected_total",
+		"Reads rejected by the QC gate, by reason.",
+		qcStat(func(rep qc.Report) int { return rep.Rejected["invalid"] }),
+		"reason", "invalid")
+	reg.CounterFunc("bwaver_qc_malformed_total",
+		"Malformed FASTQ records the tolerant decoder skipped.",
+		qcStat(func(rep qc.Report) int { return rep.Malformed }))
+	reg.CounterFunc("bwaver_qc_trimmed_bases_total",
+		"Bases removed by 3' quality trimming.",
+		qcStat(func(rep qc.Report) int { return rep.TrimmedBases }))
 
 	for _, stage := range []string{"index", "query", "kernel", "result", "corrupt"} {
 		stage := stage

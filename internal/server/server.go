@@ -38,6 +38,7 @@ import (
 	"bwaver/internal/fastx"
 	"bwaver/internal/fpga"
 	"bwaver/internal/obs"
+	"bwaver/internal/qc"
 	"bwaver/internal/readsim"
 	"bwaver/internal/rrr"
 	"bwaver/internal/sam"
@@ -110,6 +111,11 @@ type Job struct {
 	FallbackUsed bool
 	// FallbackReason records the device error that triggered the fallback.
 	FallbackReason string
+	// QC is the job's quality-control policy (zero = strict parse, no
+	// gates); QCReport the resulting ingest accounting, journaled with the
+	// terminal record so replay restores identical reject counts.
+	QC       qc.Policy
+	QCReport *qc.Report
 
 	ParseTime time.Duration
 	BuildTime time.Duration
@@ -339,6 +345,11 @@ type Server struct {
 	// jobs — one per session under the batched two-pass schedule, however
 	// many batches the job streamed. Guarded by mu.
 	memReconfigs uint64
+	// qcTotals aggregates ingest QC accounting (attempted, malformed,
+	// per-reason rejects, trimmed bases) over every job; journal recovery
+	// re-merges terminal jobs' reports, so the totals survive restarts.
+	// Guarded by mu.
+	qcTotals qc.Report
 
 	// Observability (see obs.go): structured logger, metric registry, and
 	// the event-time instruments; scrape-time collectors read server state
@@ -598,6 +609,10 @@ type jobJSON struct {
 	MapMs          float64 `json:"map_ms"`
 	PeakResultBuf  int     `json:"peak_result_buffer_bytes"`
 	RequestID      string  `json:"request_id,omitempty"`
+	// QC is the job's quality-control policy (absent when inactive);
+	// QCReport the resulting ingest accounting once the job has parsed.
+	QC       *qc.Policy `json:"qc,omitempty"`
+	QCReport *qc.Report `json:"qc_report,omitempty"`
 	// Upload resume anchors, present while the job is uploading.
 	ReferenceOffset *int64 `json:"reference_offset,omitempty"`
 	ReadsOffset     *int64 `json:"reads_offset,omitempty"`
@@ -615,6 +630,14 @@ func (j *Job) toJSON() jobJSON {
 		MapMs:         float64(j.MapTime) / float64(time.Millisecond),
 		PeakResultBuf: j.PeakResultBuf,
 		RequestID:     j.RequestID,
+	}
+	if j.QC.Active() {
+		pol := j.QC
+		out.QC = &pol
+	}
+	if j.QCReport != nil {
+		rep := *j.QCReport
+		out.QCReport = &rep
 	}
 	if j.State == StateUploading && j.upload != nil {
 		j.upload.mu.Lock()
@@ -713,6 +736,7 @@ type statsJSON struct {
 	Evicted    uint64               `json:"jobs_evicted"`
 	Stage      stageJSON            `json:"stage_totals"`
 	Mem        memStatsJSON         `json:"mem"`
+	QC         qc.Report            `json:"qc"`
 	Resilience fpga.ResilienceStats `json:"resilience"`
 	Devices    []fpga.DeviceHealth  `json:"devices"`
 	Fallback   string               `json:"fallback_policy"`
@@ -771,6 +795,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MapMsTotal:    float64(s.totalMap) / float64(time.Millisecond),
 	}
 	payload.Mem = memStatsJSON{MemStats: s.memStats, Reconfigs: s.memReconfigs}
+	payload.QC = s.qcTotals
+	payload.QC.Rejected = make(map[string]int, len(s.qcTotals.Rejected))
+	for reason, n := range s.qcTotals.Rejected {
+		payload.QC.Rejected[reason] = n
+	}
 	rejected := make(map[string]uint64, len(s.admissionRejected))
 	for reason, n := range s.admissionRejected {
 		rejected[reason] = n
@@ -991,6 +1020,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	qcPol, err := qcPolicyFromForm(r.FormValue, mode)
+	if err != nil {
+		httpError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
 	refRaw, err := formFileBytes(r, "reference")
 	if err != nil {
 		httpError(w, r, http.StatusBadRequest, "missing reference upload")
@@ -1004,6 +1038,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	job, existing, ae := s.admitJob(jobSpec{
 		Backend: backend, Mode: mode, B: b, SF: sf, Mismatches: mismatches,
+		QC:      qcPol,
 		RefName: "(parsing)", IdemKey: idemKey,
 		RequestID: obs.RequestIDFrom(r.Context()),
 		Timeout:   s.effectiveTimeout(r),
@@ -1388,6 +1423,7 @@ func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 	}
 
 	ref, contigs, reads, ids := in.ref, in.contigs, in.reads, in.ids
+	var qcRejects []qc.Reject
 	if in.hasRawInput() {
 		_, parseSpan := obs.StartSpan(ctx, "parse")
 		parseStart := time.Now()
@@ -1397,6 +1433,8 @@ func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 			parseSpan.End()
 			return err
 		}
+		// The reference always parses strictly: a corrupt reference is a
+		// hard error, never something to resync past.
 		ref, contigs, refName, err = parseReference(refReader)
 		refReader.Close()
 		if err != nil {
@@ -1408,7 +1446,8 @@ func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 			parseSpan.End()
 			return err
 		}
-		reads, ids, err = parseReads(readsReader)
+		var qcReport *qc.Report
+		reads, ids, qcRejects, qcReport, err = ingestReads(readsReader, job.QC)
 		readsReader.Close()
 		parseSpan.End()
 		if err != nil {
@@ -1419,6 +1458,10 @@ func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 		job.RefLength = len(ref)
 		job.Reads = len(reads)
 		job.ParseTime = time.Since(parseStart)
+		if qcReport != nil {
+			job.QCReport = qcReport
+			s.qcTotals.Merge(*qcReport)
+		}
 		s.mu.Unlock()
 		if err := ctx.Err(); err != nil {
 			return err
@@ -1476,6 +1519,15 @@ func (s *Server) runJob(ctx context.Context, job *Job, in jobInput) error {
 	if err != nil {
 		mapSpan.End()
 		return err
+	}
+	// Reject rows lead the stream: a client tailing the job sees which
+	// reads were dropped (and why) before the mapping rows begin.
+	if len(qcRejects) > 0 {
+		if err := em.qcRejects(qcRejects); err != nil {
+			em.discard()
+			mapSpan.End()
+			return err
+		}
 	}
 	var mapped int
 	var mapTime time.Duration

@@ -15,6 +15,7 @@ import (
 
 	"bwaver/internal/core"
 	"bwaver/internal/dna"
+	"bwaver/internal/qc"
 	"bwaver/internal/sam"
 )
 
@@ -294,6 +295,40 @@ type memRow struct {
 	Score   int    `json:"score"`
 	NM      int    `json:"nm"`
 	Rescued bool   `json:"rescued,omitempty"`
+}
+
+// rejectRow is the NDJSON wire form of one QC-dropped read. The event
+// discriminator separates it from mapping rows, which carry none; reason is
+// always one of the fixed qc enum codes, so stream consumers can aggregate
+// without unbounded keys.
+type rejectRow struct {
+	Event  string `json:"event"`
+	Index  int    `json:"index"`
+	ID     string `json:"id,omitempty"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// qcRejects emits the ingest-stage reject rows onto the job's NDJSON stream,
+// before any mapping batch. Reasons outside the fixed enum (impossible from
+// the gate, conceivable from a tampered journal) are clamped so the stream
+// never carries attacker-minted codes.
+func (em *jobEmitter) qcRejects(rejects []qc.Reject) error {
+	enc := json.NewEncoder(&em.scratchND)
+	for _, rej := range rejects {
+		reason := rej.Reason
+		if !qc.ValidReason(reason) {
+			reason = "invalid"
+		}
+		row := rejectRow{
+			Event: "qc_reject", Index: rej.Index,
+			ID: sanitizeID(rej.ID), Reason: reason, Detail: rej.Detail,
+		}
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	return em.flushBatch(len(rejects))
 }
 
 // memRowFrom renders one mapped read's stream row from its SAM record and

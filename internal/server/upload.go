@@ -14,6 +14,7 @@ import (
 
 	"bwaver/internal/fmindex"
 	"bwaver/internal/obs"
+	"bwaver/internal/qc"
 	"bwaver/internal/rrr"
 )
 
@@ -138,13 +139,16 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 	}
 	b, sf, mismatches := DefaultB, DefaultSF, 0
 	backend, mode := "", ""
-	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+	var qcReq qcParams
+	fromJSON := strings.HasPrefix(r.Header.Get("Content-Type"), "application/json")
+	if fromJSON {
 		var req struct {
-			Backend    string `json:"backend"`
-			Mode       string `json:"mode"`
-			B          *int   `json:"b"`
-			SF         *int   `json:"sf"`
-			Mismatches *int   `json:"mismatches"`
+			Backend    string   `json:"backend"`
+			Mode       string   `json:"mode"`
+			B          *int     `json:"b"`
+			SF         *int     `json:"sf"`
+			Mismatches *int     `json:"mismatches"`
+			QC         qcParams `json:"qc"`
 		}
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil && err != io.EOF {
 			jsonError(w, http.StatusBadRequest, "bad request body: "+err.Error())
@@ -161,6 +165,7 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		if req.Mismatches != nil {
 			mismatches = *req.Mismatches
 		}
+		qcReq = req.QC
 	} else {
 		var err error
 		backend = r.FormValue("backend")
@@ -183,9 +188,20 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	var qcPol qc.Policy
+	if fromJSON {
+		qcPol, err = qcReq.policy(mode)
+	} else {
+		qcPol, err = qcPolicyFromForm(r.FormValue, mode)
+	}
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 
 	job, existing, ae := s.admitJob(jobSpec{
 		Backend: backend, Mode: mode, B: b, SF: sf, Mismatches: mismatches,
+		QC:      qcPol,
 		RefName: "(uploading)", IdemKey: idemKey,
 		RequestID: obs.RequestIDFrom(r.Context()),
 		Timeout:   s.effectiveTimeout(r),
@@ -213,6 +229,10 @@ func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {
 			IdemKey:      job.IdemKey,
 			RequestID:    job.RequestID,
 			Created:      job.Created,
+		}
+		if job.QC.Active() {
+			pol := job.QC
+			rec.QC = &pol
 		}
 		if err := s.journal.append(rec); err != nil {
 			s.failUploadingJob(job, "journal: "+err.Error())
